@@ -1,0 +1,74 @@
+// Ablation of the recomputation policy (§4.2): sweep the activation-memory
+// budget for GPT3-13B on one GPU (micro-batch 8) and report the resident
+// activation bytes vs the extra backward time the recompute choice costs.
+// The paper recomputes everything; this shows the whole trade curve that
+// decision sits on.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "model/footprint.h"
+#include "model/model_zoo.h"
+#include "sim/cost_model.h"
+#include "train/recompute_policy.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace angelptm;
+  bench::PrintHeader("Ablation: activation recompute policy",
+                     "Section 4.2 (recomputation) / Section 7 cost-based "
+                     "eviction");
+
+  auto config = model::FindModel("GPT3-13B");
+  ANGEL_CHECK_OK(config.status());
+  config->seq_len = 1024;
+  const int micro_batch = 8;
+
+  model::TrainingConfig training;
+  training.micro_batch = micro_batch;
+  training.recompute_activations = true;
+  const sim::CostModel cost(sim::PaperServer(), *config, training);
+
+  // Per-layer activation geometry (Table 1 closed forms) and the forward
+  // re-execution cost.
+  const uint64_t b = micro_batch, s = config->seq_len, dm = config->d_model,
+                 dffn = config->d_ffn;
+  std::vector<train::LayerActivationCost> layers(config->num_layers);
+  for (auto& layer : layers) {
+    layer.full_stash_bytes = 40 * b * s * dm + 8 * b * s * dffn;
+    layer.boundary_bytes = 2 * b * s * dm;
+    layer.recompute_seconds = cost.LayerForwardSeconds(micro_batch);
+  }
+  const uint64_t full_bytes =
+      uint64_t(config->num_layers) * layers[0].full_stash_bytes;
+
+  util::TablePrinter table({"Activation budget", "resident",
+                            "layers recomputed", "extra backward time",
+                            "vs full-stash memory"});
+  for (const double fraction : {1.0, 0.5, 0.25, 0.1, 0.05}) {
+    const uint64_t budget = uint64_t(fraction * double(full_bytes));
+    auto plan = train::PlanRecompute(layers, budget);
+    if (!plan.ok()) {
+      table.AddRow({util::FormatBytes(budget), plan.status().ToString(),
+                    "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({util::FormatBytes(budget),
+                  util::FormatBytes(plan->resident_bytes),
+                  std::to_string(plan->layers_recomputed) + "/" +
+                      std::to_string(config->num_layers),
+                  util::FormatDuration(plan->recompute_seconds),
+                  util::FormatDouble(100.0 * double(plan->resident_bytes) /
+                                         double(full_bytes),
+                                     1) +
+                      "%"});
+  }
+  table.Print(std::cout,
+              "GPT3-13B, micro-batch 8, seq 1024 (one GPU's activations)");
+  std::cout << "\nRecomputing every layer (the paper's §4.2 configuration)\n"
+               "keeps ~5% of the activation bytes resident for ~33% more\n"
+               "forward FLOPs in backward — the trade that frees GPU memory\n"
+               "for model states and bigger batches.\n";
+  return 0;
+}

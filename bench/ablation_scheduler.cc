@@ -1,0 +1,139 @@
+// Ablation of the unified scheduler's design choices (Section 4.2), on the
+// simulated GPT3-30B / 8-GPU workload:
+//   (a) phase 2 (advancing all_gather triggers) on vs off,
+//   (b) the dynamic GPU cache of fp32 optimizer states on vs off,
+//   (c) planning page size sweep (the Section 4.1 trade-off).
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/unified_scheduler.h"
+#include "model/footprint.h"
+#include "model/model_zoo.h"
+#include "sim/cost_model.h"
+#include "sim/planner.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace angelptm;
+
+sim::PlanRequest BaseRequest() {
+  sim::PlanRequest request;
+  request.model = *model::FindModel("GPT3-30B");
+  request.model.seq_len = 1024;
+  request.hw = sim::PaperServer();
+  request.num_gpus = 8;
+  request.micro_batch = 1;
+  return request;
+}
+
+/// Re-simulates a plan with phase 2 stripped: every gather falls back to
+/// trigger = its serving step (no communication/computation overlap).
+sim::IterationResult SimulateWithoutPhase2(sim::Plan plan) {
+  for (core::Task& task : plan.spec.tasks) {
+    if (task.op == core::TaskOp::kAllGather) task.trigger_id = task.step;
+  }
+  return sim::SimulateIteration(plan.spec);
+}
+
+void Phase2AndCacheAblation() {
+  const sim::PlanRequest request = BaseRequest();
+  auto plan = sim::PlanAngelPtm(request);
+  ANGEL_CHECK_OK(plan.status());
+
+  util::TablePrinter table({"Configuration", "iteration (s)", "samples/s",
+                            "GPU idle"});
+  const sim::IterationResult full = sim::SimulateIteration(plan->spec);
+  auto add = [&](const char* label, const sim::IterationResult& r) {
+    table.AddRow({label, util::FormatDouble(r.iteration_seconds, 3),
+                  util::FormatDouble(double(request.num_gpus) *
+                                         request.micro_batch /
+                                         r.iteration_seconds,
+                                     2),
+                  util::FormatDouble(100.0 * r.GpuIdleFraction(), 1) + "%"});
+  };
+  add("Full Angel-PTM schedule", full);
+  add("No phase 2 (gathers not advanced)", SimulateWithoutPhase2(*plan));
+
+  // No dynamic cache: all optimizer work on the CPU, grads all offloaded.
+  sim::Plan no_cache = *plan;
+  for (sim::OptimizerWork& work : no_cache.spec.opt_work) {
+    const uint64_t total =
+        work.cpu_update_elements /
+            uint64_t(std::max(1, request.num_gpus > 8 ? 8 : request.num_gpus)) +
+        work.gpu_update_elements;
+    work.cpu_update_elements =
+        total * uint64_t(std::min(request.num_gpus, 8));
+    work.gpu_update_elements = 0;
+    work.grad_offload_bytes = 2 * total;
+  }
+  add("No GPU optimizer cache", sim::SimulateIteration(no_cache.spec));
+  table.Print(std::cout, "GPT3-30B, 8 GPUs, micro-batch 1 (fine-tuning regime, Sec. 3.1)");
+  std::cout << "\n";
+}
+
+void PageSizeSweep() {
+  // Scheduler behaviour vs page granularity on a fixed step list: smaller
+  // pages pack/evict at finer grain (less over-fetch) but multiply task
+  // counts; 4 MiB is the paper's sweet spot against PCIe utilization.
+  util::TablePrinter table({"Page size", "tasks", "prefetched pages",
+                            "peak GPU", "schedule build"});
+  const auto config = *model::FindModel("GPT3-13B");
+  const uint64_t shard_layer =
+      2 * model::LayerParamCount(config) / 8;  // fp16 shard per rank.
+  for (const uint64_t page_mib : {1, 4, 16, 64, 256}) {
+    const uint64_t page_bytes = page_mib * util::kMiB;
+    core::ScheduleInput input;
+    input.world_size = 8;
+    input.gpu_memory_budget = 38ull * util::kGiB;
+    uint64_t next_page = 0;
+    std::vector<std::vector<core::PageRef>> pages(config.num_layers);
+    for (int l = 0; l < config.num_layers; ++l) {
+      uint64_t remaining = shard_layer;
+      while (remaining > 0) {
+        const uint64_t bytes = std::min(remaining, page_bytes);
+        pages[l].push_back({next_page++, bytes});
+        remaining -= bytes;
+      }
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i < config.num_layers; ++i) {
+        const int l = pass == 0 ? i : config.num_layers - 1 - i;
+        core::SchedStep step;
+        step.param_pages = pages[l];
+        step.workspace_bytes = 2ull * util::kGiB;
+        input.steps.push_back(step);
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto schedule = core::BuildSchedule(input);
+    const double build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!schedule.ok()) {
+      table.AddRow({std::to_string(page_mib) + " MiB", "-", "-",
+                    schedule.status().ToString(), "-"});
+      continue;
+    }
+    table.AddRow({std::to_string(page_mib) + " MiB",
+                  std::to_string(schedule->tasks.size()),
+                  std::to_string(schedule->pages_prefetched_at_start),
+                  util::FormatBytes(schedule->peak_gpu_bytes),
+                  util::FormatDuration(build_seconds)});
+  }
+  table.Print(std::cout, "Page-size sweep (GPT3-13B shard schedule)");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: unified scheduler design choices",
+                     "Sections 4.1-4.2 design analysis");
+  Phase2AndCacheAblation();
+  PageSizeSweep();
+  return 0;
+}

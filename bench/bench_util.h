@@ -1,0 +1,27 @@
+#ifndef ANGELPTM_BENCH_BENCH_UTIL_H_
+#define ANGELPTM_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "sim/hardware.h"
+
+namespace angelptm::bench {
+
+/// Prints the standard bench header: what is being reproduced and on which
+/// (simulated) hardware — the Table 3 environment.
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const sim::HardwareConfig& hw = sim::PaperServer()) {
+  std::cout << "==============================================================="
+               "=\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Simulated environment (paper Table 3): "
+            << sim::DescribeHardware(hw) << "\n"
+            << "==============================================================="
+               "=\n\n";
+}
+
+}  // namespace angelptm::bench
+
+#endif  // ANGELPTM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Regenerates the paper's Figure 8: scalability of Angel-PTM training
+// GPT3-175B from 256 to 768 GPUs. The paper reports 11.68 samples/s at 256
+// GPUs rising to 36.46 at 768 (3.12x over a 3x GPU increase): near-linear
+// scaling with a slightly super-linear margin from growing the global batch
+// and parallelizing the CPU optimizer and PCIe movements across more nodes.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "model/model_zoo.h"
+#include "sim/planner.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace angelptm;
+  bench::PrintHeader("Figure 8: GPT3-175B scalability (256 -> 768 GPUs)",
+                     "Figure 8 (Section 6.4)");
+
+  auto config = model::FindModel("GPT3-175B");
+  config->seq_len = 2048;
+
+  util::TablePrinter table({"GPUs", "micro-batch", "global batch",
+                            "samples/s", "per-GPU", "speedup vs 256"});
+  double base = 0;
+  for (const int gpus : {256, 384, 512, 640, 768}) {
+    sim::PlanRequest request;
+    request.model = *config;
+    request.hw = sim::PaperServer();
+    request.num_gpus = gpus;
+    request.grad_accumulation = 8;
+    const int micro_batch = sim::MaxMicroBatchAngelPtm(request, 64);
+    request.micro_batch = micro_batch;
+    auto plan = sim::PlanAngelPtm(request);
+    if (!plan.ok()) {
+      table.AddRow({std::to_string(gpus), "-", "-", "infeasible", "-", "-"});
+      continue;
+    }
+    const sim::IterationResult result = sim::SimulateIteration(plan->spec);
+    const double samples = double(gpus) * micro_batch *
+                           request.grad_accumulation;
+    const double throughput = samples / result.iteration_seconds;
+    if (base == 0) base = throughput;
+    table.AddRow({std::to_string(gpus), std::to_string(micro_batch),
+                  std::to_string(int64_t(samples)),
+                  util::FormatDouble(throughput, 2),
+                  util::FormatDouble(throughput / gpus, 4),
+                  util::FormatDouble(throughput / base, 2) + "x"});
+  }
+  table.Print(std::cout, "Angel-PTM training GPT3-175B (seq 2048, grad "
+                         "accumulation 8)");
+  std::cout
+      << "\nPaper: 11.68 samples/s @256 GPUs -> 36.46 @768 (3.12x).\n"
+      << "This repo reproduces the near-linear shape (~3.0x for 3x GPUs);\n"
+      << "the paper's extra +4% (super-linear) margin comes from batch\n"
+      << "growth effects our feasibility-driven batch search reproduces\n"
+      << "only partially (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates the paper's Figure 9: scalability of Angel-PTM training
+// T5-MoE with expert parallelism, experts-per-GPU fixed at 9 so the model
+// grows with the cluster (weak scaling; 256 GPUs = the 2304-expert 1.2T
+// model). The paper reports near-linear scaling, slightly below GPT3-175B's
+// because the MoE all-to-all grows with the node count.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "dist/expert_parallel.h"
+#include "model/model_zoo.h"
+#include "sim/planner.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace angelptm;
+  bench::PrintHeader("Figure 9: T5-MoE weak scaling with expert parallelism",
+                     "Figure 9 (Section 6.4)");
+
+  util::TablePrinter table({"GPUs", "Experts/layer", "Model params",
+                            "samples/s", "per-GPU", "efficiency vs 64"});
+  double base_per_gpu = 0;
+  for (const int gpus : {64, 128, 256, 512, 1024}) {
+    dist::ExpertParallelRequest request;
+    request.model = *model::FindModel("T5-MoE-1.2T");
+    request.hw = sim::PaperServer();
+    request.num_gpus = gpus;
+    request.experts_per_gpu = 9;
+    request.micro_batch = 8;
+    auto plan = dist::PlanExpertParallel(request);
+    if (!plan.ok()) {
+      table.AddRow({std::to_string(gpus), "-", "-",
+                    plan.status().ToString(), "-", "-"});
+      continue;
+    }
+    const sim::IterationResult result = sim::SimulateIteration(plan->spec);
+    const double throughput =
+        double(gpus) * request.micro_batch / result.iteration_seconds;
+    const double per_gpu = throughput / gpus;
+    if (base_per_gpu == 0) base_per_gpu = per_gpu;
+    table.AddRow({std::to_string(gpus),
+                  std::to_string(request.experts_per_gpu * gpus),
+                  util::FormatParamCount(
+                      dist::ExpertParallelModelParams(request)),
+                  util::FormatDouble(throughput, 1),
+                  util::FormatDouble(per_gpu, 3),
+                  util::FormatDouble(100.0 * per_gpu / base_per_gpu, 1) +
+                      "%"});
+  }
+  table.Print(std::cout,
+              "Angel-PTM training T5-MoE (9 experts/GPU/layer, seq 512)");
+  std::cout
+      << "\nShape vs paper: near-linear weak scaling; efficiency declines\n"
+      << "a few percent at 1024 GPUs because the per-layer token all-to-all\n"
+      << "becomes latency-bound across more peers — the degradation the\n"
+      << "paper attributes to 'more input data fed into the all-to-all'.\n";
+  return 0;
+}

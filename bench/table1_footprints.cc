@@ -1,0 +1,65 @@
+// Regenerates the paper's Table 1: memory footprints of a single
+// Transformer layer under mixed-precision training with Adam, for the GPT-3
+// dimensions (b=1, s=2048, d_m=12288, d_ffn=49152), plus the §2.2
+// memory-usage analysis of GPT3-175B.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "model/footprint.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace angelptm;
+  bench::PrintHeader("Table 1: per-layer memory footprints",
+                     "Table 1 and the Memory Usage Analysis of Section 2.2");
+
+  const uint64_t b = 1, s = 2048, dm = 12288, dffn = 49152;
+  const model::LayerFootprint fp =
+      model::ComputeLayerFootprint(b, s, dm, dffn);
+
+  util::TablePrinter table({"Block", "Layer", "Params", "Acts", "Optims"});
+  std::string last_block;
+  for (const auto& c : fp.components) {
+    if (!last_block.empty() && c.block != last_block) table.AddSeparator();
+    last_block = c.block;
+    table.AddRow({c.block, c.layer,
+                  c.params_bytes ? util::FormatBytes(c.params_bytes) : "-",
+                  c.acts_bytes ? util::FormatBytes(c.acts_bytes) : "-",
+                  c.optim_bytes ? util::FormatBytes(c.optim_bytes) : "-"});
+  }
+  table.AddSeparator();
+  table.AddRow({"Total", "", util::FormatBytes(fp.params_bytes),
+                util::FormatBytes(fp.acts_bytes),
+                util::FormatBytes(fp.optim_bytes)});
+  table.Print(std::cout, "One Transformer layer (b=1, s=2048, d_m=12288, "
+                         "d_ffn=49152)");
+
+  std::cout << "\nClosed forms (paper's Total row):\n"
+            << "  Params = 16 d^2 + 8 d d_ffn  = "
+            << util::FormatBytes(16 * dm * dm + 8 * dm * dffn) << "\n"
+            << "  Acts   = 40 b s d + 8 b s d_ffn = "
+            << util::FormatBytes(40 * b * s * dm + 8 * b * s * dffn) << "\n"
+            << "  Optims = 48 d^2 + 24 d d_ffn = "
+            << util::FormatBytes(48 * dm * dm + 24 * dm * dffn) << "\n";
+
+  // §2.2: whole-model analysis for GPT3-175B (96 canonical layers).
+  const int layers = 96;
+  util::TablePrinter analysis({"Quantity", "This repo", "Paper (Sec. 2.2)"});
+  analysis.AddRow({"Params",
+                   util::FormatDouble(double(fp.params_bytes) * layers / 1e9,
+                                      0) + " GB",
+                   "648 GB"});
+  analysis.AddRow({"Acts",
+                   util::FormatDouble(double(fp.acts_bytes) * layers / 1e9,
+                                      0) + " GB",
+                   "162 GB"});
+  analysis.AddRow({"Optims",
+                   util::FormatDouble(double(fp.optim_bytes) * layers / 1e9,
+                                      0) + " GB",
+                   "1944 GB"});
+  std::cout << "\n";
+  analysis.Print(std::cout, "GPT3-175B whole-model memory (Sec. 2.2)");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates the paper's Table 4: the evaluation model zoo, with parameter
+// counts recomputed from the configurations (and deltas flagged where the
+// paper's table is internally inconsistent — see EXPERIMENTS.md).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "model/footprint.h"
+#include "model/model_zoo.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace angelptm;
+  bench::PrintHeader("Table 4: models for evaluation", "Table 4");
+
+  util::TablePrinter table({"Model", "#Layer", "#Head", "d_Model", "d_FFN",
+                            "#Expert", "Params (computed)",
+                            "Model states"});
+  for (const auto& config : model::PaperModelZoo()) {
+    const uint64_t params = model::TotalParamCount(config);
+    table.AddRow({config.name, std::to_string(config.num_layers),
+                  std::to_string(config.num_heads),
+                  std::to_string(config.d_model),
+                  std::to_string(config.d_ffn),
+                  config.num_experts ? std::to_string(config.num_experts)
+                                     : "-",
+                  util::FormatParamCount(params),
+                  util::FormatBytes(model::TotalModelStateBytes(config))});
+  }
+  table.Print(std::cout, "Evaluation models (paper configs)");
+  std::cout << "\nModel states = 16 bytes/param (fp16 param+grad pair plus\n"
+               "fp32 master+momentum+variance) under mixed-precision Adam.\n"
+               "T5 #Layer counts encoder/decoder pairs; T5-MoE #Layer counts\n"
+               "MoE blocks. GPT3-28B computes below its name (the paper's\n"
+               "26-layer config); GPT3-30B uses d=6144 (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Regenerates the paper's Table 5: maximum supported model scale on a
+// single 8-GPU server, for GPT (heads=128, d=8192, d_ffn=32768) and T5
+// (heads=64, d=4096, d_ffn=16384), comparing the DeepSpeed-like static
+// partitioner against Angel-PTM's dynamic page-based management.
+//
+// Paper numbers: DeepSpeed 28B/27B max; Angel-PTM 55B/58B max (+96.4% GPT,
+// +114.8% T5), with the per-batch samples/s and GPU memory columns.
+
+#include <functional>
+#include <iostream>
+
+#include "baselines/deepspeed_like.h"
+#include "bench/bench_util.h"
+#include "model/footprint.h"
+#include "model/model_zoo.h"
+#include "sim/planner.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace angelptm;
+
+constexpr uint64_t kSeqLen = 1024;
+
+model::TransformerConfig MakeConfig(bool gpt, int layers) {
+  auto config = gpt ? model::MakeGptConfig(layers, 128, 8192, 32768)
+                    : model::MakeT5Config(layers, 64, 4096, 16384);
+  config.seq_len = kSeqLen;
+  return config;
+}
+
+/// Largest layer count (hence parameter count) the system can fit at
+/// micro-batch 1.
+int MaxLayers(bool gpt, bool angel) {
+  int best = 0;
+  for (int layers = 8; layers <= 220; layers += 2) {
+    sim::PlanRequest request;
+    request.model = MakeConfig(gpt, layers);
+    request.hw = sim::PaperServer();
+    request.num_gpus = 8;
+    request.micro_batch = 1;
+    const bool ok = angel ? sim::PlanAngelPtm(request).ok()
+                          : baselines::PlanDeepSpeedLike(request).ok();
+    if (ok) {
+      best = layers;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+struct Row {
+  uint64_t params;
+  int batch;
+  double gpu_mem_gib;
+  double samples_per_sec;
+};
+
+Row Measure(bool gpt, bool angel, int layers, int batch) {
+  sim::PlanRequest request;
+  request.model = MakeConfig(gpt, layers);
+  request.hw = sim::PaperServer();
+  request.num_gpus = 8;
+  request.micro_batch = batch;
+  auto plan = angel ? sim::PlanAngelPtm(request)
+                    : baselines::PlanDeepSpeedLike(request);
+  Row row;
+  row.params = model::TotalParamCount(request.model);
+  row.batch = batch;
+  row.gpu_mem_gib = plan.ok() ? double(plan->peak_gpu_bytes) / util::kGiB : 0;
+  row.samples_per_sec = plan.ok() ? sim::SamplesPerSecond(request, *plan) : 0;
+  return row;
+}
+
+int MaxBatch(bool gpt, bool angel, int layers) {
+  sim::PlanRequest request;
+  request.model = MakeConfig(gpt, layers);
+  request.hw = sim::PaperServer();
+  request.num_gpus = 8;
+  return angel ? sim::MaxMicroBatchAngelPtm(request, 512)
+               : baselines::MaxMicroBatchDeepSpeedLike(request, 512);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 5: max supported model scale on a single server",
+                     "Table 5 (Section 6.2)");
+  std::cout << "Scale search: grow #layers at fixed dims until OOM "
+               "(micro-batch 1, seq "
+            << kSeqLen << ").\n\n";
+
+  util::TablePrinter table(
+      {"Model", "System", "#Params", "#Batch", "GPU Mem (GiB)", "Samples/s"});
+  for (const bool gpt : {true, false}) {
+    const char* family = gpt ? "GPT" : "T5";
+    const int ds_layers = MaxLayers(gpt, false);
+    const int angel_layers = MaxLayers(gpt, true);
+
+    // DeepSpeed-like at its max scale: batch 1 and max batch.
+    for (const int batch : {1, MaxBatch(gpt, false, ds_layers)}) {
+      const Row row = Measure(gpt, false, ds_layers, batch);
+      table.AddRow({family, "DeepSpeed-like",
+                    util::FormatParamCount(row.params),
+                    std::to_string(row.batch),
+                    util::FormatDouble(row.gpu_mem_gib, 0),
+                    util::FormatDouble(row.samples_per_sec, 2)});
+    }
+    // Angel-PTM at DeepSpeed's max scale (max batch), then at its own max
+    // scale (batch 1 and max batch) — the paper's row structure.
+    {
+      const int batch = MaxBatch(gpt, true, ds_layers);
+      const Row row = Measure(gpt, true, ds_layers, batch);
+      table.AddRow({family, "Angel-PTM", util::FormatParamCount(row.params),
+                    std::to_string(row.batch),
+                    util::FormatDouble(row.gpu_mem_gib, 0),
+                    util::FormatDouble(row.samples_per_sec, 2)});
+    }
+    const int angel_max_batch = MaxBatch(gpt, true, angel_layers);
+    for (const int batch : {1, angel_max_batch}) {
+      if (batch == angel_max_batch && angel_max_batch == 1) break;
+      const Row row = Measure(gpt, true, angel_layers, batch);
+      table.AddRow({family, "Angel-PTM", util::FormatParamCount(row.params),
+                    std::to_string(row.batch),
+                    util::FormatDouble(row.gpu_mem_gib, 0),
+                    util::FormatDouble(row.samples_per_sec, 2)});
+    }
+    table.AddSeparator();
+
+    const double improvement =
+        100.0 * (double(model::TotalParamCount(MakeConfig(gpt, angel_layers))) /
+                     double(model::TotalParamCount(MakeConfig(gpt, ds_layers))) -
+                 1.0);
+    std::cout << family << ": DeepSpeed-like max "
+              << util::FormatParamCount(
+                     model::TotalParamCount(MakeConfig(gpt, ds_layers)))
+              << " (" << ds_layers << " layers), Angel-PTM max "
+              << util::FormatParamCount(
+                     model::TotalParamCount(MakeConfig(gpt, angel_layers)))
+              << " (" << angel_layers << " layers): +"
+              << util::FormatDouble(improvement, 1)
+              << "% model scale (paper: +" << (gpt ? "96.4" : "114.8")
+              << "%).\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout, "Max supported model scale (8x A100-40GB server)");
+  std::cout << "\nShape vs paper: DeepSpeed's ceiling is the pinned-host\n"
+               "budget for fp32 optimizer states; Angel-PTM roughly doubles\n"
+               "the max scale by dynamically spilling states into spare GPU\n"
+               "memory, and sustains higher samples/s at equal scale.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// MoE scenario: plan T5-MoE training with expert parallelism (Section 6.4)
+// and demonstrate the token all-to-all with the real in-process
+// Communicator across 4 rank threads.
+//
+//   build/examples/moe_expert_parallel
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/communicator.h"
+#include "dist/expert_parallel.h"
+#include "model/model_zoo.h"
+#include "sim/planner.h"
+#include "util/units.h"
+
+int main() {
+  using namespace angelptm;
+
+  // Part 1: plan the paper's 1.2T-parameter configuration (2304 experts =
+  // 9 per GPU on 256 GPUs).
+  dist::ExpertParallelRequest request;
+  request.model = *model::FindModel("T5-MoE-1.2T");
+  request.hw = sim::PaperServer();
+  request.num_gpus = 256;
+  request.experts_per_gpu = 9;
+  request.micro_batch = 8;
+  auto plan = dist::PlanExpertParallel(request);
+  ANGEL_CHECK_OK(plan.status());
+  const sim::IterationResult result = sim::SimulateIteration(plan->spec);
+  std::printf("T5-MoE %s on %d GPUs: %.1f samples/s, per-layer all-to-all "
+              "%.2f ms, peak GPU %s\n\n",
+              util::FormatParamCount(
+                  dist::ExpertParallelModelParams(request))
+                  .c_str(),
+              request.num_gpus,
+              request.num_gpus * request.micro_batch /
+                  result.iteration_seconds,
+              1e3 * plan->spec.extra_comm_seconds_per_step,
+              util::FormatBytes(plan->peak_gpu_bytes).c_str());
+
+  // Part 2: the token-routing all-to-all for real, across 4 rank threads.
+  // Each rank holds 8 tokens destined 2-per-peer; after the all-to-all each
+  // rank holds the 8 tokens routed to *its* experts.
+  constexpr int kWorld = 4;
+  constexpr size_t kTokensPerPeer = 2;
+  core::Communicator comm(kWorld);
+  std::vector<std::vector<float>> received(
+      kWorld, std::vector<float>(kWorld * kTokensPerPeer));
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      std::vector<float> tokens(kWorld * kTokensPerPeer);
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        tokens[i] = float(100 * r) + float(i);  // Encode origin + slot.
+      }
+      ANGEL_CHECK_OK(comm.AllToAll(r, tokens.data(), kTokensPerPeer,
+                                   received[r].data()));
+    });
+  }
+  for (auto& t : ranks) t.join();
+  std::printf("all-to-all across %d rank threads (token = 100*origin + "
+              "slot):\n",
+              kWorld);
+  for (int r = 0; r < kWorld; ++r) {
+    std::printf("  expert rank %d received:", r);
+    for (float v : received[r]) std::printf(" %5.0f", v);
+    std::printf("\n");
+  }
+  std::printf("\nEach expert rank now holds every peer's tokens for its\n"
+              "experts — the dispatch step of §6.4's expert parallelism;\n"
+              "the combine step is the same collective in reverse.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Pre-training scenario (Section 3.1): plan and simulate one training
+// iteration of GPT3-13B on one server and on four, showing how Angel-PTM
+// places model states across the hierarchy, what Algorithm 1 schedules, and
+// where the iteration time goes.
+//
+//   build/examples/pretrain_simulation
+
+#include <cstdio>
+
+#include "model/footprint.h"
+#include "model/model_zoo.h"
+#include "sim/planner.h"
+#include "util/units.h"
+
+int main() {
+  using namespace angelptm;
+
+  auto config = model::FindModel("GPT3-13B");
+  ANGEL_CHECK_OK(config.status());
+  config->seq_len = 1024;
+  std::printf("model: %s, %s parameters, %s of model states\n\n",
+              config->name.c_str(),
+              util::FormatParamCount(model::TotalParamCount(*config)).c_str(),
+              util::FormatBytes(model::TotalModelStateBytes(*config)).c_str());
+
+  for (const int gpus : {8, 32}) {
+    sim::PlanRequest request;
+    request.model = *config;
+    request.hw = sim::PaperServer();
+    request.num_gpus = gpus;
+    const int micro_batch = sim::MaxMicroBatchAngelPtm(request, 256);
+    request.micro_batch = micro_batch;
+    auto plan = sim::PlanAngelPtm(request);
+    ANGEL_CHECK_OK(plan.status());
+    const sim::IterationResult result = sim::SimulateIteration(plan->spec);
+
+    std::printf("=== %d GPUs (micro-batch %d/GPU) ===\n", gpus, micro_batch);
+    std::printf("placement per rank: peak GPU %s (fp32 cache %s = %.0f%% of "
+                "optimizer shard)\n",
+                util::FormatBytes(plan->peak_gpu_bytes).c_str(),
+                util::FormatBytes(plan->gpu_cache_bytes).c_str(),
+                100.0 * plan->gpu_cached_fraction);
+    std::printf("placement per node: CPU %s\n",
+                util::FormatBytes(plan->cpu_bytes_per_node).c_str());
+
+    size_t moves = 0, gathers = 0, computes = 0;
+    for (const core::Task& task : plan->spec.tasks) {
+      switch (task.op) {
+        case core::TaskOp::kMoveToGpu:
+          ++moves;
+          break;
+        case core::TaskOp::kAllGather:
+          ++gathers;
+          break;
+        case core::TaskOp::kCompute:
+          ++computes;
+          break;
+      }
+    }
+    std::printf("schedule: %zu move_to_gpu, %zu all_gather, %zu compute "
+                "tasks\n",
+                moves, gathers, computes);
+    std::printf("iteration: %.3f s  ->  %.2f samples/s (%.1f%% GPU idle)\n",
+                result.iteration_seconds,
+                gpus * micro_batch / result.iteration_seconds,
+                100.0 * result.GpuIdleFraction());
+    std::printf("busy: gpu %.2fs | pcie %.2fs | collectives %.2fs | cpu "
+                "optimizer %.2fs\n",
+                result.gpu_busy, result.pcie_busy, result.comm_busy,
+                result.cpu_busy);
+    if (gpus == 8) {
+      // Export the full task timeline for chrome://tracing / Perfetto.
+      std::vector<sim::TaskTiming> timeline;
+      sim::SimulateIteration(plan->spec, &timeline);
+      const char* trace_path = "/tmp/angelptm_gpt13b_iteration.json";
+      ANGEL_CHECK_OK(sim::ExportChromeTrace(timeline, trace_path));
+      std::printf("timeline (%zu tasks) exported to %s -- open in "
+                  "chrome://tracing to see the overlap\n",
+                  timeline.size(), trace_path);
+    }
+    std::printf("\n");
+  }
+  std::printf("Note how scaling 8 -> 32 GPUs needs no re-configuration: the\n"
+              "same data-parallel plan re-shards automatically (Section 3.2's\n"
+              "easy-to-scale requirement).\n");
+  return 0;
+}

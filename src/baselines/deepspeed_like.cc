@@ -1,0 +1,187 @@
+#include "baselines/deepspeed_like.h"
+
+#include <algorithm>
+
+#include "model/footprint.h"
+#include "sim/cost_model.h"
+#include "util/units.h"
+
+namespace angelptm::baselines {
+
+util::Result<sim::Plan> PlanDeepSpeedLike(const sim::PlanRequest& request) {
+  const auto& hw = request.hw;
+  const int num_gpus = request.num_gpus;
+  if (num_gpus < 1) {
+    return util::Status::InvalidArgument("num_gpus must be >= 1");
+  }
+  const int gpus_per_node = std::min(num_gpus, hw.gpus_per_node);
+  const int L = request.model.num_layers;
+  const uint64_t layer_params = model::LayerParamCount(request.model);
+  const uint64_t total_params = uint64_t(L) * layer_params;
+
+  model::TrainingConfig training;
+  training.micro_batch = request.micro_batch;
+  const sim::CostModel cost(hw, request.model, training);
+
+  // Static placement decision (made once, not per-iteration):
+  // fp32 optimizer states -> pinned host memory, always.
+  const uint64_t params_per_rank = total_params / num_gpus;
+  const uint64_t params_per_node = params_per_rank * gpus_per_node;
+  const uint64_t pinned_fp32_node = 12 * params_per_node;
+  if (pinned_fp32_node > hw.cpu_pinned_limit_bytes) {
+    return util::Status::OutOfMemory(
+        "pinned host budget: fp32 states need " +
+        util::FormatBytes(pinned_fp32_node) + " of " +
+        util::FormatBytes(hw.cpu_pinned_limit_bytes));
+  }
+
+  // Activation geometry (recompute enabled, like Angel's configuration).
+  const uint64_t b = request.micro_batch, s = request.model.seq_len;
+  const uint64_t dm = request.model.d_model, dffn = request.model.d_ffn;
+  uint64_t layer_acts = 40 * b * s * dm + 8 * b * s * dffn;
+  if (request.model.family != model::ModelFamily::kGpt) layer_acts *= 2;
+  const uint64_t boundary_act = 2 * b * s * dm;
+
+  // Tensor-granular allocation under offload churn fragments GPU memory
+  // (§3.2); the baseline only gets to use the unfragmented fraction.
+  const uint64_t usable_gpu_bytes =
+      uint64_t((1.0 - hw.baseline_fragmentation) *
+               double(hw.GpuUsableBytes()));
+  const uint64_t fp16_shard_bytes = 4 * total_params / num_gpus;
+  const uint64_t shard_fp16_layer = 2 * layer_params / num_gpus;
+  const uint64_t gathered_layer = 2 * layer_params;  // Full fp16 parameter.
+  // Peak GPU bytes: resident shard (if resident mode) + boundary stash +
+  // two gathered layers in flight (prefetch window 1) + one layer workspace.
+  const uint64_t act_stash = uint64_t(L) * boundary_act;
+  const uint64_t transient = 2 * gathered_layer + layer_acts;
+
+  const bool fp16_resident =
+      fp16_shard_bytes + act_stash + transient <= usable_gpu_bytes;
+  if (!fp16_resident) {
+    // Streaming mode: fp16 shard also lives in pinned memory.
+    if (pinned_fp32_node + 4 * params_per_node > hw.cpu_pinned_limit_bytes) {
+      return util::Status::OutOfMemory(
+          "pinned host budget: fp32+fp16 states exceed pinned limit");
+    }
+    if (act_stash + transient > usable_gpu_bytes) {
+      return util::Status::OutOfMemory("activations exceed GPU memory");
+    }
+  }
+
+  // Build the static schedule: no Algorithm-1 optimization, fixed window.
+  sim::Plan plan;
+  core::ScheduleInput& input = plan.spec.sched;
+  input.world_size = num_gpus;
+  input.gpu_memory_budget = hw.GpuUsableBytes();
+  uint64_t next_page_id = 0;
+  const size_t pages_per_layer = 8;
+  const uint64_t page_bytes =
+      std::max<uint64_t>(1, (shard_fp16_layer + pages_per_layer - 1) /
+                                pages_per_layer);
+
+  auto add_step = [&](int layer, bool backward) {
+    core::SchedStep step;
+    const int step_id = int(input.steps.size());
+    for (size_t p = 0; p < pages_per_layer; ++p) {
+      const uint64_t page_id = next_page_id++;
+      step.param_pages.push_back({page_id, page_bytes});
+      if (!fp16_resident) {
+        // Streamed from pinned memory one layer ahead (static window).
+        plan.spec.tasks.push_back({core::TaskOp::kMoveToGpu, page_id,
+                                   page_bytes, step_id,
+                                   std::max(0, step_id - 1)});
+      }
+      // Gather prefetched exactly one step ahead, never farther (static).
+      plan.spec.tasks.push_back({core::TaskOp::kAllGather, page_id,
+                                 page_bytes, step_id,
+                                 std::max(0, step_id - 1)});
+    }
+    step.workspace_bytes = backward ? layer_acts : layer_acts / 2;
+    step.retained_bytes =
+        backward ? -int64_t(boundary_act) : int64_t(boundary_act);
+    step.compute_seconds = backward
+                               ? cost.LayerBackwardSeconds(request.micro_batch)
+                               : cost.LayerForwardSeconds(request.micro_batch);
+    input.steps.push_back(step);
+    plan.spec.tasks.push_back(
+        {core::TaskOp::kCompute, ~0ull, 0, step_id, step_id});
+    (void)layer;
+  };
+  for (int l = 0; l < L; ++l) add_step(l, false);
+  for (int l = L - 1; l >= 0; --l) add_step(l, true);
+
+  // In resident mode the fp16 shard is marked moved at t=0 so gathers do not
+  // pay on-demand PCIe fetches. (All pages already on GPU.)
+  if (fp16_resident) {
+    std::vector<core::Task> moves;
+    for (const core::Task& t : plan.spec.tasks) {
+      if (t.op == core::TaskOp::kAllGather && t.step < L) {
+        moves.push_back({core::TaskOp::kMoveToGpu, t.page_id, 0, t.step, 0});
+      }
+    }
+    // Zero-byte moves: mark residency without PCIe time.
+    // Backward gathers use distinct page ids, mark those too.
+    for (const core::Task& t : plan.spec.tasks) {
+      if (t.op == core::TaskOp::kAllGather && t.step >= L) {
+        moves.push_back({core::TaskOp::kMoveToGpu, t.page_id, 0, t.step, 0});
+      }
+    }
+    plan.spec.tasks.insert(plan.spec.tasks.begin(), moves.begin(),
+                           moves.end());
+  }
+
+  // Optimizer: gradient offload overlaps backward (one item per layer), but
+  // the Adam step is a single synchronous phase after the last backward,
+  // followed by re-uploading updated fp16 parameters.
+  for (int l = 0; l < L; ++l) {
+    sim::OptimizerWork offload;
+    offload.after_step = 2 * L - 1 - l;
+    offload.grad_offload_bytes = 2 * layer_params / num_gpus;
+    plan.spec.opt_work.push_back(offload);
+  }
+  sim::OptimizerWork update;
+  update.after_step = 2 * L - 1;
+  update.cpu_update_elements = params_per_node;
+  update.param_upload_bytes = fp16_resident ? 2 * total_params / num_gpus : 0;
+  plan.spec.opt_work.push_back(update);
+
+  plan.peak_gpu_bytes =
+      (fp16_resident ? fp16_shard_bytes : 0) + act_stash + transient;
+  plan.gpu_cache_bytes = 0;
+  plan.gpu_cached_fraction = 0.0;
+  plan.cpu_bytes_per_node =
+      pinned_fp32_node + (fp16_resident ? 0 : 4 * params_per_node);
+  plan.ssd_bytes_per_node = 0;
+
+  plan.spec.pcie_bw = hw.pcie_bw_per_gpu;
+  plan.spec.collective_bw_per_rank = hw.CollectiveBwPerRank(num_gpus);
+  // The offloaded Adam stages every element through pinned bounce buffers
+  // (one extra copy), halving the effective update bandwidth relative to
+  // Angel's in-arena page-level updates.
+  plan.spec.cpu_optimizer_bw = hw.cpu_optimizer_bw_per_node * 0.5;
+  plan.spec.gpu_optimizer_bw = hw.gpu_hbm_bw;
+  plan.spec.ssd_bw = hw.ssd_bw_per_node;
+  plan.spec.lock_free = false;  // Not supported by the baseline.
+  return plan;
+}
+
+int MaxMicroBatchDeepSpeedLike(sim::PlanRequest request, int max_batch) {
+  auto feasible = [&](int batch) {
+    request.micro_batch = batch;
+    return PlanDeepSpeedLike(request).ok();
+  };
+  if (!feasible(1)) return 0;
+  int low = 1, high = 2;
+  while (high <= max_batch && feasible(high)) {
+    low = high;
+    high *= 2;
+  }
+  high = std::min(high, max_batch + 1);
+  while (low + 1 < high) {
+    const int mid = low + (high - low) / 2;
+    (feasible(mid) ? low : high) = mid;
+  }
+  return low;
+}
+
+}  // namespace angelptm::baselines

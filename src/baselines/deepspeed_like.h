@@ -1,0 +1,32 @@
+#ifndef ANGELPTM_BASELINES_DEEPSPEED_LIKE_H_
+#define ANGELPTM_BASELINES_DEEPSPEED_LIKE_H_
+
+#include "sim/planner.h"
+#include "util/status.h"
+
+namespace angelptm::baselines {
+
+/// Baseline reproducing DeepSpeed's ZeRO-3 + ZeRO-Offload *policies* on the
+/// same simulated substrate as Angel-PTM, so measured differences are
+/// attributable to the policies (DESIGN.md §1):
+///
+///  - Static partitioning: the fp16 parameter+gradient shard lives on the
+///    GPU when it fits, otherwise it is streamed from pinned host memory
+///    with a fixed prefetch window of one layer. There is no dynamic GPU
+///    caching of optimizer states ("even when the GPU has sufficient
+///    memory, these systems still transfer the entire optimizer states and
+///    the update operations to the CPU" — §4.2).
+///  - All fp32 optimizer states live in *pinned* host memory (the async-DMA
+///    requirement), so the maximum model scale is bound by the pinned
+///    budget: the behaviour Table 5 observes.
+///  - Gradient offload overlaps backward, but the optimizer step itself is
+///    a synchronous trailing phase, followed by re-uploading the updated
+///    fp16 parameters.
+util::Result<sim::Plan> PlanDeepSpeedLike(const sim::PlanRequest& request);
+
+/// Largest feasible micro-batch under the DeepSpeed-like policy.
+int MaxMicroBatchDeepSpeedLike(sim::PlanRequest request, int max_batch = 512);
+
+}  // namespace angelptm::baselines
+
+#endif  // ANGELPTM_BASELINES_DEEPSPEED_LIKE_H_

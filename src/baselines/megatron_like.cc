@@ -1,0 +1,113 @@
+#include "baselines/megatron_like.h"
+
+#include <algorithm>
+
+#include "model/footprint.h"
+#include "sim/cost_model.h"
+
+namespace angelptm::baselines {
+namespace {
+
+/// Largest micro-batch that fits one pipeline stage, or 0.
+int MaxStageMicroBatch(const model::TransformerConfig& config,
+                       const sim::HardwareConfig& hw, int tp, int pp) {
+  const int L = config.num_layers;
+  const uint64_t layer_params = model::LayerParamCount(config);
+  const uint64_t total_params = uint64_t(L) * layer_params;
+  const int layers_per_stage = (L + pp - 1) / pp;
+  const uint64_t states_per_gpu = 16 * total_params / (uint64_t(tp) * pp);
+  if (states_per_gpu >= hw.GpuUsableBytes()) return 0;
+
+  const uint64_t s = config.seq_len, dm = config.d_model,
+                 dffn = config.d_ffn;
+  for (int batch = 512; batch >= 1; batch /= 2) {
+    const uint64_t b = batch;
+    uint64_t layer_acts = (40 * b * s * dm + 8 * b * s * dffn) / tp;
+    if (config.family != model::ModelFamily::kGpt) layer_acts *= 2;
+    const uint64_t boundary = 2 * b * s * dm / tp;
+    // 1F1B keeps up to `pp` micro-batches of boundary stash in flight.
+    const uint64_t act_bytes =
+        uint64_t(pp) * layers_per_stage * boundary + layer_acts;
+    if (states_per_gpu + act_bytes <= hw.GpuUsableBytes()) return batch;
+  }
+  return 0;
+}
+
+}  // namespace
+
+MegatronPlan PlanMegatronLike(const model::TransformerConfig& config,
+                              const sim::HardwareConfig& hw, int num_gpus) {
+  MegatronPlan best;
+  best.infeasible_reason = "model does not fit any (TP, PP, DP) split";
+
+  model::TrainingConfig training;
+  const int L = config.num_layers;
+  const uint64_t layer_params = model::LayerParamCount(config);
+  const uint64_t total_params = uint64_t(L) * layer_params;
+
+  for (int tp = 1; tp <= std::min(num_gpus, hw.gpus_per_node); tp *= 2) {
+    if (num_gpus % tp != 0) continue;
+    for (int pp = 1; pp <= num_gpus / tp; pp *= 2) {
+      if ((num_gpus / tp) % pp != 0) continue;
+      if (pp > L) continue;
+      const int dp = num_gpus / (tp * pp);
+      const int micro_batch = MaxStageMicroBatch(config, hw, tp, pp);
+      if (micro_batch == 0) continue;
+
+      training.micro_batch = micro_batch;
+      training.recompute_activations = true;
+      const sim::CostModel cost(hw, config, training);
+
+      // One micro-batch through one stage (fwd+bwd of its layers), split
+      // across the TP group.
+      const int layers_per_stage = (L + pp - 1) / pp;
+      const double stage_seconds =
+          layers_per_stage *
+          (cost.LayerForwardSeconds(micro_batch) +
+           cost.LayerBackwardSeconds(micro_batch)) /
+          tp;
+
+      // Tensor-parallel all-reduces: 4 per layer per micro-batch of
+      // b*s*d fp16 activations (2 forward, 2 backward).
+      double tp_comm_seconds = 0.0;
+      if (tp > 1) {
+        const double bytes =
+            4.0 * 2.0 * micro_batch * config.seq_len * config.d_model;
+        const double wire = 2.0 * (tp - 1) / tp * bytes;
+        tp_comm_seconds =
+            layers_per_stage * wire / hw.nvlink_bw_per_gpu;
+      }
+
+      // Gradient accumulation: 4*pp micro-batches amortize the bubble.
+      const int m = 4 * pp;
+      const double pipeline_seconds =
+          (m + pp - 1) * (stage_seconds + tp_comm_seconds);
+
+      // Data-parallel gradient all-reduce (overlapped 50% with backward).
+      double dp_comm_seconds = 0.0;
+      if (dp > 1) {
+        const double grad_bytes = 2.0 * double(total_params) / (tp * pp);
+        const double wire = 2.0 * (dp - 1) / dp * grad_bytes;
+        const double bw = hw.CollectiveBwPerRank(num_gpus);
+        dp_comm_seconds = 0.5 * wire / bw;
+      }
+
+      const double iteration = pipeline_seconds + dp_comm_seconds;
+      const double samples = double(m) * micro_batch * dp;
+      const double throughput = samples / iteration;
+      if (!best.feasible || throughput > best.samples_per_second) {
+        best.feasible = true;
+        best.tensor_parallel = tp;
+        best.pipeline_parallel = pp;
+        best.data_parallel = dp;
+        best.micro_batch = micro_batch;
+        best.iteration_seconds = iteration;
+        best.samples_per_second = throughput;
+        best.infeasible_reason.clear();
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace angelptm::baselines

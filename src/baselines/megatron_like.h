@@ -1,0 +1,35 @@
+#ifndef ANGELPTM_BASELINES_MEGATRON_LIKE_H_
+#define ANGELPTM_BASELINES_MEGATRON_LIKE_H_
+
+#include <string>
+
+#include "model/transformer_config.h"
+#include "sim/hardware.h"
+
+namespace angelptm::baselines {
+
+/// Outcome of the hybrid-parallelism search.
+struct MegatronPlan {
+  bool feasible = false;
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int data_parallel = 1;
+  int micro_batch = 0;
+  double iteration_seconds = 0.0;
+  double samples_per_second = 0.0;
+  std::string infeasible_reason;
+};
+
+/// Baseline reproducing Megatron-LM's hybrid parallelism as an analytical
+/// cost model: exhaustive search over (TP, PP, DP) splits of `num_gpus` with
+/// the largest feasible micro-batch, no CPU/SSD offloading (so large models
+/// OOM — the Figure 7 behaviour at 30B on 8 GPUs), pipeline-bubble and
+/// tensor-parallel communication overheads included. The paper's authors
+/// "manually search the best parallelism strategy"; this search plays that
+/// role.
+MegatronPlan PlanMegatronLike(const model::TransformerConfig& model,
+                              const sim::HardwareConfig& hw, int num_gpus);
+
+}  // namespace angelptm::baselines
+
+#endif  // ANGELPTM_BASELINES_MEGATRON_LIKE_H_

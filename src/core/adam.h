@@ -1,0 +1,43 @@
+#ifndef ANGELPTM_CORE_ADAM_H_
+#define ANGELPTM_CORE_ADAM_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace angelptm::core {
+
+/// Adam hyper-parameters (Kingma & Ba), the optimizer the paper's memory
+/// accounting assumes (fp32 master parameter + first and second moments).
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// One Adam step over `count` elements: fp32 master params and moments,
+/// gradients provided in fp32 (already cast from the fp16 buffers).
+/// `step` is 1-based and drives bias correction.
+inline void AdamUpdate(const AdamConfig& config, float* params, float* m,
+                       float* v, const float* grads, size_t count,
+                       long step) {
+  const double bc1 = 1.0 - std::pow(config.beta1, double(step));
+  const double bc2 = 1.0 - std::pow(config.beta2, double(step));
+  for (size_t i = 0; i < count; ++i) {
+    double g = grads[i];
+    if (config.weight_decay != 0.0) g += config.weight_decay * params[i];
+    const double mi = config.beta1 * m[i] + (1.0 - config.beta1) * g;
+    const double vi = config.beta2 * v[i] + (1.0 - config.beta2) * g * g;
+    m[i] = float(mi);
+    v[i] = float(vi);
+    const double m_hat = mi / bc1;
+    const double v_hat = vi / bc2;
+    params[i] -= float(config.learning_rate * m_hat /
+                       (std::sqrt(v_hat) + config.epsilon));
+  }
+}
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_ADAM_H_

@@ -1,0 +1,96 @@
+#ifndef ANGELPTM_CORE_ALLOCATOR_H_
+#define ANGELPTM_CORE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tensor.h"
+#include "mem/copy_engine.h"
+#include "mem/hierarchical_memory.h"
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// Tensors allocated with the same group may share their tail page (§4.1:
+/// "by carefully arranging these tensors, we can ensure that each page is
+/// associated with at most two tensors"). Groups correspond to model layers,
+/// so co-resident tensors move between tiers together. kNoGroup tensors get
+/// exclusive pages.
+inline constexpr uint64_t kNoGroup = ~0ull;
+
+/// The Allocator component of Angel-PTM (§5): manages tensors at the Page
+/// level over the pre-allocated hierarchical memory. Implements the Tensor
+/// interfaces of Fig. 4 — allocate, release, move, merge — on top of
+/// mem::HierarchicalMemory.
+class Allocator {
+ public:
+  /// `memory` must outlive the allocator.
+  explicit Allocator(mem::HierarchicalMemory* memory);
+  ~Allocator();
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// Creates a tensor of `shape`/`dtype` resident on `device`. Whole pages
+  /// are exclusive; the tail (bytes % page size) shares a page with at most
+  /// one other tensor of the same `group`. Tensors smaller than one page get
+  /// an individual page (shared only within their group).
+  util::Result<Tensor*> Allocate(std::vector<size_t> shape, DType dtype,
+                                 mem::DeviceKind device,
+                                 uint64_t group = kNoGroup);
+
+  /// Releases the tensor's claims; pages that drain are destroyed, returning
+  /// frames to their tier.
+  util::Status Release(Tensor* tensor);
+
+  /// Moves every page of the tensor to `target`, synchronously. A shared
+  /// tail page carries its partner tensor's bytes along (by design — grouped
+  /// tensors co-migrate).
+  util::Status Move(Tensor* tensor, mem::DeviceKind target);
+
+  /// Ensures the tensor's bytes form one contiguous range, re-packing onto
+  /// physically adjacent frames if necessary (Fig. 4 `merge`). Requires the
+  /// tensor to be resident in a memory tier.
+  util::Status Merge(Tensor* tensor);
+
+  /// Number of live tensors.
+  size_t num_tensors() const;
+  /// Bytes requested by live tensors (excluding page-granularity padding).
+  uint64_t allocated_bytes() const;
+  /// Bytes of page capacity held minus bytes requested: the internal waste
+  /// the 4 MiB page choice trades for bandwidth (§4.1).
+  uint64_t padding_bytes() const;
+
+  mem::HierarchicalMemory* memory() { return memory_; }
+
+ private:
+  struct OpenPageKey {
+    mem::DeviceKind device;
+    uint64_t group;
+    bool operator<(const OpenPageKey& other) const {
+      return std::tie(device, group) < std::tie(other.device, other.group);
+    }
+  };
+
+  util::Status AllocatePagesLocked(Tensor* tensor, mem::DeviceKind device,
+                                   uint64_t group);
+  void ForgetOpenPage(const mem::Page* page);
+
+  mem::HierarchicalMemory* memory_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<Tensor>> tensors_;
+  uint64_t next_tensor_id_ = 0;
+  uint64_t allocated_bytes_ = 0;
+  uint64_t page_capacity_bytes_ = 0;
+  /// Pages with one tensor and remaining space, eligible as a shared tail.
+  std::map<OpenPageKey, mem::Page*> open_pages_;
+};
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_ALLOCATOR_H_

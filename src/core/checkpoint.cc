@@ -1,0 +1,181 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace angelptm::core {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'P', 'T', 'M', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+/// Incremental FNV-1a over byte spans.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+  bool Write(const void* data, size_t bytes) {
+    checksum_.Update(data, bytes);
+    return std::fwrite(data, 1, bytes, file_) == bytes;
+  }
+  bool WriteChecksum() {
+    const uint64_t value = checksum_.value();
+    return std::fwrite(&value, 1, sizeof(value), file_) == sizeof(value);
+  }
+
+ private:
+  std::FILE* file_;
+  Fnv1a checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* file) : file_(file) {}
+  bool Read(void* data, size_t bytes) {
+    if (std::fread(data, 1, bytes, file_) != bytes) return false;
+    checksum_.Update(data, bytes);
+    return true;
+  }
+  bool VerifyChecksum() {
+    uint64_t stored = 0;
+    if (std::fread(&stored, 1, sizeof(stored), file_) != sizeof(stored)) {
+      return false;
+    }
+    return stored == checksum_.value();
+  }
+
+ private:
+  std::FILE* file_;
+  Fnv1a checksum_;
+};
+
+}  // namespace
+
+util::Status SaveCheckpoint(LockFreeUpdater* updater,
+                            const std::string& path) {
+  if (updater == nullptr) return util::Status::InvalidArgument("null updater");
+  if (updater->running()) {
+    return util::Status::FailedPrecondition(
+        "Stop() the updater before checkpointing");
+  }
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + tmp_path);
+  }
+  Writer writer(file);
+  const uint32_t num_layers = uint32_t(updater->num_layers());
+  bool ok = writer.Write(kMagic, sizeof(kMagic)) &&
+            writer.Write(&kVersion, sizeof(kVersion)) &&
+            writer.Write(&num_layers, sizeof(num_layers));
+  for (uint32_t l = 0; ok && l < num_layers; ++l) {
+    LockFreeUpdater::LayerState state;
+    const util::Status exported = updater->ExportLayerState(int(l), &state);
+    if (!exported.ok()) {
+      std::fclose(file);
+      std::remove(tmp_path.c_str());
+      return exported;
+    }
+    const uint64_t count = state.params.size();
+    const int64_t step = state.adam_step;
+    ok = writer.Write(&count, sizeof(count)) &&
+         writer.Write(&step, sizeof(step)) &&
+         writer.Write(state.params.data(), count * sizeof(float)) &&
+         writer.Write(state.momentum.data(), count * sizeof(float)) &&
+         writer.Write(state.variance.data(), count * sizeof(float));
+  }
+  ok = ok && writer.WriteChecksum();
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IoError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IoError("rename to " + path + " failed");
+  }
+  return util::Status::OK();
+}
+
+util::Status LoadCheckpoint(LockFreeUpdater* updater,
+                            const std::string& path) {
+  if (updater == nullptr) return util::Status::InvalidArgument("null updater");
+  if (updater->running()) {
+    return util::Status::FailedPrecondition(
+        "Stop() the updater before restoring");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return util::Status::NotFound("no checkpoint at " + path);
+  }
+  Reader reader(file);
+  char magic[8];
+  uint32_t version = 0, num_layers = 0;
+  if (!reader.Read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file);
+    return util::Status::InvalidArgument(path + " is not a checkpoint");
+  }
+  if (!reader.Read(&version, sizeof(version)) || version != kVersion ||
+      !reader.Read(&num_layers, sizeof(num_layers))) {
+    std::fclose(file);
+    return util::Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (int(num_layers) != updater->num_layers()) {
+    std::fclose(file);
+    return util::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(num_layers) + " layers, model has " +
+        std::to_string(updater->num_layers()));
+  }
+
+  // Read everything (and verify the checksum) before touching the updater,
+  // so a corrupt file cannot leave it half-restored.
+  std::vector<LockFreeUpdater::LayerState> states(num_layers);
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    uint64_t count = 0;
+    int64_t step = 0;
+    if (!reader.Read(&count, sizeof(count)) ||
+        !reader.Read(&step, sizeof(step))) {
+      std::fclose(file);
+      return util::Status::IoError("truncated checkpoint");
+    }
+    LockFreeUpdater::LayerState& state = states[l];
+    state.adam_step = long(step);
+    state.params.resize(count);
+    state.momentum.resize(count);
+    state.variance.resize(count);
+    if (!reader.Read(state.params.data(), count * sizeof(float)) ||
+        !reader.Read(state.momentum.data(), count * sizeof(float)) ||
+        !reader.Read(state.variance.data(), count * sizeof(float))) {
+      std::fclose(file);
+      return util::Status::IoError("truncated checkpoint");
+    }
+  }
+  const bool checksum_ok = reader.VerifyChecksum();
+  std::fclose(file);
+  if (!checksum_ok) {
+    return util::Status::IoError("checkpoint checksum mismatch (corrupt)");
+  }
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    ANGEL_RETURN_IF_ERROR(updater->ImportLayerState(int(l), states[l]));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace angelptm::core

@@ -1,0 +1,35 @@
+#ifndef ANGELPTM_CORE_CHECKPOINT_H_
+#define ANGELPTM_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/lockfree_updater.h"
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// Checkpointing for failure recovery (§3.1: with hundreds of GPUs and
+/// multi-week runs, "pre-training tasks would encounter GPU failure with a
+/// high probability, and should be restarted after failure").
+///
+/// Format (little-endian binary):
+///   magic "APTMCKPT" | version u32 | num_layers u32 |
+///   per layer: count u64, adam_step i64, p32[count], m32[count], v32[count]
+///   | checksum u64 (FNV-1a over everything before it)
+///
+/// The checksum makes torn/corrupt checkpoints detectable — a restart after
+/// a mid-write crash must fail loudly, not resume from garbage.
+
+/// Writes every layer's fp32 master state to `path` (atomic: writes
+/// `path.tmp`, then renames). The updater must be stopped.
+util::Status SaveCheckpoint(LockFreeUpdater* updater,
+                            const std::string& path);
+
+/// Restores every layer's state from `path` into an updater with the same
+/// layer layout. Fails on layer-count/size mismatch or checksum error.
+util::Status LoadCheckpoint(LockFreeUpdater* updater,
+                            const std::string& path);
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_CHECKPOINT_H_

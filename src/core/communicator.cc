@@ -1,0 +1,142 @@
+#include "core/communicator.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace angelptm::core {
+
+Communicator::Communicator(int world_size) : world_size_(world_size) {
+  ANGEL_CHECK(world_size >= 1) << "world_size must be positive";
+  published_.assign(world_size, nullptr);
+}
+
+void Communicator::Arrive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t generation = generation_;
+  if (++arrived_ == world_size_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+}
+
+util::Status Communicator::AllGather(int rank, const float* send,
+                                     size_t count, float* recv) {
+  if (rank < 0 || rank >= world_size_) {
+    return util::Status::InvalidArgument("bad rank");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    published_[rank] = send;
+  }
+  Arrive();  // All pointers published.
+  for (int r = 0; r < world_size_; ++r) {
+    std::memcpy(recv + size_t(r) * count, published_[r],
+                count * sizeof(float));
+  }
+  Arrive();  // All ranks done reading.
+  if (rank == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++collectives_;
+  }
+  return util::Status::OK();
+}
+
+util::Status Communicator::ReduceScatter(int rank, const float* send,
+                                         size_t total_count, float* recv) {
+  if (rank < 0 || rank >= world_size_) {
+    return util::Status::InvalidArgument("bad rank");
+  }
+  if (total_count % world_size_ != 0) {
+    return util::Status::InvalidArgument(
+        "reduce-scatter count not divisible by world size");
+  }
+  const size_t chunk = total_count / world_size_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    published_[rank] = send;
+  }
+  Arrive();
+  // Each rank reduces its own chunk across all ranks' buffers; ranks touch
+  // disjoint chunk indices, so in-place aliasing with `send` is safe.
+  for (size_t i = 0; i < chunk; ++i) {
+    double sum = 0.0;
+    for (int r = 0; r < world_size_; ++r) {
+      sum += published_[r][size_t(rank) * chunk + i];
+    }
+    recv[i] = float(sum);
+  }
+  Arrive();
+  if (rank == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++collectives_;
+  }
+  return util::Status::OK();
+}
+
+util::Status Communicator::AllReduce(int rank, float* data, size_t count) {
+  if (rank < 0 || rank >= world_size_) {
+    return util::Status::InvalidArgument("bad rank");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    published_[rank] = data;
+  }
+  Arrive();
+  std::vector<float> reduced(count);
+  for (size_t i = 0; i < count; ++i) {
+    double sum = 0.0;
+    for (int r = 0; r < world_size_; ++r) sum += published_[r][i];
+    reduced[i] = float(sum);
+  }
+  Arrive();  // Everyone finished reading all buffers.
+  std::memcpy(data, reduced.data(), count * sizeof(float));
+  Arrive();  // Writes visible before the next collective reuses buffers.
+  if (rank == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++collectives_;
+  }
+  return util::Status::OK();
+}
+
+util::Status Communicator::AllToAll(int rank, const float* send,
+                                    size_t count_per_peer, float* recv) {
+  if (rank < 0 || rank >= world_size_) {
+    return util::Status::InvalidArgument("bad rank");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    published_[rank] = send;
+  }
+  Arrive();
+  for (int peer = 0; peer < world_size_; ++peer) {
+    std::memcpy(recv + size_t(peer) * count_per_peer,
+                published_[peer] + size_t(rank) * count_per_peer,
+                count_per_peer * sizeof(float));
+  }
+  Arrive();
+  if (rank == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++collectives_;
+  }
+  return util::Status::OK();
+}
+
+util::Status Communicator::Barrier(int rank) {
+  if (rank < 0 || rank >= world_size_) {
+    return util::Status::InvalidArgument("bad rank");
+  }
+  Arrive();
+  return util::Status::OK();
+}
+
+uint64_t Communicator::collectives_completed() const {
+  std::lock_guard<std::mutex> lock(
+      const_cast<Communicator*>(this)->mutex_);
+  return collectives_;
+}
+
+}  // namespace angelptm::core

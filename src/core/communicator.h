@@ -1,0 +1,69 @@
+#ifndef ANGELPTM_CORE_COMMUNICATOR_H_
+#define ANGELPTM_CORE_COMMUNICATOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// The Communicator of §5: collective communication primitives between
+/// data-parallel ranks (the paper implements them over NCCL; this
+/// reproduction implements them over shared memory between rank threads,
+/// which preserves the semantics the engine and tests rely on).
+///
+/// Every collective must be entered by all `world_size` ranks, each from
+/// its own thread. Calls rendezvous on an internal barrier; buffers are
+/// exchanged through the communicator's staging area.
+class Communicator {
+ public:
+  explicit Communicator(int world_size);
+
+  int world_size() const { return world_size_; }
+
+  /// recv (world_size * count floats) receives every rank's `send`
+  /// (count floats), ordered by rank — the primitive ZeRO-3 uses to
+  /// materialize full parameters from shards.
+  util::Status AllGather(int rank, const float* send, size_t count,
+                         float* recv);
+
+  /// Element-wise sum of all ranks' `send` (total_count floats), scattered:
+  /// rank r receives chunk r of size total_count / world_size — the
+  /// gradient-synchronization primitive of sharded data parallelism.
+  util::Status ReduceScatter(int rank, const float* send, size_t total_count,
+                             float* recv);
+
+  /// In-place element-wise sum across ranks (classic data parallelism).
+  util::Status AllReduce(int rank, float* data, size_t count);
+
+  /// rank r's chunk p (count_per_peer floats) is delivered to rank p's
+  /// chunk r — the MoE token-routing primitive (§6.4).
+  util::Status AllToAll(int rank, const float* send, size_t count_per_peer,
+                        float* recv);
+
+  /// Rendezvous with no data.
+  util::Status Barrier(int rank);
+
+  uint64_t collectives_completed() const;
+
+ private:
+  /// Reusable two-phase barrier: Arrive() returns once all ranks arrived.
+  void Arrive();
+
+  int world_size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t collectives_ = 0;
+  std::vector<const float*> published_;
+  std::vector<float> staging_;
+};
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_COMMUNICATOR_H_

@@ -1,0 +1,46 @@
+#include "core/executor.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace angelptm::core {
+
+Executor::Executor() = default;
+
+std::future<util::Status> Executor::Submit(
+    mem::DeviceKind device, std::function<util::Status()> fn) {
+  auto promise = std::make_shared<std::promise<util::Status>>();
+  std::future<util::Status> future = promise->get_future();
+  Stream& stream = StreamFor(device);
+  stream.pool.Submit([&stream, promise, fn = std::move(fn)] {
+    promise->set_value(fn());
+    stream.completed.fetch_add(1, std::memory_order_relaxed);
+  });
+  return future;
+}
+
+void Executor::Synchronize(mem::DeviceKind device) {
+  StreamFor(device).pool.Wait();
+}
+
+void Executor::SynchronizeAll() {
+  gpu_stream_.pool.Wait();
+  cpu_stream_.pool.Wait();
+}
+
+uint64_t Executor::tasks_completed(mem::DeviceKind device) const {
+  return StreamFor(device).completed.load(std::memory_order_relaxed);
+}
+
+Executor::Stream& Executor::StreamFor(mem::DeviceKind device) {
+  ANGEL_CHECK(device != mem::DeviceKind::kSsd)
+      << "the SSD is not a computational device";
+  return device == mem::DeviceKind::kGpu ? gpu_stream_ : cpu_stream_;
+}
+
+const Executor::Stream& Executor::StreamFor(mem::DeviceKind device) const {
+  return const_cast<Executor*>(this)->StreamFor(device);
+}
+
+}  // namespace angelptm::core

@@ -1,0 +1,54 @@
+#ifndef ANGELPTM_CORE_EXECUTOR_H_
+#define ANGELPTM_CORE_EXECUTOR_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "mem/device.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace angelptm::core {
+
+/// The Executor of §5: schedules computations onto per-device streams. It
+/// "maintains a separate stream for each of these computational devices,
+/// including a CPU stream and a GPU stream"; work submitted to one stream
+/// executes in submission order, and streams run concurrently with each
+/// other — the property the unified scheduler exploits to overlap CPU
+/// optimizer work with GPU compute.
+class Executor {
+ public:
+  Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues `fn` on the device's stream; the future resolves with its
+  /// status once it has run. Tasks on one stream never reorder.
+  std::future<util::Status> Submit(mem::DeviceKind device,
+                                   std::function<util::Status()> fn);
+
+  /// Blocks until every task previously submitted to `device` has finished.
+  void Synchronize(mem::DeviceKind device);
+  /// Blocks until both streams drain.
+  void SynchronizeAll();
+
+  uint64_t tasks_completed(mem::DeviceKind device) const;
+
+ private:
+  struct Stream {
+    util::ThreadPool pool{1};  // One thread = in-order stream semantics.
+    std::atomic<uint64_t> completed{0};
+  };
+  Stream& StreamFor(mem::DeviceKind device);
+  const Stream& StreamFor(mem::DeviceKind device) const;
+
+  Stream gpu_stream_;
+  Stream cpu_stream_;
+};
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_EXECUTOR_H_

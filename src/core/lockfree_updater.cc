@@ -1,0 +1,387 @@
+#include "core/lockfree_updater.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace angelptm::core {
+
+LockFreeUpdater::LockFreeUpdater(Allocator* allocator, const Options& options)
+    : allocator_(allocator), options_(options) {}
+
+LockFreeUpdater::~LockFreeUpdater() {
+  Stop();
+  for (auto& layer : layers_) {
+    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32,
+                           layer->buffered_params, layer->buffered_grads}) {
+      if (tensor != nullptr) (void)allocator_->Release(tensor);
+    }
+  }
+}
+
+util::Result<int> LockFreeUpdater::AddLayer(
+    const std::vector<float>& initial_params) {
+  if (running_.load()) {
+    return util::Status::FailedPrecondition(
+        "cannot add layers while the updater is running");
+  }
+  if (initial_params.empty()) {
+    return util::Status::InvalidArgument("layer with no parameters");
+  }
+  auto layer = std::make_unique<Layer>();
+  layer->count = initial_params.size();
+  const std::vector<size_t> shape = {layer->count};
+  // Masters and fp16 buffers get distinct groups: grouped tensors share
+  // tail pages and therefore co-migrate, and the buffers must stay on the
+  // CPU tier while the masters move to the master device.
+  const uint64_t group = 1000 + 2 * layers_.size();
+  const uint64_t buffer_group = group + 1;
+
+  // Master states start on the CPU tier so they can be initialized, then
+  // migrate to the configured master device (a real file write for SSD).
+  ANGEL_ASSIGN_OR_RETURN(
+      layer->p32,
+      allocator_->Allocate(shape, DType::kFp32, mem::DeviceKind::kCpu, group));
+  ANGEL_ASSIGN_OR_RETURN(
+      layer->m32,
+      allocator_->Allocate(shape, DType::kFp32, mem::DeviceKind::kCpu, group));
+  ANGEL_ASSIGN_OR_RETURN(
+      layer->v32,
+      allocator_->Allocate(shape, DType::kFp32, mem::DeviceKind::kCpu, group));
+  ANGEL_ASSIGN_OR_RETURN(
+      layer->buffered_params,
+      allocator_->Allocate(shape, DType::kFp16, mem::DeviceKind::kCpu,
+                           buffer_group));
+  ANGEL_ASSIGN_OR_RETURN(
+      layer->buffered_grads,
+      allocator_->Allocate(shape, DType::kFp16, mem::DeviceKind::kCpu,
+                           buffer_group));
+
+  const std::vector<float> zeros(layer->count, 0.0f);
+  ANGEL_RETURN_IF_ERROR(layer->p32->WriteFloats(initial_params));
+  ANGEL_RETURN_IF_ERROR(layer->m32->WriteFloats(zeros));
+  ANGEL_RETURN_IF_ERROR(layer->v32->WriteFloats(zeros));
+  ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(initial_params));
+  ANGEL_RETURN_IF_ERROR(layer->buffered_grads->WriteFloats(zeros));
+
+  if (options_.master_device != mem::DeviceKind::kCpu) {
+    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+      ANGEL_RETURN_IF_ERROR(
+          allocator_->Move(tensor, options_.master_device));
+    }
+  }
+  layers_.push_back(std::move(layer));
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+util::Status LockFreeUpdater::FetchParams(int layer_index,
+                                          std::vector<float>* out) const {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  const Layer& layer = *layers_[layer_index];
+  std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+  return layer.buffered_params->ReadFloats(out);
+}
+
+util::Status LockFreeUpdater::OffloadGrads(int layer_index,
+                                           const std::vector<float>& grads) {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  if (grads.size() != layers_[layer_index]->count) {
+    return util::Status::InvalidArgument("gradient size mismatch");
+  }
+  grad_batches_offloaded_.fetch_add(1);
+  if (running_.load()) {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    buffer_queue_.push_back(BufferTask{layer_index, false, grads});
+    queue_cv_.notify_one();
+    return util::Status::OK();
+  }
+  // Synchronous mode: accumulate inline (the buffering thread's job).
+  Layer& layer = *layers_[layer_index];
+  std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+  std::vector<float> accumulated;
+  ANGEL_RETURN_IF_ERROR(layer.buffered_grads->ReadFloats(&accumulated));
+  for (size_t i = 0; i < accumulated.size(); ++i) accumulated[i] += grads[i];
+  ANGEL_RETURN_IF_ERROR(layer.buffered_grads->WriteFloats(accumulated));
+  layer.pending_batches += 1;
+  return util::Status::OK();
+}
+
+void LockFreeUpdater::Start() {
+  if (running_.exchange(true)) return;
+  buffering_thread_ = std::thread([this] { BufferingThreadLoop(); });
+  updating_thread_ = std::thread([this] { UpdatingThreadLoop(); });
+}
+
+void LockFreeUpdater::Stop() {
+  if (!running_.exchange(false)) return;
+  queue_cv_.notify_all();
+  if (buffering_thread_.joinable()) buffering_thread_.join();
+  if (updating_thread_.joinable()) updating_thread_.join();
+}
+
+util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
+  Layer* layer = layers_[layer_index].get();
+  // Snapshot-and-clear the accumulated fp16 gradients (see class comment).
+  std::vector<float> grads;
+  uint64_t batches_taken = 0;
+  {
+    std::lock_guard<std::mutex> lock(layer->buffer_mutex);
+    if (layer->pending_batches == 0) return false;
+    ANGEL_RETURN_IF_ERROR(layer->buffered_grads->ReadFloats(&grads));
+    const std::vector<float> zeros(layer->count, 0.0f);
+    ANGEL_RETURN_IF_ERROR(layer->buffered_grads->WriteFloats(zeros));
+    batches_taken = layer->pending_batches;
+    layer->pending_batches = 0;
+  }
+  // Average the accumulated gradient batches.
+  if (batches_taken > 1) {
+    const float inv = 1.0f / float(batches_taken);
+    for (float& g : grads) g *= inv;
+  }
+
+  // Fetch fp32 states from the master device (Algorithm 2 line 4; a real
+  // SSD read when the master tier is the SSD).
+  const bool on_ssd = options_.master_device == mem::DeviceKind::kSsd;
+  if (on_ssd) {
+    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
+    }
+  }
+  std::vector<float> p, m, v;
+  ANGEL_RETURN_IF_ERROR(layer->p32->ReadFloats(&p));
+  ANGEL_RETURN_IF_ERROR(layer->m32->ReadFloats(&m));
+  ANGEL_RETURN_IF_ERROR(layer->v32->ReadFloats(&v));
+
+  layer->adam_step += 1;
+  AdamUpdate(options_.adam, p.data(), m.data(), v.data(), grads.data(),
+             layer->count, layer->adam_step);
+
+  ANGEL_RETURN_IF_ERROR(layer->p32->WriteFloats(p));
+  ANGEL_RETURN_IF_ERROR(layer->m32->WriteFloats(m));
+  ANGEL_RETURN_IF_ERROR(layer->v32->WriteFloats(v));
+
+  // Hand the fresh parameters to the buffering side (line 6), overlapping
+  // with the SSD write-back (line 7).
+  if (running_.load()) {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    buffer_queue_.push_back(BufferTask{layer_index, true, std::move(p)});
+    queue_cv_.notify_one();
+  } else {
+    std::lock_guard<std::mutex> lock(layer->buffer_mutex);
+    ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(p));
+  }
+
+  if (on_ssd) {
+    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+      ANGEL_RETURN_IF_ERROR(
+          allocator_->Move(tensor, mem::DeviceKind::kSsd));
+    }
+  }
+  updates_applied_.fetch_add(1);
+  grad_batches_applied_.fetch_add(batches_taken);
+  {
+    std::lock_guard<std::mutex> lock(staleness_mutex_);
+    staleness_.Record(batches_taken);
+  }
+  return true;
+}
+
+void LockFreeUpdater::UpdatingThreadLoop() {
+  while (running_.load()) {
+    bool any = false;
+    // Algorithm 2 line 3: walk layers in reverse (gradients arrive in
+    // backward order, so the last layers are dirty first).
+    for (int i = num_layers() - 1; i >= 0 && running_.load(); --i) {
+      auto updated = UpdateLayer(i);
+      if (!updated.ok()) {
+        ANGEL_LOG(Error) << "lock-free update failed: "
+                         << updated.status().ToString();
+        return;
+      }
+      any = any || *updated;
+    }
+    if (!any) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.idle_sleep_us));
+    }
+  }
+}
+
+void LockFreeUpdater::BufferingThreadLoop() {
+  for (;;) {
+    BufferTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !buffer_queue_.empty() || !running_.load();
+      });
+      if (buffer_queue_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      task = std::move(buffer_queue_.front());
+      buffer_queue_.pop_front();
+    }
+    Layer& layer = *layers_[task.layer];
+    std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+    if (task.is_params) {
+      // Install updated parameters into p'16 (Algorithm 2 line 13).
+      const util::Status status =
+          layer.buffered_params->WriteFloats(task.data);
+      if (!status.ok()) {
+        ANGEL_LOG(Error) << "buffering install failed: " << status.ToString();
+      }
+    } else {
+      // Accumulate into g'16 (line 15).
+      std::vector<float> accumulated;
+      util::Status status = layer.buffered_grads->ReadFloats(&accumulated);
+      if (status.ok()) {
+        for (size_t i = 0; i < accumulated.size(); ++i) {
+          accumulated[i] += task.data[i];
+        }
+        status = layer.buffered_grads->WriteFloats(accumulated);
+      }
+      if (!status.ok()) {
+        ANGEL_LOG(Error) << "buffering accumulate failed: "
+                         << status.ToString();
+      }
+      layer.pending_batches += 1;
+    }
+  }
+}
+
+util::Status LockFreeUpdater::UpdateOnce() {
+  if (running_.load()) {
+    return util::Status::FailedPrecondition(
+        "UpdateOnce is the synchronous path; Stop() the threads first");
+  }
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    ANGEL_RETURN_IF_ERROR(UpdateLayer(i).status());
+  }
+  return util::Status::OK();
+}
+
+void LockFreeUpdater::DrainUpdates() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      const bool queue_empty = buffer_queue_.empty();
+      if (queue_empty && grad_batches_applied_.load() ==
+                             grad_batches_offloaded_.load()) {
+        return;
+      }
+    }
+    if (!running_.load()) {
+      // No threads to make progress; apply inline.
+      (void)UpdateOnce();
+      if (grad_batches_applied_.load() == grad_batches_offloaded_.load()) {
+        return;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
+                                               std::vector<float>* out) {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  Layer& layer = *layers_[layer_index];
+  const bool on_ssd = layer.p32->device_index() ==
+                      static_cast<int>(mem::DeviceKind::kSsd);
+  if (on_ssd) {
+    ANGEL_RETURN_IF_ERROR(allocator_->Move(layer.p32, mem::DeviceKind::kCpu));
+  }
+  ANGEL_RETURN_IF_ERROR(layer.p32->ReadFloats(out));
+  if (on_ssd) {
+    ANGEL_RETURN_IF_ERROR(allocator_->Move(layer.p32, mem::DeviceKind::kSsd));
+  }
+  return util::Status::OK();
+}
+
+util::Status LockFreeUpdater::ExportLayerState(int layer_index,
+                                               LayerState* out) {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  if (running_.load()) {
+    return util::Status::FailedPrecondition(
+        "Stop() the updater before exporting state");
+  }
+  Layer& layer = *layers_[layer_index];
+  const bool on_ssd = layer.p32->device_index() ==
+                      static_cast<int>(mem::DeviceKind::kSsd);
+  if (on_ssd) {
+    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
+    }
+  }
+  ANGEL_RETURN_IF_ERROR(layer.p32->ReadFloats(&out->params));
+  ANGEL_RETURN_IF_ERROR(layer.m32->ReadFloats(&out->momentum));
+  ANGEL_RETURN_IF_ERROR(layer.v32->ReadFloats(&out->variance));
+  out->adam_step = layer.adam_step;
+  if (on_ssd) {
+    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kSsd));
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status LockFreeUpdater::ImportLayerState(int layer_index,
+                                               const LayerState& state) {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  if (running_.load()) {
+    return util::Status::FailedPrecondition(
+        "Stop() the updater before importing state");
+  }
+  Layer& layer = *layers_[layer_index];
+  if (state.params.size() != layer.count ||
+      state.momentum.size() != layer.count ||
+      state.variance.size() != layer.count) {
+    return util::Status::InvalidArgument("checkpoint state size mismatch");
+  }
+  const bool on_ssd = layer.p32->device_index() ==
+                      static_cast<int>(mem::DeviceKind::kSsd);
+  if (on_ssd) {
+    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
+    }
+  }
+  ANGEL_RETURN_IF_ERROR(layer.p32->WriteFloats(state.params));
+  ANGEL_RETURN_IF_ERROR(layer.m32->WriteFloats(state.momentum));
+  ANGEL_RETURN_IF_ERROR(layer.v32->WriteFloats(state.variance));
+  layer.adam_step = state.adam_step;
+  if (on_ssd) {
+    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kSsd));
+    }
+  }
+  // Refresh the compute-side fp16 view and drop stale gradients.
+  std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+  ANGEL_RETURN_IF_ERROR(layer.buffered_params->WriteFloats(state.params));
+  const std::vector<float> zeros(layer.count, 0.0f);
+  ANGEL_RETURN_IF_ERROR(layer.buffered_grads->WriteFloats(zeros));
+  layer.pending_batches = 0;
+  return util::Status::OK();
+}
+
+util::Histogram LockFreeUpdater::StalenessHistogram() const {
+  std::lock_guard<std::mutex> lock(staleness_mutex_);
+  return staleness_;
+}
+
+uint64_t LockFreeUpdater::pending_grad_batches() const {
+  const uint64_t offloaded = grad_batches_offloaded_.load();
+  const uint64_t applied = grad_batches_applied_.load();
+  return offloaded > applied ? offloaded - applied : 0;
+}
+
+}  // namespace angelptm::core

@@ -1,0 +1,170 @@
+#ifndef ANGELPTM_CORE_LOCKFREE_UPDATER_H_
+#define ANGELPTM_CORE_LOCKFREE_UPDATER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/adam.h"
+#include "core/allocator.h"
+#include "mem/device.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// The Lock-Free Updating Mechanism of §4.3 (Algorithm 2), implemented with
+/// real threads over the page-based memory subsystem:
+///
+///  - The *compute* side (the training loop, standing in for the GPUs)
+///    fetches buffered fp16 parameters (p'16) and offloads fp16 gradients,
+///    never blocking on the optimizer.
+///  - The *buffering thread* owns the two fp16 CPU buffers: it accumulates
+///    offloaded gradients into g'16 and installs freshly updated parameters
+///    into p'16.
+///  - The *updating thread* walks layers in reverse, fetches the fp32
+///    master states (from the SSD tier when configured — real file I/O),
+///    applies Adam against the accumulated gradients, hands the result to
+///    the buffering thread, and writes the states back.
+///
+/// Deviation from the paper's pseudocode, documented: Algorithm 2 clears
+/// g'16 when the buffering thread *receives* the updated parameters, which
+/// drops gradients that arrive during the update window. We snapshot-and-
+/// clear g'16 atomically when the update *starts*, preserving every
+/// gradient while keeping the same staleness behaviour.
+///
+/// The mechanism trades bounded staleness for throughput; staleness is
+/// observable via pending_grad_batches(). §6.5 shows convergence is not
+/// harmed — reproduced by bench/table6_ssd_lockfree.
+class LockFreeUpdater {
+ public:
+  struct Options {
+    AdamConfig adam;
+    /// Where fp32 master parameters/moments live between updates.
+    mem::DeviceKind master_device = mem::DeviceKind::kCpu;
+    /// Updating-thread poll interval when no gradients are pending.
+    int idle_sleep_us = 50;
+  };
+
+  LockFreeUpdater(Allocator* allocator, const Options& options);
+  ~LockFreeUpdater();
+
+  LockFreeUpdater(const LockFreeUpdater&) = delete;
+  LockFreeUpdater& operator=(const LockFreeUpdater&) = delete;
+
+  /// Registers a layer, allocating its fp32 master states on the master
+  /// device and its fp16 buffers on the CPU tier. Returns the layer index.
+  util::Result<int> AddLayer(const std::vector<float>& initial_params);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  // --- Compute-side interface (Algorithm 2 lines 18-24) ---
+
+  /// Reads the buffered fp16 parameters, cast to fp32 (line 20).
+  util::Status FetchParams(int layer, std::vector<float>* out) const;
+
+  /// Accumulates gradients into the layer's fp16 buffer and marks it dirty
+  /// (lines 24 / 14-15). Never blocks on the updating thread.
+  util::Status OffloadGrads(int layer, const std::vector<float>& grads);
+
+  // --- Control ---
+
+  /// Spawns the buffering and updating threads (asynchronous mode).
+  void Start();
+  /// Joins the threads. Pending gradients stay buffered.
+  void Stop();
+  bool running() const { return running_.load(); }
+
+  /// Synchronous baseline: applies one full update pass inline (every dirty
+  /// layer), blocking the caller. Must not run concurrently with Start().
+  util::Status UpdateOnce();
+
+  /// Blocks until every gradient offloaded so far has been applied.
+  void DrainUpdates();
+
+  /// Reads the fp32 master parameters of a layer (test/checkpoint access;
+  /// moves them memory-side if they are on SSD and back).
+  util::Status ReadMasterParams(int layer, std::vector<float>* out);
+
+  /// Full optimizer state of one layer, for checkpointing (§3.1 failure
+  /// recovery).
+  struct LayerState {
+    std::vector<float> params;
+    std::vector<float> momentum;
+    std::vector<float> variance;
+    long adam_step = 0;
+  };
+  /// Snapshots a layer's fp32 master state. Must not run concurrently with
+  /// the updating threads (Stop() first).
+  util::Status ExportLayerState(int layer, LayerState* out);
+  /// Restores a layer's fp32 master state and refreshes its fp16 buffers.
+  util::Status ImportLayerState(int layer, const LayerState& state);
+
+  // --- Introspection ---
+  uint64_t updates_applied() const { return updates_applied_.load(); }
+  uint64_t grad_batches_offloaded() const {
+    return grad_batches_offloaded_.load();
+  }
+  /// Gradient batches not yet folded into the master parameters — the
+  /// staleness the mechanism trades for throughput.
+  uint64_t pending_grad_batches() const;
+
+  /// Distribution of gradient batches folded per update (1 = fully fresh;
+  /// larger = the compute side ran ahead).
+  util::Histogram StalenessHistogram() const;
+
+ private:
+  struct Layer {
+    size_t count = 0;
+    Tensor* p32 = nullptr;
+    Tensor* m32 = nullptr;
+    Tensor* v32 = nullptr;
+    /// Algorithm 2's CPU buffers, as fp16 tensors on the CPU tier.
+    Tensor* buffered_params = nullptr;  // p'16
+    Tensor* buffered_grads = nullptr;   // g'16
+    mutable std::mutex buffer_mutex;
+    uint64_t pending_batches = 0;  // Guarded by buffer_mutex.
+    long adam_step = 0;            // Owned by the updating path.
+  };
+
+  /// Applies one Adam update to layer `layer_index` if it has pending
+  /// gradients. Returns true if an update was applied.
+  util::Result<bool> UpdateLayer(int layer_index);
+  void UpdatingThreadLoop();
+  void BufferingThreadLoop();
+
+  Allocator* allocator_;
+  Options options_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+
+  std::atomic<bool> running_{false};
+  std::thread updating_thread_;
+  std::thread buffering_thread_;
+
+  /// Queue feeding the buffering thread: gradients from the compute side
+  /// and updated parameters from the updating thread.
+  struct BufferTask {
+    int layer;
+    bool is_params;            // true: install params; false: accumulate.
+    std::vector<float> data;   // fp32 values (cast to fp16 on apply).
+  };
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<BufferTask> buffer_queue_;
+
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> grad_batches_offloaded_{0};
+  std::atomic<uint64_t> grad_batches_applied_{0};
+
+  mutable std::mutex staleness_mutex_;
+  util::Histogram staleness_;
+};
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_LOCKFREE_UPDATER_H_

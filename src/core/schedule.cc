@@ -1,0 +1,111 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace angelptm::core {
+
+const char* TaskOpName(TaskOp op) {
+  switch (op) {
+    case TaskOp::kMoveToGpu:
+      return "move_to_gpu";
+    case TaskOp::kAllGather:
+      return "all_gather";
+    case TaskOp::kCompute:
+      return "compute";
+  }
+  return "unknown";
+}
+
+MemoryProfile ReplaySchedule(const ScheduleInput& input,
+                             const std::vector<Task>& tasks) {
+  MemoryProfile profile;
+  profile.usage_during_step.assign(input.steps.size(), 0);
+
+  // Execution order: by trigger id; at equal trigger, movements and gathers
+  // run before the compute they unblock; ties keep list order.
+  std::vector<size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (tasks[a].trigger_id != tasks[b].trigger_id) {
+      return tasks[a].trigger_id < tasks[b].trigger_id;
+    }
+    const bool a_compute = tasks[a].op == TaskOp::kCompute;
+    const bool b_compute = tasks[b].op == TaskOp::kCompute;
+    return !a_compute && b_compute;
+  });
+
+  int64_t usage = 0;
+  std::vector<int64_t> gathered_for_step(input.steps.size(), 0);
+  auto bump_peak = [&](int64_t value) {
+    if (value > 0 && uint64_t(value) > profile.peak) {
+      profile.peak = uint64_t(value);
+    }
+  };
+
+  for (size_t index : order) {
+    const Task& task = tasks[index];
+    switch (task.op) {
+      case TaskOp::kMoveToGpu:
+        usage += int64_t(task.bytes);
+        bump_peak(usage);
+        break;
+      case TaskOp::kAllGather: {
+        // A gather materializes the full parameter: world_size * shard.
+        const int64_t alloc = int64_t(task.bytes) * input.world_size;
+        usage += alloc;
+        ANGEL_CHECK(task.step >= 0 &&
+                    size_t(task.step) < input.steps.size())
+            << "gather serving unknown step " << task.step;
+        gathered_for_step[task.step] += alloc;
+        bump_peak(usage);
+        break;
+      }
+      case TaskOp::kCompute: {
+        ANGEL_CHECK(task.step >= 0 &&
+                    size_t(task.step) < input.steps.size())
+            << "compute of unknown step " << task.step;
+        const SchedStep& step = input.steps[task.step];
+        usage += int64_t(step.workspace_bytes);
+        bump_peak(usage);
+        profile.usage_during_step[task.step] =
+            usage > 0 ? uint64_t(usage) : 0;
+        usage -= int64_t(step.workspace_bytes);
+        usage += step.retained_bytes;
+        // Gathered full parameters for this step are released once its
+        // compute completes.
+        usage -= gathered_for_step[task.step];
+        gathered_for_step[task.step] = 0;
+        bump_peak(usage);
+        break;
+      }
+    }
+  }
+  return profile;
+}
+
+std::string FormatSchedule(const std::vector<Task>& tasks, size_t limit) {
+  std::ostringstream os;
+  size_t shown = 0;
+  for (const Task& task : tasks) {
+    if (shown++ >= limit) {
+      os << "... (" << tasks.size() - limit << " more)\n";
+      break;
+    }
+    os << "[t=" << task.trigger_id << "] " << TaskOpName(task.op);
+    if (task.op == TaskOp::kCompute) {
+      os << " step " << task.step;
+    } else {
+      os << " page " << task.page_id << " ("
+         << util::FormatBytes(task.bytes) << ") for step " << task.step;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace angelptm::core

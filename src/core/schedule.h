@@ -1,0 +1,106 @@
+#ifndef ANGELPTM_CORE_SCHEDULE_H_
+#define ANGELPTM_CORE_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace angelptm::core {
+
+/// Task kinds emitted by the unified scheduler (Algorithm 1).
+enum class TaskOp : uint8_t {
+  /// Move one page of a layer's local parameter shard CPU -> GPU (PCIe).
+  kMoveToGpu,
+  /// All-gather one parameter page across data-parallel ranks, materializing
+  /// the full parameter for the triggering step (NVLink/NIC).
+  kAllGather,
+  /// Run one step's computation (a layer's forward or backward) on the GPU.
+  kCompute,
+};
+
+const char* TaskOpName(TaskOp op);
+
+/// One scheduled task: {operation, page, trigger_id} as in Algorithm 1.
+/// `trigger_id` is the logical time the task may start: 0 = start of the
+/// iteration, i > 0 = as soon as compute step i-1 has completed.
+struct Task {
+  TaskOp op = TaskOp::kCompute;
+  /// Page being moved/gathered (kInvalidPage for compute tasks).
+  uint64_t page_id = ~0ull;
+  /// Shard bytes of that page (0 for compute tasks).
+  uint64_t bytes = 0;
+  /// The step this task serves: for kCompute the step being run, for
+  /// kAllGather the step whose parameters are gathered, for kMoveToGpu the
+  /// step whose shard is prefetched.
+  int step = -1;
+  int trigger_id = 0;
+};
+
+/// One page of a step's local parameter shard.
+struct PageRef {
+  uint64_t page_id = 0;
+  uint64_t bytes = 0;
+};
+
+/// One schedulable step — one "layer" in Algorithm 1's terms. A training
+/// iteration is modelled as 2L steps (forward 0..L-1 then backward L-1..0);
+/// the algorithm itself is agnostic to the meaning of a step.
+struct SchedStep {
+  /// Pages of the local parameter shard this step's compute reads.
+  std::vector<PageRef> param_pages;
+  /// Transient GPU bytes (activation working set) live only while this
+  /// step's compute runs.
+  uint64_t workspace_bytes = 0;
+  /// GPU bytes retained after this step until the end of the iteration
+  /// (negative releases previously retained bytes — used by backward steps
+  /// to drop boundary activations).
+  int64_t retained_bytes = 0;
+  /// Estimated compute duration, consumed by the event simulator.
+  double compute_seconds = 0.0;
+};
+
+/// Input to the unified scheduler.
+struct ScheduleInput {
+  std::vector<SchedStep> steps;
+  /// GPU memory available to the scheduler on this rank.
+  uint64_t gpu_memory_budget = 0;
+  /// Data-parallel world size N: an all-gather of a page with shard size B
+  /// materializes N*B bytes of full parameter (freed after the serving
+  /// step's compute).
+  int world_size = 1;
+  /// Run phase 2 of Algorithm 1 (advance all_gather triggers for overlap).
+  /// Disabled only by the ablation bench.
+  bool advance_gathers = true;
+};
+
+/// Output of the unified scheduler.
+struct Schedule {
+  std::vector<Task> tasks;
+  /// Peak GPU bytes of the replayed schedule (must be <= budget).
+  uint64_t peak_gpu_bytes = 0;
+  /// Pages prefetched at iteration start (trigger 0).
+  size_t pages_prefetched_at_start = 0;
+  /// Pages left CPU-resident, fetched on demand by their all-gather.
+  size_t pages_fetched_on_demand = 0;
+  /// All-gather tasks whose trigger was advanced by phase 2.
+  size_t gathers_advanced = 0;
+};
+
+/// Per-step memory usage from replaying a schedule; index = step id.
+struct MemoryProfile {
+  std::vector<uint64_t> usage_during_step;
+  uint64_t peak = 0;
+};
+
+/// Replays `tasks` against `input`, returning the per-step GPU memory
+/// profile. Used by phase 2 of Algorithm 1 and by tests to verify the
+/// schedule never exceeds the budget.
+MemoryProfile ReplaySchedule(const ScheduleInput& input,
+                             const std::vector<Task>& tasks);
+
+/// Renders a schedule for debugging ("[t=3] all_gather page 17 (4 MiB)").
+std::string FormatSchedule(const std::vector<Task>& tasks, size_t limit = 64);
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_SCHEDULE_H_

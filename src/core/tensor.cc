@@ -1,0 +1,136 @@
+#include "core/tensor.h"
+
+#include <cstring>
+
+#include "util/half.h"
+#include "util/logging.h"
+
+namespace angelptm::core {
+namespace {
+
+/// Invokes `fn(page_data + slot_offset, span_bytes, tensor_offset)` for each
+/// of the tensor's page spans in byte order. Returns early on error.
+template <typename Fn>
+util::Status ForEachSpan(const Tensor& tensor, Fn&& fn) {
+  size_t tensor_offset = 0;
+  for (mem::Page* page : tensor.pages()) {
+    const mem::Page::Slot* slot = page->FindSlot(tensor.id());
+    if (slot == nullptr) {
+      return util::Status::Internal("tensor " + std::to_string(tensor.id()) +
+                                    " missing slot on page " +
+                                    std::to_string(page->id()));
+    }
+    if (page->device() == mem::DeviceKind::kSsd) {
+      return util::Status::FailedPrecondition(
+          "tensor " + std::to_string(tensor.id()) + " has page on SSD");
+    }
+    ANGEL_RETURN_IF_ERROR(
+        fn(page->data_ptr() + slot->offset, slot->bytes, tensor_offset));
+    tensor_offset += slot->bytes;
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+size_t Tensor::NumElements() const {
+  size_t n = 1;
+  for (size_t d : shape_) n *= d;
+  return n;
+}
+
+int Tensor::device_index() const {
+  if (pages_.empty()) return mem::kDeviceNotReady;
+  const mem::DeviceKind first = pages_.front()->device();
+  for (const mem::Page* page : pages_) {
+    if (page->device() != first) return mem::kDeviceNotReady;
+  }
+  return static_cast<int>(first);
+}
+
+bool Tensor::IsResident() const {
+  const int device = device_index();
+  return device != mem::kDeviceNotReady &&
+         device != static_cast<int>(mem::DeviceKind::kSsd);
+}
+
+bool Tensor::IsContiguous() const {
+  if (pages_.empty()) return false;
+  if (!IsResident()) return false;
+  const std::byte* expected = nullptr;
+  for (const mem::Page* page : pages_) {
+    const mem::Page::Slot* slot = page->FindSlot(id_);
+    if (slot == nullptr) return false;
+    const std::byte* start = page->data_ptr() + slot->offset;
+    if (expected != nullptr && start != expected) return false;
+    expected = start + slot->bytes;
+  }
+  return true;
+}
+
+std::byte* Tensor::data() {
+  ANGEL_CHECK(IsResident()) << "tensor " << id_ << " not resident";
+  ANGEL_CHECK(IsContiguous()) << "tensor " << id_ << " not contiguous";
+  const mem::Page::Slot* slot = pages_.front()->FindSlot(id_);
+  return pages_.front()->data_ptr() + slot->offset;
+}
+
+const std::byte* Tensor::data() const {
+  return const_cast<Tensor*>(this)->data();
+}
+
+util::Status Tensor::CopyOut(std::byte* dst, size_t bytes) const {
+  if (bytes != SizeBytes()) {
+    return util::Status::InvalidArgument("CopyOut size mismatch");
+  }
+  return ForEachSpan(*this, [dst](const std::byte* src, size_t span_bytes,
+                                  size_t offset) {
+    std::memcpy(dst + offset, src, span_bytes);
+    return util::Status::OK();
+  });
+}
+
+util::Status Tensor::CopyIn(const std::byte* src, size_t bytes) {
+  if (bytes != SizeBytes()) {
+    return util::Status::InvalidArgument("CopyIn size mismatch");
+  }
+  return ForEachSpan(*this, [src](std::byte* dst, size_t span_bytes,
+                                  size_t offset) {
+    std::memcpy(dst, src + offset, span_bytes);
+    return util::Status::OK();
+  });
+}
+
+util::Status Tensor::ReadFloats(std::vector<float>* out) const {
+  const size_t n = NumElements();
+  out->resize(n);
+  if (dtype_ == DType::kFp32) {
+    return CopyOut(reinterpret_cast<std::byte*>(out->data()), SizeBytes());
+  }
+  std::vector<uint16_t> raw(n);
+  ANGEL_RETURN_IF_ERROR(
+      CopyOut(reinterpret_cast<std::byte*>(raw.data()), SizeBytes()));
+  for (size_t i = 0; i < n; ++i) {
+    (*out)[i] = dtype_ == DType::kFp16 ? util::HalfBitsToFloat(raw[i])
+                                       : util::BFloat16BitsToFloat(raw[i]);
+  }
+  return util::Status::OK();
+}
+
+util::Status Tensor::WriteFloats(const std::vector<float>& values) {
+  if (values.size() != NumElements()) {
+    return util::Status::InvalidArgument("WriteFloats size mismatch");
+  }
+  if (dtype_ == DType::kFp32) {
+    return CopyIn(reinterpret_cast<const std::byte*>(values.data()),
+                  SizeBytes());
+  }
+  std::vector<uint16_t> raw(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    raw[i] = dtype_ == DType::kFp16 ? util::FloatToHalfBits(values[i])
+                                    : util::FloatToBFloat16Bits(values[i]);
+  }
+  return CopyIn(reinterpret_cast<const std::byte*>(raw.data()), SizeBytes());
+}
+
+}  // namespace angelptm::core

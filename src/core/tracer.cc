@@ -1,0 +1,51 @@
+#include "core/tracer.h"
+
+#include <algorithm>
+
+namespace angelptm::core {
+
+void Tracer::Reset() {
+  op_names_.clear();
+  traces_.clear();
+}
+
+int Tracer::BeginOp(std::string name) {
+  op_names_.push_back(std::move(name));
+  return static_cast<int>(op_names_.size()) - 1;
+}
+
+util::Status Tracer::RecordAccess(uint64_t tensor_id, uint64_t bytes) {
+  if (op_names_.empty()) {
+    return util::Status::FailedPrecondition(
+        "RecordAccess before any BeginOp");
+  }
+  const int op = static_cast<int>(op_names_.size()) - 1;
+  TensorTrace& trace = traces_[tensor_id];
+  trace.tensor_id = tensor_id;
+  if (trace.first_id < 0) trace.first_id = op;
+  trace.end_id = op;
+  trace.bytes = bytes;
+  return util::Status::OK();
+}
+
+void Tracer::RecordProduceTime(uint64_t tensor_id, double cpu_time,
+                               double gpu_time) {
+  TensorTrace& trace = traces_[tensor_id];
+  trace.tensor_id = tensor_id;
+  trace.cpu_time = cpu_time;
+  trace.gpu_time = gpu_time;
+}
+
+std::vector<TensorTrace> Tracer::Traces() const {
+  std::vector<TensorTrace> out;
+  out.reserve(traces_.size());
+  for (const auto& [id, trace] : traces_) out.push_back(trace);
+  std::sort(out.begin(), out.end(),
+            [](const TensorTrace& a, const TensorTrace& b) {
+              if (a.first_id != b.first_id) return a.first_id < b.first_id;
+              return a.tensor_id < b.tensor_id;
+            });
+  return out;
+}
+
+}  // namespace angelptm::core

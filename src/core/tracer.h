@@ -1,0 +1,66 @@
+#ifndef ANGELPTM_CORE_TRACER_H_
+#define ANGELPTM_CORE_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// Access pattern of one tensor over a traced iteration (§5, Tracer):
+/// logical ids are operation indices, not wall-clock times — "using logical
+/// IDs instead of real-time for lifetime tracking simplifies scheduling".
+struct TensorTrace {
+  uint64_t tensor_id = 0;
+  /// Logical id of the op that first accesses the tensor.
+  int first_id = -1;
+  /// Logical id of the op that last accesses the tensor.
+  int end_id = -1;
+  /// Time to produce the tensor on CPU / GPU (seconds), when measured.
+  double cpu_time = 0.0;
+  double gpu_time = 0.0;
+  uint64_t bytes = 0;
+
+  /// Life-time in logical steps (§4.2: first access to last access).
+  int LifetimeSpan() const { return end_id - first_id; }
+};
+
+/// Records the tensor access pattern of a model's iteration. The engine runs
+/// one instrumented iteration ("trace mode"); operations call BeginOp, and
+/// every tensor touch calls RecordAccess. The resulting traces drive the
+/// unified scheduler.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Clears all recorded state for a fresh trace.
+  void Reset();
+
+  /// Opens a new logical operation and returns its id (0-based, dense).
+  int BeginOp(std::string name);
+
+  /// Marks `tensor_id` as accessed by the current operation. Must follow at
+  /// least one BeginOp.
+  util::Status RecordAccess(uint64_t tensor_id, uint64_t bytes);
+
+  /// Records how long producing the tensor took on each device.
+  void RecordProduceTime(uint64_t tensor_id, double cpu_time,
+                         double gpu_time);
+
+  /// Traces sorted by first access id (ties by tensor id).
+  std::vector<TensorTrace> Traces() const;
+
+  int num_ops() const { return static_cast<int>(op_names_.size()); }
+  const std::vector<std::string>& op_names() const { return op_names_; }
+
+ private:
+  std::vector<std::string> op_names_;
+  std::unordered_map<uint64_t, TensorTrace> traces_;
+};
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_TRACER_H_

@@ -1,0 +1,196 @@
+#include "core/unified_scheduler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace angelptm::core {
+namespace {
+
+/// Usage history of one page across the step list (a page can serve both a
+/// forward and a backward step).
+struct PageUses {
+  uint64_t bytes = 0;
+  std::vector<int> steps;  // Ascending.
+};
+
+/// First use of the page strictly after step `i`, or -1.
+int NextUse(const PageUses& uses, int i) {
+  const auto it = std::upper_bound(uses.steps.begin(), uses.steps.end(), i);
+  return it == uses.steps.end() ? -1 : *it;
+}
+
+}  // namespace
+
+util::Result<Schedule> BuildSchedule(const ScheduleInput& input) {
+  if (input.world_size < 1) {
+    return util::Status::InvalidArgument("world_size must be >= 1");
+  }
+  const int num_steps = static_cast<int>(input.steps.size());
+  const int64_t budget = static_cast<int64_t>(input.gpu_memory_budget);
+
+  // Index page usage across steps.
+  std::unordered_map<uint64_t, PageUses> page_uses;
+  for (int s = 0; s < num_steps; ++s) {
+    for (const PageRef& page : input.steps[s].param_pages) {
+      PageUses& uses = page_uses[page.page_id];
+      if (uses.bytes != 0 && uses.bytes != page.bytes) {
+        return util::Status::InvalidArgument(
+            "page " + std::to_string(page.page_id) +
+            " referenced with inconsistent sizes");
+      }
+      uses.bytes = page.bytes;
+      uses.steps.push_back(s);
+    }
+  }
+
+  // Task list with tombstones so pops are O(1); compacted at the end.
+  std::vector<Task> tasks;
+  std::vector<char> alive;
+  std::vector<size_t> move_stack;  // Indices of live movement tasks.
+  auto append = [&](Task task) {
+    tasks.push_back(task);
+    alive.push_back(1);
+    if (task.op == TaskOp::kMoveToGpu) move_stack.push_back(tasks.size() - 1);
+  };
+
+  // ---- Phase 1: prioritize move_to_gpu tasks (Algorithm 1 lines 1-15). ----
+  // Initial sweep: prefetch every distinct parameter page at trigger 0, in
+  // first-use order (CPU->GPU is the slowest link, so it starts first).
+  std::unordered_set<uint64_t> resident;
+  int64_t resident_bytes = 0;
+  {
+    std::unordered_set<uint64_t> seen;
+    for (int s = 0; s < num_steps; ++s) {
+      for (const PageRef& page : input.steps[s].param_pages) {
+        if (!seen.insert(page.page_id).second) continue;
+        append({TaskOp::kMoveToGpu, page.page_id, page.bytes, s, 0});
+        resident.insert(page.page_id);
+        resident_bytes += int64_t(page.bytes);
+      }
+    }
+  }
+
+  struct WaitEntry {
+    uint64_t page_id;
+    uint64_t bytes;
+  };
+  std::vector<WaitEntry> wait_stack;
+  int64_t retained_total = 0;
+
+  for (int i = 0; i < num_steps; ++i) {
+    const SchedStep& step = input.steps[i];
+    int64_t gather_alloc = 0;
+    for (const PageRef& page : step.param_pages) {
+      gather_alloc += int64_t(page.bytes) * input.world_size;
+    }
+    const int64_t requirement = gather_alloc +
+                                int64_t(step.workspace_bytes) +
+                                std::max<int64_t>(step.retained_bytes, 0);
+
+    // Pop the most recent movements until this step fits (lines 7-9).
+    while (budget - resident_bytes - retained_total < requirement) {
+      while (!move_stack.empty() && !alive[move_stack.back()]) {
+        move_stack.pop_back();
+      }
+      if (move_stack.empty()) {
+        return util::Status::OutOfMemory(
+            "step " + std::to_string(i) + " needs " +
+            util::FormatBytes(uint64_t(requirement)) + " but only " +
+            util::FormatBytes(uint64_t(
+                std::max<int64_t>(budget - retained_total, 0))) +
+            " of GPU budget remains with no movements left to defer");
+      }
+      const size_t idx = move_stack.back();
+      move_stack.pop_back();
+      alive[idx] = 0;
+      const Task& popped = tasks[idx];
+      resident.erase(popped.page_id);
+      resident_bytes -= int64_t(popped.bytes);
+      // Pages with a future use wait for memory; past-only pages are simply
+      // evicted (their remaining gathers fetch on demand).
+      if (NextUse(page_uses[popped.page_id], i) > i) {
+        wait_stack.push_back({popped.page_id, popped.bytes});
+      }
+    }
+
+    // Gathers and compute for this step (lines 10-12).
+    for (const PageRef& page : step.param_pages) {
+      append({TaskOp::kAllGather, page.page_id, page.bytes, i, i});
+    }
+    append({TaskOp::kCompute, ~0ull, 0, i, i});
+    retained_total += step.retained_bytes;
+
+    // Re-schedule deferred movements while memory allows (lines 13-15).
+    while (!wait_stack.empty()) {
+      const WaitEntry entry = wait_stack.back();
+      const int use = NextUse(page_uses[entry.page_id], i);
+      if (use < 0 || resident.count(entry.page_id) > 0) {
+        wait_stack.pop_back();  // Stale: no future use or re-added already.
+        continue;
+      }
+      if (budget - resident_bytes - retained_total <=
+          int64_t(entry.bytes)) {
+        break;
+      }
+      wait_stack.pop_back();
+      // Trigger i+1: the re-scheduled movement starts once this step's
+      // compute has completed (and its memory effects are visible).
+      append({TaskOp::kMoveToGpu, entry.page_id, entry.bytes, use, i + 1});
+      resident.insert(entry.page_id);
+      resident_bytes += int64_t(entry.bytes);
+    }
+  }
+
+  Schedule schedule;
+  schedule.tasks.reserve(tasks.size());
+  for (size_t idx = 0; idx < tasks.size(); ++idx) {
+    if (alive[idx]) schedule.tasks.push_back(tasks[idx]);
+  }
+
+  // ---- Phase 2: advance all_gather tasks (Algorithm 1 lines 17-21). ----
+  if (input.advance_gathers) {
+    const MemoryProfile phase1_profile = ReplaySchedule(input, schedule.tasks);
+    std::vector<int64_t> usage(phase1_profile.usage_during_step.begin(),
+                               phase1_profile.usage_during_step.end());
+    for (Task& task : schedule.tasks) {
+      if (task.op != TaskOp::kAllGather) continue;
+      const int64_t alloc = int64_t(task.bytes) * input.world_size;
+      const int s = task.step;
+      int t = s;
+      while (t > 0 && usage[t - 1] + alloc <= budget) --t;
+      if (t < task.trigger_id) {
+        for (int u = t; u < s; ++u) usage[u] += alloc;
+        task.trigger_id = t;
+        ++schedule.gathers_advanced;
+      }
+    }
+  }
+
+  // Final validation replay.
+  const MemoryProfile profile = ReplaySchedule(input, schedule.tasks);
+  schedule.peak_gpu_bytes = profile.peak;
+  if (schedule.peak_gpu_bytes > input.gpu_memory_budget) {
+    return util::Status::Internal(
+        "schedule replay peak " + util::FormatBytes(schedule.peak_gpu_bytes) +
+        " exceeds budget " + util::FormatBytes(input.gpu_memory_budget));
+  }
+
+  for (const Task& task : schedule.tasks) {
+    if (task.op == TaskOp::kMoveToGpu && task.trigger_id == 0) {
+      ++schedule.pages_prefetched_at_start;
+    }
+    if (task.op == TaskOp::kAllGather && resident.count(task.page_id) == 0) {
+      ++schedule.pages_fetched_on_demand;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace angelptm::core

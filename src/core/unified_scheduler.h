@@ -1,0 +1,31 @@
+#ifndef ANGELPTM_CORE_UNIFIED_SCHEDULER_H_
+#define ANGELPTM_CORE_UNIFIED_SCHEDULER_H_
+
+#include "core/schedule.h"
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// The Unified Scheduler of §4.2: builds the task schedule for one training
+/// iteration with the paper's *fine-grained life-time based scheduling*
+/// (Algorithm 1).
+///
+/// Phase 1 front-loads move_to_gpu tasks for every parameter page (CPU->GPU
+/// transfers are the slowest link, so start them first), popping the most
+/// recently scheduled movements onto a wait-stack whenever a step's working
+/// set would not fit, and re-scheduling them just-in-time as memory frees up.
+/// Pages never re-scheduled stay CPU-resident and are fetched on demand by
+/// their all_gather.
+///
+/// Phase 2 advances each all_gather task to the earliest trigger id that
+/// provably does not overflow the memory budget (checked against the
+/// replayed per-step memory profile), maximizing communication/computation
+/// overlap.
+///
+/// The returned schedule is validated by replay: peak_gpu_bytes <= budget.
+/// Returns OutOfMemory when even the fully on-demand schedule cannot fit.
+util::Result<Schedule> BuildSchedule(const ScheduleInput& input);
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_UNIFIED_SCHEDULER_H_

@@ -1,0 +1,184 @@
+#include "dist/expert_parallel.h"
+
+#include <algorithm>
+
+#include "core/unified_scheduler.h"
+#include "model/footprint.h"
+#include "sim/cost_model.h"
+#include "util/units.h"
+
+namespace angelptm::dist {
+
+uint64_t ExpertParallelModelParams(const ExpertParallelRequest& request) {
+  model::TransformerConfig scaled = request.model;
+  scaled.num_experts = request.experts_per_gpu * request.num_gpus;
+  return model::TotalParamCount(scaled);
+}
+
+util::Result<sim::Plan> PlanExpertParallel(
+    const ExpertParallelRequest& request) {
+  if (request.model.family != model::ModelFamily::kT5Moe) {
+    return util::Status::InvalidArgument(
+        "expert parallelism requires a T5-MoE model");
+  }
+  const auto& hw = request.hw;
+  const int num_gpus = request.num_gpus;
+  const int gpus_per_node = std::min(num_gpus, hw.gpus_per_node);
+  const int L = request.model.num_layers;
+  const uint64_t dm = request.model.d_model, dffn = request.model.d_ffn;
+
+  model::TransformerConfig scaled = request.model;
+  scaled.num_experts = request.experts_per_gpu * num_gpus;
+
+  // Local (per-GPU) parameter elements of one layer: the replicated
+  // attention block plus this GPU's experts.
+  const uint64_t local_layer_params =
+      4 * dm * dm +
+      uint64_t(request.experts_per_gpu) * 2 * dm * dffn + 4 * dm;
+
+  model::TrainingConfig training;
+  training.micro_batch = request.micro_batch;
+  const sim::CostModel cost(hw, scaled, training);
+
+  // Local fp16 parameter pages for the scheduler (world_size = 1: experts
+  // are not gathered — tokens travel to them instead).
+  core::ScheduleInput input;
+  input.world_size = 1;
+  input.gpu_memory_budget = hw.GpuUsableBytes();
+  const uint64_t shard_fp16_layer = 2 * local_layer_params;
+  const uint64_t page_bytes =
+      std::max<uint64_t>(4 * util::kMiB,
+                         util::RoundUp((shard_fp16_layer + 7) / 8,
+                                       util::kMiB));
+  const size_t pages_per_layer =
+      std::max<size_t>(1, (shard_fp16_layer + page_bytes - 1) / page_bytes);
+
+  const uint64_t b = request.micro_batch, s = request.model.seq_len;
+  // Activations of attention + the locally-routed tokens' expert FFN.
+  const uint64_t layer_acts = 2 * (40 * b * s * dm + 8 * b * s * dffn);
+  const uint64_t boundary_act = 2 * b * s * dm;
+
+  uint64_t next_page = 0;
+  std::vector<std::vector<core::PageRef>> layer_pages(L);
+  for (int l = 0; l < L; ++l) {
+    uint64_t remaining = shard_fp16_layer;
+    for (size_t p = 0; p < pages_per_layer; ++p) {
+      const uint64_t bytes =
+          std::max<uint64_t>(1, std::min<uint64_t>(remaining, page_bytes));
+      layer_pages[l].push_back({next_page++, bytes});
+      remaining -= std::min<uint64_t>(remaining, page_bytes);
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool backward = pass == 1;
+    for (int i = 0; i < L; ++i) {
+      const int l = backward ? L - 1 - i : i;
+      core::SchedStep step;
+      step.param_pages = layer_pages[l];
+      step.workspace_bytes = backward ? layer_acts : layer_acts / 2;
+      step.retained_bytes =
+          backward ? -int64_t(boundary_act) : int64_t(boundary_act);
+      step.compute_seconds =
+          backward ? cost.LayerBackwardSeconds(request.micro_batch)
+                   : cost.LayerForwardSeconds(request.micro_batch);
+      input.steps.push_back(step);
+    }
+  }
+
+  // Find the minimum budget the schedule needs and dedicate the slack to
+  // caching fp32 expert states on the GPU (the same dynamic caching the
+  // dense planner applies).
+  ANGEL_RETURN_IF_ERROR(core::BuildSchedule(input).status());
+  uint64_t lo = 0, hi = input.gpu_memory_budget;
+  while (hi - lo > 256 * util::kMiB) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    core::ScheduleInput probe = input;
+    probe.gpu_memory_budget = mid;
+    (core::BuildSchedule(probe).ok() ? hi : lo) = mid;
+  }
+  const uint64_t local_params_total = uint64_t(L) * local_layer_params;
+  const uint64_t optim_local_bytes = 12 * local_params_total;
+  const uint64_t cache_bytes = std::min<uint64_t>(
+      input.gpu_memory_budget - hi, optim_local_bytes);
+  input.gpu_memory_budget = hw.GpuUsableBytes() - cache_bytes;
+  ANGEL_ASSIGN_OR_RETURN(core::Schedule schedule, core::BuildSchedule(input));
+  const double cached_fraction =
+      optim_local_bytes == 0 ? 0.0
+                             : double(cache_bytes) / double(optim_local_bytes);
+
+  uint64_t prefetched_fp16_bytes = 0;
+  for (const core::Task& task : schedule.tasks) {
+    if (task.op == core::TaskOp::kMoveToGpu) {
+      prefetched_fp16_bytes += task.bytes;
+    }
+  }
+
+  // Capacity: expert optimizer states per node, net of GPU-resident bytes.
+  const uint64_t params_per_node = local_params_total * gpus_per_node;
+  const uint64_t gpu_state_node =
+      (cache_bytes + prefetched_fp16_bytes) * gpus_per_node;
+  uint64_t cpu_bytes_node, ssd_bytes_node = 0;
+  if (request.use_ssd) {
+    ssd_bytes_node = 12 * params_per_node;
+    // CPU stages only the lock-free fp16 buffers of a few in-flight layers.
+    cpu_bytes_node = 4 * shard_fp16_layer * gpus_per_node;
+    if (ssd_bytes_node > hw.ssd_capacity_bytes) {
+      return util::Status::OutOfMemory("expert states exceed SSD capacity");
+    }
+  } else {
+    const uint64_t total_state_node = 16 * params_per_node;
+    cpu_bytes_node =
+        total_state_node - std::min(total_state_node, gpu_state_node);
+  }
+  if (cpu_bytes_node > hw.cpu_usable_bytes) {
+    return util::Status::OutOfMemory(
+        "expert states need " + util::FormatBytes(cpu_bytes_node) +
+        " of CPU, have " + util::FormatBytes(hw.cpu_usable_bytes));
+  }
+
+  sim::Plan plan;
+  plan.spec.sched = std::move(input);
+  plan.spec.tasks = std::move(schedule.tasks);
+  plan.peak_gpu_bytes = schedule.peak_gpu_bytes + cache_bytes;
+  plan.gpu_cache_bytes = cache_bytes;
+  plan.gpu_cached_fraction = cached_fraction;
+  plan.cpu_bytes_per_node = cpu_bytes_node;
+  plan.ssd_bytes_per_node = ssd_bytes_node;
+
+  // Two all-to-alls per layer traversal (dispatch + combine) of the layer's
+  // token activations.
+  const uint64_t a2a_bytes = 2 * b * s * dm;  // fp16 tokens.
+  plan.spec.extra_comm_seconds_per_step =
+      2.0 * cost.AllToAllSeconds(a2a_bytes, num_gpus);
+
+  // Per-layer optimizer pipeline: GPU-cached states update in place, the
+  // rest on the CPU (and through the SSD when enabled).
+  for (int l = 0; l < L; ++l) {
+    sim::OptimizerWork work;
+    work.after_step = 2 * L - 1 - l;
+    work.gpu_update_elements =
+        uint64_t(cached_fraction * double(local_layer_params));
+    const uint64_t cpu_elements =
+        local_layer_params - work.gpu_update_elements;
+    work.cpu_update_elements = cpu_elements * gpus_per_node;
+    work.grad_offload_bytes = 2 * cpu_elements;
+    if (request.use_ssd) {
+      const double miss = request.ssd_state_fraction;
+      work.ssd_read_bytes =
+          uint64_t(miss * 12.0 * double(work.cpu_update_elements));
+      work.ssd_write_bytes = work.ssd_read_bytes;
+    }
+    plan.spec.opt_work.push_back(work);
+  }
+
+  plan.spec.pcie_bw = hw.pcie_bw_per_gpu;
+  plan.spec.collective_bw_per_rank = hw.CollectiveBwPerRank(num_gpus);
+  plan.spec.cpu_optimizer_bw = hw.cpu_optimizer_bw_per_node;
+  plan.spec.gpu_optimizer_bw = hw.gpu_hbm_bw;
+  plan.spec.ssd_bw = hw.ssd_bw_per_node;
+  plan.spec.lock_free = request.lock_free;
+  plan.spec.grad_accumulation = request.grad_accumulation;
+  return plan;
+}
+
+}  // namespace angelptm::dist

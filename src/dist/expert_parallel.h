@@ -1,0 +1,46 @@
+#ifndef ANGELPTM_DIST_EXPERT_PARALLEL_H_
+#define ANGELPTM_DIST_EXPERT_PARALLEL_H_
+
+#include "model/transformer_config.h"
+#include "sim/planner.h"
+#include "util/status.h"
+
+namespace angelptm::dist {
+
+/// Expert-parallel plan request for MoE models (§6.4): "expert parameters
+/// within an MoE layer are sharded among all GPUs while non-MoE parameters
+/// are duplicated". The paper fixes experts-per-GPU-per-layer at 9, so the
+/// model grows with the cluster (weak scaling, Figure 9).
+struct ExpertParallelRequest {
+  /// Base MoE config; num_experts is overridden to experts_per_gpu*num_gpus.
+  model::TransformerConfig model;
+  int experts_per_gpu = 9;
+  int micro_batch = 8;
+  sim::HardwareConfig hw;
+  int num_gpus = 64;
+  bool use_ssd = false;
+  bool lock_free = false;
+  /// Micro-batch passes per iteration (gradients accumulate; optimizer runs
+  /// once).
+  int grad_accumulation = 1;
+  /// Fraction of fp32 expert states that miss the updating thread's CPU
+  /// working set and must round-trip the SSD per update (§6.5). The paper's
+  /// per-iteration SSD traffic is not derivable from its stated numbers;
+  /// benches calibrate this hit rate (documented in EXPERIMENTS.md).
+  double ssd_state_fraction = 1.0;
+};
+
+/// Plans one expert-parallel training iteration: local experts' fp16 weights
+/// page onto the GPU via the unified scheduler (world_size=1: no parameter
+/// all-gather), each layer pays a token all-to-all on the collective stream,
+/// and the expert optimizer states update on CPU (or SSD with §6.5's
+/// extreme-scale mode), pipelined per layer.
+util::Result<sim::Plan> PlanExpertParallel(
+    const ExpertParallelRequest& request);
+
+/// Total parameter count of the scaled model the request trains.
+uint64_t ExpertParallelModelParams(const ExpertParallelRequest& request);
+
+}  // namespace angelptm::dist
+
+#endif  // ANGELPTM_DIST_EXPERT_PARALLEL_H_

@@ -1,0 +1,295 @@
+#include "dist/sharded_data_parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "train/kernels.h"
+#include "util/logging.h"
+
+namespace angelptm::dist {
+
+ShardedDataParallel::ShardedDataParallel(core::Allocator* allocator,
+                                         const train::LayeredModel* model,
+                                         const ShardedDpOptions& options)
+    : allocator_(allocator),
+      model_(model),
+      options_(options),
+      rng_(options.seed) {
+  ANGEL_CHECK(options_.world_size >= 1);
+  comm_ = std::make_unique<core::Communicator>(options_.world_size);
+}
+
+ShardedDataParallel::~ShardedDataParallel() {
+  for (auto& shard : shards_) {
+    for (auto* tensors : {&shard.p32, &shard.m32, &shard.v32,
+                          &shard.replica}) {
+      for (core::Tensor* tensor : *tensors) {
+        if (tensor != nullptr) (void)allocator_->Release(tensor);
+      }
+    }
+  }
+}
+
+util::Status ShardedDataParallel::Init() {
+  const int world = options_.world_size;
+  if (options_.rank_gpu_capacity_bytes > 0) {
+    for (int r = 0; r < world; ++r) {
+      mem::HierarchicalMemoryOptions memory_options;
+      memory_options.page_bytes = 64 * 1024;
+      memory_options.gpu_capacity_bytes = options_.rank_gpu_capacity_bytes;
+      memory_options.cpu_capacity_bytes = options_.rank_gpu_capacity_bytes;
+      rank_memories_.push_back(
+          std::make_unique<mem::HierarchicalMemory>(memory_options));
+      rank_allocators_.push_back(
+          std::make_unique<core::Allocator>(rank_memories_.back().get()));
+    }
+  }
+  shards_.resize(model_->num_layers());
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    Shard& shard = shards_[l];
+    shard.full_count = model_->LayerParamCount(l);
+    shard.padded_count =
+        (shard.full_count + world - 1) / world * world;
+    shard.shard_count = shard.padded_count / world;
+
+    std::vector<float> full = model_->InitLayerParams(l, &rng_);
+    full.resize(shard.padded_count, 0.0f);
+    const std::vector<float> zeros(shard.shard_count, 0.0f);
+    shard.p32.resize(world);
+    shard.m32.resize(world);
+    shard.v32.resize(world);
+    for (int r = 0; r < world; ++r) {
+      const uint64_t group = uint64_t(l) * 64 + r;
+      ANGEL_ASSIGN_OR_RETURN(
+          shard.p32[r],
+          allocator_->Allocate({shard.shard_count}, core::DType::kFp32,
+                               mem::DeviceKind::kCpu, group));
+      ANGEL_ASSIGN_OR_RETURN(
+          shard.m32[r],
+          allocator_->Allocate({shard.shard_count}, core::DType::kFp32,
+                               mem::DeviceKind::kCpu, group));
+      ANGEL_ASSIGN_OR_RETURN(
+          shard.v32[r],
+          allocator_->Allocate({shard.shard_count}, core::DType::kFp32,
+                               mem::DeviceKind::kCpu, group));
+      const std::vector<float> slice(
+          full.begin() + r * shard.shard_count,
+          full.begin() + (r + 1) * shard.shard_count);
+      ANGEL_RETURN_IF_ERROR(shard.p32[r]->WriteFloats(slice));
+      ANGEL_RETURN_IF_ERROR(shard.m32[r]->WriteFloats(zeros));
+      ANGEL_RETURN_IF_ERROR(shard.v32[r]->WriteFloats(zeros));
+    }
+    if (options_.stage == ZeroStage::kStage1) {
+      // Stage 1: parameters are NOT sharded — full replica per rank.
+      shard.replica.resize(world);
+      for (int r = 0; r < world; ++r) {
+        ANGEL_ASSIGN_OR_RETURN(
+            shard.replica[r],
+            allocator_->Allocate({shard.padded_count}, core::DType::kFp32,
+                                 mem::DeviceKind::kCpu,
+                                 uint64_t(l) * 64 + r));
+        ANGEL_RETURN_IF_ERROR(shard.replica[r]->WriteFloats(full));
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status ShardedDataParallel::RankLoop(
+    int rank, const train::SyntheticRegression& dataset, int steps,
+    const std::vector<std::vector<float>>* xs,
+    const std::vector<std::vector<float>>* ys,
+    std::vector<double>* step_losses) {
+  (void)dataset;
+  const int world = options_.world_size;
+  const size_t batch = options_.batch_per_rank;
+  const int num_layers = model_->num_layers();
+
+  for (int step = 0; step < steps; ++step) {
+    // Slice this rank's part of the global batch.
+    const size_t x_per_rank = batch * model_->InputSize();
+    const size_t y_per_rank = batch * model_->OutputSize();
+    const std::vector<float> x((*xs)[step].begin() + rank * x_per_rank,
+                               (*xs)[step].begin() + (rank + 1) * x_per_rank);
+    const std::vector<float> y((*ys)[step].begin() + rank * y_per_rank,
+                               (*ys)[step].begin() + (rank + 1) * y_per_rank);
+
+    // 1. Materialize full parameters. Stage 3: all-gather every layer's
+    //    shards. Stage 1: read the rank's full replica.
+    std::vector<std::vector<float>> params(num_layers);
+    for (int l = 0; l < num_layers; ++l) {
+      const Shard& shard = shards_[l];
+      if (options_.stage == ZeroStage::kStage3) {
+        std::vector<float> my_shard;
+        ANGEL_RETURN_IF_ERROR(shard.p32[rank]->ReadFloats(&my_shard));
+        std::vector<float> gathered(shard.padded_count);
+        ANGEL_RETURN_IF_ERROR(comm_->AllGather(
+            rank, my_shard.data(), shard.shard_count, gathered.data()));
+        gathered.resize(shard.full_count);
+        params[l] = std::move(gathered);
+      } else {
+        ANGEL_RETURN_IF_ERROR(
+            shard.replica[rank]->ReadFloats(&params[l]));
+        params[l].resize(shard.full_count);
+      }
+    }
+
+    // Optional: stage the gathered parameters into this rank's own fast
+    // tier (fp32, page by page) so compute reads from "GPU" memory.
+    std::vector<core::Tensor*> staged(num_layers, nullptr);
+    if (!rank_allocators_.empty()) {
+      core::Allocator* rank_allocator = rank_allocators_[rank].get();
+      for (int l = 0; l < num_layers; ++l) {
+        auto tensor = rank_allocator->Allocate(
+            {params[l].size()}, core::DType::kFp32, mem::DeviceKind::kCpu);
+        if (!tensor.ok()) continue;  // Tier pressure: compute from host.
+        staged[l] = *tensor;
+        ANGEL_RETURN_IF_ERROR(staged[l]->WriteFloats(params[l]));
+        const util::Status moved =
+            rank_allocator->Move(staged[l], mem::DeviceKind::kGpu);
+        if (moved.IsResourceExhausted()) {
+          // Keep it CPU-resident; later layers may evict naturally.
+        } else if (!moved.ok()) {
+          return moved;
+        }
+        ANGEL_RETURN_IF_ERROR(staged[l]->ReadFloats(&params[l]));
+      }
+    }
+
+    // 2. Forward/backward on the local slice.
+    std::vector<train::LayerStash> stash(num_layers);
+    std::vector<float> acts = x;
+    for (int l = 0; l < num_layers; ++l) {
+      std::vector<float> next;
+      model_->Forward(l, params[l].data(), acts, batch, &next, &stash[l]);
+      acts = std::move(next);
+    }
+    std::vector<float> grad(acts.size());
+    double loss =
+        train::MseLoss(acts.data(), y.data(), grad.data(), acts.size());
+
+    // Global mean loss (an all-reduce of the scalar).
+    float loss_value = float(loss);
+    ANGEL_RETURN_IF_ERROR(comm_->AllReduce(rank, &loss_value, 1));
+    if (rank == 0) (*step_losses)[step] = loss_value / world;
+
+    for (int l = num_layers - 1; l >= 0; --l) {
+      std::vector<float> grad_in, grad_params;
+      model_->Backward(l, params[l].data(), stash[l], grad, batch, &grad_in,
+                       &grad_params);
+      grad = std::move(grad_in);
+
+      // 3. Reduce-scatter: this rank receives the summed gradient of its
+      //    shard, averaged across ranks.
+      const Shard& shard = shards_[l];
+      grad_params.resize(shard.padded_count, 0.0f);
+      std::vector<float> shard_grad(shard.shard_count);
+      ANGEL_RETURN_IF_ERROR(comm_->ReduceScatter(
+          rank, grad_params.data(), shard.padded_count, shard_grad.data()));
+      for (float& g : shard_grad) g /= float(world);
+
+      // 4. Adam on the owned shard only.
+      std::vector<float> p, m, v;
+      ANGEL_RETURN_IF_ERROR(shard.p32[rank]->ReadFloats(&p));
+      ANGEL_RETURN_IF_ERROR(shard.m32[rank]->ReadFloats(&m));
+      ANGEL_RETURN_IF_ERROR(shard.v32[rank]->ReadFloats(&v));
+      core::AdamUpdate(options_.adam, p.data(), m.data(), v.data(),
+                       shard_grad.data(), shard.shard_count, step + 1);
+      ANGEL_RETURN_IF_ERROR(shard.p32[rank]->WriteFloats(p));
+      ANGEL_RETURN_IF_ERROR(shard.m32[rank]->WriteFloats(m));
+      ANGEL_RETURN_IF_ERROR(shard.v32[rank]->WriteFloats(v));
+
+      if (options_.stage == ZeroStage::kStage1) {
+        // Stage 1: gather the freshly updated shards into the full
+        // replica so the next step's forward sees new parameters.
+        std::vector<float> updated(shard.padded_count);
+        ANGEL_RETURN_IF_ERROR(comm_->AllGather(rank, p.data(),
+                                               shard.shard_count,
+                                               updated.data()));
+        ANGEL_RETURN_IF_ERROR(shard.replica[rank]->WriteFloats(updated));
+      }
+
+      // The staged copy served this layer's forward and backward.
+      if (staged[l] != nullptr) {
+        ANGEL_RETURN_IF_ERROR(
+            rank_allocators_[rank]->Release(staged[l]));
+        staged[l] = nullptr;
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Result<DpReport> ShardedDataParallel::Train(
+    const train::SyntheticRegression& dataset, int steps) {
+  if (shards_.empty()) {
+    return util::Status::FailedPrecondition("Init() not called");
+  }
+  const int world = options_.world_size;
+  // Pre-generate the global batches so every rank sees consistent data.
+  std::vector<std::vector<float>> xs(steps), ys(steps);
+  for (int step = 0; step < steps; ++step) {
+    dataset.GenBatch(&rng_, options_.batch_per_rank * world, &xs[step],
+                     &ys[step]);
+  }
+
+  DpReport report;
+  report.losses.assign(steps, 0.0);
+  std::vector<util::Status> statuses(world);
+  std::vector<std::thread> ranks;
+  ranks.reserve(world);
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      statuses[r] = RankLoop(r, dataset, steps, &xs, &ys, &report.losses);
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (const util::Status& status : statuses) {
+    ANGEL_RETURN_IF_ERROR(status);
+  }
+  report.final_train_loss = steps > 0 ? report.losses.back() : 0.0;
+  report.collectives = comm_->collectives_completed();
+
+  // Validation with the gathered full parameters.
+  std::vector<std::vector<float>> params(model_->num_layers());
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    ANGEL_ASSIGN_OR_RETURN(params[l], GatherLayerParams(l));
+  }
+  util::Rng validation_rng(options_.seed ^ 0x5EEDF00Dull);
+  const size_t batch = options_.batch_per_rank * world;
+  double total = 0.0;
+  const int validation_batches = 4;
+  for (int i = 0; i < validation_batches; ++i) {
+    std::vector<float> x, y;
+    dataset.GenBatch(&validation_rng, batch, &x, &y);
+    std::vector<float> acts = x;
+    for (int l = 0; l < model_->num_layers(); ++l) {
+      std::vector<float> next;
+      model_->Forward(l, params[l].data(), acts, batch, &next, nullptr);
+      acts = std::move(next);
+    }
+    std::vector<float> grad(acts.size());
+    total += train::MseLoss(acts.data(), y.data(), grad.data(), acts.size());
+  }
+  report.validation_loss = total / validation_batches;
+  return report;
+}
+
+util::Result<std::vector<float>> ShardedDataParallel::GatherLayerParams(
+    int layer) {
+  if (layer < 0 || layer >= int(shards_.size())) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  const Shard& shard = shards_[layer];
+  std::vector<float> full;
+  full.reserve(shard.padded_count);
+  for (int r = 0; r < options_.world_size; ++r) {
+    std::vector<float> slice;
+    ANGEL_RETURN_IF_ERROR(shard.p32[r]->ReadFloats(&slice));
+    full.insert(full.end(), slice.begin(), slice.end());
+  }
+  full.resize(shard.full_count);
+  return full;
+}
+
+}  // namespace angelptm::dist

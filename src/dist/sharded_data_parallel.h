@@ -1,0 +1,114 @@
+#ifndef ANGELPTM_DIST_SHARDED_DATA_PARALLEL_H_
+#define ANGELPTM_DIST_SHARDED_DATA_PARALLEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adam.h"
+#include "core/allocator.h"
+#include "core/communicator.h"
+#include "train/dataset.h"
+#include "train/layered_model.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace angelptm::dist {
+
+/// Real ZeRO-style sharded data parallelism (§3.2 "Parameter Sharding"),
+/// executed across `world_size` rank threads in one process:
+///
+///   - every rank owns 1/N of each layer's fp32 master states (parameter,
+///     momentum, variance), held as page-backed tensors;
+///   - per step, each layer's full parameters are materialized by an
+///     all-gather of the shards (Communicator), forward/backward runs on
+///     the rank's slice of the global batch, and gradients synchronize by
+///     reduce-scatter so each rank updates exactly its shard with Adam.
+///
+/// With the same global batch, N-rank training is mathematically equivalent
+/// to single-rank training (up to floating-point summation order) — the
+/// transparency-of-scale property the paper's §3.2 design targets, verified
+/// by tests/dist/sharded_dp_test.cc.
+/// Which ZeRO optimization stage to run (§7 Related Work / ZeRO paper):
+/// stage 1 shards only the optimizer states (each rank keeps a full fp32
+/// parameter replica and re-gathers updated *shards* after the step);
+/// stage 3 also shards the parameters themselves (full parameters are
+/// materialized per layer per step by all-gather). Stage 3 is what
+/// Angel-PTM builds on (§3.2).
+enum class ZeroStage { kStage1 = 1, kStage3 = 3 };
+
+struct ShardedDpOptions {
+  ZeroStage stage = ZeroStage::kStage3;
+  int world_size = 4;
+  /// When non-zero, each rank gets its own fast-tier arena of this size and
+  /// stages the gathered full parameters into it page by page before
+  /// compute, releasing them after the layer's backward — the per-rank
+  /// paging path of the full system, under real multi-threaded churn.
+  uint64_t rank_gpu_capacity_bytes = 0;
+  core::AdamConfig adam;
+  /// Per-rank micro-batch; the global batch is world_size * batch_per_rank.
+  size_t batch_per_rank = 8;
+  uint64_t seed = 1234;
+};
+
+struct DpReport {
+  std::vector<double> losses;  // Global mean loss per step.
+  double final_train_loss = 0.0;
+  double validation_loss = 0.0;
+  uint64_t collectives = 0;
+};
+
+class ShardedDataParallel {
+ public:
+  /// `allocator` and `model` must outlive this object. The allocator's CPU
+  /// tier holds every rank's shards (3 fp32 tensors per layer per rank).
+  ShardedDataParallel(core::Allocator* allocator,
+                      const train::LayeredModel* model,
+                      const ShardedDpOptions& options);
+  ~ShardedDataParallel();
+
+  ShardedDataParallel(const ShardedDataParallel&) = delete;
+  ShardedDataParallel& operator=(const ShardedDataParallel&) = delete;
+
+  /// Allocates and initializes all shards (identical full parameters on
+  /// every rank's view, then scattered).
+  util::Status Init();
+
+  /// Runs `steps` training steps across world_size rank threads.
+  util::Result<DpReport> Train(const train::SyntheticRegression& dataset,
+                               int steps);
+
+  /// Reconstructs a layer's full fp32 parameters from the shards.
+  util::Result<std::vector<float>> GatherLayerParams(int layer);
+
+ private:
+  struct Shard {
+    size_t full_count = 0;    // Unpadded parameter elements of the layer.
+    size_t padded_count = 0;  // Divisible by world_size.
+    size_t shard_count = 0;   // padded_count / world_size.
+    /// Per-rank tensors, indexed [rank].
+    std::vector<core::Tensor*> p32, m32, v32;
+    /// Stage 1 only: each rank's full fp32 parameter replica.
+    std::vector<core::Tensor*> replica;
+    long adam_step = 0;
+  };
+
+  /// One rank's full training loop body (runs on its own thread).
+  util::Status RankLoop(int rank, const train::SyntheticRegression& dataset,
+                        int steps, const std::vector<std::vector<float>>* xs,
+                        const std::vector<std::vector<float>>* ys,
+                        std::vector<double>* step_losses);
+
+  core::Allocator* allocator_;
+  const train::LayeredModel* model_;
+  ShardedDpOptions options_;
+  std::unique_ptr<core::Communicator> comm_;
+  std::vector<Shard> shards_;
+  /// Per-rank fast-tier memories/allocators (staging mode only).
+  std::vector<std::unique_ptr<mem::HierarchicalMemory>> rank_memories_;
+  std::vector<std::unique_ptr<core::Allocator>> rank_allocators_;
+  util::Rng rng_;
+};
+
+}  // namespace angelptm::dist
+
+#endif  // ANGELPTM_DIST_SHARDED_DATA_PARALLEL_H_

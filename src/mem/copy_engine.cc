@@ -1,0 +1,43 @@
+#include "mem/copy_engine.h"
+
+#include <utility>
+
+namespace angelptm::mem {
+
+CopyEngine::CopyEngine(HierarchicalMemory* memory, size_t num_threads)
+    : memory_(memory), pool_(num_threads) {}
+
+CopyEngine::~CopyEngine() { Drain(); }
+
+std::future<util::Status> CopyEngine::MoveAsync(Page* page,
+                                                DeviceKind target) {
+  auto promise = std::make_shared<std::promise<util::Status>>();
+  std::future<util::Status> future = promise->get_future();
+  auto mutex = PageMutex(page->id());
+  pool_.Submit([this, page, target, promise = std::move(promise),
+                mutex = std::move(mutex)] {
+    util::Status status;
+    {
+      std::lock_guard<std::mutex> lock(*mutex);
+      status = memory_->MovePageSync(page, target);
+    }
+    if (status.ok()) {
+      moves_completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      moves_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    promise->set_value(std::move(status));
+  });
+  return future;
+}
+
+void CopyEngine::Drain() { pool_.Wait(); }
+
+std::shared_ptr<std::mutex> CopyEngine::PageMutex(uint64_t page_id) {
+  std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
+  auto& entry = page_mutexes_[page_id];
+  if (entry == nullptr) entry = std::make_shared<std::mutex>();
+  return entry;
+}
+
+}  // namespace angelptm::mem

@@ -1,0 +1,61 @@
+#ifndef ANGELPTM_MEM_COPY_ENGINE_H_
+#define ANGELPTM_MEM_COPY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "mem/device.h"
+#include "mem/hierarchical_memory.h"
+#include "mem/page.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace angelptm::mem {
+
+/// Asynchronous page movement, standing in for cudaMemcpyAsync + DeepNVMe
+/// (§5, Allocator): movements run on background threads so computation and
+/// data movement genuinely overlap, exactly the property the unified
+/// scheduler exploits.
+///
+/// Ordering: moves of the same page are serialized (last submitted wins the
+/// final residence only if the caller sequences completions — the scheduler
+/// always waits for a page's previous move before issuing another).
+class CopyEngine {
+ public:
+  /// `memory` must outlive the engine.
+  CopyEngine(HierarchicalMemory* memory, size_t num_threads);
+  ~CopyEngine();
+
+  CopyEngine(const CopyEngine&) = delete;
+  CopyEngine& operator=(const CopyEngine&) = delete;
+
+  /// Enqueues an asynchronous move of `page` to `target`. The returned future
+  /// resolves with the move's status. This is the implementation of the
+  /// paper's `Page::move(target_device_index)` interface.
+  std::future<util::Status> MoveAsync(Page* page, DeviceKind target);
+
+  /// Blocks until every enqueued move has completed.
+  void Drain();
+
+  uint64_t moves_completed() const { return moves_completed_.load(); }
+  uint64_t moves_failed() const { return moves_failed_.load(); }
+
+ private:
+  std::shared_ptr<std::mutex> PageMutex(uint64_t page_id);
+
+  HierarchicalMemory* memory_;
+  util::ThreadPool pool_;
+  std::atomic<uint64_t> moves_completed_{0};
+  std::atomic<uint64_t> moves_failed_{0};
+
+  std::mutex page_mutex_map_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> page_mutexes_;
+};
+
+}  // namespace angelptm::mem
+
+#endif  // ANGELPTM_MEM_COPY_ENGINE_H_

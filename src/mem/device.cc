@@ -1,0 +1,17 @@
+#include "mem/device.h"
+
+namespace angelptm::mem {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kGpu:
+      return "gpu";
+    case DeviceKind::kCpu:
+      return "cpu";
+    case DeviceKind::kSsd:
+      return "ssd";
+  }
+  return "unknown";
+}
+
+}  // namespace angelptm::mem

@@ -1,0 +1,45 @@
+#ifndef ANGELPTM_MEM_DEVICE_H_
+#define ANGELPTM_MEM_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace angelptm::mem {
+
+/// The three storage tiers of the hierarchical memory, using the paper's
+/// device map from the Page abstraction (Fig. 3): {0: GPU, 1: CPU, 2: SSD}.
+///
+/// In this reproduction the "GPU" tier is a capacity-bounded host arena (see
+/// DESIGN.md §1): the memory-management behaviour under study — allocation,
+/// paging, movement scheduling — only depends on capacities and bandwidth
+/// asymmetry, which are preserved.
+enum class DeviceKind : uint8_t {
+  kGpu = 0,
+  kCpu = 1,
+  kSsd = 2,
+};
+
+inline constexpr int kNumDeviceKinds = 3;
+
+/// Stable lowercase name ("gpu", "cpu", "ssd").
+const char* DeviceKindName(DeviceKind kind);
+
+/// Capacity and bandwidth description of one tier.
+struct TierConfig {
+  uint64_t capacity_bytes = 0;
+  /// Sequential bandwidth used when throttling is enabled (bytes/second).
+  /// Zero disables throttling (tests run unthrottled).
+  double bandwidth_bytes_per_sec = 0.0;
+};
+
+/// Sentinel used by Tensor::device_index while some of the tensor's pages are
+/// still in flight from another tier (footnote 2 of the paper).
+inline constexpr int kDeviceNotReady = -1;
+
+inline std::string DeviceKindToString(DeviceKind kind) {
+  return DeviceKindName(kind);
+}
+
+}  // namespace angelptm::mem
+
+#endif  // ANGELPTM_MEM_DEVICE_H_

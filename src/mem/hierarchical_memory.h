@@ -1,0 +1,114 @@
+#ifndef ANGELPTM_MEM_HIERARCHICAL_MEMORY_H_
+#define ANGELPTM_MEM_HIERARCHICAL_MEMORY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/device.h"
+#include "mem/page.h"
+#include "mem/page_arena.h"
+#include "mem/ssd_tier.h"
+#include "util/bandwidth_throttle.h"
+#include "util/status.h"
+
+namespace angelptm::mem {
+
+/// Configuration for the three storage tiers of one rank.
+struct HierarchicalMemoryOptions {
+  size_t page_bytes = kDefaultPageBytes;
+  uint64_t gpu_capacity_bytes = 0;
+  uint64_t cpu_capacity_bytes = 0;
+  /// 0 disables the SSD tier entirely.
+  uint64_t ssd_capacity_bytes = 0;
+  std::string ssd_path = "/tmp/angelptm_ssd.bin";
+  /// Emulated link speeds; 0 = unthrottled (the default for tests).
+  double pcie_bandwidth_bytes_per_sec = 0.0;
+  double ssd_bandwidth_bytes_per_sec = 0.0;
+};
+
+/// Movement statistics per (source, target) tier pair.
+struct MoveStats {
+  uint64_t moves = 0;
+  uint64_t bytes = 0;
+};
+
+/// Owner of the per-rank hierarchical storage: the pre-allocated GPU and CPU
+/// page arenas, the file-backed SSD tier, and the registry of live pages.
+/// This is the substrate beneath the paper's Allocator component (§5): all
+/// page creation, destruction and inter-tier movement funnels through here.
+///
+/// Thread-safety: page creation/destruction and moves of *distinct* pages may
+/// run concurrently; moves of the same page must be externally serialized
+/// (the unified scheduler and the copy engine both guarantee this).
+class HierarchicalMemory {
+ public:
+  explicit HierarchicalMemory(const HierarchicalMemoryOptions& options);
+  ~HierarchicalMemory();
+
+  HierarchicalMemory(const HierarchicalMemory&) = delete;
+  HierarchicalMemory& operator=(const HierarchicalMemory&) = delete;
+
+  /// Creates a page resident on `initial_device`, acquiring a frame there.
+  util::Result<Page*> CreatePage(DeviceKind initial_device);
+
+  /// Creates `count` pages over physically adjacent frames on a memory tier
+  /// (used by Tensor::merge to produce one contiguous range). All-or-nothing.
+  util::Result<std::vector<Page*>> CreateContiguousPages(DeviceKind device,
+                                                         size_t count);
+
+  /// Releases the page's frame and unregisters it. The page must be empty
+  /// (no tensor slots) unless `force` is set.
+  util::Status DestroyPage(Page* page, bool force = false);
+
+  /// Moves a page's contents to `target`, synchronously. Acquires the target
+  /// frame first, so on ResourceExhausted the page is untouched. This is the
+  /// primitive beneath Page::move(); asynchrony is added by CopyEngine.
+  util::Status MovePageSync(Page* page, DeviceKind target);
+
+  const PageArena& gpu_arena() const { return *gpu_arena_; }
+  const PageArena& cpu_arena() const { return *cpu_arena_; }
+  SsdTier* ssd() { return ssd_enabled_ ? &ssd_ : nullptr; }
+  bool ssd_enabled() const { return ssd_enabled_; }
+
+  size_t page_bytes() const { return options_.page_bytes; }
+  size_t num_live_pages() const;
+  uint64_t used_bytes(DeviceKind device) const;
+  uint64_t capacity_bytes(DeviceKind device) const;
+  uint64_t free_bytes(DeviceKind device) const {
+    return capacity_bytes(device) - used_bytes(device);
+  }
+
+  /// Total bytes of internal fragmentation across live pages (holes from
+  /// out-of-order releases; bounded by the two-tensor cap).
+  uint64_t FragmentedBytes() const;
+
+  MoveStats move_stats(DeviceKind from, DeviceKind to) const;
+
+ private:
+  PageArena& MutableArena(DeviceKind device);
+
+  HierarchicalMemoryOptions options_;
+  std::unique_ptr<PageArena> gpu_arena_;
+  std::unique_ptr<PageArena> cpu_arena_;
+  SsdTier ssd_;
+  bool ssd_enabled_ = false;
+  util::BandwidthThrottle pcie_throttle_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  std::atomic<uint64_t> next_page_id_{0};
+
+  mutable std::mutex stats_mutex_;
+  std::array<std::array<MoveStats, kNumDeviceKinds>, kNumDeviceKinds>
+      move_stats_{};
+};
+
+}  // namespace angelptm::mem
+
+#endif  // ANGELPTM_MEM_HIERARCHICAL_MEMORY_H_

@@ -1,0 +1,42 @@
+#include "mem/memory_report.h"
+
+#include <sstream>
+
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace angelptm::mem {
+
+std::string FormatMemoryReport(const HierarchicalMemory& memory) {
+  std::ostringstream os;
+  os << "hierarchical memory (" << memory.num_live_pages()
+     << " live pages of " << util::FormatBytes(memory.page_bytes()) << ")\n";
+  for (const DeviceKind tier :
+       {DeviceKind::kGpu, DeviceKind::kCpu, DeviceKind::kSsd}) {
+    const uint64_t capacity = memory.capacity_bytes(tier);
+    if (capacity == 0) continue;
+    const uint64_t used = memory.used_bytes(tier);
+    os << "  " << DeviceKindName(tier) << ": "
+       << util::FormatBytes(used) << " / " << util::FormatBytes(capacity)
+       << " (" << util::FormatDouble(100.0 * double(used) /
+                                         double(capacity),
+                                     1)
+       << "%)\n";
+  }
+  os << "  internal fragmentation: "
+     << util::FormatBytes(memory.FragmentedBytes()) << "\n";
+  static constexpr DeviceKind kTiers[] = {DeviceKind::kGpu, DeviceKind::kCpu,
+                                          DeviceKind::kSsd};
+  for (const DeviceKind from : kTiers) {
+    for (const DeviceKind to : kTiers) {
+      const MoveStats stats = memory.move_stats(from, to);
+      if (stats.moves == 0) continue;
+      os << "  moves " << DeviceKindName(from) << "->" << DeviceKindName(to)
+         << ": " << stats.moves << " pages, "
+         << util::FormatBytes(stats.bytes) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace angelptm::mem

@@ -1,0 +1,18 @@
+#ifndef ANGELPTM_MEM_MEMORY_REPORT_H_
+#define ANGELPTM_MEM_MEMORY_REPORT_H_
+
+#include <string>
+
+#include "mem/hierarchical_memory.h"
+
+namespace angelptm::mem {
+
+/// Multi-line human-readable snapshot of the hierarchical memory: per-tier
+/// usage, page counts, movement statistics per link, and internal
+/// fragmentation — the observability surface operators of a training
+/// runtime live in.
+std::string FormatMemoryReport(const HierarchicalMemory& memory);
+
+}  // namespace angelptm::mem
+
+#endif  // ANGELPTM_MEM_MEMORY_REPORT_H_

@@ -1,0 +1,114 @@
+#include "mem/page.h"
+
+#include <string>
+
+namespace angelptm::mem {
+
+util::Status Page::Allocate(size_t required_bytes, uint64_t tensor_id) {
+  if (required_bytes == 0) {
+    return util::Status::InvalidArgument("page allocation of zero bytes");
+  }
+  if (HoldsTensor(tensor_id)) {
+    return util::Status::AlreadyExists(
+        "tensor " + std::to_string(tensor_id) + " already on page " +
+        std::to_string(id_));
+  }
+  Slot* free_slot = nullptr;
+  for (auto& slot : slots_) {
+    if (!slot.used) {
+      free_slot = &slot;
+      break;
+    }
+  }
+  if (free_slot == nullptr) {
+    return util::Status::ResourceExhausted(
+        "page " + std::to_string(id_) + " already hosts " +
+        std::to_string(kMaxTensorsPerPage) + " tensors");
+  }
+  if (required_bytes > available_bytes_) {
+    return util::Status::ResourceExhausted(
+        "page " + std::to_string(id_) + " has " +
+        std::to_string(available_bytes_) + " bytes free, need " +
+        std::to_string(required_bytes));
+  }
+  free_slot->tensor_id = tensor_id;
+  free_slot->bytes = required_bytes;
+  free_slot->offset = total_bytes_ - available_bytes_;
+  free_slot->used = true;
+  available_bytes_ -= required_bytes;
+  return util::Status::OK();
+}
+
+util::Status Page::Release(uint64_t tensor_id) {
+  Slot* slot = nullptr;
+  for (auto& s : slots_) {
+    if (s.used && s.tensor_id == tensor_id) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    return util::Status::NotFound("tensor " + std::to_string(tensor_id) +
+                                  " not on page " + std::to_string(id_));
+  }
+  const size_t bump = total_bytes_ - available_bytes_;
+  const bool is_tail = slot->offset + slot->bytes == bump;
+  slot->used = false;
+  slot->tensor_id = kInvalidTensorId;
+  if (is_tail) {
+    available_bytes_ += slot->bytes;
+  }
+  slot->bytes = 0;
+  slot->offset = 0;
+  if (IsEmpty()) {
+    // Fully drained: reset the bump pointer, erasing any hole.
+    available_bytes_ = total_bytes_;
+  }
+  return util::Status::OK();
+}
+
+bool Page::IsEmpty() const { return NumTensors() == 0; }
+
+int Page::NumTensors() const {
+  int n = 0;
+  for (const auto& slot : slots_) {
+    if (slot.used) ++n;
+  }
+  return n;
+}
+
+bool Page::HoldsTensor(uint64_t tensor_id) const {
+  return FindSlot(tensor_id) != nullptr;
+}
+
+const Page::Slot* Page::FindSlot(uint64_t tensor_id) const {
+  for (const auto& slot : slots_) {
+    if (slot.used && slot.tensor_id == tensor_id) return &slot;
+  }
+  return nullptr;
+}
+
+size_t Page::FragmentedBytes() const {
+  size_t claimed = 0;
+  for (const auto& slot : slots_) {
+    if (slot.used) claimed += slot.bytes;
+  }
+  const size_t bump = total_bytes_ - available_bytes_;
+  return bump - claimed;
+}
+
+void Page::SetResidence(DeviceKind device, std::byte* data_ptr) {
+  device_ = device;
+  data_ptr_ = data_ptr;
+  ssd_offset_ = kInvalidSsdOffset;
+  ++residence_epoch_;
+}
+
+void Page::SetSsdResidence(uint64_t ssd_offset) {
+  device_ = DeviceKind::kSsd;
+  data_ptr_ = nullptr;
+  ssd_offset_ = ssd_offset;
+  ++residence_epoch_;
+}
+
+}  // namespace angelptm::mem

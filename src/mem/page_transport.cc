@@ -1,0 +1,98 @@
+#include "mem/page_transport.h"
+
+#include <cstring>
+
+namespace angelptm::mem {
+
+PageTransport::PageTransport(double nic_bandwidth_bytes_per_sec)
+    : throttle_(nic_bandwidth_bytes_per_sec) {}
+
+util::Status PageTransport::RegisterServer(int server_id,
+                                           HierarchicalMemory* memory) {
+  if (memory == nullptr) {
+    return util::Status::InvalidArgument("null memory");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = servers_.try_emplace(server_id);
+  if (!inserted && it->second.memory != nullptr) {
+    return util::Status::AlreadyExists("server " +
+                                       std::to_string(server_id) +
+                                       " already registered");
+  }
+  it->second.memory = memory;
+  return util::Status::OK();
+}
+
+util::Status PageTransport::Send(int server_id, const Page& page) {
+  if (page.data_ptr() == nullptr) {
+    return util::Status::FailedPrecondition(
+        "page must be memory-resident to send");
+  }
+  std::vector<std::byte> payload(page.total_bytes());
+  std::memcpy(payload.data(), page.data_ptr(), payload.size());
+  throttle_.Consume(payload.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = servers_.find(server_id);
+    if (it == servers_.end() || it->second.memory == nullptr) {
+      return util::Status::NotFound("no server " +
+                                    std::to_string(server_id));
+    }
+    bytes_sent_ += payload.size();
+    it->second.inbox.push_back(std::move(payload));
+  }
+  arrived_.notify_all();
+  return util::Status::OK();
+}
+
+util::Result<Page*> PageTransport::Deliver(Wire* wire, DeviceKind tier) {
+  std::vector<std::byte> payload = std::move(wire->inbox.front());
+  wire->inbox.pop_front();
+  if (payload.size() != wire->memory->page_bytes()) {
+    return util::Status::InvalidArgument(
+        "wire payload does not match destination page size");
+  }
+  ANGEL_ASSIGN_OR_RETURN(Page * page, wire->memory->CreatePage(tier));
+  if (tier == DeviceKind::kSsd) {
+    // Land through a CPU staging page, then spill.
+    (void)wire->memory->DestroyPage(page);
+    ANGEL_ASSIGN_OR_RETURN(page, wire->memory->CreatePage(DeviceKind::kCpu));
+    std::memcpy(page->data_ptr(), payload.data(), payload.size());
+    ANGEL_RETURN_IF_ERROR(wire->memory->MovePageSync(page, DeviceKind::kSsd));
+  } else {
+    std::memcpy(page->data_ptr(), payload.data(), payload.size());
+  }
+  return page;
+}
+
+util::Result<Page*> PageTransport::Receive(int server_id, DeviceKind tier) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = servers_.find(server_id);
+  if (it == servers_.end() || it->second.memory == nullptr) {
+    return util::Status::NotFound("no server " + std::to_string(server_id));
+  }
+  Wire& wire = it->second;
+  arrived_.wait(lock, [&] { return !wire.inbox.empty(); });
+  return Deliver(&wire, tier);
+}
+
+util::Result<Page*> PageTransport::TryReceive(int server_id,
+                                              DeviceKind tier) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = servers_.find(server_id);
+  if (it == servers_.end() || it->second.memory == nullptr) {
+    return util::Status::NotFound("no server " + std::to_string(server_id));
+  }
+  if (it->second.inbox.empty()) {
+    return util::Status::NotFound("nothing in flight");
+  }
+  return Deliver(&it->second, tier);
+}
+
+size_t PageTransport::InFlight(int server_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = servers_.find(server_id);
+  return it == servers_.end() ? 0 : it->second.inbox.size();
+}
+
+}  // namespace angelptm::mem

@@ -1,0 +1,72 @@
+#ifndef ANGELPTM_MEM_PAGE_TRANSPORT_H_
+#define ANGELPTM_MEM_PAGE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "mem/hierarchical_memory.h"
+#include "mem/page.h"
+#include "util/bandwidth_throttle.h"
+#include "util/status.h"
+
+namespace angelptm::mem {
+
+/// The remote half of the Page interface (Fig. 3: "send this page to id-th
+/// server" / "receive contents from id-th server"). Servers register their
+/// HierarchicalMemory under an id; Send copies a page's bytes onto the wire
+/// (with optional NIC-bandwidth pacing), Receive lands them in a fresh page
+/// on the destination's chosen tier. In production this is NCCL/RDMA; here
+/// the wire is an in-process queue, which preserves the semantics the
+/// engine and the tests need (per-destination FIFO, real byte movement,
+/// bounded bandwidth).
+class PageTransport {
+ public:
+  /// `nic_bandwidth_bytes_per_sec` = 0 disables pacing.
+  explicit PageTransport(double nic_bandwidth_bytes_per_sec = 0.0);
+
+  PageTransport(const PageTransport&) = delete;
+  PageTransport& operator=(const PageTransport&) = delete;
+
+  /// Registers a server's memory under `server_id`. The memory must
+  /// outlive the transport.
+  util::Status RegisterServer(int server_id, HierarchicalMemory* memory);
+
+  /// Copies `page`'s bytes onto the wire toward `server_id` (the paper's
+  /// `Page::send`). The page must be memory-resident; it is not modified.
+  util::Status Send(int server_id, const Page& page);
+
+  /// Receives the oldest in-flight page for `server_id` into a fresh page
+  /// on `tier` of that server's memory (the paper's `Page::receive`).
+  /// Blocks until a page is available.
+  util::Result<Page*> Receive(int server_id, DeviceKind tier);
+
+  /// Non-blocking variant; NotFound when nothing is in flight.
+  util::Result<Page*> TryReceive(int server_id, DeviceKind tier);
+
+  /// Pages currently in flight toward `server_id`.
+  size_t InFlight(int server_id) const;
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Wire {
+    HierarchicalMemory* memory = nullptr;
+    std::deque<std::vector<std::byte>> inbox;
+  };
+
+  util::Result<Page*> Deliver(Wire* wire, DeviceKind tier);
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::map<int, Wire> servers_;
+  util::BandwidthThrottle throttle_;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace angelptm::mem
+
+#endif  // ANGELPTM_MEM_PAGE_TRANSPORT_H_

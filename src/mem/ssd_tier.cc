@@ -1,0 +1,128 @@
+#include "mem/ssd_tier.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace angelptm::mem {
+
+SsdTier::~SsdTier() { Close(); }
+
+util::Status SsdTier::Open(const Options& options) {
+  if (is_open()) {
+    return util::Status::FailedPrecondition("SsdTier already open");
+  }
+  if (options.frame_bytes == 0) {
+    return util::Status::InvalidArgument("frame_bytes must be positive");
+  }
+  const int fd =
+      ::open(options.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::Status::IoError("open(" + options.path +
+                                 "): " + std::strerror(errno));
+  }
+  frame_bytes_ = options.frame_bytes;
+  total_frames_ = options.capacity_bytes / options.frame_bytes;
+  if (::ftruncate(fd, static_cast<off_t>(uint64_t{total_frames_} *
+                                         frame_bytes_)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IoError("ftruncate: " + err);
+  }
+  fd_ = fd;
+  path_ = options.path;
+  throttle_.set_rate(options.throttle_bytes_per_sec);
+  delete_on_close_ = options.delete_on_close;
+  free_list_.clear();
+  free_list_.reserve(total_frames_);
+  for (size_t i = total_frames_; i > 0; --i) {
+    free_list_.push_back(static_cast<uint32_t>(i - 1));
+  }
+  return util::Status::OK();
+}
+
+void SsdTier::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (delete_on_close_) ::unlink(path_.c_str());
+  }
+}
+
+util::Result<uint64_t> SsdTier::AcquireFrame() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_list_.empty()) {
+    return util::Status::ResourceExhausted("ssd tier full (" +
+                                           std::to_string(total_frames_) +
+                                           " frames)");
+  }
+  const uint32_t index = free_list_.back();
+  free_list_.pop_back();
+  return uint64_t{index} * frame_bytes_;
+}
+
+size_t SsdTier::free_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_list_.size();
+}
+
+void SsdTier::ReleaseFrame(uint64_t offset) {
+  ANGEL_CHECK(offset % frame_bytes_ == 0) << "misaligned ssd frame offset";
+  const uint64_t index = offset / frame_bytes_;
+  ANGEL_CHECK(index < total_frames_) << "ssd frame offset out of range";
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_list_.push_back(static_cast<uint32_t>(index));
+}
+
+util::Status SsdTier::WriteFrame(uint64_t offset, const std::byte* src,
+                                 size_t bytes) {
+  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
+  if (bytes > frame_bytes_) {
+    return util::Status::InvalidArgument("write exceeds frame size");
+  }
+  size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pwrite(fd_, src + done, bytes - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(std::string("pwrite: ") +
+                                   std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  throttle_.Consume(bytes);
+  return util::Status::OK();
+}
+
+util::Status SsdTier::ReadFrame(uint64_t offset, std::byte* dst,
+                                size_t bytes) {
+  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
+  if (bytes > frame_bytes_) {
+    return util::Status::InvalidArgument("read exceeds frame size");
+  }
+  size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pread(fd_, dst + done, bytes - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(std::string("pread: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      return util::Status::IoError("pread: unexpected EOF");
+    }
+    done += static_cast<size_t>(n);
+  }
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  throttle_.Consume(bytes);
+  return util::Status::OK();
+}
+
+}  // namespace angelptm::mem

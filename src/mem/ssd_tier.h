@@ -1,0 +1,81 @@
+#ifndef ANGELPTM_MEM_SSD_TIER_H_
+#define ANGELPTM_MEM_SSD_TIER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/device.h"
+#include "util/bandwidth_throttle.h"
+#include "util/status.h"
+
+namespace angelptm::mem {
+
+/// File-backed page store standing in for the NVMe SSD tier (the paper uses
+/// DeepNVMe on 11 TB of SSD). Frames are fixed-size slots within one backing
+/// file; reads and writes are real pread/pwrite calls so the lock-free
+/// updating mechanism contends with genuine I/O latency.
+///
+/// An optional bandwidth throttle (bytes/second) emulates the 3.5 GB/s SSD of
+/// the paper's A100 servers when the local disk is faster; 0 disables it.
+class SsdTier {
+ public:
+  struct Options {
+    std::string path;           // Backing file path; created/truncated.
+    uint64_t capacity_bytes = 0;
+    size_t frame_bytes = 0;
+    double throttle_bytes_per_sec = 0.0;
+    bool delete_on_close = true;
+  };
+
+  SsdTier() = default;
+  ~SsdTier();
+
+  SsdTier(const SsdTier&) = delete;
+  SsdTier& operator=(const SsdTier&) = delete;
+
+  /// Creates (or truncates) the backing file sized to hold
+  /// floor(capacity / frame_bytes) frames.
+  util::Status Open(const Options& options);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Acquires a free frame, returning its byte offset in the backing file.
+  util::Result<uint64_t> AcquireFrame();
+  void ReleaseFrame(uint64_t offset);
+
+  /// Writes `bytes` from `src` to the frame at `offset` (full pwrite).
+  util::Status WriteFrame(uint64_t offset, const std::byte* src, size_t bytes);
+  /// Reads `bytes` into `dst` from the frame at `offset`.
+  util::Status ReadFrame(uint64_t offset, std::byte* dst, size_t bytes);
+
+  size_t frame_bytes() const { return frame_bytes_; }
+  size_t total_frames() const { return total_frames_; }
+  size_t free_frames() const;
+  uint64_t capacity_bytes() const {
+    return uint64_t{total_frames_} * frame_bytes_;
+  }
+
+  uint64_t bytes_read() const { return bytes_read_.load(); }
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  size_t frame_bytes_ = 0;
+  size_t total_frames_ = 0;
+  bool delete_on_close_ = true;
+
+  mutable std::mutex mutex_;
+  std::vector<uint32_t> free_list_;
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  util::BandwidthThrottle throttle_;
+};
+
+}  // namespace angelptm::mem
+
+#endif  // ANGELPTM_MEM_SSD_TIER_H_

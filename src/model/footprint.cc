@@ -1,0 +1,178 @@
+#include "model/footprint.h"
+
+#include <algorithm>
+
+namespace angelptm::model {
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kGpt:
+      return "GPT";
+    case ModelFamily::kT5:
+      return "T5";
+    case ModelFamily::kT5Moe:
+      return "T5-MoE";
+  }
+  return "unknown";
+}
+
+LayerFootprint ComputeLayerFootprint(uint64_t batch, uint64_t seq_len,
+                                     uint64_t d_model, uint64_t d_ffn) {
+  const uint64_t b = batch, s = seq_len, dm = d_model, dffn = d_ffn;
+  LayerFootprint fp;
+  // Rows follow Table 1 verbatim. Params counts fp16 param + grad pairs
+  // (x2 for "forward and backward" x2 bytes); Optims counts fp32 master
+  // parameter + momentum + variance (x3 x4 bytes); Acts are fp16.
+  fp.components = {
+      // Attention block.
+      {"Attn", "Linear(Q,K,V)", 12 * dm * dm, 12 * b * s * dm, 36 * dm * dm},
+      {"Attn", "MatMul", 0, 4 * b * s, 0},
+      {"Attn", "ScaledMaskSoftmax", 0, 4 * b * s, 0},
+      {"Attn", "MatMul", 0, 4 * b * s * dm, 0},
+      {"Attn", "Linear", 4 * dm * dm, 4 * b * s * dm, 12 * dm * dm},
+      {"Attn", "Add", 0, 4 * b * s * dm, 0},
+      {"Attn", "LayerNorm", 4 * dm, 4 * b * s * dm, 12 * dm},
+      // Feed-forward block.
+      {"FFN", "Linear", 4 * dm * dffn, 4 * b * s * dffn, 12 * dm * dffn},
+      {"FFN", "GeLU", 0, 4 * b * s * dffn, 0},
+      {"FFN", "Linear", 4 * dm * dffn, 4 * b * s * dm, 12 * dm * dffn},
+      {"FFN", "Add", 0, 4 * b * s * dm, 0},
+      {"FFN", "LayerNorm", 4 * dm, 4 * b * s * dm, 12 * dm},
+  };
+  for (const auto& c : fp.components) {
+    fp.params_bytes += c.params_bytes;
+    fp.acts_bytes += c.acts_bytes;
+    fp.optim_bytes += c.optim_bytes;
+  }
+  return fp;
+}
+
+std::vector<StateTensorInfo> EnumerateStateTensors(uint64_t d_model,
+                                                   uint64_t d_ffn,
+                                                   uint64_t batch,
+                                                   uint64_t seq_len,
+                                                   int num_heads) {
+  (void)batch;
+  (void)seq_len;
+  (void)num_heads;
+  const uint64_t dm = d_model, dffn = d_ffn;
+  // Per §2.2 the paper ignores biases; LayerNorm weights are kept because
+  // they produce the KB-scale rows of Table 2 that motivate small-tensor
+  // handling in the page allocator.
+  std::vector<StateTensorInfo> tensors = {
+      // fp32 master parameter / momentum / variance (3 copies each).
+      {"ffn_linear.fp32_state", dm * dffn * 4, /*count=*/2 * 3},
+      {"attn_linear.fp32_state", dm * dm * 4, /*count=*/4 * 3},
+      {"layernorm.fp32_state", dm * 4, /*count=*/2 * 3},
+      // fp16 parameter + gradient (2 copies each).
+      {"ffn_linear.fp16", dm * dffn * 2, /*count=*/2 * 2},
+      {"attn_linear.fp16", dm * dm * 2, /*count=*/4 * 2},
+      {"layernorm.fp16", dm * 2, /*count=*/2 * 2},
+  };
+  std::sort(tensors.begin(), tensors.end(),
+            [](const StateTensorInfo& a, const StateTensorInfo& b) {
+              return a.bytes > b.bytes;
+            });
+  return tensors;
+}
+
+namespace {
+
+/// Parameter elements of a decoder-only (GPT) layer.
+uint64_t GptLayerParams(const TransformerConfig& c) {
+  return 4 * c.d_model * c.d_model + 2 * c.d_model * c.d_ffn + 4 * c.d_model;
+}
+
+/// Parameter elements of one T5 encoder block (self-attn + FFN).
+uint64_t T5EncoderBlockParams(const TransformerConfig& c) {
+  return 4 * c.d_model * c.d_model + 2 * c.d_model * c.d_ffn + 4 * c.d_model;
+}
+
+/// Parameter elements of one T5 decoder block (adds cross-attention).
+uint64_t T5DecoderBlockParams(const TransformerConfig& c) {
+  return 8 * c.d_model * c.d_model + 2 * c.d_model * c.d_ffn + 6 * c.d_model;
+}
+
+/// Parameter elements of one MoE block: attention plus a bank of experts
+/// (each expert is a 2 * d_m * d_ffn FFN) plus the router.
+uint64_t MoeBlockParams(const TransformerConfig& c) {
+  return 4 * c.d_model * c.d_model +
+         uint64_t(c.num_experts) * 2 * c.d_model * c.d_ffn +
+         uint64_t(c.num_experts) * c.d_model /* router */ + 4 * c.d_model;
+}
+
+}  // namespace
+
+uint64_t LayerParamCount(const TransformerConfig& config) {
+  switch (config.family) {
+    case ModelFamily::kGpt:
+      return GptLayerParams(config);
+    case ModelFamily::kT5:
+      return T5EncoderBlockParams(config) + T5DecoderBlockParams(config);
+    case ModelFamily::kT5Moe:
+      return MoeBlockParams(config);
+  }
+  return 0;
+}
+
+uint64_t TotalParamCount(const TransformerConfig& config) {
+  const uint64_t embedding = config.vocab_size * config.d_model;
+  switch (config.family) {
+    case ModelFamily::kGpt:
+      return uint64_t(config.num_layers) * GptLayerParams(config) + embedding;
+    case ModelFamily::kT5:
+      // num_layers counts encoder/decoder pairs.
+      return uint64_t(config.num_layers) *
+                 (T5EncoderBlockParams(config) + T5DecoderBlockParams(config)) +
+             embedding;
+    case ModelFamily::kT5Moe:
+      // num_layers counts total MoE transformer blocks (the paper's
+      // T5-MoE-1.2T: 16 blocks x 2304 experts x 2*1024*16384 = 1.24T).
+      return uint64_t(config.num_layers) * MoeBlockParams(config) + embedding;
+  }
+  return 0;
+}
+
+uint64_t TotalModelStateBytes(const TransformerConfig& config) {
+  return TotalParamCount(config) *
+         (kFp16ParamGradBytesPerElem + kOptimizerBytesPerElem);
+}
+
+namespace {
+
+/// Activation bytes of one layer for one micro-batch (Table 1 closed form,
+/// plus the attention-score matrices which dominate at long sequences).
+uint64_t LayerActivationBytes(const TransformerConfig& c, int micro_batch) {
+  const uint64_t b = micro_batch, s = c.seq_len;
+  uint64_t bytes = 40 * b * s * c.d_model + 8 * b * s * c.d_ffn + 8 * b * s;
+  // Attention scores: b * heads * s * s fp16, forward + backward.
+  bytes += 4 * b * uint64_t(c.num_heads) * s * s;
+  if (c.family != ModelFamily::kGpt) {
+    // Decoder cross-attention roughly doubles the attention activations; the
+    // pair (encoder+decoder) costs ~2.3x one decoder-only layer. Use 2x as a
+    // documented approximation.
+    bytes *= 2;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t TotalActivationBytes(const TransformerConfig& config,
+                              int micro_batch) {
+  return uint64_t(config.num_layers) *
+         LayerActivationBytes(config, micro_batch);
+}
+
+uint64_t ResidentActivationBytes(const TransformerConfig& config,
+                                 int micro_batch) {
+  // With recomputation only the per-layer boundary activation (b, s, d_m in
+  // fp16) is retained for every layer; one layer's interior working set is
+  // live at a time while it is recomputed during backward.
+  const uint64_t boundary = uint64_t(config.num_layers) * 2 *
+                            uint64_t(micro_batch) * config.seq_len *
+                            config.d_model;
+  return boundary + LayerActivationBytes(config, micro_batch);
+}
+
+}  // namespace angelptm::model

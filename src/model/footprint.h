@@ -1,0 +1,100 @@
+#ifndef ANGELPTM_MODEL_FOOTPRINT_H_
+#define ANGELPTM_MODEL_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer_config.h"
+
+namespace angelptm::model {
+
+/// Bytes per element under mixed-precision training with Adam (§2.2):
+///  - fp16 parameter + fp16 gradient: 2 + 2 bytes ("forward and backward").
+///  - fp32 master parameter + momentum + variance: 3 * 4 bytes.
+inline constexpr uint64_t kFp16ParamGradBytesPerElem = 4;   // 2 * 2 bytes.
+inline constexpr uint64_t kOptimizerBytesPerElem = 12;      // 3 * 4 bytes.
+inline constexpr uint64_t kActivationBytesPerElem = 2;      // fp16.
+
+/// One row of the paper's Table 1: a single operation within a Transformer
+/// layer with its parameter, activation and optimizer-state footprints.
+struct ComponentFootprint {
+  std::string block;   // "Attn" or "FFN".
+  std::string layer;   // Operation name, e.g. "Linear(Q,K,V)".
+  uint64_t params_bytes = 0;  // FP16 params + grads (the table's Params.(B)).
+  uint64_t acts_bytes = 0;    // FP16 activations (Acts.(B)).
+  uint64_t optim_bytes = 0;   // FP32 model states (Optims.(B)).
+};
+
+/// Footprint of one full Transformer layer.
+struct LayerFootprint {
+  std::vector<ComponentFootprint> components;
+  uint64_t params_bytes = 0;
+  uint64_t acts_bytes = 0;
+  uint64_t optim_bytes = 0;
+
+  /// Number of parameter *elements* in the layer (params_bytes covers the
+  /// fp16 param + grad pair at 4 bytes/element).
+  uint64_t ParamCount() const { return params_bytes / kFp16ParamGradBytesPerElem; }
+  /// Total bytes of model states (fp16 param+grad and fp32 optimizer).
+  uint64_t ModelStateBytes() const { return params_bytes + optim_bytes; }
+};
+
+/// Computes Table 1 for a decoder-style Transformer layer: input X of shape
+/// (b, s, d_m), FFN hidden d_ffn. Closed forms (verified by unit test):
+///   Params = 16 d_m^2 + 8 d_m d_ffn (+ LayerNorm terms)
+///   Acts   = 40 b s d_m + 8 b s d_ffn (+ attention-score terms)
+///   Optims = 48 d_m^2 + 24 d_m d_ffn (+ LayerNorm terms)
+LayerFootprint ComputeLayerFootprint(uint64_t batch, uint64_t seq_len,
+                                     uint64_t d_model, uint64_t d_ffn);
+
+/// One model-state tensor of a layer, used to regenerate Table 2 (the
+/// tensor-size distribution that motivates page-based management).
+struct StateTensorInfo {
+  std::string name;
+  uint64_t bytes = 0;
+  /// Number of identical tensors of this kind in one layer.
+  int count = 1;
+};
+
+/// Enumerates every model-state tensor of one Transformer layer (fp16
+/// param/grad pairs and fp32 master/momentum/variance), sorted by descending
+/// size. With GPT3's d_m = 12288, d_ffn = 49152 this reproduces the size
+/// classes of Table 2 (3072/2304/1152/768/576/288 MB down to KB-scale
+/// LayerNorm tensors).
+std::vector<StateTensorInfo> EnumerateStateTensors(uint64_t d_model,
+                                                   uint64_t d_ffn,
+                                                   uint64_t batch = 1,
+                                                   uint64_t seq_len = 2048,
+                                                   int num_heads = 96);
+
+/// Parameter elements of one schedulable layer: a GPT decoder layer, a T5
+/// encoder/decoder pair, or a full MoE block (all experts — this is the
+/// *memory* cost; the compute cost only touches the routed expert).
+uint64_t LayerParamCount(const TransformerConfig& config);
+
+/// Total parameter elements of a model (layers + token embedding).
+/// Documented formulas:
+///  - GPT layer: 4 d_m^2 (QKV + output projection) + 2 d_m d_ffn + 4 d_m.
+///  - T5 encoder layer: 4 d_m^2 + 2 d_m d_ffn; decoder adds 4 d_m^2 of
+///    cross-attention; `num_layers` counts encoder/decoder pairs.
+///  - MoE layer: attention as above, FFN replaced by num_experts experts of
+///    2 d_m d_ffn each (Switch-Transformer, one MoE bank per layer).
+///  - Embedding: vocab_size * d_m (tied input/output).
+uint64_t TotalParamCount(const TransformerConfig& config);
+
+/// Model-state bytes (fp16 param+grad + fp32 optimizer) for the full model.
+uint64_t TotalModelStateBytes(const TransformerConfig& config);
+
+/// Activation bytes for one micro-batch across all layers (no recompute).
+uint64_t TotalActivationBytes(const TransformerConfig& config, int micro_batch);
+
+/// Activation bytes that must be resident with recomputation enabled: the
+/// per-layer boundary activations for all layers plus one layer's interior
+/// working set (regenerated layer by layer in backward).
+uint64_t ResidentActivationBytes(const TransformerConfig& config,
+                                 int micro_batch);
+
+}  // namespace angelptm::model
+
+#endif  // ANGELPTM_MODEL_FOOTPRINT_H_

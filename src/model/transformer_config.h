@@ -1,0 +1,45 @@
+#ifndef ANGELPTM_MODEL_TRANSFORMER_CONFIG_H_
+#define ANGELPTM_MODEL_TRANSFORMER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace angelptm::model {
+
+/// Architecture family. GPT is decoder-only; T5 is encoder-decoder (decoder
+/// layers carry an extra cross-attention block); T5-MoE replaces every FFN
+/// with a bank of experts (Switch-Transformer style).
+enum class ModelFamily { kGpt, kT5, kT5Moe };
+
+const char* ModelFamilyName(ModelFamily family);
+
+/// Static description of a Transformer model, mirroring the columns of the
+/// paper's Table 4 (#Layer, #Head, d_Model, d_FFN, #Expert).
+struct TransformerConfig {
+  std::string name;
+  ModelFamily family = ModelFamily::kGpt;
+  /// Number of layers. For T5 families this counts encoder/decoder *pairs*
+  /// (layer i has one encoder and one decoder block).
+  int num_layers = 0;
+  int num_heads = 0;
+  uint64_t d_model = 0;
+  uint64_t d_ffn = 0;
+  /// Experts per MoE layer (0 for dense models).
+  int num_experts = 0;
+  uint64_t vocab_size = 51200;
+  uint64_t seq_len = 2048;
+
+  bool IsMoe() const { return num_experts > 0; }
+};
+
+/// Training hyper-parameters that drive memory/throughput accounting.
+struct TrainingConfig {
+  int micro_batch = 1;
+  /// Activation recomputation (§4.2): forward activations are released and
+  /// regenerated during backward, trading FLOPs for memory.
+  bool recompute_activations = true;
+};
+
+}  // namespace angelptm::model
+
+#endif  // ANGELPTM_MODEL_TRANSFORMER_CONFIG_H_

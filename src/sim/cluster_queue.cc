@@ -1,0 +1,118 @@
+#include "sim/cluster_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace angelptm::sim {
+namespace {
+
+struct Job {
+  double arrival_hours;
+  double service_hours;
+  int gpus;
+};
+
+struct Completion {
+  double time;
+  int gpus;
+  bool operator>(const Completion& other) const { return time > other.time; }
+};
+
+double Exponential(util::Rng* rng, double mean) {
+  double u = rng->NextDouble();
+  while (u <= 1e-12) u = rng->NextDouble();
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+ClusterQueueResult SimulateClusterQueue(const ClusterQueueConfig& config) {
+  ANGEL_CHECK(config.total_gpus > 0);
+  ANGEL_CHECK(config.gpus_per_finetune_job <= config.total_gpus);
+  ANGEL_CHECK(config.gpus_per_pretrain_job <= config.total_gpus);
+  util::Rng rng(config.seed);
+
+  // Generate the arrival stream.
+  std::vector<Job> jobs;
+  jobs.reserve(config.num_jobs);
+  double clock = 0.0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    clock += Exponential(&rng, 1.0 / config.arrivals_per_hour);
+    const bool finetune = rng.NextDouble() < config.finetune_fraction;
+    Job job;
+    job.arrival_hours = clock;
+    job.gpus = finetune ? config.gpus_per_finetune_job
+                        : config.gpus_per_pretrain_job;
+    job.service_hours = Exponential(
+        &rng,
+        finetune ? config.finetune_hours_mean : config.pretrain_hours_mean);
+    jobs.push_back(job);
+  }
+
+  // FIFO admission over a single GPU pool.
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      running;
+  int free_gpus = config.total_gpus;
+  double now = 0.0;
+  double busy_gpu_hours = 0.0;
+  std::vector<double> waits, finetune_waits;
+  size_t next_job = 0;
+  std::deque<Job> queue;
+
+  while (next_job < jobs.size() || !queue.empty() || !running.empty()) {
+    // Advance to the next event: an arrival or a completion.
+    const double next_arrival = next_job < jobs.size()
+                                    ? jobs[next_job].arrival_hours
+                                    : 1e300;
+    const double next_completion =
+        running.empty() ? 1e300 : running.top().time;
+    now = std::min(next_arrival, next_completion);
+    if (next_arrival <= next_completion && next_job < jobs.size()) {
+      queue.push_back(jobs[next_job++]);
+    } else if (!running.empty()) {
+      free_gpus += running.top().gpus;
+      running.pop();
+    }
+    // Strict FIFO: admit from the head while it fits.
+    while (!queue.empty() && queue.front().gpus <= free_gpus) {
+      const Job job = queue.front();
+      queue.pop_front();
+      const double wait = now - job.arrival_hours;
+      waits.push_back(wait);
+      if (job.gpus == config.gpus_per_finetune_job) {
+        finetune_waits.push_back(wait);
+      }
+      free_gpus -= job.gpus;
+      busy_gpu_hours += double(job.gpus) * job.service_hours;
+      running.push({now + job.service_hours, job.gpus});
+    }
+  }
+
+  ClusterQueueResult result;
+  result.jobs_completed = int(waits.size());
+  if (!waits.empty()) {
+    double sum = 0;
+    for (double w : waits) sum += w;
+    result.mean_wait_hours = sum / waits.size();
+    std::sort(waits.begin(), waits.end());
+    result.p95_wait_hours = waits[size_t(0.95 * (waits.size() - 1))];
+    result.max_wait_hours = waits.back();
+  }
+  if (!finetune_waits.empty()) {
+    double sum = 0;
+    for (double w : finetune_waits) sum += w;
+    result.mean_finetune_wait_hours = sum / finetune_waits.size();
+  }
+  if (now > 0) {
+    result.gpu_utilization =
+        busy_gpu_hours / (double(config.total_gpus) * now);
+  }
+  return result;
+}
+
+}  // namespace angelptm::sim

@@ -1,0 +1,50 @@
+#ifndef ANGELPTM_SIM_CLUSTER_QUEUE_H_
+#define ANGELPTM_SIM_CLUSTER_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace angelptm::sim {
+
+/// Discrete-event simulation of the multi-tenant cluster queue of §3.1:
+/// fine-tuning jobs are ~90% of submissions, need GPUs for a few hours, and
+/// "waiting times up to several hours ... severely hinder the development
+/// of productive applications". Hierarchical memory shrinks the GPUs each
+/// job needs, so the same cluster runs more jobs concurrently and queue
+/// waits collapse — the quantitative version of the paper's motivation for
+/// building Angel-PTM.
+struct ClusterQueueConfig {
+  int total_gpus = 512;
+  /// Jobs per hour (Poisson arrivals).
+  double arrivals_per_hour = 12.0;
+  double finetune_fraction = 0.9;
+  /// GPUs one fine-tuning job needs on this system (the knob hierarchical
+  /// memory turns: e.g. 32 without offloading vs 8 with Angel-PTM).
+  int gpus_per_finetune_job = 32;
+  int gpus_per_pretrain_job = 256;
+  /// Service times (hours), exponential around these means.
+  double finetune_hours_mean = 3.0;
+  double pretrain_hours_mean = 72.0;
+  int num_jobs = 500;
+  uint64_t seed = 17;
+};
+
+struct ClusterQueueResult {
+  double mean_wait_hours = 0.0;
+  double p95_wait_hours = 0.0;
+  double max_wait_hours = 0.0;
+  double mean_finetune_wait_hours = 0.0;
+  double gpu_utilization = 0.0;  // Busy GPU-hours / capacity GPU-hours.
+  int jobs_completed = 0;
+};
+
+/// Runs the queue to completion (FIFO admission: a job waits until its full
+/// GPU allocation is free; smaller jobs never jump the queue, matching the
+/// platform's fairness policy).
+ClusterQueueResult SimulateClusterQueue(const ClusterQueueConfig& config);
+
+}  // namespace angelptm::sim
+
+#endif  // ANGELPTM_SIM_CLUSTER_QUEUE_H_

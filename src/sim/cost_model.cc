@@ -1,0 +1,80 @@
+#include "sim/cost_model.h"
+
+namespace angelptm::sim {
+
+uint64_t CostModel::ActiveLayerParams() const {
+  const uint64_t dm = config_.d_model, dffn = config_.d_ffn;
+  switch (config_.family) {
+    case model::ModelFamily::kGpt:
+      return 4 * dm * dm + 2 * dm * dffn;
+    case model::ModelFamily::kT5:
+      // Encoder block + decoder block (with cross-attention).
+      return 12 * dm * dm + 4 * dm * dffn;
+    case model::ModelFamily::kT5Moe:
+      // Attention plus the single routed expert per token (top-1 routing).
+      return 4 * dm * dm + 2 * dm * dffn;
+  }
+  return 0;
+}
+
+double CostModel::LayerForwardFlops(int micro_batch) const {
+  const double tokens = double(micro_batch) * config_.seq_len;
+  // 2 FLOPs per parameter per token for the matmuls, plus the quadratic
+  // attention term: 2 * s * d for QK^T and another for scores*V.
+  const double matmul = 2.0 * ActiveLayerParams() * tokens;
+  const double attention =
+      4.0 * tokens * double(config_.seq_len) * config_.d_model;
+  return matmul + attention;
+}
+
+double CostModel::LayerBackwardFlops(int micro_batch) const {
+  const double fwd = LayerForwardFlops(micro_batch);
+  return training_.recompute_activations ? 3.0 * fwd : 2.0 * fwd;
+}
+
+double CostModel::AchievedFlops(int micro_batch) const {
+  const double tokens = double(micro_batch) * config_.seq_len;
+  const double saturation =
+      tokens / (tokens + hw_.gpu_efficiency_half_tokens);
+  return hw_.GpuEffectiveFlops() * saturation;
+}
+
+double CostModel::LayerForwardSeconds(int micro_batch) const {
+  return LayerForwardFlops(micro_batch) / AchievedFlops(micro_batch);
+}
+
+double CostModel::LayerBackwardSeconds(int micro_batch) const {
+  return LayerBackwardFlops(micro_batch) / AchievedFlops(micro_batch);
+}
+
+double CostModel::AllGatherSeconds(uint64_t shard_bytes,
+                                   int world_size) const {
+  if (world_size <= 1) return 0.0;
+  // Ring all-gather: each rank receives (N-1) shards.
+  const double wire_bytes = double(shard_bytes) * (world_size - 1);
+  return wire_bytes / hw_.CollectiveBwPerRank(world_size);
+}
+
+double CostModel::ReduceScatterSeconds(uint64_t shard_bytes,
+                                       int world_size) const {
+  return AllGatherSeconds(shard_bytes, world_size);
+}
+
+double CostModel::AllToAllSeconds(uint64_t bytes_per_rank,
+                                  int world_size) const {
+  if (world_size <= 1) return 0.0;
+  const int nodes = (world_size + hw_.gpus_per_node - 1) / hw_.gpus_per_node;
+  // Fraction of each rank's traffic that leaves its node.
+  const double cross_fraction =
+      nodes <= 1 ? 0.0 : double(world_size - hw_.gpus_per_node) / world_size;
+  const double intra = double(bytes_per_rank) * (1.0 - cross_fraction) /
+                       hw_.nvlink_bw_per_gpu;
+  const double inter = double(bytes_per_rank) * cross_fraction /
+                       (hw_.nic_bw_per_node / hw_.gpus_per_node);
+  // Per-peer message setup: each rank exchanges world_size-1 messages.
+  const double latency =
+      double(world_size - 1) * hw_.alltoall_latency_per_peer;
+  return intra + inter + latency;
+}
+
+}  // namespace angelptm::sim

@@ -1,0 +1,75 @@
+#ifndef ANGELPTM_SIM_COST_MODEL_H_
+#define ANGELPTM_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "model/transformer_config.h"
+#include "sim/hardware.h"
+
+namespace angelptm::sim {
+
+/// Analytical FLOP and communication costs of Transformer training steps.
+/// These feed the discrete-event iteration simulator; the conventions are
+/// the standard ones (forward ~ 2*P FLOPs/token, backward 2x forward,
+/// recompute adds one forward) plus the quadratic attention term.
+class CostModel {
+ public:
+  CostModel(const HardwareConfig& hw, const model::TransformerConfig& config,
+            const model::TrainingConfig& training)
+      : hw_(hw), config_(config), training_(training) {}
+
+  /// Parameter elements of one layer (for T5: the encoder+decoder pair; for
+  /// MoE: attention plus the *activated* expert, since inactive experts do
+  /// no FLOPs).
+  uint64_t ActiveLayerParams() const;
+
+  /// FLOPs of one layer's forward pass for `micro_batch` sequences.
+  double LayerForwardFlops(int micro_batch) const;
+  /// FLOPs of one layer's backward pass (2x forward, plus recompute).
+  double LayerBackwardFlops(int micro_batch) const;
+
+  /// Achieved FLOP rate at this micro-batch: peak efficiency scaled by a
+  /// token-count saturation curve (small batches underfill tensor cores).
+  double AchievedFlops(int micro_batch) const;
+
+  /// Seconds of GPU time for the layer forward/backward on one GPU.
+  double LayerForwardSeconds(int micro_batch) const;
+  double LayerBackwardSeconds(int micro_batch) const;
+
+  /// Seconds for a ring all-gather materializing `full_bytes` of parameters
+  /// across `world_size` ranks (per-rank wire time).
+  double AllGatherSeconds(uint64_t shard_bytes, int world_size) const;
+  /// Seconds for reduce-scatter of gradients (same wire volume as gather).
+  double ReduceScatterSeconds(uint64_t shard_bytes, int world_size) const;
+  /// Seconds for the MoE all-to-all of `bytes_per_rank` (Fig. 9 workload):
+  /// the fraction of traffic that crosses node boundaries rides the NIC.
+  double AllToAllSeconds(uint64_t bytes_per_rank, int world_size) const;
+
+  /// Seconds to move `bytes` across one GPU's PCIe link.
+  double PcieSeconds(uint64_t bytes) const { return bytes / hw_.pcie_bw_per_gpu; }
+
+  /// Seconds for the CPU of one node to Adam-update `param_elements`
+  /// (touches 28 bytes/element: read p/m/v + grad, write p/m/v + fp16 p).
+  double CpuAdamSeconds(uint64_t param_elements) const {
+    return double(param_elements) * 28.0 / hw_.cpu_optimizer_bw_per_node;
+  }
+  /// Same update performed on the GPU against HBM.
+  double GpuAdamSeconds(uint64_t param_elements) const {
+    return double(param_elements) * 28.0 / hw_.gpu_hbm_bw;
+  }
+  /// Seconds of SSD traffic to read+write `param_elements` of fp32 states.
+  double SsdRoundTripSeconds(uint64_t param_elements) const {
+    return double(param_elements) * 24.0 / hw_.ssd_bw_per_node;
+  }
+
+  const HardwareConfig& hardware() const { return hw_; }
+
+ private:
+  HardwareConfig hw_;
+  model::TransformerConfig config_;
+  model::TrainingConfig training_;
+};
+
+}  // namespace angelptm::sim
+
+#endif  // ANGELPTM_SIM_COST_MODEL_H_

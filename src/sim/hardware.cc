@@ -1,0 +1,22 @@
+#include "sim/hardware.h"
+
+#include <sstream>
+
+namespace angelptm::sim {
+
+HardwareConfig PaperServer() { return HardwareConfig{}; }
+
+std::string DescribeHardware(const HardwareConfig& hw) {
+  std::ostringstream os;
+  os << "Server: " << hw.gpus_per_node << "x A100-"
+     << hw.gpu_memory_bytes / util::kGiB << "GiB"
+     << " | HBM " << hw.gpu_hbm_bw / 1e9 << " GB/s"
+     << " | NVLink " << hw.nvlink_bw_per_gpu / 1e9 << " GB/s"
+     << " | PCIe " << hw.pcie_bw_per_gpu / 1e9 << " GB/s"
+     << " | NIC " << hw.nic_bw_per_node / 1e9 << " GB/s/node"
+     << " | SSD " << hw.ssd_bw_per_node / 1e9 << " GB/s"
+     << " | CPU RAM " << hw.cpu_memory_bytes / util::kGiB << " GiB";
+  return os.str();
+}
+
+}  // namespace angelptm::sim

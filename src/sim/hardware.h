@@ -1,0 +1,98 @@
+#ifndef ANGELPTM_SIM_HARDWARE_H_
+#define ANGELPTM_SIM_HARDWARE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace angelptm::sim {
+
+/// Hardware description of one GPU server and its cluster fabric, defaulted
+/// to the paper's A100 server (Table 3 and §4.3):
+///   - 8x A100-40GB, NVLink-3.0 (GPU-GPU 200 GB/s effective)
+///   - GPU HBM 600 GB/s (the paper's quoted access speed)
+///   - PCIe CPU<->GPU 32 GB/s per GPU
+///   - 16x 12.5 GB/s RoCE NICs = 200 GB/s per node
+///   - SSD 3.5 GB/s, 11 TB
+///   - 4x AMD EPYC 48-core, 1 TiB DDR4
+///
+/// The last three fields are calibration constants for the capacity model
+/// (documented in DESIGN.md §1): a static offloading baseline is limited by
+/// the pinned-host allocation it can hold, while Angel-PTM's own paged
+/// allocator addresses the full usable host memory.
+struct HardwareConfig {
+  int gpus_per_node = 8;
+
+  // --- Capacities ---
+  uint64_t gpu_memory_bytes = 40ull * util::kGiB;
+  /// Framework/runtime reservation per GPU (kernels, fragmentation slack).
+  uint64_t gpu_reserved_bytes = 2ull * util::kGiB;
+  uint64_t cpu_memory_bytes = 1024ull * util::kGiB;
+  uint64_t ssd_capacity_bytes = 11ull * 1000 * 1000 * 1000 * 1000;  // 11 TB
+
+  // --- Speeds (bytes/second unless noted) ---
+  double gpu_peak_flops = 312e12;        // A100 BF16 tensor core peak.
+  /// Achieved fraction of peak at large batch; small per-GPU token counts
+  /// underutilize the tensor cores (see gpu_efficiency_half_tokens).
+  double gpu_flops_efficiency = 0.42;
+  /// Tokens per GPU at which achieved efficiency reaches half of
+  /// gpu_flops_efficiency: eff(tokens) = max_eff * tokens/(tokens + half).
+  /// This is why larger feasible micro-batches (Table 5: Angel 38/50 vs
+  /// DeepSpeed 36/32) translate into higher samples/s.
+  double gpu_efficiency_half_tokens = 8192;
+  /// Fraction of GPU memory a tensor-granular caching allocator loses to
+  /// fragmentation under offloading churn (§3.2/§4.1: the motivation for
+  /// the Page abstraction). Applies to the DeepSpeed-like baseline; the
+  /// page-based allocator has zero external fragmentation by construction.
+  double baseline_fragmentation = 0.20;
+  double gpu_hbm_bw = 600e9;             // §4.3: GPU memory access speed.
+  double nvlink_bw_per_gpu = 200e9;      // §4.3: GPU-GPU communication.
+  double pcie_bw_per_gpu = 32e9;         // §4.3: CPU-GPU transfer.
+  double nic_bw_per_node = 200e9;        // 16 x 12.5 GB/s RoCE.
+  double ssd_bw_per_node = 3.5e9;        // §4.3: SSD-CPU transfer.
+  /// Effective streaming bandwidth of the CPU sockets running Adam (memory
+  /// bound; 8-channel DDR4-2933 per socket x 4 sockets, ~80% efficiency;
+  /// Angel's page-level updates stream straight through its pre-allocated
+  /// arenas). Baselines that stage through pinned buffers see half of this
+  /// (extra copy per element).
+  double cpu_optimizer_bw_per_node = 300e9;
+  /// Per-peer message setup cost of an all-to-all (seconds). With N ranks
+  /// each rank exchanges N-1 messages whose size shrinks as 1/N, so at
+  /// large N the collective becomes latency-bound — the effect that makes
+  /// T5-MoE scale sub-linearly (Figure 9).
+  double alltoall_latency_per_peer = 6e-6;
+
+  // --- Capacity-model calibration (DESIGN.md §1) ---
+  /// Pinned host memory a static partitioner (DeepSpeed-like) can dedicate
+  /// to model states. 350 GB reproduces the paper's observed ceilings: 28B
+  /// on one server (12 B/param of fp32 optimizer states) while 120B still
+  /// fits 4 servers (Figure 7).
+  uint64_t cpu_pinned_limit_bytes = 350ull * 1000 * 1000 * 1000;
+  /// Host memory Angel-PTM's pre-allocated page arenas can address (full
+  /// RAM minus OS/runtime/activation staging).
+  uint64_t cpu_usable_bytes = 620ull * 1000 * 1000 * 1000;
+
+  double GpuEffectiveFlops() const {
+    return gpu_peak_flops * gpu_flops_efficiency;
+  }
+  uint64_t GpuUsableBytes() const {
+    return gpu_memory_bytes - gpu_reserved_bytes;
+  }
+  /// Effective per-rank collective bandwidth for a ring spanning
+  /// `world_size` GPUs: NVLink inside a node, NIC-limited across nodes.
+  double CollectiveBwPerRank(int world_size) const {
+    if (world_size <= gpus_per_node) return nvlink_bw_per_gpu;
+    return nic_bw_per_node / gpus_per_node;
+  }
+};
+
+/// The paper's production server (Table 3).
+HardwareConfig PaperServer();
+
+/// Human-readable summary printed by the benchmark harness.
+std::string DescribeHardware(const HardwareConfig& hw);
+
+}  // namespace angelptm::sim
+
+#endif  // ANGELPTM_SIM_HARDWARE_H_

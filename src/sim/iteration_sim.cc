@@ -1,0 +1,260 @@
+#include "sim/iteration_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace angelptm::sim {
+
+IterationResult SimulateIteration(const IterationSpec& spec,
+                                  std::vector<TaskTiming>* timeline) {
+  auto emit = [timeline](std::string name, const char* resource,
+                         double start, double end) {
+    if (timeline != nullptr && end > start) {
+      timeline->push_back(TaskTiming{std::move(name), resource, start, end});
+    }
+  };
+  const auto& steps = spec.sched.steps;
+  const int num_steps = static_cast<int>(steps.size());
+  const int world = spec.sched.world_size;
+  const int passes = std::max(1, spec.grad_accumulation);
+
+  // Execution order mirrors core::ReplaySchedule: by trigger, movements and
+  // gathers ahead of the compute that shares their trigger.
+  std::vector<size_t> order(spec.tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (spec.tasks[a].trigger_id != spec.tasks[b].trigger_id) {
+      return spec.tasks[a].trigger_id < spec.tasks[b].trigger_id;
+    }
+    const bool a_compute = spec.tasks[a].op == core::TaskOp::kCompute;
+    const bool b_compute = spec.tasks[b].op == core::TaskOp::kCompute;
+    return !a_compute && b_compute;
+  });
+
+  std::vector<OptimizerWork> work = spec.opt_work;
+  std::stable_sort(work.begin(), work.end(),
+                   [](const OptimizerWork& a, const OptimizerWork& b) {
+                     return a.after_step < b.after_step;
+                   });
+
+  IterationResult result;
+  double gpu_free = 0, pcie_free = 0, comm_free = 0, cpu_free = 0,
+         ssd_free = 0;
+  std::unordered_map<uint64_t, double> page_ready;  // Moved pages.
+  std::vector<double> compute_done(num_steps, 0.0);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    const bool last_pass = pass == passes - 1;
+    const double pass_start =
+        pass == 0 ? 0.0 : (num_steps > 0 ? compute_done[num_steps - 1] : 0.0);
+    std::vector<double> gather_done(num_steps, 0.0);
+
+    auto trigger_time = [&](int trigger) {
+      if (trigger <= 0) return pass_start;
+      const int dep = std::min(trigger - 1, num_steps - 1);
+      return compute_done[dep];
+    };
+
+    for (size_t index : order) {
+      const core::Task& task = spec.tasks[index];
+      switch (task.op) {
+        case core::TaskOp::kMoveToGpu: {
+          if (pass > 0) break;  // Parameters stay cached across passes.
+          const double start =
+              std::max(pcie_free, trigger_time(task.trigger_id));
+          const double dur = double(task.bytes) / spec.pcie_bw;
+          pcie_free = start + dur;
+          result.pcie_busy += dur;
+          page_ready[task.page_id] = pcie_free;
+          emit("move page " + std::to_string(task.page_id), "pcie", start,
+               pcie_free);
+          break;
+        }
+        case core::TaskOp::kAllGather: {
+          double ready = trigger_time(task.trigger_id);
+          const auto it = page_ready.find(task.page_id);
+          if (it != page_ready.end()) {
+            ready = std::max(ready, it->second);
+          } else {
+            // On-demand: the local shard crosses PCIe before the gather,
+            // every pass (it is not cached).
+            const double fetch_start = std::max(pcie_free, ready);
+            const double fetch_dur = double(task.bytes) / spec.pcie_bw;
+            pcie_free = fetch_start + fetch_dur;
+            result.pcie_busy += fetch_dur;
+            emit("fetch page " + std::to_string(task.page_id), "pcie",
+                 fetch_start, pcie_free);
+            ready = pcie_free;
+          }
+          const double start = std::max(comm_free, ready);
+          const double dur = world <= 1
+                                 ? 0.0
+                                 : double(task.bytes) * (world - 1) /
+                                       spec.collective_bw_per_rank;
+          comm_free = start + dur;
+          result.comm_busy += dur;
+          emit("gather page " + std::to_string(task.page_id) + " (step " +
+                   std::to_string(task.step) + ")",
+               "comm", start, comm_free);
+          ANGEL_CHECK(task.step >= 0 && task.step < num_steps);
+          gather_done[task.step] =
+              std::max(gather_done[task.step], comm_free);
+          break;
+        }
+        case core::TaskOp::kCompute: {
+          ANGEL_CHECK(task.step >= 0 && task.step < num_steps);
+          double start = std::max(gpu_free, gather_done[task.step]);
+          start = std::max(
+              start, task.step > 0 ? compute_done[task.step - 1] : pass_start);
+          if (spec.extra_comm_seconds_per_step > 0.0) {
+            // Per-step collective (MoE all-to-all) on the comm stream,
+            // serial with the step's compute input.
+            const double comm_start = std::max(comm_free, start);
+            comm_free = comm_start + spec.extra_comm_seconds_per_step;
+            result.comm_busy += spec.extra_comm_seconds_per_step;
+            emit("all-to-all (step " + std::to_string(task.step) + ")",
+                 "comm", comm_start, comm_free);
+            start = std::max(start, comm_free);
+          }
+          const double dur = steps[task.step].compute_seconds;
+          gpu_free = start + dur;
+          result.gpu_busy += dur;
+          compute_done[task.step] = gpu_free;
+          emit("compute step " + std::to_string(task.step), "gpu", start,
+               gpu_free);
+          break;
+        }
+      }
+    }
+
+    // Optimizer pipeline: gradients offload every pass; the state update
+    // (SSD read -> CPU/GPU Adam -> SSD write -> param upload) runs once,
+    // after the final accumulation pass.
+    for (const OptimizerWork& w : work) {
+      const double grads_at =
+          (w.after_step >= 0 && w.after_step < num_steps)
+              ? compute_done[w.after_step]
+              : (num_steps > 0 ? compute_done[num_steps - 1] : 0.0);
+      double ready = grads_at;
+      if (w.grad_offload_bytes > 0) {
+        const double start = std::max(pcie_free, grads_at);
+        const double dur = double(w.grad_offload_bytes) / spec.pcie_bw;
+        pcie_free = start + dur;
+        result.pcie_busy += dur;
+        emit("grad offload (step " + std::to_string(w.after_step) + ")",
+             "pcie", start, pcie_free);
+        ready = pcie_free;
+      }
+      if (!last_pass) continue;
+      if (w.ssd_read_bytes > 0) {
+        const double start = std::max(ssd_free, ready);
+        const double dur = double(w.ssd_read_bytes) / spec.ssd_bw;
+        ssd_free = start + dur;
+        result.ssd_busy += dur;
+        emit("ssd read (step " + std::to_string(w.after_step) + ")", "ssd",
+             start, ssd_free);
+        ready = ssd_free;
+      }
+      if (w.cpu_update_elements > 0) {
+        const double start = std::max(cpu_free, ready);
+        const double dur =
+            double(w.cpu_update_elements) * 28.0 / spec.cpu_optimizer_bw;
+        cpu_free = start + dur;
+        result.cpu_busy += dur;
+        emit("cpu adam (step " + std::to_string(w.after_step) + ")", "cpu",
+             start, cpu_free);
+        ready = cpu_free;
+      }
+      if (w.ssd_write_bytes > 0) {
+        const double start = std::max(ssd_free, ready);
+        const double dur = double(w.ssd_write_bytes) / spec.ssd_bw;
+        ssd_free = start + dur;
+        result.ssd_busy += dur;
+        emit("ssd write (step " + std::to_string(w.after_step) + ")", "ssd",
+             start, ssd_free);
+      }
+      if (w.param_upload_bytes > 0) {
+        const double start = std::max(pcie_free, ready);
+        const double dur = double(w.param_upload_bytes) / spec.pcie_bw;
+        pcie_free = start + dur;
+        result.pcie_busy += dur;
+        emit("param upload", "pcie", start, pcie_free);
+      }
+      if (w.gpu_update_elements > 0) {
+        const double start = std::max(gpu_free, grads_at);
+        const double dur =
+            double(w.gpu_update_elements) * 28.0 / spec.gpu_optimizer_bw;
+        gpu_free = start + dur;
+        result.gpu_busy += dur;
+        emit("gpu adam (step " + std::to_string(w.after_step) + ")", "gpu",
+             start, gpu_free);
+      }
+    }
+  }
+
+  if (timeline != nullptr) {
+    std::sort(timeline->begin(), timeline->end(),
+              [](const TaskTiming& a, const TaskTiming& b) {
+                return a.start < b.start;
+              });
+  }
+  result.compute_end_seconds =
+      num_steps > 0 ? compute_done[num_steps - 1] : 0.0;
+  const double gpu_path =
+      std::max({result.compute_end_seconds, gpu_free, comm_free});
+  const double full_pipeline =
+      std::max({gpu_path, pcie_free, cpu_free, ssd_free});
+  if (spec.lock_free) {
+    // §4.3: buffered gradients/parameters decouple GPU computation from the
+    // CPU/SSD updating threads; the iteration is gated by the GPU path and
+    // the PCIe traffic it still needs (parameter fetches + grad offloads).
+    result.iteration_seconds = std::max(gpu_path, pcie_free);
+    result.optimizer_lag_seconds =
+        std::max(0.0, full_pipeline - result.iteration_seconds);
+  } else {
+    result.iteration_seconds = full_pipeline;
+    result.optimizer_lag_seconds = 0.0;
+  }
+  return result;
+}
+
+util::Status ExportChromeTrace(const std::vector<TaskTiming>& timeline,
+                               const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  // Resource rows become "threads" of one process.
+  const char* resources[] = {"gpu", "comm", "pcie", "cpu", "ssd"};
+  std::fputs("[\n", file);
+  bool first = true;
+  for (int tid = 0; tid < 5; ++tid) {
+    std::fprintf(file,
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                 "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",\n", tid, resources[tid]);
+    first = false;
+  }
+  for (const TaskTiming& task : timeline) {
+    int tid = 0;
+    for (int i = 0; i < 5; ++i) {
+      if (task.resource == resources[i]) tid = i;
+    }
+    std::fprintf(file,
+                 ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+                 "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                 task.name.c_str(), tid, task.start * 1e6,
+                 (task.end - task.start) * 1e6);
+  }
+  std::fputs("\n]\n", file);
+  if (std::fclose(file) != 0) {
+    return util::Status::IoError("short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace angelptm::sim

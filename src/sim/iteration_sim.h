@@ -1,0 +1,114 @@
+#ifndef ANGELPTM_SIM_ITERATION_SIM_H_
+#define ANGELPTM_SIM_ITERATION_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+#include "util/status.h"
+
+namespace angelptm::sim {
+
+/// Optimizer work produced by one backward step, per rank / per node.
+struct OptimizerWork {
+  /// The compute step whose completion makes this work runnable.
+  int after_step = 0;
+  /// fp16 gradient bytes offloaded GPU->CPU over this rank's PCIe link.
+  uint64_t grad_offload_bytes = 0;
+  /// Parameter elements Adam-updated on this node's CPUs (node aggregate).
+  uint64_t cpu_update_elements = 0;
+  /// Parameter elements updated directly on the GPU (cached states).
+  uint64_t gpu_update_elements = 0;
+  /// fp32 state bytes read from / written to SSD for this work (node
+  /// aggregate; 0 when the SSD tier is unused).
+  uint64_t ssd_read_bytes = 0;
+  uint64_t ssd_write_bytes = 0;
+  /// Updated fp16 parameter bytes pushed back GPU-ward over PCIe after the
+  /// CPU update (used by baselines whose fp16 master copy lives on the GPU;
+  /// Angel-PTM's next-iteration moves cover this instead).
+  uint64_t param_upload_bytes = 0;
+};
+
+/// A fully planned training iteration for one representative rank: the
+/// unified schedule plus the optimizer pipeline and the link speeds to
+/// execute them against.
+struct IterationSpec {
+  core::ScheduleInput sched;
+  std::vector<core::Task> tasks;
+  std::vector<OptimizerWork> opt_work;
+
+  /// Extra per-step communication charged to the collective stream beyond
+  /// parameter gathers (e.g. the MoE all-to-all), in seconds per step.
+  double extra_comm_seconds_per_step = 0.0;
+
+  // Link speeds (bytes/second).
+  double pcie_bw = 32e9;
+  double collective_bw_per_rank = 200e9;
+  double cpu_optimizer_bw = 60e9;   // Touches 28 B/element.
+  double gpu_optimizer_bw = 600e9;  // HBM-bound update.
+  double ssd_bw = 3.5e9;
+
+  /// Lock-free updating (§4.3): the CPU/SSD optimizer pipeline is decoupled
+  /// from the GPU's critical path; iteration time excludes it.
+  bool lock_free = false;
+
+  /// Gradient accumulation: the compute/gather schedule runs this many
+  /// micro-batch passes per iteration (movements only once — parameters stay
+  /// cached), gradients offload every pass, and the CPU/SSD optimizer work
+  /// runs once after the last pass. Figure 8's growing global batch uses
+  /// this to amortize the optimizer across more samples.
+  int grad_accumulation = 1;
+};
+
+/// One executed task on the simulated timeline (for trace export).
+struct TaskTiming {
+  std::string name;      // "compute step 3", "move page 17", ...
+  std::string resource;  // "gpu", "pcie", "comm", "cpu", "ssd".
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Outcome of simulating one iteration.
+struct IterationResult {
+  double iteration_seconds = 0.0;
+  /// When the last compute finished (the pure GPU path).
+  double compute_end_seconds = 0.0;
+  /// How far the optimizer pipeline runs past the iteration end under
+  /// lock-free mode (the staleness the mechanism trades for throughput);
+  /// 0 in synchronous mode.
+  double optimizer_lag_seconds = 0.0;
+
+  // Busy time per resource.
+  double gpu_busy = 0.0;
+  double pcie_busy = 0.0;
+  double comm_busy = 0.0;
+  double cpu_busy = 0.0;
+  double ssd_busy = 0.0;
+
+  double GpuIdleFraction() const {
+    return iteration_seconds <= 0.0
+               ? 0.0
+               : 1.0 - gpu_busy / iteration_seconds;
+  }
+};
+
+/// Executes the schedule on a resource timeline model: one GPU compute
+/// stream, one PCIe link, one collective stream, the node's CPU optimizer
+/// and the node's SSD. Tasks start no earlier than their trigger (the
+/// completion of compute step trigger_id-1) and serialize on their resource.
+/// On-demand gathers (pages never moved) pay an extra PCIe fetch first, the
+/// behaviour Algorithm 1's wait-stack creates under memory pressure.
+/// When `timeline` is non-null, every simulated task's start/end lands in
+/// it (sorted by start time) — feed to ExportChromeTrace for visualization.
+IterationResult SimulateIteration(const IterationSpec& spec,
+                                  std::vector<TaskTiming>* timeline = nullptr);
+
+/// Writes a Chrome tracing JSON (chrome://tracing / Perfetto) with one row
+/// per resource, so the scheduler's overlap is visible at a glance.
+util::Status ExportChromeTrace(const std::vector<TaskTiming>& timeline,
+                               const std::string& path);
+
+}  // namespace angelptm::sim
+
+#endif  // ANGELPTM_SIM_ITERATION_SIM_H_

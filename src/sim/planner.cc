@@ -1,0 +1,253 @@
+#include "sim/planner.h"
+
+#include <algorithm>
+
+#include "core/unified_scheduler.h"
+#include "model/footprint.h"
+#include "util/logging.h"
+#include "util/units.h"
+#include "sim/cost_model.h"
+
+namespace angelptm::sim {
+namespace {
+
+/// Page size used for cluster-scale planning: coarser than the engine's
+/// 4 MiB so schedules stay ~8 pages/layer (the scheduler's behaviour is
+/// granularity-independent; this only bounds task counts).
+uint64_t PlanningPageBytes(uint64_t shard_bytes_per_layer) {
+  const uint64_t target = (shard_bytes_per_layer + 7) / 8;
+  return std::max<uint64_t>(4 * util::kMiB,
+                            util::RoundUp(target, util::kMiB));
+}
+
+}  // namespace
+
+util::Result<Plan> PlanAngelPtm(const PlanRequest& request) {
+  const auto& hw = request.hw;
+  const int num_gpus = request.num_gpus;
+  if (num_gpus < 1) {
+    return util::Status::InvalidArgument("num_gpus must be >= 1");
+  }
+  const int gpus_per_node = std::min(num_gpus, hw.gpus_per_node);
+  const int L = request.model.num_layers;
+  const uint64_t layer_params = model::LayerParamCount(request.model);
+  const uint64_t total_params = uint64_t(L) * layer_params;
+
+  model::TrainingConfig training;
+  training.micro_batch = request.micro_batch;
+  training.recompute_activations = true;
+  const CostModel cost(hw, request.model, training);
+
+  // ZeRO: every rank owns 1/G of each layer's states (§3.2).
+  const uint64_t shard_fp16_layer = 2 * layer_params / num_gpus;
+  const uint64_t page_bytes = PlanningPageBytes(shard_fp16_layer);
+  const size_t pages_per_layer =
+      std::max<size_t>(1, (shard_fp16_layer + page_bytes - 1) / page_bytes);
+
+  // Activation geometry (Table 1 closed forms; recompute keeps only the
+  // per-layer boundary tensor alive across steps).
+  const uint64_t b = request.micro_batch, s = request.model.seq_len;
+  const uint64_t dm = request.model.d_model, dffn = request.model.d_ffn;
+  uint64_t layer_acts = 40 * b * s * dm + 8 * b * s * dffn;
+  if (request.model.family != model::ModelFamily::kGpt) layer_acts *= 2;
+  const uint64_t boundary_act = 2 * b * s * dm;
+
+  core::ScheduleInput input;
+  input.world_size = num_gpus;
+  input.gpu_memory_budget = hw.GpuUsableBytes();
+  uint64_t next_page_id = 0;
+  std::vector<std::vector<core::PageRef>> layer_pages(L);
+  for (int l = 0; l < L; ++l) {
+    uint64_t remaining = shard_fp16_layer;
+    for (size_t p = 0; p < pages_per_layer; ++p) {
+      const uint64_t bytes = std::min<uint64_t>(remaining, page_bytes);
+      layer_pages[l].push_back({next_page_id++, std::max<uint64_t>(bytes, 1)});
+      remaining -= std::min<uint64_t>(remaining, page_bytes);
+    }
+  }
+  for (int l = 0; l < L; ++l) {
+    core::SchedStep step;
+    step.param_pages = layer_pages[l];
+    step.workspace_bytes = layer_acts / 2;  // Forward: no grad activations.
+    step.retained_bytes = int64_t(boundary_act);
+    step.compute_seconds = cost.LayerForwardSeconds(request.micro_batch);
+    input.steps.push_back(step);
+  }
+  for (int l = L - 1; l >= 0; --l) {
+    core::SchedStep step;
+    step.param_pages = layer_pages[l];
+    step.workspace_bytes = layer_acts;  // Recompute + gradient activations.
+    step.retained_bytes = -int64_t(boundary_act);
+    step.compute_seconds = cost.LayerBackwardSeconds(request.micro_batch);
+    input.steps.push_back(step);
+  }
+
+  // Dynamic caching (§4.2): spare GPU memory can either prefetch fp16 shard
+  // pages (handled inside Algorithm 1) or cache fp32 optimizer states so
+  // their updates run on the GPU. Find the minimum budget the schedule needs
+  // at all, then treat the rest as a cache/overlap trade-off decided below
+  // by simulated throughput (the capacity-maximal split is always among the
+  // candidates, so feasibility is never sacrificed).
+  ANGEL_RETURN_IF_ERROR(core::BuildSchedule(input).status());
+  uint64_t lo = 0, hi = input.gpu_memory_budget;
+  while (hi - lo > 256 * util::kMiB) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    core::ScheduleInput probe = input;
+    probe.gpu_memory_budget = mid;
+    (core::BuildSchedule(probe).ok() ? hi : lo) = mid;
+  }
+  const uint64_t min_budget = hi;
+  const uint64_t slack = input.gpu_memory_budget - min_budget;
+  const uint64_t optim_shard_bytes = 12 * total_params / num_gpus;
+
+  const uint64_t params_per_rank = total_params / num_gpus;
+  const uint64_t params_per_node = params_per_rank * gpus_per_node;
+
+  /// Assembles a full plan with `cache_bytes` of fp32 states cached on the
+  /// GPU (and the rest of the budget given to the scheduler).
+  auto assemble = [&](uint64_t cache_bytes) -> util::Result<Plan> {
+    core::ScheduleInput candidate = input;
+    candidate.gpu_memory_budget = hw.GpuUsableBytes() - cache_bytes;
+    ANGEL_ASSIGN_OR_RETURN(core::Schedule schedule,
+                           core::BuildSchedule(candidate));
+    const double cached_fraction =
+        optim_shard_bytes == 0
+            ? 0.0
+            : double(cache_bytes) / double(optim_shard_bytes);
+
+    // Host/SSD capacity checks (per node). Unlike a static partitioner,
+    // Angel-PTM's dynamic management keeps part of the model states
+    // resident in spare GPU memory — both the fp32 cache and the prefetched
+    // fp16 shard pages — shrinking the host requirement (the Table 5
+    // behaviour: "moves partial model states into GPU memory to achieve
+    // larger model scale").
+    uint64_t prefetched_fp16_bytes = 0;
+    for (const core::Task& task : schedule.tasks) {
+      if (task.op == core::TaskOp::kMoveToGpu) {
+        prefetched_fp16_bytes += task.bytes;
+      }
+    }
+    const uint64_t gpu_state_bytes_node =
+        (cache_bytes + prefetched_fp16_bytes) * gpus_per_node;
+    uint64_t cpu_bytes_node, ssd_bytes_node = 0;
+    if (request.use_ssd) {
+      // §6.5: fp32 master states live on SSD; the CPU holds the fp16
+      // parameter/gradient buffers of the lock-free mechanism.
+      ssd_bytes_node = 12 * params_per_node;
+      const uint64_t fp16_bytes_node = 4 * params_per_node;
+      cpu_bytes_node =
+          fp16_bytes_node -
+          std::min(fp16_bytes_node,
+                   prefetched_fp16_bytes * uint64_t(gpus_per_node));
+      if (ssd_bytes_node > hw.ssd_capacity_bytes) {
+        return util::Status::OutOfMemory(
+            "SSD tier needs " + util::FormatBytes(ssd_bytes_node) +
+            " but has " + util::FormatBytes(hw.ssd_capacity_bytes));
+      }
+    } else {
+      const uint64_t total_state_node = 16 * params_per_node;
+      cpu_bytes_node = total_state_node -
+                       std::min(total_state_node, gpu_state_bytes_node);
+    }
+    if (cpu_bytes_node > hw.cpu_usable_bytes) {
+      return util::Status::OutOfMemory(
+          "CPU tier needs " + util::FormatBytes(cpu_bytes_node) +
+          " but has " + util::FormatBytes(hw.cpu_usable_bytes));
+    }
+
+    Plan plan;
+    plan.spec.sched = candidate;
+    plan.spec.tasks = std::move(schedule.tasks);
+    plan.peak_gpu_bytes = schedule.peak_gpu_bytes + cache_bytes;
+    plan.gpu_cache_bytes = cache_bytes;
+    plan.gpu_cached_fraction = cached_fraction;
+    plan.cpu_bytes_per_node = cpu_bytes_node;
+    plan.ssd_bytes_per_node = ssd_bytes_node;
+
+    // Optimizer pipeline: one work item per layer, runnable as soon as that
+    // layer's backward completes (fine-grained overlap, unlike a
+    // synchronous trailing step()).
+    const uint64_t elements_rank = layer_params / num_gpus;
+    for (int l = 0; l < L; ++l) {
+      OptimizerWork work;
+      work.after_step = 2 * L - 1 - l;
+      work.gpu_update_elements =
+          uint64_t(cached_fraction * double(elements_rank));
+      const uint64_t cpu_elements_rank =
+          elements_rank - work.gpu_update_elements;
+      work.cpu_update_elements = cpu_elements_rank * gpus_per_node;
+      work.grad_offload_bytes = 2 * cpu_elements_rank;
+      if (request.use_ssd) {
+        work.ssd_read_bytes = 12 * work.cpu_update_elements;
+        work.ssd_write_bytes = 12 * work.cpu_update_elements;
+      }
+      plan.spec.opt_work.push_back(work);
+    }
+
+    plan.spec.pcie_bw = hw.pcie_bw_per_gpu;
+    plan.spec.collective_bw_per_rank = hw.CollectiveBwPerRank(num_gpus);
+    plan.spec.cpu_optimizer_bw = hw.cpu_optimizer_bw_per_node;
+    plan.spec.gpu_optimizer_bw = hw.gpu_hbm_bw;
+    plan.spec.ssd_bw = hw.ssd_bw_per_node;
+    plan.spec.lock_free = request.lock_free;
+    plan.spec.grad_accumulation = request.grad_accumulation;
+    return plan;
+  };
+
+  // Evaluate a few cache/overlap splits by simulated throughput. The
+  // capacity-maximal split (all slack to the fp32 cache) is included, so a
+  // model that only fits with maximal caching is still planned. In SSD mode
+  // the fp32 states live on the SSD by design (§6.5) and are not cached.
+  const uint64_t max_cache =
+      request.use_ssd ? 0 : std::min<uint64_t>(slack, optim_shard_bytes);
+  util::Status last_error = util::Status::OutOfMemory("no feasible plan");
+  bool have_best = false;
+  Plan best;
+  double best_throughput = -1.0;
+  for (const double fraction : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    const auto candidate = assemble(uint64_t(fraction * double(max_cache)));
+    if (!candidate.ok()) {
+      last_error = candidate.status();
+      continue;
+    }
+    const IterationResult result = SimulateIteration(candidate->spec);
+    const double throughput =
+        result.iteration_seconds > 0 ? 1.0 / result.iteration_seconds : 0.0;
+    if (throughput > best_throughput) {
+      best_throughput = throughput;
+      best = *candidate;
+      have_best = true;
+    }
+  }
+  if (!have_best) return last_error;
+  return best;
+}
+
+int MaxMicroBatchAngelPtm(PlanRequest request, int max_batch) {
+  auto feasible = [&](int batch) {
+    request.micro_batch = batch;
+    return PlanAngelPtm(request).ok();
+  };
+  if (!feasible(1)) return 0;
+  int low = 1, high = 2;
+  while (high <= max_batch && feasible(high)) {
+    low = high;
+    high *= 2;
+  }
+  high = std::min(high, max_batch + 1);
+  // Invariant: feasible(low), !feasible(high) (or high > max_batch).
+  while (low + 1 < high) {
+    const int mid = low + (high - low) / 2;
+    (feasible(mid) ? low : high) = mid;
+  }
+  return low;
+}
+
+double SamplesPerSecond(const PlanRequest& request, const Plan& plan) {
+  const IterationResult result = SimulateIteration(plan.spec);
+  if (result.iteration_seconds <= 0.0) return 0.0;
+  return double(request.num_gpus) * request.micro_batch /
+         result.iteration_seconds;
+}
+
+}  // namespace angelptm::sim

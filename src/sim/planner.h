@@ -1,0 +1,63 @@
+#ifndef ANGELPTM_SIM_PLANNER_H_
+#define ANGELPTM_SIM_PLANNER_H_
+
+#include <cstdint>
+
+#include "model/transformer_config.h"
+#include "sim/hardware.h"
+#include "sim/iteration_sim.h"
+#include "util/status.h"
+
+namespace angelptm::sim {
+
+/// A planning request: train `model` with `micro_batch` sequences per GPU on
+/// `num_gpus` GPUs of `hw`-shaped servers.
+struct PlanRequest {
+  model::TransformerConfig model;
+  int micro_batch = 1;
+  HardwareConfig hw;
+  int num_gpus = 8;
+  /// Keep fp32 optimizer states on SSD (§6.5 extreme-scale mode).
+  bool use_ssd = false;
+  /// Enable the lock-free updating mechanism (Algorithm 2).
+  bool lock_free = false;
+  /// Micro-batch passes per iteration (gradients accumulate; the optimizer
+  /// runs once per iteration). Figure 8 grows the global batch this way.
+  int grad_accumulation = 1;
+};
+
+/// A planned iteration plus its memory placement summary.
+struct Plan {
+  IterationSpec spec;
+  /// Peak scheduled GPU bytes on one rank (model states + activations).
+  uint64_t peak_gpu_bytes = 0;
+  /// fp32 optimizer-state bytes cached in spare GPU memory (the dynamic
+  /// caching of §4.2).
+  uint64_t gpu_cache_bytes = 0;
+  /// Fraction of the optimizer shard updated directly on the GPU.
+  double gpu_cached_fraction = 0.0;
+  uint64_t cpu_bytes_per_node = 0;
+  uint64_t ssd_bytes_per_node = 0;
+};
+
+/// Plans one Angel-PTM training iteration:
+///  1. ZeRO-shards model states across all ranks.
+///  2. Builds the page-level schedule with Algorithm 1 (real scheduler).
+///  3. Dedicates leftover GPU memory to caching fp32 optimizer states,
+///     moving their updates onto the GPU (dynamic caching, §4.2).
+///  4. Pipelines the remaining CPU/SSD optimizer work per backward layer.
+/// Returns OutOfMemory when the model cannot fit the memory hierarchy at
+/// this batch size.
+util::Result<Plan> PlanAngelPtm(const PlanRequest& request);
+
+/// Largest micro-batch for which `PlanAngelPtm` succeeds (0 = infeasible at
+/// any batch). Linear+binary search capped at `max_batch`.
+int MaxMicroBatchAngelPtm(PlanRequest request, int max_batch = 512);
+
+/// Simulates a planned iteration and converts to end-to-end samples/second
+/// across the whole job (num_gpus * micro_batch per iteration).
+double SamplesPerSecond(const PlanRequest& request, const Plan& plan);
+
+}  // namespace angelptm::sim
+
+#endif  // ANGELPTM_SIM_PLANNER_H_

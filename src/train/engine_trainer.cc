@@ -1,0 +1,130 @@
+#include "train/engine_trainer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "train/kernels.h"
+
+namespace angelptm::train {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EngineTrainer::EngineTrainer(const LayeredModel* model,
+                             const EngineTrainerOptions& options)
+    : model_(model), options_(options), rng_(options.seed) {}
+
+util::Status EngineTrainer::Init() {
+  ANGEL_ASSIGN_OR_RETURN(engine_, core::Engine::Create(options_.engine));
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    ANGEL_RETURN_IF_ERROR(
+        engine_->RegisterLayer(model_->InitLayerParams(l, &rng_)).status());
+  }
+  return util::Status::OK();
+}
+
+util::Result<double> EngineTrainer::Step(const std::vector<float>& x,
+                                         const std::vector<float>& y) {
+  const int num_layers = model_->num_layers();
+  const size_t batch = options_.batch_size;
+  ANGEL_RETURN_IF_ERROR(engine_->BeginStep());
+
+  // Forward. With activation offloading only the layer *inputs* (the
+  // boundaries) survive, on the hierarchical memory; otherwise keep the
+  // full per-layer stash in host vectors.
+  std::vector<LayerStash> stash(num_layers);
+  std::vector<float> acts = x;
+  for (int l = 0; l < num_layers; ++l) {
+    if (options_.offload_activations) {
+      ANGEL_RETURN_IF_ERROR(engine_->StashActivation(l, acts));
+    }
+    ANGEL_ASSIGN_OR_RETURN(const std::vector<float> params,
+                           engine_->UseLayerParams(l));
+    std::vector<float> next;
+    model_->Forward(l, params.data(), acts, batch, &next,
+                    options_.offload_activations ? nullptr : &stash[l]);
+    acts = std::move(next);
+  }
+
+  std::vector<float> grad(acts.size());
+  const double loss =
+      MseLoss(acts.data(), y.data(), grad.data(), acts.size());
+
+  // Backward: fetch boundaries and recompute interiors when offloading.
+  for (int l = num_layers - 1; l >= 0; --l) {
+    ANGEL_ASSIGN_OR_RETURN(const std::vector<float> params,
+                           engine_->UseLayerParams(l));
+    if (options_.offload_activations) {
+      ANGEL_ASSIGN_OR_RETURN(const std::vector<float> boundary,
+                             engine_->FetchActivation(l));
+      std::vector<float> recomputed;
+      model_->Forward(l, params.data(), boundary, batch, &recomputed,
+                      &stash[l]);
+    }
+    std::vector<float> grad_in, grad_params;
+    model_->Backward(l, params.data(), stash[l], grad, batch, &grad_in,
+                     &grad_params);
+    ANGEL_RETURN_IF_ERROR(engine_->PushGrads(l, grad_params));
+    grad = std::move(grad_in);
+  }
+  ANGEL_RETURN_IF_ERROR(engine_->EndStep());
+  return loss;
+}
+
+util::Result<TrainReport> EngineTrainer::Train(
+    const SyntheticRegression& dataset, int steps) {
+  if (engine_ == nullptr) {
+    return util::Status::FailedPrecondition("Init() not called");
+  }
+  TrainReport report;
+  const double start = NowSeconds();
+  std::vector<float> x, y;
+  for (int step = 0; step < steps; ++step) {
+    dataset.GenBatch(&rng_, options_.batch_size, &x, &y);
+    ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y));
+    report.losses.push_back(loss);
+    if (options_.engine.lock_free) {
+      report.max_pending_batches =
+          std::max(report.max_pending_batches,
+                   engine_->updater()->pending_grad_batches());
+    }
+  }
+  if (options_.engine.lock_free) {
+    engine_->updater()->DrainUpdates();
+  }
+  report.wall_seconds = NowSeconds() - start;
+  report.steps_per_second =
+      report.wall_seconds > 0 ? steps / report.wall_seconds : 0.0;
+  report.final_train_loss = report.losses.empty() ? 0.0 : report.losses.back();
+  report.updates_applied = engine_->updater()->updates_applied();
+
+  // Validation on the master parameters.
+  util::Rng validation_rng(options_.seed ^ 0x5EEDF00Dull);
+  double total = 0.0;
+  const int validation_batches = 8;
+  for (int i = 0; i < validation_batches; ++i) {
+    dataset.GenBatch(&validation_rng, options_.batch_size, &x, &y);
+    std::vector<float> acts = x;
+    for (int l = 0; l < model_->num_layers(); ++l) {
+      std::vector<float> params;
+      ANGEL_RETURN_IF_ERROR(
+          engine_->updater()->ReadMasterParams(l, &params));
+      std::vector<float> next;
+      model_->Forward(l, params.data(), acts, options_.batch_size, &next,
+                      nullptr);
+      acts = std::move(next);
+    }
+    std::vector<float> grad(acts.size());
+    total += MseLoss(acts.data(), y.data(), grad.data(), acts.size());
+  }
+  report.validation_loss = total / validation_batches;
+  return report;
+}
+
+}  // namespace angelptm::train

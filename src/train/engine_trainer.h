@@ -1,0 +1,62 @@
+#ifndef ANGELPTM_TRAIN_ENGINE_TRAINER_H_
+#define ANGELPTM_TRAIN_ENGINE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "train/dataset.h"
+#include "train/layered_model.h"
+#include "train/trainer.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace angelptm::train {
+
+/// The full-system training loop: every step goes through the paged Engine
+/// — parameters staged into the fast tier on the unified schedule, boundary
+/// activations stashed on hierarchical memory and interiors recomputed in
+/// backward (§4.2), gradients offloaded to the (optionally lock-free)
+/// updater. This is `train::Trainer` with the Angel-PTM runtime actually
+/// underneath it instead of direct buffer access.
+struct EngineTrainerOptions {
+  core::EngineOptions engine;
+  size_t batch_size = 32;
+  /// Stash boundary activations on the hierarchical memory and recompute
+  /// layer interiors in backward (§4.2). When false the caller-side stash
+  /// stays in host vectors like a conventional framework.
+  bool offload_activations = true;
+  uint64_t seed = 1234;
+};
+
+class EngineTrainer {
+ public:
+  /// `model` must outlive the trainer.
+  EngineTrainer(const LayeredModel* model,
+                const EngineTrainerOptions& options);
+
+  EngineTrainer(const EngineTrainer&) = delete;
+  EngineTrainer& operator=(const EngineTrainer&) = delete;
+
+  /// Creates the engine and registers every layer.
+  util::Status Init();
+
+  /// Runs `steps` training steps; same report shape as train::Trainer.
+  util::Result<TrainReport> Train(const SyntheticRegression& dataset,
+                                  int steps);
+
+  core::Engine* engine() { return engine_.get(); }
+
+ private:
+  util::Result<double> Step(const std::vector<float>& x,
+                            const std::vector<float>& y);
+
+  const LayeredModel* model_;
+  EngineTrainerOptions options_;
+  std::unique_ptr<core::Engine> engine_;
+  util::Rng rng_;
+};
+
+}  // namespace angelptm::train
+
+#endif  // ANGELPTM_TRAIN_ENGINE_TRAINER_H_

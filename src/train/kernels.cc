@@ -1,0 +1,181 @@
+#include "train/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace angelptm::train {
+namespace {
+
+constexpr double kGeluC = 0.7978845608028654;  // sqrt(2/pi)
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n) {
+  std::memset(c, 0, m * n * sizeof(float));
+  // ikj loop order: streams through B and C rows, decent cache behaviour
+  // without tiling machinery.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* b_row = b + p * n;
+      float* c_row = c + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n) {
+  std::memset(c, 0, m * n * sizeof(float));
+  for (size_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float api = a_row[i];
+      if (api == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        c_row[j] += api * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      double sum = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        sum += double(a_row[p]) * b_row[p];
+      }
+      c_row[j] = float(sum);
+    }
+  }
+}
+
+void AddBias(float* y, const float* bias, size_t m, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    float* row = y + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void BiasBackward(const float* grad, float* grad_bias, size_t m, size_t n) {
+  for (size_t j = 0; j < n; ++j) grad_bias[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = grad + i * n;
+    for (size_t j = 0; j < n; ++j) grad_bias[j] += row[j];
+  }
+}
+
+void Gelu(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    y[i] = float(0.5 * v * (1.0 + std::tanh(kGeluC * (v + 0.044715 * v * v * v))));
+  }
+}
+
+void GeluBackward(const float* x, const float* dy, float* dx, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    const double u = kGeluC * (v + 0.044715 * v * v * v);
+    const double t = std::tanh(u);
+    const double du = kGeluC * (1.0 + 3.0 * 0.044715 * v * v);
+    const double grad = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+    dx[i] = float(dy[i] * grad);
+  }
+}
+
+void LayerNorm(const float* x, const float* gamma, const float* beta,
+               float* y, float* mean, float* rstd, size_t m, size_t n) {
+  constexpr double kEps = 1e-5;
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = x + i * n;
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) sum += row[j];
+    const double mu = sum / n;
+    double var = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double d = row[j] - mu;
+      var += d * d;
+    }
+    var /= n;
+    const double rs = 1.0 / std::sqrt(var + kEps);
+    mean[i] = float(mu);
+    rstd[i] = float(rs);
+    float* out = y + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      out[j] = float((row[j] - mu) * rs * gamma[j] + beta[j]);
+    }
+  }
+}
+
+void LayerNormBackward(const float* x, const float* gamma, const float* dy,
+                       const float* mean, const float* rstd, float* dx,
+                       float* dgamma, float* dbeta, size_t m, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* x_row = x + i * n;
+    const float* dy_row = dy + i * n;
+    float* dx_row = dx + i * n;
+    const double mu = mean[i];
+    const double rs = rstd[i];
+    double sum_dy_hat = 0.0, sum_dy_hat_xhat = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double xhat = (x_row[j] - mu) * rs;
+      const double dy_hat = double(dy_row[j]) * gamma[j];
+      sum_dy_hat += dy_hat;
+      sum_dy_hat_xhat += dy_hat * xhat;
+      dgamma[j] += float(dy_row[j] * xhat);
+      dbeta[j] += dy_row[j];
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const double xhat = (x_row[j] - mu) * rs;
+      const double dy_hat = double(dy_row[j]) * gamma[j];
+      dx_row[j] = float(
+          rs * (dy_hat - sum_dy_hat / n - xhat * sum_dy_hat_xhat / n));
+    }
+  }
+}
+
+double SoftmaxCrossEntropy(const float* logits, const int* labels,
+                           float* grad, size_t m, size_t n) {
+  double total_loss = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = logits + i * n;
+    float* grad_row = grad + i * n;
+    double max_logit = row[0];
+    for (size_t j = 1; j < n; ++j) max_logit = std::max<double>(max_logit, row[j]);
+    double denom = 0.0;
+    for (size_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_logit);
+    const int label = labels[i];
+    total_loss += -(row[label] - max_logit - std::log(denom));
+    for (size_t j = 0; j < n; ++j) {
+      const double p = std::exp(row[j] - max_logit) / denom;
+      grad_row[j] =
+          float((p - (int(j) == label ? 1.0 : 0.0)) / double(m));
+    }
+  }
+  return total_loss / m;
+}
+
+double MseLoss(const float* pred, const float* target, float* grad,
+               size_t count) {
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    const double d = double(pred[i]) - target[i];
+    total += d * d;
+    grad[i] = float(2.0 * d / double(count));
+  }
+  return total / double(count);
+}
+
+}  // namespace angelptm::train

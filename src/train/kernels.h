@@ -1,0 +1,62 @@
+#ifndef ANGELPTM_TRAIN_KERNELS_H_
+#define ANGELPTM_TRAIN_KERNELS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace angelptm::train {
+
+/// Dense CPU kernels (fp32) used by the real training path. These are the
+/// "GPU computations" of the reproduction — numerically real forward and
+/// backward passes executed by the engine's compute stream against tensors
+/// managed by the page-based memory subsystem.
+///
+/// Conventions: row-major matrices, `m x k` times `k x n`.
+
+/// C = A * B. A is m x k, B is k x n, C is m x n (overwritten).
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n);
+
+/// C = A^T * B. A is k x m, B is k x n, C is m x n.
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n);
+
+/// C = A * B^T. A is m x k, B is n x k, C is m x n.
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n);
+
+/// y[i] += bias[i % n] over an m x n matrix.
+void AddBias(float* y, const float* bias, size_t m, size_t n);
+
+/// grad_bias[j] = sum_i grad[i, j].
+void BiasBackward(const float* grad, float* grad_bias, size_t m, size_t n);
+
+/// GeLU (tanh approximation, as used by GPT) applied elementwise.
+void Gelu(const float* x, float* y, size_t n);
+
+/// dx = dy * gelu'(x).
+void GeluBackward(const float* x, const float* dy, float* dx, size_t n);
+
+/// Row-wise LayerNorm over an m x n matrix with learned gain/bias.
+/// `mean`/`rstd` (size m) are saved for backward.
+void LayerNorm(const float* x, const float* gamma, const float* beta,
+               float* y, float* mean, float* rstd, size_t m, size_t n);
+
+/// Backward of LayerNorm: produces dx and accumulates dgamma/dbeta.
+void LayerNormBackward(const float* x, const float* gamma, const float* dy,
+                       const float* mean, const float* rstd, float* dx,
+                       float* dgamma, float* dbeta, size_t m, size_t n);
+
+/// Row-wise softmax cross-entropy against integer labels. Returns the mean
+/// loss; fills `grad` (m x n) with dloss/dlogits (already divided by m).
+double SoftmaxCrossEntropy(const float* logits, const int* labels,
+                           float* grad, size_t m, size_t n);
+
+/// Mean squared error: returns mean over all elements of (pred-target)^2,
+/// fills grad with dloss/dpred.
+double MseLoss(const float* pred, const float* target, float* grad,
+               size_t count);
+
+}  // namespace angelptm::train
+
+#endif  // ANGELPTM_TRAIN_KERNELS_H_

@@ -1,0 +1,39 @@
+#include "train/loss_scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace angelptm::train {
+
+LossScaler::LossScaler() : LossScaler(Options()) {}
+
+LossScaler::LossScaler(const Options& options)
+    : options_(options), scale_(options.initial_scale) {}
+
+bool LossScaler::HasNonFinite(const std::vector<float>& values) {
+  for (float v : values) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+bool LossScaler::Update(bool overflowed) {
+  if (overflowed) {
+    ++overflows_;
+    good_steps_ = 0;
+    scale_ = std::max(options_.min_scale,
+                      scale_ * options_.backoff_factor);
+    return false;
+  }
+  if (++good_steps_ >= options_.growth_interval) {
+    good_steps_ = 0;
+    const double grown = scale_ * options_.growth_factor;
+    if (grown <= options_.max_scale) {
+      scale_ = grown;
+      ++growths_;
+    }
+  }
+  return true;
+}
+
+}  // namespace angelptm::train

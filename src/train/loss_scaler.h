@@ -1,0 +1,53 @@
+#ifndef ANGELPTM_TRAIN_LOSS_SCALER_H_
+#define ANGELPTM_TRAIN_LOSS_SCALER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace angelptm::train {
+
+/// Dynamic loss scaling for mixed-precision training (§2.1): gradients are
+/// computed against a scaled loss so small values survive the fp16 cast on
+/// their way into Algorithm 2's g'16 buffers, then unscaled before the
+/// optimizer. On overflow (non-finite gradients) the step is skipped and
+/// the scale backs off; after `growth_interval` clean steps it grows again
+/// — the standard AMP policy.
+class LossScaler {
+ public:
+  struct Options {
+    double initial_scale = 65536.0;  // 2^16.
+    double growth_factor = 2.0;
+    double backoff_factor = 0.5;
+    int growth_interval = 200;
+    double min_scale = 1.0;
+    double max_scale = 16777216.0;  // 2^24.
+  };
+
+  LossScaler();
+  explicit LossScaler(const Options& options);
+
+  double scale() const { return scale_; }
+
+  /// True if any element is inf or NaN.
+  static bool HasNonFinite(const std::vector<float>& values);
+
+  /// Call once per step with whether any gradient overflowed. Returns true
+  /// when the step's update should be applied (no overflow); false when it
+  /// must be skipped (scale already backed off).
+  bool Update(bool overflowed);
+
+  uint64_t overflows() const { return overflows_; }
+  uint64_t growths() const { return growths_; }
+  uint64_t steps_skipped() const { return overflows_; }
+
+ private:
+  Options options_;
+  double scale_;
+  int good_steps_ = 0;
+  uint64_t overflows_ = 0;
+  uint64_t growths_ = 0;
+};
+
+}  // namespace angelptm::train
+
+#endif  // ANGELPTM_TRAIN_LOSS_SCALER_H_

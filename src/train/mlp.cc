@@ -1,0 +1,89 @@
+#include "train/mlp.h"
+
+#include <cmath>
+
+#include "train/kernels.h"
+#include "util/logging.h"
+
+namespace angelptm::train {
+
+MlpModel::MlpModel(MlpConfig config) : config_(std::move(config)) {
+  ANGEL_CHECK(config_.dims.size() >= 2) << "MLP needs at least one layer";
+}
+
+size_t MlpModel::LayerParamCount(int layer) const {
+  const size_t in = config_.dims[layer];
+  const size_t out = config_.dims[layer + 1];
+  return in * out + out;
+}
+
+std::vector<float> MlpModel::InitLayerParams(int layer,
+                                             util::Rng* rng) const {
+  const size_t in = config_.dims[layer];
+  const size_t out = config_.dims[layer + 1];
+  std::vector<float> params(in * out + out, 0.0f);
+  const double stddev = std::sqrt(2.0 / double(in));
+  for (size_t i = 0; i < in * out; ++i) {
+    params[i] = float(rng->NextGaussian() * stddev);
+  }
+  return params;  // Bias stays zero.
+}
+
+void MlpModel::Forward(int layer, const float* params,
+                       const std::vector<float>& in, size_t batch,
+                       std::vector<float>* out, LayerStash* stash) const {
+  const size_t in_dim = config_.dims[layer];
+  const size_t out_dim = config_.dims[layer + 1];
+  ANGEL_CHECK(in.size() == batch * in_dim) << "layer input size mismatch";
+  const float* weights = params;
+  const float* bias = params + in_dim * out_dim;
+
+  std::vector<float> z(batch * out_dim);
+  Gemm(in.data(), weights, z.data(), batch, in_dim, out_dim);
+  AddBias(z.data(), bias, batch, out_dim);
+
+  if (stash != nullptr) {
+    stash->input = in;
+    stash->pre_activation = z;
+  }
+  const bool is_head = layer == num_layers() - 1;
+  out->resize(batch * out_dim);
+  if (is_head) {
+    *out = z;
+  } else {
+    Gelu(z.data(), out->data(), z.size());
+  }
+}
+
+void MlpModel::Backward(int layer, const float* params,
+                        const LayerStash& stash,
+                        const std::vector<float>& grad_out, size_t batch,
+                        std::vector<float>* grad_in,
+                        std::vector<float>* grad_params) const {
+  const size_t in_dim = config_.dims[layer];
+  const size_t out_dim = config_.dims[layer + 1];
+  ANGEL_CHECK(grad_out.size() == batch * out_dim) << "grad size mismatch";
+  const float* weights = params;
+
+  const bool is_head = layer == num_layers() - 1;
+  std::vector<float> dz(batch * out_dim);
+  if (is_head) {
+    dz = grad_out;
+  } else {
+    GeluBackward(stash.pre_activation.data(), grad_out.data(), dz.data(),
+                 dz.size());
+  }
+
+  grad_params->assign(in_dim * out_dim + out_dim, 0.0f);
+  // dW = x^T * dz.
+  GemmTransA(stash.input.data(), dz.data(), grad_params->data(), in_dim,
+             batch, out_dim);
+  // db = column sums of dz.
+  BiasBackward(dz.data(), grad_params->data() + in_dim * out_dim, batch,
+               out_dim);
+  // dx = dz * W^T.
+  grad_in->resize(batch * in_dim);
+  GemmTransB(dz.data(), weights, grad_in->data(), batch, out_dim, in_dim);
+}
+
+}  // namespace angelptm::train

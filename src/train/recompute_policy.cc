@@ -1,0 +1,64 @@
+#include "train/recompute_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/units.h"
+
+namespace angelptm::train {
+
+util::Result<RecomputePlan> PlanRecompute(
+    const std::vector<LayerActivationCost>& layers,
+    uint64_t memory_budget_bytes) {
+  RecomputePlan plan;
+  plan.choices.assign(layers.size(), ActivationChoice::kRecompute);
+
+  uint64_t mandatory = 0;
+  for (const LayerActivationCost& layer : layers) {
+    mandatory += layer.boundary_bytes;
+  }
+  if (mandatory > memory_budget_bytes) {
+    return util::Status::OutOfMemory(
+        "boundary activations alone need " + util::FormatBytes(mandatory) +
+        " of " + util::FormatBytes(memory_budget_bytes));
+  }
+
+  // Candidates ordered by recompute-time saved per extra resident byte.
+  std::vector<size_t> order(layers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto density = [&](size_t i) {
+      const uint64_t extra =
+          layers[i].full_stash_bytes > layers[i].boundary_bytes
+              ? layers[i].full_stash_bytes - layers[i].boundary_bytes
+              : 1;
+      return layers[i].recompute_seconds / double(extra);
+    };
+    return density(a) > density(b);
+  });
+
+  uint64_t used = mandatory;
+  for (size_t index : order) {
+    const LayerActivationCost& layer = layers[index];
+    const uint64_t extra =
+        layer.full_stash_bytes > layer.boundary_bytes
+            ? layer.full_stash_bytes - layer.boundary_bytes
+            : 0;
+    if (used + extra <= memory_budget_bytes &&
+        layer.recompute_seconds > 0.0) {
+      plan.choices[index] = ActivationChoice::kStashFull;
+      used += extra;
+    }
+  }
+
+  plan.resident_bytes = used;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    if (plan.choices[i] == ActivationChoice::kRecompute) {
+      plan.recompute_seconds += layers[i].recompute_seconds;
+      plan.layers_recomputed += 1;
+    }
+  }
+  return plan;
+}
+
+}  // namespace angelptm::train

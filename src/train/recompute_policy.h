@@ -1,0 +1,50 @@
+#ifndef ANGELPTM_TRAIN_RECOMPUTE_POLICY_H_
+#define ANGELPTM_TRAIN_RECOMPUTE_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace angelptm::train {
+
+/// Per-layer activation cost description for the recompute decision.
+struct LayerActivationCost {
+  /// Bytes to keep the layer's full interior activations resident.
+  uint64_t full_stash_bytes = 0;
+  /// Bytes of the boundary activation alone (always kept; the recompute
+  /// input).
+  uint64_t boundary_bytes = 0;
+  /// Seconds to regenerate the interior from the boundary in backward.
+  double recompute_seconds = 0.0;
+};
+
+enum class ActivationChoice : uint8_t {
+  kStashFull = 0,   // Keep interior activations; no recompute cost.
+  kRecompute = 1,   // Keep only the boundary; pay recompute_seconds.
+};
+
+struct RecomputePlan {
+  std::vector<ActivationChoice> choices;
+  uint64_t resident_bytes = 0;     // Total activation bytes kept.
+  double recompute_seconds = 0.0;  // Total extra backward time.
+  int layers_recomputed = 0;
+};
+
+/// Chooses which layers keep their full interior activations and which
+/// recompute from boundaries, under `memory_budget_bytes` of activation
+/// memory (§4.2: "we utilize the recomputation technique to further
+/// alleviate the GPU memory pressure"; the cost-based selection follows the
+/// eviction analyses of Superneurons/TSPLIT cited in §7).
+///
+/// Greedy by time-saved-per-byte: boundaries are mandatory; remaining
+/// budget goes to the layers whose recompute is most expensive relative to
+/// their stash size. Returns OutOfMemory when even boundaries alone exceed
+/// the budget.
+util::Result<RecomputePlan> PlanRecompute(
+    const std::vector<LayerActivationCost>& layers,
+    uint64_t memory_budget_bytes);
+
+}  // namespace angelptm::train
+
+#endif  // ANGELPTM_TRAIN_RECOMPUTE_POLICY_H_

@@ -1,0 +1,183 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "train/kernels.h"
+#include "util/half.h"
+
+namespace angelptm::train {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Rounds every element through bfloat16 (the paper's compute precision).
+void RoundToBf16(std::vector<float>* values) {
+  for (float& v : *values) {
+    v = util::BFloat16BitsToFloat(util::FloatToBFloat16Bits(v));
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(core::Allocator* allocator, const LayeredModel* model,
+                 const TrainerOptions& options)
+    : allocator_(allocator),
+      model_(model),
+      options_(options),
+      scaler_(options.loss_scaler),
+      rng_(options.seed) {}
+
+Trainer::~Trainer() {
+  if (updater_ != nullptr) updater_->Stop();
+}
+
+util::Status Trainer::Init() {
+  core::LockFreeUpdater::Options updater_options;
+  updater_options.adam = options_.adam;
+  updater_options.master_device = options_.master_device;
+  updater_ = std::make_unique<core::LockFreeUpdater>(allocator_,
+                                                     updater_options);
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    ANGEL_RETURN_IF_ERROR(
+        updater_->AddLayer(model_->InitLayerParams(l, &rng_)).status());
+  }
+  return util::Status::OK();
+}
+
+util::Result<double> Trainer::Step(const std::vector<float>& x,
+                                   const std::vector<float>& y,
+                                   bool use_master_params) {
+  const int num_layers = model_->num_layers();
+  const size_t batch = options_.batch_size;
+
+  std::vector<std::vector<float>> params(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    if (use_master_params) {
+      ANGEL_RETURN_IF_ERROR(updater_->ReadMasterParams(l, &params[l]));
+    } else {
+      // Algorithm 2 line 20: fetch the buffered fp16 parameters.
+      ANGEL_RETURN_IF_ERROR(updater_->FetchParams(l, &params[l]));
+    }
+    if (options_.compute_precision == ComputePrecision::kBf16) {
+      RoundToBf16(&params[l]);
+    }
+  }
+
+  // Forward (line 21).
+  const bool bf16 =
+      options_.compute_precision == ComputePrecision::kBf16;
+  std::vector<LayerStash> stash(num_layers);
+  std::vector<float> acts = x;
+  for (int l = 0; l < num_layers; ++l) {
+    std::vector<float> next;
+    model_->Forward(l, params[l].data(), acts, batch, &next,
+                   use_master_params ? nullptr : &stash[l]);
+    if (bf16) RoundToBf16(&next);  // Layer boundaries in bf16.
+    acts = std::move(next);
+  }
+
+  std::vector<float> grad(acts.size());
+  const double loss = MseLoss(acts.data(), y.data(), grad.data(), acts.size());
+  if (use_master_params) return loss;  // Validation pass: no gradients.
+
+  const double scale = options_.use_loss_scaling ? scaler_.scale() : 1.0;
+  if (scale != 1.0) {
+    for (float& g : grad) g = float(g * scale);
+  }
+
+  // Backward (line 23); gradients offload (line 24) only if none overflow.
+  std::vector<std::vector<float>> layer_grads(num_layers);
+  bool overflowed = false;
+  for (int l = num_layers - 1; l >= 0; --l) {
+    std::vector<float> grad_in;
+    model_->Backward(l, params[l].data(), stash[l], grad, batch, &grad_in,
+                     &layer_grads[l]);
+    if (bf16) {
+      RoundToBf16(&grad_in);
+      RoundToBf16(&layer_grads[l]);
+    }
+    grad = std::move(grad_in);
+    if (options_.use_loss_scaling &&
+        LossScaler::HasNonFinite(layer_grads[l])) {
+      overflowed = true;
+      break;
+    }
+  }
+  if (options_.use_loss_scaling) {
+    if (!scaler_.Update(overflowed)) return loss;  // Skipped step.
+    const float inv = float(1.0 / scale);
+    for (auto& layer_grad : layer_grads) {
+      for (float& g : layer_grad) g *= inv;
+    }
+  }
+  for (int l = num_layers - 1; l >= 0; --l) {
+    ANGEL_RETURN_IF_ERROR(updater_->OffloadGrads(l, layer_grads[l]));
+  }
+  return loss;
+}
+
+util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
+                                         int steps) {
+  if (updater_ == nullptr) {
+    return util::Status::FailedPrecondition("Init() not called");
+  }
+  TrainReport report;
+  if (options_.lock_free) updater_->Start();
+  const double start = NowSeconds();
+
+  std::vector<float> x, y;
+  for (int step = 0; step < steps; ++step) {
+    dataset.GenBatch(&rng_, options_.batch_size, &x, &y);
+    ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y, false));
+    report.losses.push_back(loss);
+    if (options_.lock_free) {
+      report.max_pending_batches = std::max(
+          report.max_pending_batches, updater_->pending_grad_batches());
+    } else if ((step + 1) % std::max(1, options_.grad_accumulation) == 0) {
+      ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
+    }
+  }
+  if (!options_.lock_free) {
+    // Flush a trailing partial accumulation window.
+    ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
+  }
+
+  if (options_.lock_free) {
+    updater_->DrainUpdates();
+    updater_->Stop();
+  }
+  report.wall_seconds = NowSeconds() - start;
+  report.steps_per_second =
+      report.wall_seconds > 0 ? steps / report.wall_seconds : 0.0;
+  report.final_train_loss =
+      report.losses.empty() ? 0.0 : report.losses.back();
+  report.updates_applied = updater_->updates_applied();
+  report.overflow_steps_skipped = scaler_.steps_skipped();
+  report.final_loss_scale =
+      options_.use_loss_scaling ? scaler_.scale() : 1.0;
+  ANGEL_ASSIGN_OR_RETURN(report.validation_loss, Validate(dataset, 8));
+  return report;
+}
+
+util::Result<double> Trainer::Validate(const SyntheticRegression& dataset,
+                                       int batches) {
+  if (updater_ == nullptr) {
+    return util::Status::FailedPrecondition("Init() not called");
+  }
+  util::Rng validation_rng(options_.seed ^ 0x5EEDF00Dull);
+  double total = 0.0;
+  std::vector<float> x, y;
+  for (int i = 0; i < batches; ++i) {
+    dataset.GenBatch(&validation_rng, options_.batch_size, &x, &y);
+    ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y, true));
+    total += loss;
+  }
+  return total / batches;
+}
+
+}  // namespace angelptm::train

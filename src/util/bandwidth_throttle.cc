@@ -1,0 +1,35 @@
+#include "util/bandwidth_throttle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace angelptm::util {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void BandwidthThrottle::Consume(size_t bytes) {
+  if (bytes_per_sec_ <= 0.0) return;
+  const double cost = static_cast<double>(bytes) / bytes_per_sec_;
+  double sleep_until;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = NowSeconds();
+    available_at_ = std::max(available_at_, now) + cost;
+    sleep_until = available_at_;
+  }
+  const double now = NowSeconds();
+  if (sleep_until > now) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(sleep_until - now));
+  }
+}
+
+}  // namespace angelptm::util

@@ -1,0 +1,35 @@
+#ifndef ANGELPTM_UTIL_BANDWIDTH_THROTTLE_H_
+#define ANGELPTM_UTIL_BANDWIDTH_THROTTLE_H_
+
+#include <cstddef>
+#include <mutex>
+
+namespace angelptm::util {
+
+/// Paces transfers to a fixed bandwidth by sleeping callers, serializing
+/// consumers on a virtual device clock (transfers on one link do not overlap,
+/// mirroring a PCIe lane or an SSD controller). A rate of 0 disables pacing.
+///
+/// Used to emulate the paper's link speeds (PCIe 32 GB/s, SSD 3.5 GB/s) when
+/// running the real memory engine on host hardware that is faster or slower.
+class BandwidthThrottle {
+ public:
+  explicit BandwidthThrottle(double bytes_per_sec = 0.0)
+      : bytes_per_sec_(bytes_per_sec) {}
+
+  /// Accounts `bytes` against the link, sleeping until the virtual clock
+  /// catches up. Thread-safe.
+  void Consume(size_t bytes);
+
+  void set_rate(double bytes_per_sec) { bytes_per_sec_ = bytes_per_sec; }
+  double rate() const { return bytes_per_sec_; }
+
+ private:
+  double bytes_per_sec_;
+  std::mutex mutex_;
+  double available_at_ = 0.0;
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_BANDWIDTH_THROTTLE_H_

@@ -1,0 +1,110 @@
+#include "util/half.h"
+
+#include <cstring>
+
+namespace angelptm::util {
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float BitsToFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+uint16_t FloatToHalfBits(float f) {
+  const uint32_t bits = FloatBits(f);
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xFFu) - 127 + 15;
+  uint32_t mantissa = bits & 0x007FFFFFu;
+
+  if (((bits >> 23) & 0xFFu) == 0xFFu) {
+    // Inf / NaN. Preserve a NaN payload bit so NaN stays NaN.
+    return static_cast<uint16_t>(sign | 0x7C00u |
+                                 (mantissa != 0 ? 0x0200u : 0));
+  }
+  if (exponent >= 0x1F) {
+    // Overflow to infinity.
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (exponent <= 0) {
+    // Subnormal half (or zero). Shift mantissa (with implicit leading 1)
+    // right; round to nearest even.
+    if (exponent < -10) return static_cast<uint16_t>(sign);  // Underflow.
+    mantissa |= 0x00800000u;  // Implicit leading one becomes explicit.
+    const int shift = 14 - exponent;  // 14..24
+    const uint32_t rounded =
+        (mantissa >> shift) +
+        (((mantissa >> (shift - 1)) & 1u) &
+         (((mantissa & ((1u << (shift - 1)) - 1)) != 0 ||
+           ((mantissa >> shift) & 1u))
+              ? 1u
+              : 0u));
+    return static_cast<uint16_t>(sign | rounded);
+  }
+
+  // Normal number: round mantissa from 23 to 10 bits, nearest even.
+  uint32_t half_mantissa = mantissa >> 13;
+  const uint32_t round_bit = (mantissa >> 12) & 1u;
+  const uint32_t sticky = (mantissa & 0x0FFFu) != 0;
+  if (round_bit && (sticky || (half_mantissa & 1u))) {
+    half_mantissa++;
+    if (half_mantissa == 0x400u) {  // Mantissa overflow bumps the exponent.
+      half_mantissa = 0;
+      exponent++;
+      if (exponent >= 0x1F) return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(exponent) << 10) |
+                               half_mantissa);
+}
+
+float HalfBitsToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exponent = (h >> 10) & 0x1Fu;
+  uint32_t mantissa = h & 0x3FFu;
+
+  if (exponent == 0x1Fu) {
+    // Inf / NaN.
+    return BitsToFloat(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return BitsToFloat(sign);  // Signed zero.
+    // Subnormal: normalize.
+    int e = -1;
+    do {
+      e++;
+      mantissa <<= 1;
+    } while ((mantissa & 0x400u) == 0);
+    mantissa &= 0x3FFu;
+    const uint32_t float_exp = 127 - 15 - e;
+    return BitsToFloat(sign | (float_exp << 23) | (mantissa << 13));
+  }
+  const uint32_t float_exp = exponent - 15 + 127;
+  return BitsToFloat(sign | (float_exp << 23) | (mantissa << 13));
+}
+
+uint16_t FloatToBFloat16Bits(float f) {
+  uint32_t bits = FloatBits(f);
+  if (((bits >> 23) & 0xFFu) == 0xFFu && (bits & 0x007FFFFFu) != 0) {
+    // NaN: keep it NaN after truncation.
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round to nearest even on the 16 truncated bits.
+  const uint32_t rounding_bias = 0x7FFFu + ((bits >> 16) & 1u);
+  bits += rounding_bias;
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+float BFloat16BitsToFloat(uint16_t b) {
+  return BitsToFloat(static_cast<uint32_t>(b) << 16);
+}
+
+}  // namespace angelptm::util

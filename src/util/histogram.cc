@@ -1,0 +1,63 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace angelptm::util {
+
+Histogram::Histogram(uint64_t max_value) : buckets_(max_value + 1, 0) {}
+
+void Histogram::Record(uint64_t value) {
+  const size_t bucket =
+      std::min<uint64_t>(value, buckets_.size() - 1);
+  buckets_[bucket] += 1;
+  count_ += 1;
+  sum_ += value;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  const size_t n = std::min(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < n; ++i) buckets_[i] += other.buckets_[i];
+  // Overflow of the smaller histogram lands in this one's last bucket.
+  for (size_t i = n; i < other.buckets_.size(); ++i) {
+    buckets_.back() += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = max_seen_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : double(sum_) / double(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const uint64_t target =
+      uint64_t(p * double(count_) + 0.9999999);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return i;
+  }
+  return buckets_.size() - 1;
+}
+
+std::string Histogram::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%llu p95=%llu max=%llu",
+                (unsigned long long)count_, Mean(),
+                (unsigned long long)Percentile(0.5),
+                (unsigned long long)Percentile(0.95),
+                (unsigned long long)max_seen_);
+  return buf;
+}
+
+}  // namespace angelptm::util

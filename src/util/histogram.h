@@ -1,0 +1,40 @@
+#ifndef ANGELPTM_UTIL_HISTOGRAM_H_
+#define ANGELPTM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace angelptm::util {
+
+/// Fixed-bucket histogram for runtime observability (e.g. the staleness
+/// distribution of the lock-free updater: how many gradient batches each
+/// update folded in). Thread-compatible; callers serialize externally.
+class Histogram {
+ public:
+  /// Buckets [0,1), [1,2), ..., [max_value, inf).
+  explicit Histogram(uint64_t max_value = 64);
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  uint64_t Max() const { return max_seen_; }
+  /// Smallest value v such that at least `p` (0..1] of samples are <= v.
+  uint64_t Percentile(double p) const;
+
+  /// "count=12 mean=2.3 p50=2 p95=5 max=9".
+  std::string Summary() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_seen_ = 0;
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_HISTOGRAM_H_

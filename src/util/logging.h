@@ -1,0 +1,56 @@
+#ifndef ANGELPTM_UTIL_LOGGING_H_
+#define ANGELPTM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace angelptm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that reaches stderr. Default is kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction; aborts
+/// the process after flushing when constructed as fatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace angelptm::util
+
+#define ANGEL_LOG(level)                                            \
+  ::angelptm::util::internal_logging::LogMessage(                   \
+      ::angelptm::util::LogLevel::k##level, __FILE__, __LINE__)     \
+      .stream()
+
+#define ANGEL_FATAL()                                               \
+  ::angelptm::util::internal_logging::LogMessage(                   \
+      ::angelptm::util::LogLevel::kError, __FILE__, __LINE__, true) \
+      .stream()
+
+/// Invariant check: aborts with a message when `cond` is false. Used for
+/// programming errors, never for recoverable conditions (those use Status).
+#define ANGEL_CHECK(cond) \
+  if (!(cond)) ANGEL_FATAL() << "check failed: " #cond " "
+
+#define ANGEL_DCHECK(cond) ANGEL_CHECK(cond)
+
+#endif  // ANGELPTM_UTIL_LOGGING_H_

@@ -1,0 +1,42 @@
+#ifndef ANGELPTM_UTIL_RANDOM_H_
+#define ANGELPTM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace angelptm::util {
+
+/// Deterministic PRNG (xoshiro256**). All stochastic components — synthetic
+/// datasets, weight init, workload generators — take an explicit Rng so runs
+/// are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fills `out` with N(0, stddev) floats.
+  void FillGaussian(std::vector<float>* out, double stddev);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_RANDOM_H_

@@ -1,0 +1,184 @@
+#ifndef ANGELPTM_UTIL_STATUS_H_
+#define ANGELPTM_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace angelptm::util {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a small closed enum plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIoError,
+  kInternal,
+  kUnimplemented,
+  kCancelled,
+};
+
+/// Returns a stable human-readable name for a status code ("OutOfMemory").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier. Functions that can fail return `Status` (or
+/// `Result<T>` when they also produce a value); exceptions are not used across
+/// API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if this status is not OK. Intended
+  /// for call sites where failure is a programming error.
+  void CheckOk(const char* file, int line) const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder in the Arrow style. `Result<T>` either contains a
+/// `T` or a non-OK `Status`; accessing the value of an errored result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps `return value;` ergonomic.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!value_.has_value()) {
+      Status(status_).CheckOk(__FILE__, __LINE__);
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace angelptm::util
+
+/// Propagates a non-OK status to the caller.
+#define ANGEL_RETURN_IF_ERROR(expr)                        \
+  do {                                                     \
+    ::angelptm::util::Status _angel_status = (expr);       \
+    if (!_angel_status.ok()) return _angel_status;         \
+  } while (0)
+
+#define ANGEL_CONCAT_IMPL(x, y) x##y
+#define ANGEL_CONCAT(x, y) ANGEL_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding its value
+/// to `lhs`.
+#define ANGEL_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto ANGEL_CONCAT(_angel_result_, __LINE__) = (rexpr);               \
+  if (!ANGEL_CONCAT(_angel_result_, __LINE__).ok())                    \
+    return ANGEL_CONCAT(_angel_result_, __LINE__).status();            \
+  lhs = std::move(ANGEL_CONCAT(_angel_result_, __LINE__)).value()
+
+/// Aborts the process if `expr` (a Status) is not OK.
+#define ANGEL_CHECK_OK(expr) (expr).CheckOk(__FILE__, __LINE__)
+
+#endif  // ANGELPTM_UTIL_STATUS_H_

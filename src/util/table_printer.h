@@ -1,0 +1,43 @@
+#ifndef ANGELPTM_UTIL_TABLE_PRINTER_H_
+#define ANGELPTM_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace angelptm::util {
+
+/// Minimal console table formatter used by the benchmark harness to print
+/// paper-style tables with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void AddSeparator();
+
+  /// Renders the table with a title line, borders, and aligned columns.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Convenience: formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_TABLE_PRINTER_H_

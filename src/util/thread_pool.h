@@ -1,0 +1,53 @@
+#ifndef ANGELPTM_UTIL_THREAD_POOL_H_
+#define ANGELPTM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace angelptm::util {
+
+/// A fixed-size worker pool with a FIFO task queue. Used by the copy engine
+/// and the executor to run asynchronous page movements and CPU computations.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks submitted after Shutdown() are silently dropped.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, and joins the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Number of tasks currently queued (excluding running ones).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_THREAD_POOL_H_

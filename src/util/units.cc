@@ -1,0 +1,60 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace angelptm::util {
+namespace {
+
+std::string FormatWithSuffix(double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kTiB) return FormatWithSuffix(double(bytes) / kTiB, "TiB");
+  if (bytes >= kGiB) return FormatWithSuffix(double(bytes) / kGiB, "GiB");
+  if (bytes >= kMiB) return FormatWithSuffix(double(bytes) / kMiB, "MiB");
+  if (bytes >= kKiB) return FormatWithSuffix(double(bytes) / kKiB, "KiB");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu B", (unsigned long long)bytes);
+  return buf;
+}
+
+std::string FormatParamCount(uint64_t params) {
+  char buf[64];
+  if (params >= 1'000'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fT", double(params) / 1e12);
+  } else if (params >= 1'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", double(params) / 1e9);
+  } else if (params >= 1'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", double(params) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)params);
+  }
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+uint64_t RoundUp(uint64_t value, uint64_t alignment) {
+  if (alignment == 0) return value;
+  const uint64_t rem = value % alignment;
+  return rem == 0 ? value : value + (alignment - rem);
+}
+
+}  // namespace angelptm::util

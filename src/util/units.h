@@ -1,0 +1,29 @@
+#ifndef ANGELPTM_UTIL_UNITS_H_
+#define ANGELPTM_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace angelptm::util {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// "1.50 GiB", "512 B". Two decimals above bytes.
+std::string FormatBytes(uint64_t bytes);
+
+/// "1.7B", "175B", "1.2T" parameter-count style formatting.
+std::string FormatParamCount(uint64_t params);
+
+/// "12.3 ms", "4.56 s".
+std::string FormatDuration(double seconds);
+
+/// Rounds `value` up to the next multiple of `alignment` (a power of two or
+/// any positive value).
+uint64_t RoundUp(uint64_t value, uint64_t alignment);
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_UNITS_H_

@@ -1,0 +1,64 @@
+#include "core/adam.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::core {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, step 1 moves each parameter by ~lr * sign(grad).
+  AdamConfig config;
+  config.learning_rate = 0.01;
+  std::vector<float> p = {1.0f, -1.0f}, m = {0, 0}, v = {0, 0};
+  const std::vector<float> g = {0.5f, -2.0f};
+  AdamUpdate(config, p.data(), m.data(), v.data(), g.data(), 2, 1);
+  EXPECT_NEAR(p[0], 1.0 - 0.01, 1e-4);
+  EXPECT_NEAR(p[1], -1.0 + 0.01, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2.
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  std::vector<float> p = {0.0f}, m = {0.0f}, v = {0.0f};
+  for (int step = 1; step <= 500; ++step) {
+    const std::vector<float> g = {2.0f * (p[0] - 3.0f)};
+    AdamUpdate(config, p.data(), m.data(), v.data(), g.data(), 1, step);
+  }
+  EXPECT_NEAR(p[0], 3.0f, 0.05);
+}
+
+TEST(AdamTest, ZeroGradLeavesParamsAlmostStill) {
+  AdamConfig config;
+  std::vector<float> p = {5.0f}, m = {0.0f}, v = {0.0f};
+  const std::vector<float> g = {0.0f};
+  AdamUpdate(config, p.data(), m.data(), v.data(), g.data(), 1, 1);
+  EXPECT_NEAR(p[0], 5.0f, 1e-5);
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.1;
+  std::vector<float> p = {10.0f}, m = {0.0f}, v = {0.0f};
+  const std::vector<float> g = {0.0f};
+  for (int step = 1; step <= 50; ++step) {
+    AdamUpdate(config, p.data(), m.data(), v.data(), g.data(), 1, step);
+  }
+  EXPECT_LT(p[0], 10.0f);
+}
+
+TEST(AdamTest, MomentsTrackGradientStatistics) {
+  AdamConfig config;
+  std::vector<float> p = {0.0f}, m = {0.0f}, v = {0.0f};
+  const std::vector<float> g = {2.0f};
+  AdamUpdate(config, p.data(), m.data(), v.data(), g.data(), 1, 1);
+  EXPECT_NEAR(m[0], (1 - config.beta1) * 2.0, 1e-6);
+  EXPECT_NEAR(v[0], (1 - config.beta2) * 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace angelptm::core

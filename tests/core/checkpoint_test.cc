@@ -1,0 +1,213 @@
+#include "core/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "train/dataset.h"
+#include "train/mlp.h"
+#include "train/trainer.h"
+
+namespace angelptm::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() : memory_(MemoryOptions()), allocator_(&memory_) {}
+
+  static mem::HierarchicalMemoryOptions MemoryOptions() {
+    mem::HierarchicalMemoryOptions options;
+    options.page_bytes = 16 * 1024;
+    options.gpu_capacity_bytes = 4ull << 20;
+    options.cpu_capacity_bytes = 64ull << 20;
+    options.ssd_capacity_bytes = 64ull << 20;
+    options.ssd_path = TempPath("tier");
+    return options;
+  }
+
+  static std::string TempPath(const std::string& tag) {
+    static int counter = 0;
+    return "/tmp/angelptm_ckpt_" + std::to_string(::getpid()) + "_" + tag +
+           "_" + std::to_string(counter++) + ".bin";
+  }
+
+  std::unique_ptr<LockFreeUpdater> MakeUpdater(
+      mem::DeviceKind master = mem::DeviceKind::kCpu) {
+    LockFreeUpdater::Options options;
+    options.adam.learning_rate = 0.05;
+    options.master_device = master;
+    auto updater = std::make_unique<LockFreeUpdater>(&allocator_, options);
+    EXPECT_TRUE(updater->AddLayer({1.0f, 2.0f, 3.0f}).ok());
+    EXPECT_TRUE(updater->AddLayer(std::vector<float>(64, 0.5f)).ok());
+    return updater;
+  }
+
+  mem::HierarchicalMemory memory_;
+  Allocator allocator_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTripRestoresExactState) {
+  const std::string path = TempPath("roundtrip");
+  auto updater = MakeUpdater();
+  // Advance the state a bit.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(updater->OffloadGrads(0, {0.1f, -0.2f, 0.3f}).ok());
+    ASSERT_TRUE(
+        updater->OffloadGrads(1, std::vector<float>(64, 0.05f)).ok());
+    ASSERT_TRUE(updater->UpdateOnce().ok());
+  }
+  std::vector<float> saved_p0, saved_p1;
+  ASSERT_TRUE(updater->ReadMasterParams(0, &saved_p0).ok());
+  ASSERT_TRUE(updater->ReadMasterParams(1, &saved_p1).ok());
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  // Keep training past the checkpoint (the "failure" happens here).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(updater->OffloadGrads(0, {1.0f, 1.0f, 1.0f}).ok());
+    ASSERT_TRUE(updater->UpdateOnce().ok());
+  }
+  std::vector<float> diverged;
+  ASSERT_TRUE(updater->ReadMasterParams(0, &diverged).ok());
+  EXPECT_NE(diverged, saved_p0);
+
+  // Recovery: a fresh updater restores the exact checkpointed state.
+  auto recovered = MakeUpdater();
+  ASSERT_TRUE(LoadCheckpoint(recovered.get(), path).ok());
+  std::vector<float> restored_p0, restored_p1, buffered;
+  ASSERT_TRUE(recovered->ReadMasterParams(0, &restored_p0).ok());
+  ASSERT_TRUE(recovered->ReadMasterParams(1, &restored_p1).ok());
+  EXPECT_EQ(restored_p0, saved_p0);
+  EXPECT_EQ(restored_p1, saved_p1);
+  // The fp16 compute view refreshed too (within fp16 rounding).
+  ASSERT_TRUE(recovered->FetchParams(0, &buffered).ok());
+  for (size_t i = 0; i < buffered.size(); ++i) {
+    EXPECT_NEAR(buffered[i], saved_p0[i], 5e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ResumedTrainingContinuesFromCheckpoint) {
+  // Train 60 steps, checkpoint at 30, resume in a second trainer: the
+  // resumed run must match the uninterrupted run exactly (identical
+  // batches, deterministic Adam).
+  const std::string path = TempPath("resume");
+  const train::MlpModel model({{8, 16, 2}});
+  train::SyntheticRegression dataset(8, 16, 2, 5);
+
+  train::TrainerOptions options;
+  options.adam.learning_rate = 3e-3;
+  options.batch_size = 16;
+  options.seed = 3;
+
+  // Uninterrupted reference: 60 steps.
+  train::Trainer reference(&allocator_, &model, options);
+  ASSERT_TRUE(reference.Init().ok());
+  ASSERT_TRUE(reference.Train(dataset, 60).ok());
+  std::vector<float> reference_params;
+  ASSERT_TRUE(
+      reference.updater()->ReadMasterParams(0, &reference_params).ok());
+
+  // Interrupted run: 30 steps, checkpoint, crash; new trainer replays the
+  // SAME first 30 batches (same seed) to keep the data stream aligned,
+  // then restores the checkpoint and trains the remaining 30.
+  train::Trainer first_half(&allocator_, &model, options);
+  ASSERT_TRUE(first_half.Init().ok());
+  ASSERT_TRUE(first_half.Train(dataset, 30).ok());
+  ASSERT_TRUE(SaveCheckpoint(first_half.updater(), path).ok());
+
+  train::Trainer resumed(&allocator_, &model, options);
+  ASSERT_TRUE(resumed.Init().ok());
+  ASSERT_TRUE(resumed.Train(dataset, 30).ok());  // Advance the data stream.
+  ASSERT_TRUE(LoadCheckpoint(resumed.updater(), path).ok());
+  ASSERT_TRUE(resumed.Train(dataset, 30).ok());
+
+  std::vector<float> resumed_params;
+  ASSERT_TRUE(
+      resumed.updater()->ReadMasterParams(0, &resumed_params).ok());
+  ASSERT_EQ(resumed_params.size(), reference_params.size());
+  for (size_t i = 0; i < resumed_params.size(); ++i) {
+    EXPECT_NEAR(resumed_params[i], reference_params[i], 1e-5) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, SsdResidentStatesCheckpointToo) {
+  const std::string path = TempPath("ssd");
+  auto updater = MakeUpdater(mem::DeviceKind::kSsd);
+  ASSERT_TRUE(updater->OffloadGrads(0, {0.5f, 0.5f, 0.5f}).ok());
+  ASSERT_TRUE(updater->UpdateOnce().ok());
+  std::vector<float> before;
+  ASSERT_TRUE(updater->ReadMasterParams(0, &before).ok());
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  auto recovered = MakeUpdater(mem::DeviceKind::kSsd);
+  ASSERT_TRUE(LoadCheckpoint(recovered.get(), path).ok());
+  std::vector<float> after;
+  ASSERT_TRUE(recovered->ReadMasterParams(0, &after).ok());
+  EXPECT_EQ(after, before);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointRejected) {
+  const std::string path = TempPath("corrupt");
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  // Flip one byte in the middle of the file.
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(40);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(40);
+    byte ^= 0x5A;
+    file.write(&byte, 1);
+  }
+  auto recovered = MakeUpdater();
+  const util::Status loaded = LoadCheckpoint(recovered.get(), path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.IsIoError()) << loaded;
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LayerMismatchRejected) {
+  const std::string path = TempPath("mismatch");
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  LockFreeUpdater::Options options;
+  LockFreeUpdater single(&allocator_, options);
+  ASSERT_TRUE(single.AddLayer({1.0f}).ok());
+  EXPECT_TRUE(LoadCheckpoint(&single, path).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, MissingFileAndBadMagic) {
+  auto updater = MakeUpdater();
+  EXPECT_TRUE(
+      LoadCheckpoint(updater.get(), "/tmp/angelptm_no_such_ckpt").IsNotFound());
+
+  const std::string path = TempPath("magic");
+  std::ofstream(path) << "this is not a checkpoint at all";
+  EXPECT_TRUE(LoadCheckpoint(updater.get(), path).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, RunningUpdaterRefused) {
+  const std::string path = TempPath("running");
+  auto updater = MakeUpdater();
+  updater->Start();
+  EXPECT_EQ(SaveCheckpoint(updater.get(), path).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(LoadCheckpoint(updater.get(), path).code(),
+            util::StatusCode::kFailedPrecondition);
+  updater->Stop();
+}
+
+}  // namespace
+}  // namespace angelptm::core

@@ -1,0 +1,205 @@
+#include "core/lockfree_updater.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adam.h"
+
+namespace angelptm::core {
+namespace {
+
+class LockFreeUpdaterTest : public ::testing::Test {
+ protected:
+  LockFreeUpdaterTest() : memory_(MakeOptions()), allocator_(&memory_) {}
+
+  static mem::HierarchicalMemoryOptions MakeOptions() {
+    mem::HierarchicalMemoryOptions o;
+    o.page_bytes = 16 * 1024;
+    o.gpu_capacity_bytes = 4ull << 20;
+    o.cpu_capacity_bytes = 32ull << 20;
+    o.ssd_capacity_bytes = 32ull << 20;
+    o.ssd_path = "/tmp/angelptm_lfu_test_" + std::to_string(::getpid()) +
+                 "_" + std::to_string(counter_++) + ".bin";
+    return o;
+  }
+
+  static LockFreeUpdater::Options UpdaterOptions(
+      mem::DeviceKind master = mem::DeviceKind::kCpu) {
+    LockFreeUpdater::Options options;
+    options.adam.learning_rate = 0.1;
+    options.master_device = master;
+    return options;
+  }
+
+  static int counter_;
+  mem::HierarchicalMemory memory_;
+  Allocator allocator_;
+};
+
+int LockFreeUpdaterTest::counter_ = 0;
+
+TEST_F(LockFreeUpdaterTest, InitialParamsVisibleThroughBuffers) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  const std::vector<float> init = {1.0f, 2.0f, 3.0f};
+  auto layer = updater.AddLayer(init);
+  ASSERT_TRUE(layer.ok());
+  EXPECT_EQ(*layer, 0);
+  std::vector<float> fetched;
+  ASSERT_TRUE(updater.FetchParams(0, &fetched).ok());
+  EXPECT_EQ(fetched, init);
+  std::vector<float> master;
+  ASSERT_TRUE(updater.ReadMasterParams(0, &master).ok());
+  EXPECT_EQ(master, init);
+}
+
+TEST_F(LockFreeUpdaterTest, SynchronousUpdateMatchesReferenceAdam) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  const std::vector<float> init = {1.0f, -2.0f, 0.5f, 4.0f};
+  ASSERT_TRUE(updater.AddLayer(init).ok());
+
+  const std::vector<float> grads = {0.5f, -1.0f, 0.25f, 2.0f};
+  ASSERT_TRUE(updater.OffloadGrads(0, grads).ok());
+  ASSERT_TRUE(updater.UpdateOnce().ok());
+
+  // Reference Adam on plain arrays.
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  std::vector<float> p = init, m(4, 0.0f), v(4, 0.0f);
+  AdamUpdate(config, p.data(), m.data(), v.data(), grads.data(), 4, 1);
+
+  std::vector<float> master;
+  ASSERT_TRUE(updater.ReadMasterParams(0, &master).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(master[i], p[i], 1e-5) << "param " << i;
+  }
+  // The fp16 buffer also refreshed (within fp16 precision).
+  std::vector<float> fetched;
+  ASSERT_TRUE(updater.FetchParams(0, &fetched).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fetched[i], p[i], 5e-3) << "buffered " << i;
+  }
+  EXPECT_EQ(updater.updates_applied(), 1u);
+  EXPECT_EQ(updater.pending_grad_batches(), 0u);
+}
+
+TEST_F(LockFreeUpdaterTest, AccumulatedBatchesAreAveraged) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({0.0f}).ok());
+  ASSERT_TRUE(updater.OffloadGrads(0, {1.0f}).ok());
+  ASSERT_TRUE(updater.OffloadGrads(0, {3.0f}).ok());
+  ASSERT_TRUE(updater.UpdateOnce().ok());
+
+  // Equivalent single update with the averaged gradient 2.0.
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  std::vector<float> p = {0.0f}, m = {0.0f}, v = {0.0f};
+  const std::vector<float> avg = {2.0f};
+  AdamUpdate(config, p.data(), m.data(), v.data(), avg.data(), 1, 1);
+
+  std::vector<float> master;
+  ASSERT_TRUE(updater.ReadMasterParams(0, &master).ok());
+  EXPECT_NEAR(master[0], p[0], 1e-4);
+  EXPECT_EQ(updater.updates_applied(), 1u);
+}
+
+TEST_F(LockFreeUpdaterTest, NoGradientsMeansNoUpdate) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({1.0f, 2.0f}).ok());
+  ASSERT_TRUE(updater.UpdateOnce().ok());
+  EXPECT_EQ(updater.updates_applied(), 0u);
+}
+
+TEST_F(LockFreeUpdaterTest, AsyncThreadsApplyUpdates) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  const std::vector<float> init(64, 1.0f);
+  ASSERT_TRUE(updater.AddLayer(init).ok());
+  ASSERT_TRUE(updater.AddLayer(init).ok());
+  updater.Start();
+  EXPECT_TRUE(updater.running());
+  for (int step = 0; step < 20; ++step) {
+    ASSERT_TRUE(updater.OffloadGrads(0, std::vector<float>(64, 0.1f)).ok());
+    ASSERT_TRUE(updater.OffloadGrads(1, std::vector<float>(64, -0.1f)).ok());
+  }
+  updater.DrainUpdates();
+  updater.Stop();
+  EXPECT_FALSE(updater.running());
+  EXPECT_EQ(updater.pending_grad_batches(), 0u);
+  EXPECT_GT(updater.updates_applied(), 0u);
+  std::vector<float> p0, p1;
+  ASSERT_TRUE(updater.ReadMasterParams(0, &p0).ok());
+  ASSERT_TRUE(updater.ReadMasterParams(1, &p1).ok());
+  EXPECT_LT(p0[0], 1.0f);  // Positive grads decreased the parameter.
+  EXPECT_GT(p1[0], 1.0f);  // Negative grads increased it.
+}
+
+TEST_F(LockFreeUpdaterTest, ComputeNeverBlocksOnUpdater) {
+  // Offloading with threads running must return quickly even while the
+  // updater is busy — the defining property of the mechanism.
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer(std::vector<float>(4096, 0.5f)).ok());
+  updater.Start();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        updater.OffloadGrads(0, std::vector<float>(4096, 0.01f)).ok());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 2.0);
+  updater.DrainUpdates();
+  updater.Stop();
+}
+
+TEST_F(LockFreeUpdaterTest, SsdMasterStatesRoundTrip) {
+  LockFreeUpdater updater(&allocator_,
+                          UpdaterOptions(mem::DeviceKind::kSsd));
+  const std::vector<float> init = {1.0f, 2.0f, 3.0f, 4.0f};
+  ASSERT_TRUE(updater.AddLayer(init).ok());
+  EXPECT_GT(memory_.ssd()->bytes_written(), 0u);
+
+  ASSERT_TRUE(updater.OffloadGrads(0, {1.0f, 1.0f, 1.0f, 1.0f}).ok());
+  ASSERT_TRUE(updater.UpdateOnce().ok());
+  std::vector<float> master;
+  ASSERT_TRUE(updater.ReadMasterParams(0, &master).ok());
+  for (int i = 0; i < 4; ++i) EXPECT_LT(master[i], init[i]);
+  EXPECT_GT(memory_.ssd()->bytes_read(), 0u);
+}
+
+TEST_F(LockFreeUpdaterTest, InputValidation) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  EXPECT_TRUE(updater.AddLayer({}).status().IsInvalidArgument());
+  ASSERT_TRUE(updater.AddLayer({1.0f, 2.0f}).ok());
+  std::vector<float> out;
+  EXPECT_TRUE(updater.FetchParams(5, &out).IsInvalidArgument());
+  EXPECT_TRUE(updater.OffloadGrads(0, {1.0f}).IsInvalidArgument());
+  EXPECT_TRUE(updater.OffloadGrads(-1, {1.0f}).IsInvalidArgument());
+}
+
+TEST_F(LockFreeUpdaterTest, UpdateOnceRejectedWhileRunning) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({1.0f}).ok());
+  updater.Start();
+  EXPECT_EQ(updater.UpdateOnce().code(),
+            util::StatusCode::kFailedPrecondition);
+  updater.Stop();
+}
+
+TEST_F(LockFreeUpdaterTest, StartStopIdempotent) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({1.0f}).ok());
+  updater.Start();
+  updater.Start();
+  updater.Stop();
+  updater.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace angelptm::core

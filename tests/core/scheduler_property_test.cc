@@ -1,0 +1,120 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/unified_scheduler.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace angelptm::core {
+namespace {
+
+/// Property-based sweep of Algorithm 1: random layer structures, page
+/// sizes and budgets; whatever the workload, a returned schedule must obey
+/// the invariants the engine relies on.
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+ScheduleInput RandomInput(util::Rng* rng, double budget_scale) {
+  ScheduleInput input;
+  input.world_size = 1 + int(rng->Uniform(8));
+  const int layers = 2 + int(rng->Uniform(10));
+  uint64_t next_page = 0;
+  uint64_t total_shard = 0;
+  std::vector<std::vector<PageRef>> layer_pages(layers);
+  for (int l = 0; l < layers; ++l) {
+    const int pages = 1 + int(rng->Uniform(5));
+    for (int p = 0; p < pages; ++p) {
+      const uint64_t bytes = (1 + rng->Uniform(8)) * util::kMiB;
+      layer_pages[l].push_back({next_page++, bytes});
+      total_shard += bytes;
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < layers; ++i) {
+      const int l = pass == 0 ? i : layers - 1 - i;
+      SchedStep step;
+      step.param_pages = layer_pages[l];
+      step.workspace_bytes = rng->Uniform(4 * util::kMiB);
+      step.retained_bytes = pass == 0 ? int64_t(rng->Uniform(util::kMiB))
+                                      : -int64_t(rng->Uniform(util::kMiB));
+      input.steps.push_back(step);
+    }
+  }
+  // Make backward retained exactly cancel forward retained.
+  for (int i = 0; i < layers; ++i) {
+    input.steps[2 * layers - 1 - i].retained_bytes =
+        -input.steps[i].retained_bytes;
+  }
+  input.gpu_memory_budget =
+      uint64_t(budget_scale * double(total_shard) * input.world_size) +
+      16 * util::kMiB;
+  return input;
+}
+
+TEST_P(SchedulerPropertyTest, InvariantsHoldUnderRandomWorkloads) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int scale_pct = std::get<1>(GetParam());
+  util::Rng rng(seed * 1000 + scale_pct);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const ScheduleInput input = RandomInput(&rng, scale_pct / 100.0);
+    auto schedule = BuildSchedule(input);
+    if (!schedule.ok()) {
+      // Tight budgets may be genuinely infeasible; that must surface as
+      // OutOfMemory, never anything else.
+      ASSERT_TRUE(schedule.status().IsOutOfMemory()) << schedule.status();
+      continue;
+    }
+
+    // (1) Replay never exceeds the budget (the engine's safety contract).
+    const MemoryProfile profile = ReplaySchedule(input, schedule->tasks);
+    ASSERT_LE(profile.peak, input.gpu_memory_budget);
+    ASSERT_EQ(schedule->peak_gpu_bytes, profile.peak);
+
+    // (2) Exactly one compute per step, in order; every gather triggers at
+    //     or before its serving step; each page moved at most once.
+    std::vector<int> computes(input.steps.size(), 0);
+    std::set<uint64_t> moved;
+    size_t gathers = 0;
+    for (const Task& task : schedule->tasks) {
+      switch (task.op) {
+        case TaskOp::kCompute:
+          ASSERT_GE(task.step, 0);
+          ASSERT_LT(size_t(task.step), input.steps.size());
+          computes[task.step]++;
+          ASSERT_EQ(task.trigger_id, task.step);
+          break;
+        case TaskOp::kAllGather:
+          ASSERT_LE(task.trigger_id, task.step);
+          ASSERT_GE(task.trigger_id, 0);
+          ++gathers;
+          break;
+        case TaskOp::kMoveToGpu:
+          ASSERT_TRUE(moved.insert(task.page_id).second)
+              << "page " << task.page_id << " moved twice";
+          break;
+      }
+    }
+    for (size_t s = 0; s < input.steps.size(); ++s) {
+      ASSERT_EQ(computes[s], 1) << "step " << s;
+    }
+    // (3) Every step's every page has a gather.
+    size_t expected_gathers = 0;
+    for (const SchedStep& step : input.steps) {
+      expected_gathers += step.param_pages.size();
+    }
+    ASSERT_EQ(gathers, expected_gathers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBudgets, SchedulerPropertyTest,
+    ::testing::Combine(::testing::Values(uint64_t(1), uint64_t(2),
+                                         uint64_t(3)),
+                       // Budget as % of the total gathered footprint: from
+                       // starved to ample.
+                       ::testing::Values(10, 40, 120, 400)));
+
+}  // namespace
+}  // namespace angelptm::core

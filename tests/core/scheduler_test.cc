@@ -1,0 +1,265 @@
+#include "core/unified_scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "util/units.h"
+
+namespace angelptm::core {
+namespace {
+
+using util::kMiB;
+
+constexpr uint64_t kPage = 4 * kMiB;
+
+/// Builds a uniform forward-then-backward step list: `layers` layers, each
+/// with `pages_per_layer` shard pages, plus workspace. Backward steps reuse
+/// the forward pages and release the retained boundary activations.
+ScheduleInput MakeInput(int layers, int pages_per_layer, uint64_t budget,
+                        int world_size = 4, uint64_t workspace = 2 * kMiB,
+                        int64_t retained = int64_t(kMiB)) {
+  ScheduleInput input;
+  input.gpu_memory_budget = budget;
+  input.world_size = world_size;
+  uint64_t next_page = 0;
+  std::vector<std::vector<PageRef>> layer_pages(layers);
+  for (int l = 0; l < layers; ++l) {
+    for (int p = 0; p < pages_per_layer; ++p) {
+      layer_pages[l].push_back({next_page++, kPage});
+    }
+  }
+  // Forward steps retain boundary activations; backward steps release them.
+  for (int l = 0; l < layers; ++l) {
+    SchedStep step;
+    step.param_pages = layer_pages[l];
+    step.workspace_bytes = workspace;
+    step.retained_bytes = retained;
+    step.compute_seconds = 1e-3;
+    input.steps.push_back(step);
+  }
+  for (int l = layers - 1; l >= 0; --l) {
+    SchedStep step;
+    step.param_pages = layer_pages[l];
+    step.workspace_bytes = workspace;
+    step.retained_bytes = -retained;
+    step.compute_seconds = 2e-3;
+    input.steps.push_back(step);
+  }
+  return input;
+}
+
+int CountOp(const Schedule& schedule, TaskOp op) {
+  int n = 0;
+  for (const Task& t : schedule.tasks) {
+    if (t.op == op) ++n;
+  }
+  return n;
+}
+
+TEST(SchedulerTest, AmpleMemoryPrefetchesEverythingUpFront) {
+  // 4 layers x 2 pages, effectively unlimited budget.
+  const auto input = MakeInput(4, 2, /*budget=*/10ull * 1024 * kMiB);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  // Every distinct page is moved exactly once, at iteration start.
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kMoveToGpu), 8);
+  EXPECT_EQ(schedule->pages_prefetched_at_start, 8u);
+  EXPECT_EQ(schedule->pages_fetched_on_demand, 0u);
+  // One compute per step (4 fwd + 4 bwd), one gather per page use.
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kCompute), 8);
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kAllGather), 16);
+}
+
+TEST(SchedulerTest, Phase2AdvancesGathersUnderAmpleMemory) {
+  const auto input = MakeInput(4, 2, 10ull * 1024 * kMiB);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  // With no memory pressure every gather beyond step 0 must advance to
+  // trigger 0 for maximal overlap.
+  for (const Task& task : schedule->tasks) {
+    if (task.op == TaskOp::kAllGather) {
+      EXPECT_EQ(task.trigger_id, 0) << "gather for step " << task.step;
+    }
+  }
+  EXPECT_GT(schedule->gathers_advanced, 0u);
+}
+
+TEST(SchedulerTest, ScheduleNeverExceedsBudget) {
+  for (uint64_t budget_pages : {12, 16, 24, 48}) {
+    const auto input = MakeInput(6, 2, budget_pages * kPage);
+    auto schedule = BuildSchedule(input);
+    if (!schedule.ok()) continue;  // Tight budgets may be infeasible.
+    const MemoryProfile profile = ReplaySchedule(input, schedule->tasks);
+    EXPECT_LE(profile.peak, budget_pages * kPage)
+        << "budget " << budget_pages << " pages";
+    EXPECT_EQ(schedule->peak_gpu_bytes, profile.peak);
+  }
+}
+
+TEST(SchedulerTest, TightMemoryDefersMovements) {
+  // 8 layers x 4 pages = 32 pages of shard; budget fits only a fraction
+  // (gather of one step alone needs 4 pages * world 4 = 16 pages).
+  const auto input = MakeInput(8, 4, /*budget=*/24 * kPage);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  // Not everything can be staged up front.
+  EXPECT_LT(schedule->pages_prefetched_at_start, 32u);
+  // Every step still gets its gathers and compute.
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kCompute), 16);
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kAllGather), 64);
+  EXPECT_LE(schedule->peak_gpu_bytes, 24 * kPage);
+}
+
+TEST(SchedulerTest, InfeasibleModelReturnsOutOfMemory) {
+  // A single step whose gather alone exceeds the budget.
+  ScheduleInput input;
+  input.gpu_memory_budget = 4 * kPage;
+  input.world_size = 8;
+  SchedStep step;
+  step.param_pages = {{0, kPage}};  // Gather needs 8 pages.
+  step.workspace_bytes = 0;
+  input.steps.push_back(step);
+  auto schedule = BuildSchedule(input);
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_TRUE(schedule.status().IsOutOfMemory());
+}
+
+TEST(SchedulerTest, EveryStepGathersItsPagesBeforeCompute) {
+  const auto input = MakeInput(5, 3, 40 * kPage);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  // For each compute step, all its gathers must carry trigger <= step.
+  for (const Task& task : schedule->tasks) {
+    if (task.op == TaskOp::kAllGather) {
+      EXPECT_LE(task.trigger_id, task.step);
+    }
+  }
+}
+
+TEST(SchedulerTest, MovedPagesAreDistinct) {
+  const auto input = MakeInput(6, 2, 64 * kPage);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  std::set<uint64_t> moved;
+  for (const Task& task : schedule->tasks) {
+    if (task.op == TaskOp::kMoveToGpu) {
+      EXPECT_TRUE(moved.insert(task.page_id).second)
+          << "page " << task.page_id << " moved twice";
+    }
+  }
+}
+
+TEST(SchedulerTest, BackwardStepsReuseForwardPagesWithoutNewMoves) {
+  const auto input = MakeInput(3, 2, 10ull * 1024 * kMiB);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  // 6 distinct pages, 6 moves; backward gathers (steps 3..5) reference the
+  // same page ids as forward gathers (steps 0..2).
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kMoveToGpu), 6);
+  std::set<uint64_t> fwd_pages, bwd_pages;
+  for (const Task& task : schedule->tasks) {
+    if (task.op != TaskOp::kAllGather) continue;
+    (task.step < 3 ? fwd_pages : bwd_pages).insert(task.page_id);
+  }
+  EXPECT_EQ(fwd_pages, bwd_pages);
+}
+
+TEST(SchedulerTest, LargerBudgetNeverPrefetchesLess) {
+  // Monotonicity property: growing the budget cannot reduce the number of
+  // pages staged at iteration start.
+  size_t previous = 0;
+  for (uint64_t budget_pages : {20, 28, 40, 64, 128}) {
+    const auto input = MakeInput(8, 3, budget_pages * kPage);
+    auto schedule = BuildSchedule(input);
+    ASSERT_TRUE(schedule.ok()) << budget_pages;
+    EXPECT_GE(schedule->pages_prefetched_at_start, previous)
+        << "budget " << budget_pages;
+    previous = schedule->pages_prefetched_at_start;
+  }
+}
+
+TEST(SchedulerTest, WorldSizeOneStillSchedules) {
+  const auto input = MakeInput(4, 2, 64 * kPage, /*world_size=*/1);
+  auto schedule = BuildSchedule(input);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(CountOp(*schedule, TaskOp::kCompute), 8);
+}
+
+TEST(SchedulerTest, InvalidWorldSizeRejected) {
+  ScheduleInput input;
+  input.world_size = 0;
+  EXPECT_TRUE(BuildSchedule(input).status().IsInvalidArgument());
+}
+
+TEST(SchedulerTest, InconsistentPageSizesRejected) {
+  ScheduleInput input;
+  input.gpu_memory_budget = 100 * kPage;
+  input.world_size = 2;
+  SchedStep a;
+  a.param_pages = {{7, kPage}};
+  SchedStep b;
+  b.param_pages = {{7, 2 * kPage}};  // Same page id, different size.
+  input.steps = {a, b};
+  EXPECT_TRUE(BuildSchedule(input).status().IsInvalidArgument());
+}
+
+TEST(ReplayTest, GatherFreedAfterServingStep) {
+  ScheduleInput input;
+  input.gpu_memory_budget = 100 * kPage;
+  input.world_size = 4;
+  SchedStep s0;
+  s0.param_pages = {{0, kPage}};
+  s0.workspace_bytes = 0;
+  SchedStep s1 = s0;
+  s1.param_pages = {{1, kPage}};
+  input.steps = {s0, s1};
+
+  const std::vector<Task> tasks = {
+      {TaskOp::kAllGather, 0, kPage, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kAllGather, 1, kPage, 1, 1},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const MemoryProfile profile = ReplaySchedule(input, tasks);
+  // Each step sees only its own 4-page gather: peak is 4 pages, not 8.
+  EXPECT_EQ(profile.peak, 4 * kPage);
+  EXPECT_EQ(profile.usage_during_step[0], 4 * kPage);
+  EXPECT_EQ(profile.usage_during_step[1], 4 * kPage);
+}
+
+TEST(ReplayTest, RetainedBytesAccumulateAndRelease) {
+  ScheduleInput input;
+  input.gpu_memory_budget = 100 * kPage;
+  input.world_size = 1;
+  SchedStep fwd;
+  fwd.retained_bytes = int64_t(kPage);
+  SchedStep bwd;
+  bwd.retained_bytes = -int64_t(kPage);
+  input.steps = {fwd, fwd, bwd, bwd};
+
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back({TaskOp::kCompute, ~0ull, 0, i, i});
+  }
+  const MemoryProfile profile = ReplaySchedule(input, tasks);
+  EXPECT_EQ(profile.usage_during_step[1], kPage);      // 1 retained so far.
+  EXPECT_EQ(profile.usage_during_step[2], 2 * kPage);  // Both retained.
+  EXPECT_EQ(profile.usage_during_step[3], kPage);      // One released.
+  EXPECT_EQ(profile.peak, 2 * kPage);
+}
+
+TEST(FormatScheduleTest, RendersTasks) {
+  const std::vector<Task> tasks = {
+      {TaskOp::kMoveToGpu, 3, kPage, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+  };
+  const std::string text = FormatSchedule(tasks);
+  EXPECT_NE(text.find("move_to_gpu page 3"), std::string::npos);
+  EXPECT_NE(text.find("compute step 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace angelptm::core

@@ -1,0 +1,81 @@
+#include "core/tracer.h"
+
+#include <gtest/gtest.h>
+
+namespace angelptm::core {
+namespace {
+
+TEST(TracerTest, RecordsFirstAndLastAccess) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.BeginOp("embed"), 0);
+  ASSERT_TRUE(tracer.RecordAccess(/*tensor_id=*/10, /*bytes=*/1024).ok());
+  EXPECT_EQ(tracer.BeginOp("layer0"), 1);
+  ASSERT_TRUE(tracer.RecordAccess(10, 1024).ok());
+  ASSERT_TRUE(tracer.RecordAccess(11, 2048).ok());
+  EXPECT_EQ(tracer.BeginOp("layer1"), 2);
+  ASSERT_TRUE(tracer.RecordAccess(10, 1024).ok());
+
+  const auto traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].tensor_id, 10u);
+  EXPECT_EQ(traces[0].first_id, 0);
+  EXPECT_EQ(traces[0].end_id, 2);
+  EXPECT_EQ(traces[0].LifetimeSpan(), 2);
+  EXPECT_EQ(traces[1].tensor_id, 11u);
+  EXPECT_EQ(traces[1].first_id, 1);
+  EXPECT_EQ(traces[1].end_id, 1);
+  EXPECT_EQ(traces[1].LifetimeSpan(), 0);
+}
+
+TEST(TracerTest, AccessBeforeAnyOpFails) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.RecordAccess(1, 8).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(TracerTest, ProduceTimesAttach) {
+  Tracer tracer;
+  tracer.BeginOp("op");
+  ASSERT_TRUE(tracer.RecordAccess(5, 64).ok());
+  tracer.RecordProduceTime(5, /*cpu_time=*/0.5, /*gpu_time=*/0.01);
+  const auto traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_DOUBLE_EQ(traces[0].cpu_time, 0.5);
+  EXPECT_DOUBLE_EQ(traces[0].gpu_time, 0.01);
+}
+
+TEST(TracerTest, TracesSortedByFirstAccess) {
+  Tracer tracer;
+  tracer.BeginOp("a");
+  ASSERT_TRUE(tracer.RecordAccess(100, 1).ok());
+  tracer.BeginOp("b");
+  ASSERT_TRUE(tracer.RecordAccess(50, 1).ok());
+  ASSERT_TRUE(tracer.RecordAccess(51, 1).ok());
+  const auto traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].tensor_id, 100u);  // first_id 0.
+  EXPECT_EQ(traces[1].tensor_id, 50u);   // first_id 1, lower id first.
+  EXPECT_EQ(traces[2].tensor_id, 51u);
+}
+
+TEST(TracerTest, ResetClearsEverything) {
+  Tracer tracer;
+  tracer.BeginOp("op");
+  ASSERT_TRUE(tracer.RecordAccess(1, 8).ok());
+  tracer.Reset();
+  EXPECT_EQ(tracer.num_ops(), 0);
+  EXPECT_TRUE(tracer.Traces().empty());
+  EXPECT_FALSE(tracer.RecordAccess(1, 8).ok());
+}
+
+TEST(TracerTest, OpNamesPreserved) {
+  Tracer tracer;
+  tracer.BeginOp("forward.layer0");
+  tracer.BeginOp("forward.layer1");
+  ASSERT_EQ(tracer.op_names().size(), 2u);
+  EXPECT_EQ(tracer.op_names()[0], "forward.layer0");
+  EXPECT_EQ(tracer.op_names()[1], "forward.layer1");
+}
+
+}  // namespace
+}  // namespace angelptm::core

@@ -1,0 +1,193 @@
+#include "dist/sharded_data_parallel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "train/mlp.h"
+#include "train/transformer.h"
+
+namespace angelptm::dist {
+namespace {
+
+mem::HierarchicalMemoryOptions MemoryOptions() {
+  mem::HierarchicalMemoryOptions options;
+  options.page_bytes = 16 * 1024;
+  options.gpu_capacity_bytes = 4ull << 20;
+  options.cpu_capacity_bytes = 128ull << 20;
+  return options;
+}
+
+ShardedDpOptions DpOptions(int world) {
+  ShardedDpOptions options;
+  options.world_size = world;
+  options.adam.learning_rate = 3e-3;
+  options.batch_per_rank = 8;
+  options.seed = 11;
+  return options;
+}
+
+TEST(ShardedDpTest, FourRanksTrainAndConverge) {
+  mem::HierarchicalMemory memory(MemoryOptions());
+  core::Allocator allocator(&memory);
+  const train::MlpModel model({{16, 64, 64, 4}});
+  ShardedDataParallel dp(&allocator, &model, DpOptions(4));
+  ASSERT_TRUE(dp.Init().ok());
+  train::SyntheticRegression dataset(16, 32, 4, 99);
+  auto report = dp.Train(dataset, 150);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_LT(report->final_train_loss, report->losses.front() / 3);
+  EXPECT_LT(report->validation_loss, 0.4);
+  EXPECT_GT(report->collectives, 0u);
+}
+
+TEST(ShardedDpTest, GatheredParamsMatchShardLayout) {
+  mem::HierarchicalMemory memory(MemoryOptions());
+  core::Allocator allocator(&memory);
+  // 3 doesn't divide the layer sizes: exercises padding.
+  const train::MlpModel model({{10, 30, 2}});
+  ShardedDataParallel dp(&allocator, &model, DpOptions(3));
+  ASSERT_TRUE(dp.Init().ok());
+  for (int l = 0; l < model.num_layers(); ++l) {
+    auto params = dp.GatherLayerParams(l);
+    ASSERT_TRUE(params.ok());
+    EXPECT_EQ(params->size(), model.LayerParamCount(l));
+  }
+  EXPECT_TRUE(dp.GatherLayerParams(9).status().IsInvalidArgument());
+}
+
+TEST(ShardedDpTest, MultiRankMatchesSingleRank) {
+  // §3.2's transparency-of-scale: with the same global batch, 4-rank
+  // ZeRO-sharded training must match single-rank training (same data, same
+  // math) up to floating-point summation order.
+  train::SyntheticRegression dataset(16, 32, 4, 99);
+  std::vector<std::vector<float>> single_params, multi_params;
+  double single_loss = 0, multi_loss = 0;
+  for (const int world : {1, 4}) {
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    ShardedDpOptions options = DpOptions(world);
+    // Keep the global batch constant: world * batch_per_rank = 32.
+    options.batch_per_rank = 32 / world;
+    ShardedDataParallel dp(&allocator, &model, options);
+    ASSERT_TRUE(dp.Init().ok());
+    auto report = dp.Train(dataset, 60);
+    ASSERT_TRUE(report.ok());
+    auto& params = world == 1 ? single_params : multi_params;
+    for (int l = 0; l < model.num_layers(); ++l) {
+      auto gathered = dp.GatherLayerParams(l);
+      ASSERT_TRUE(gathered.ok());
+      params.push_back(*gathered);
+    }
+    (world == 1 ? single_loss : multi_loss) = report->final_train_loss;
+  }
+  ASSERT_EQ(single_params.size(), multi_params.size());
+  double max_delta = 0;
+  for (size_t l = 0; l < single_params.size(); ++l) {
+    ASSERT_EQ(single_params[l].size(), multi_params[l].size());
+    for (size_t i = 0; i < single_params[l].size(); ++i) {
+      max_delta = std::max(
+          max_delta,
+          double(std::abs(single_params[l][i] - multi_params[l][i])));
+    }
+  }
+  EXPECT_LT(max_delta, 5e-3) << "sharded result diverged from single-rank";
+  EXPECT_NEAR(single_loss, multi_loss, 0.02);
+}
+
+TEST(ShardedDpTest, WorksWithTransformer) {
+  mem::HierarchicalMemory memory(MemoryOptions());
+  core::Allocator allocator(&memory);
+  train::TransformerConfig config;
+  config.seq_len = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.d_ffn = 16;
+  config.num_blocks = 2;
+  config.out_dim = 2;
+  const train::TinyTransformer model(config);
+  train::SyntheticRegression dataset(model.InputSize(), 16,
+                                     model.OutputSize(), 99);
+  ShardedDpOptions options = DpOptions(2);
+  options.batch_per_rank = 8;
+  ShardedDataParallel dp(&allocator, &model, options);
+  ASSERT_TRUE(dp.Init().ok());
+  auto report = dp.Train(dataset, 80);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_LT(report->final_train_loss, report->losses.front());
+}
+
+TEST(ShardedDpTest, GpuStagingMatchesUnstagedResults) {
+  // Staging the gathered parameters through per-rank fast-tier arenas
+  // (fp32, page-granular) must not change the math — and must actually
+  // drive page movement on every rank.
+  train::SyntheticRegression dataset(16, 32, 4, 99);
+  std::vector<float> unstaged_params, staged_params;
+  for (const bool staging : {false, true}) {
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    ShardedDpOptions options = DpOptions(2);
+    options.rank_gpu_capacity_bytes = staging ? (2ull << 20) : 0;
+    ShardedDataParallel dp(&allocator, &model, options);
+    ASSERT_TRUE(dp.Init().ok());
+    auto report = dp.Train(dataset, 40);
+    ASSERT_TRUE(report.ok()) << report.status();
+    auto params = dp.GatherLayerParams(0);
+    ASSERT_TRUE(params.ok());
+    (staging ? staged_params : unstaged_params) = *params;
+  }
+  ASSERT_EQ(staged_params.size(), unstaged_params.size());
+  for (size_t i = 0; i < staged_params.size(); ++i) {
+    EXPECT_EQ(staged_params[i], unstaged_params[i]) << i;  // fp32: exact.
+  }
+}
+
+TEST(ShardedDpTest, Stage1MatchesStage3) {
+  // Stage 1 (optimizer-only sharding) and stage 3 (full sharding) differ
+  // in memory and communication, never in math.
+  train::SyntheticRegression dataset(16, 32, 4, 99);
+  std::vector<float> stage1_params, stage3_params;
+  uint64_t stage1_bytes = 0, stage3_bytes = 0;
+  for (const ZeroStage stage : {ZeroStage::kStage1, ZeroStage::kStage3}) {
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    ShardedDpOptions options = DpOptions(4);
+    options.stage = stage;
+    ShardedDataParallel dp(&allocator, &model, options);
+    ASSERT_TRUE(dp.Init().ok());
+    const uint64_t bytes = allocator.allocated_bytes();
+    auto report = dp.Train(dataset, 50);
+    ASSERT_TRUE(report.ok()) << report.status();
+    auto params = dp.GatherLayerParams(0);
+    ASSERT_TRUE(params.ok());
+    if (stage == ZeroStage::kStage1) {
+      stage1_params = *params;
+      stage1_bytes = bytes;
+    } else {
+      stage3_params = *params;
+      stage3_bytes = bytes;
+    }
+  }
+  ASSERT_EQ(stage1_params.size(), stage3_params.size());
+  for (size_t i = 0; i < stage1_params.size(); ++i) {
+    EXPECT_NEAR(stage1_params[i], stage3_params[i], 2e-3) << i;
+  }
+  // Stage 1 keeps a full parameter replica per rank: strictly more memory.
+  EXPECT_GT(stage1_bytes, stage3_bytes);
+}
+
+TEST(ShardedDpTest, TrainBeforeInitFails) {
+  mem::HierarchicalMemory memory(MemoryOptions());
+  core::Allocator allocator(&memory);
+  const train::MlpModel model({{4, 4}});
+  ShardedDataParallel dp(&allocator, &model, DpOptions(2));
+  train::SyntheticRegression dataset(4, 8, 4, 99);
+  EXPECT_EQ(dp.Train(dataset, 1).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace angelptm::dist

@@ -1,0 +1,109 @@
+#include "mem/copy_engine.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::mem {
+namespace {
+
+constexpr size_t kPage = 64 * 1024;
+
+HierarchicalMemoryOptions Options() {
+  HierarchicalMemoryOptions o;
+  o.page_bytes = kPage;
+  o.gpu_capacity_bytes = 8 * kPage;
+  o.cpu_capacity_bytes = 16 * kPage;
+  o.ssd_capacity_bytes = 32 * kPage;
+  o.ssd_path = "/tmp/angelptm_ce_test_" + std::to_string(::getpid()) + ".bin";
+  return o;
+}
+
+TEST(CopyEngineTest, AsyncMoveCompletesWithContents) {
+  HierarchicalMemory hm(Options());
+  CopyEngine engine(&hm, 2);
+  auto page = hm.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  std::memset((*page)->data_ptr(), 0x3D, kPage);
+
+  auto future = engine.MoveAsync(*page, DeviceKind::kGpu);
+  ASSERT_TRUE(future.get().ok());
+  EXPECT_EQ((*page)->device(), DeviceKind::kGpu);
+  EXPECT_EQ((*page)->data_ptr()[kPage - 1], std::byte{0x3D});
+  EXPECT_EQ(engine.moves_completed(), 1u);
+}
+
+TEST(CopyEngineTest, ManyConcurrentMovesAllLand) {
+  HierarchicalMemory hm(Options());
+  CopyEngine engine(&hm, 4);
+  std::vector<Page*> pages;
+  for (int i = 0; i < 8; ++i) {
+    auto page = hm.CreatePage(DeviceKind::kCpu);
+    ASSERT_TRUE(page.ok());
+    std::memset((*page)->data_ptr(), i, kPage);
+    pages.push_back(*page);
+  }
+  std::vector<std::future<util::Status>> futures;
+  futures.reserve(pages.size());
+  for (auto* page : pages) {
+    futures.push_back(engine.MoveAsync(page, DeviceKind::kGpu));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(pages[i]->device(), DeviceKind::kGpu);
+    EXPECT_EQ(pages[i]->data_ptr()[0], std::byte(i));
+  }
+  EXPECT_EQ(engine.moves_completed(), 8u);
+}
+
+TEST(CopyEngineTest, FailedMoveReportsThroughFuture) {
+  HierarchicalMemory hm(Options());
+  CopyEngine engine(&hm, 2);
+  // Fill the GPU tier so further moves fail.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(hm.CreatePage(DeviceKind::kGpu).ok());
+  auto page = hm.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  auto future = engine.MoveAsync(*page, DeviceKind::kGpu);
+  EXPECT_TRUE(future.get().IsResourceExhausted());
+  EXPECT_EQ(engine.moves_failed(), 1u);
+  EXPECT_EQ((*page)->device(), DeviceKind::kCpu);
+}
+
+TEST(CopyEngineTest, RoundTripThroughSsdAsync) {
+  HierarchicalMemory hm(Options());
+  CopyEngine engine(&hm, 2);
+  auto page = hm.CreatePage(DeviceKind::kGpu);
+  ASSERT_TRUE(page.ok());
+  for (size_t i = 0; i < kPage; ++i) {
+    (*page)->data_ptr()[i] = std::byte((i ^ (i >> 8)) & 0xFF);
+  }
+  ASSERT_TRUE(engine.MoveAsync(*page, DeviceKind::kSsd).get().ok());
+  ASSERT_TRUE(engine.MoveAsync(*page, DeviceKind::kCpu).get().ok());
+  for (size_t i = 0; i < kPage; i += 509) {
+    ASSERT_EQ((*page)->data_ptr()[i], std::byte((i ^ (i >> 8)) & 0xFF));
+  }
+}
+
+TEST(CopyEngineTest, DrainWaitsForPending) {
+  HierarchicalMemory hm(Options());
+  CopyEngine engine(&hm, 1);
+  std::vector<Page*> pages;
+  for (int i = 0; i < 6; ++i) {
+    auto page = hm.CreatePage(DeviceKind::kCpu);
+    ASSERT_TRUE(page.ok());
+    pages.push_back(*page);
+  }
+  for (auto* page : pages) {
+    engine.MoveAsync(page, DeviceKind::kSsd);  // Futures dropped on purpose.
+  }
+  engine.Drain();
+  EXPECT_EQ(engine.moves_completed(), 6u);
+  for (auto* page : pages) EXPECT_EQ(page->device(), DeviceKind::kSsd);
+}
+
+}  // namespace
+}  // namespace angelptm::mem

@@ -1,0 +1,120 @@
+#include "mem/page.h"
+
+#include <gtest/gtest.h>
+
+namespace angelptm::mem {
+namespace {
+
+constexpr size_t kPageBytes = 4096;
+
+TEST(PageTest, StartsEmptyAndFullyAvailable) {
+  Page page(1, kPageBytes);
+  EXPECT_EQ(page.id(), 1u);
+  EXPECT_EQ(page.total_bytes(), kPageBytes);
+  EXPECT_EQ(page.available_bytes(), kPageBytes);
+  EXPECT_TRUE(page.IsEmpty());
+  EXPECT_EQ(page.NumTensors(), 0);
+  EXPECT_EQ(page.FragmentedBytes(), 0u);
+}
+
+TEST(PageTest, AllocateClaimsBumpedRange) {
+  Page page(1, kPageBytes);
+  ASSERT_TRUE(page.Allocate(1000, /*tensor_id=*/7).ok());
+  EXPECT_EQ(page.available_bytes(), kPageBytes - 1000);
+  ASSERT_TRUE(page.HoldsTensor(7));
+  const Page::Slot* slot = page.FindSlot(7);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->offset, 0u);
+  EXPECT_EQ(slot->bytes, 1000u);
+
+  ASSERT_TRUE(page.Allocate(500, /*tensor_id=*/8).ok());
+  const Page::Slot* slot2 = page.FindSlot(8);
+  ASSERT_NE(slot2, nullptr);
+  EXPECT_EQ(slot2->offset, 1000u);
+  EXPECT_EQ(page.NumTensors(), 2);
+}
+
+TEST(PageTest, AtMostTwoTensorsPerPage) {
+  // §4.1: pages host at most two tensors to keep management trivial.
+  Page page(1, kPageBytes);
+  ASSERT_TRUE(page.Allocate(100, 1).ok());
+  ASSERT_TRUE(page.Allocate(100, 2).ok());
+  EXPECT_TRUE(page.Allocate(100, 3).IsResourceExhausted());
+}
+
+TEST(PageTest, RejectsOversizeAndZeroAllocations) {
+  Page page(1, kPageBytes);
+  EXPECT_TRUE(page.Allocate(kPageBytes + 1, 1).IsResourceExhausted());
+  EXPECT_TRUE(page.Allocate(0, 1).IsInvalidArgument());
+  ASSERT_TRUE(page.Allocate(kPageBytes, 1).ok());  // Exactly full is fine.
+  EXPECT_EQ(page.available_bytes(), 0u);
+}
+
+TEST(PageTest, RejectsDuplicateTensor) {
+  Page page(1, kPageBytes);
+  ASSERT_TRUE(page.Allocate(100, 5).ok());
+  EXPECT_EQ(page.Allocate(100, 5).code(),
+            util::StatusCode::kAlreadyExists);
+}
+
+TEST(PageTest, ReleaseTailReclaimsImmediately) {
+  Page page(1, kPageBytes);
+  ASSERT_TRUE(page.Allocate(1000, 1).ok());
+  ASSERT_TRUE(page.Allocate(500, 2).ok());
+  ASSERT_TRUE(page.Release(2).ok());  // Tail slot.
+  EXPECT_EQ(page.available_bytes(), kPageBytes - 1000);
+  EXPECT_EQ(page.FragmentedBytes(), 0u);
+}
+
+TEST(PageTest, ReleaseHeadLeavesBoundedHoleUntilDrain) {
+  Page page(1, kPageBytes);
+  ASSERT_TRUE(page.Allocate(1000, 1).ok());
+  ASSERT_TRUE(page.Allocate(500, 2).ok());
+  ASSERT_TRUE(page.Release(1).ok());  // Head slot: hole until page drains.
+  EXPECT_EQ(page.FragmentedBytes(), 1000u);
+  EXPECT_EQ(page.available_bytes(), kPageBytes - 1500);
+  ASSERT_TRUE(page.Release(2).ok());  // Drains: hole erased.
+  EXPECT_TRUE(page.IsEmpty());
+  EXPECT_EQ(page.available_bytes(), kPageBytes);
+  EXPECT_EQ(page.FragmentedBytes(), 0u);
+}
+
+TEST(PageTest, ReleaseUnknownTensorFails) {
+  Page page(1, kPageBytes);
+  EXPECT_TRUE(page.Release(99).IsNotFound());
+}
+
+TEST(PageTest, SlotReusableAfterRelease) {
+  Page page(1, kPageBytes);
+  ASSERT_TRUE(page.Allocate(2000, 1).ok());
+  ASSERT_TRUE(page.Release(1).ok());
+  ASSERT_TRUE(page.Allocate(3000, 2).ok());
+  ASSERT_TRUE(page.Allocate(1000, 3).ok());
+  EXPECT_EQ(page.NumTensors(), 2);
+}
+
+TEST(PageTest, ResidenceTransitionsBumpEpoch) {
+  Page page(1, kPageBytes);
+  const uint64_t e0 = page.residence_epoch();
+  std::byte buffer[16];
+  page.SetResidence(DeviceKind::kGpu, buffer);
+  EXPECT_EQ(page.device(), DeviceKind::kGpu);
+  EXPECT_EQ(page.data_ptr(), buffer);
+  EXPECT_EQ(page.ssd_offset(), kInvalidSsdOffset);
+  EXPECT_EQ(page.residence_epoch(), e0 + 1);
+
+  page.SetSsdResidence(4096);
+  EXPECT_EQ(page.device(), DeviceKind::kSsd);
+  EXPECT_EQ(page.data_ptr(), nullptr);
+  EXPECT_EQ(page.ssd_offset(), 4096u);
+  EXPECT_EQ(page.residence_epoch(), e0 + 2);
+}
+
+TEST(PageTest, DefaultPageSizeIsFourMiB) {
+  // The paper's optimal page size (§4.1).
+  EXPECT_EQ(kDefaultPageBytes, 4ull * 1024 * 1024);
+  EXPECT_EQ(kMaxTensorsPerPage, 2);
+}
+
+}  // namespace
+}  // namespace angelptm::mem

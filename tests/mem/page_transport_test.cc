@@ -1,0 +1,143 @@
+#include "mem/page_transport.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::mem {
+namespace {
+
+constexpr size_t kPage = 64 * 1024;
+
+HierarchicalMemoryOptions Options(const char* tag) {
+  HierarchicalMemoryOptions o;
+  o.page_bytes = kPage;
+  o.gpu_capacity_bytes = 4 * kPage;
+  o.cpu_capacity_bytes = 16 * kPage;
+  o.ssd_capacity_bytes = 16 * kPage;
+  o.ssd_path = std::string("/tmp/angelptm_pt_") + tag + "_" +
+               std::to_string(::getpid()) + ".bin";
+  return o;
+}
+
+TEST(PageTransportTest, SendReceivePreservesBytes) {
+  HierarchicalMemory server_a(Options("a"));
+  HierarchicalMemory server_b(Options("b"));
+  PageTransport transport;
+  ASSERT_TRUE(transport.RegisterServer(0, &server_a).ok());
+  ASSERT_TRUE(transport.RegisterServer(1, &server_b).ok());
+
+  auto page = server_a.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  for (size_t i = 0; i < kPage; ++i) {
+    (*page)->data_ptr()[i] = std::byte((i * 37) & 0xFF);
+  }
+  ASSERT_TRUE(transport.Send(1, **page).ok());
+  EXPECT_EQ(transport.InFlight(1), 1u);
+  EXPECT_EQ(transport.bytes_sent(), kPage);
+
+  auto received = transport.Receive(1, DeviceKind::kCpu);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ((*received)->device(), DeviceKind::kCpu);
+  for (size_t i = 0; i < kPage; i += 733) {
+    ASSERT_EQ((*received)->data_ptr()[i], std::byte((i * 37) & 0xFF));
+  }
+  // Sender's page untouched.
+  EXPECT_EQ((*page)->data_ptr()[0], std::byte{0});
+  EXPECT_EQ(transport.InFlight(1), 0u);
+}
+
+TEST(PageTransportTest, FifoOrderPerDestination) {
+  HierarchicalMemory server(Options("fifo"));
+  PageTransport transport;
+  ASSERT_TRUE(transport.RegisterServer(0, &server).ok());
+  auto page = server.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  for (int i = 0; i < 3; ++i) {
+    std::memset((*page)->data_ptr(), i + 1, kPage);
+    ASSERT_TRUE(transport.Send(0, **page).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto received = transport.TryReceive(0, DeviceKind::kCpu);
+    ASSERT_TRUE(received.ok());
+    EXPECT_EQ((*received)->data_ptr()[100], std::byte(i + 1));
+    ASSERT_TRUE(server.DestroyPage(*received).ok());
+  }
+}
+
+TEST(PageTransportTest, ReceiveDirectlyOntoSsdTier) {
+  HierarchicalMemory server(Options("ssd"));
+  PageTransport transport;
+  ASSERT_TRUE(transport.RegisterServer(0, &server).ok());
+  auto page = server.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  std::memset((*page)->data_ptr(), 0x7E, kPage);
+  ASSERT_TRUE(transport.Send(0, **page).ok());
+  auto received = transport.Receive(0, DeviceKind::kSsd);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ((*received)->device(), DeviceKind::kSsd);
+  // Round-trip back to memory and verify.
+  ASSERT_TRUE(server.MovePageSync(*received, DeviceKind::kCpu).ok());
+  EXPECT_EQ((*received)->data_ptr()[kPage - 1], std::byte{0x7E});
+}
+
+TEST(PageTransportTest, BlockingReceiveWakesOnSend) {
+  HierarchicalMemory server(Options("blocking"));
+  PageTransport transport;
+  ASSERT_TRUE(transport.RegisterServer(0, &server).ok());
+  Page* landed = nullptr;
+  std::thread receiver([&] {
+    auto received = transport.Receive(0, DeviceKind::kCpu);
+    ASSERT_TRUE(received.ok());
+    landed = *received;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto page = server.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  std::memset((*page)->data_ptr(), 0x11, kPage);
+  ASSERT_TRUE(transport.Send(0, **page).ok());
+  receiver.join();
+  ASSERT_NE(landed, nullptr);
+  EXPECT_EQ(landed->data_ptr()[5], std::byte{0x11});
+}
+
+TEST(PageTransportTest, ThrottlePacesWire) {
+  HierarchicalMemory server(Options("throttle"));
+  PageTransport transport(/*nic_bandwidth_bytes_per_sec=*/1e6);  // 1 MB/s.
+  ASSERT_TRUE(transport.RegisterServer(0, &server).ok());
+  auto page = server.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(transport.Send(0, **page).ok());  // 64 KiB at 1 MB/s ~ 65 ms.
+  ASSERT_TRUE(transport.Send(0, **page).ok());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.08);
+}
+
+TEST(PageTransportTest, ErrorsAreStatuses) {
+  HierarchicalMemory server(Options("err"));
+  PageTransport transport;
+  auto page = server.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(transport.Send(7, **page).IsNotFound());
+  EXPECT_TRUE(transport.TryReceive(7, DeviceKind::kCpu).status().IsNotFound());
+  ASSERT_TRUE(transport.RegisterServer(0, &server).ok());
+  EXPECT_EQ(transport.RegisterServer(0, &server).code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_TRUE(
+      transport.TryReceive(0, DeviceKind::kCpu).status().IsNotFound());
+  // SSD-resident pages cannot be sent directly.
+  ASSERT_TRUE(server.MovePageSync(*page, DeviceKind::kSsd).ok());
+  EXPECT_EQ(transport.Send(0, **page).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace angelptm::mem

@@ -1,0 +1,163 @@
+#include "mem/ssd_tier.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::mem {
+namespace {
+
+constexpr size_t kFrame = 4096;
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/angelptm_ssd_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+SsdTier::Options MakeOptions(const char* tag, uint64_t capacity,
+                             double throttle = 0.0) {
+  SsdTier::Options o;
+  o.path = TempPath(tag);
+  o.capacity_bytes = capacity;
+  o.frame_bytes = kFrame;
+  o.throttle_bytes_per_sec = throttle;
+  return o;
+}
+
+TEST(SsdTierTest, OpenCreatesSizedFile) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("open", 10 * kFrame)).ok());
+  EXPECT_TRUE(tier.is_open());
+  EXPECT_EQ(tier.total_frames(), 10u);
+  EXPECT_EQ(tier.free_frames(), 10u);
+  EXPECT_EQ(tier.capacity_bytes(), 10 * kFrame);
+}
+
+TEST(SsdTierTest, DoubleOpenFails) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("dbl", 2 * kFrame)).ok());
+  EXPECT_EQ(tier.Open(MakeOptions("dbl2", 2 * kFrame)).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(SsdTierTest, WriteReadRoundTrip) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("rw", 4 * kFrame)).ok());
+  auto offset = tier.AcquireFrame();
+  ASSERT_TRUE(offset.ok());
+
+  std::vector<std::byte> out(kFrame);
+  for (size_t i = 0; i < kFrame; ++i) out[i] = std::byte(i & 0xFF);
+  ASSERT_TRUE(tier.WriteFrame(*offset, out.data(), kFrame).ok());
+
+  std::vector<std::byte> in(kFrame);
+  ASSERT_TRUE(tier.ReadFrame(*offset, in.data(), kFrame).ok());
+  EXPECT_EQ(std::memcmp(out.data(), in.data(), kFrame), 0);
+  EXPECT_EQ(tier.bytes_written(), kFrame);
+  EXPECT_EQ(tier.bytes_read(), kFrame);
+}
+
+TEST(SsdTierTest, FramesIndependent) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("indep", 4 * kFrame)).ok());
+  auto a = tier.AcquireFrame();
+  auto b = tier.AcquireFrame();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+
+  std::vector<std::byte> da(kFrame, std::byte{0xAA});
+  std::vector<std::byte> db(kFrame, std::byte{0xBB});
+  ASSERT_TRUE(tier.WriteFrame(*a, da.data(), kFrame).ok());
+  ASSERT_TRUE(tier.WriteFrame(*b, db.data(), kFrame).ok());
+
+  std::vector<std::byte> check(kFrame);
+  ASSERT_TRUE(tier.ReadFrame(*a, check.data(), kFrame).ok());
+  EXPECT_EQ(check[0], std::byte{0xAA});
+  ASSERT_TRUE(tier.ReadFrame(*b, check.data(), kFrame).ok());
+  EXPECT_EQ(check[0], std::byte{0xBB});
+}
+
+TEST(SsdTierTest, ExhaustionAndRelease) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("exh", 2 * kFrame)).ok());
+  auto a = tier.AcquireFrame();
+  auto b = tier.AcquireFrame();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(tier.AcquireFrame().status().IsResourceExhausted());
+  tier.ReleaseFrame(*a);
+  EXPECT_TRUE(tier.AcquireFrame().ok());
+}
+
+TEST(SsdTierTest, PartialFrameIo) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("part", 2 * kFrame)).ok());
+  auto offset = tier.AcquireFrame();
+  ASSERT_TRUE(offset.ok());
+  std::vector<std::byte> data(100, std::byte{0x42});
+  ASSERT_TRUE(tier.WriteFrame(*offset, data.data(), 100).ok());
+  std::vector<std::byte> back(100);
+  ASSERT_TRUE(tier.ReadFrame(*offset, back.data(), 100).ok());
+  EXPECT_EQ(back[99], std::byte{0x42});
+}
+
+TEST(SsdTierTest, OversizeIoRejected) {
+  SsdTier tier;
+  ASSERT_TRUE(tier.Open(MakeOptions("over", 2 * kFrame)).ok());
+  auto offset = tier.AcquireFrame();
+  std::vector<std::byte> data(kFrame + 1);
+  EXPECT_TRUE(
+      tier.WriteFrame(*offset, data.data(), kFrame + 1).IsInvalidArgument());
+  EXPECT_TRUE(
+      tier.ReadFrame(*offset, data.data(), kFrame + 1).IsInvalidArgument());
+}
+
+TEST(SsdTierTest, IoOnClosedTierFails) {
+  SsdTier tier;
+  std::byte b{};
+  EXPECT_EQ(tier.WriteFrame(0, &b, 1).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(tier.ReadFrame(0, &b, 1).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(SsdTierTest, ThrottleSlowsIo) {
+  SsdTier tier;
+  // 1 MiB/s: writing 16 frames of 4 KiB (64 KiB) should take >= ~50 ms.
+  ASSERT_TRUE(
+      tier.Open(MakeOptions("thr", 16 * kFrame, 1024.0 * 1024)).ok());
+  std::vector<std::byte> data(kFrame, std::byte{1});
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 16; ++i) {
+    auto offset = tier.AcquireFrame();
+    ASSERT_TRUE(offset.ok());
+    ASSERT_TRUE(tier.WriteFrame(*offset, data.data(), kFrame).ok());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.05);
+}
+
+TEST(SsdTierTest, DeleteOnCloseRemovesFile) {
+  const std::string path = TempPath("del");
+  {
+    SsdTier tier;
+    SsdTier::Options o;
+    o.path = path;
+    o.capacity_bytes = 2 * kFrame;
+    o.frame_bytes = kFrame;
+    ASSERT_TRUE(tier.Open(o).ok());
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace angelptm::mem

@@ -1,0 +1,173 @@
+#include "model/footprint.h"
+
+#include <cstdint>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "util/units.h"
+
+namespace angelptm::model {
+namespace {
+
+using util::kGiB;
+using util::kMiB;
+
+TEST(FootprintTest, Table1ClosedForms) {
+  // Totals must match the closed forms printed in Table 1:
+  //   Params = 16 d^2 + 8 d dffn (+8d LayerNorm)
+  //   Acts   = 40 b s d + 8 b s dffn (+8bs score rows)
+  //   Optims = 48 d^2 + 24 d dffn (+24d LayerNorm)
+  for (uint64_t d : {1024ull, 4096ull, 12288ull}) {
+    const uint64_t dffn = 4 * d;
+    const uint64_t b = 2, s = 1024;
+    const LayerFootprint fp = ComputeLayerFootprint(b, s, d, dffn);
+    EXPECT_EQ(fp.params_bytes, 16 * d * d + 8 * d * dffn + 8 * d);
+    EXPECT_EQ(fp.acts_bytes, 40 * b * s * d + 8 * b * s * dffn + 8 * b * s);
+    EXPECT_EQ(fp.optim_bytes, 48 * d * d + 24 * d * dffn + 24 * d);
+  }
+}
+
+TEST(FootprintTest, Table1HasTwelveComponents) {
+  const LayerFootprint fp = ComputeLayerFootprint(1, 2048, 12288, 49152);
+  EXPECT_EQ(fp.components.size(), 12u);
+  // First row is the fused QKV projection: params 12 d^2, optims 36 d^2.
+  const auto& qkv = fp.components.front();
+  EXPECT_EQ(qkv.layer, "Linear(Q,K,V)");
+  EXPECT_EQ(qkv.params_bytes, 12ull * 12288 * 12288);
+  EXPECT_EQ(qkv.optim_bytes, 36ull * 12288 * 12288);
+  EXPECT_EQ(qkv.acts_bytes, 12ull * 2048 * 12288);
+}
+
+TEST(FootprintTest, OptimizerIsThreeTimesParamBytes) {
+  // fp32 master+momentum+variance (12B/elem) vs fp16 param+grad (4B/elem).
+  const LayerFootprint fp = ComputeLayerFootprint(1, 2048, 4096, 16384);
+  EXPECT_EQ(fp.optim_bytes, 3 * fp.params_bytes);
+}
+
+TEST(FootprintTest, Gpt3MemoryUsageAnalysisOfSection22) {
+  // §2.2: GPT3-175B (b=1, s=2048, d=12288, dffn=49152) consumes ~648 GB of
+  // Params, ~162 GB of Acts and ~1944 GB of Optims. The paper's totals imply
+  // ~90 effective layers; with the canonical 96 layers our closed forms give
+  // the same numbers within 10%.
+  const int layers = 96;
+  const LayerFootprint fp = ComputeLayerFootprint(1, 2048, 12288, 49152);
+  const double params_gb = double(fp.params_bytes) * layers / 1e9;
+  const double acts_gb = double(fp.acts_bytes) * layers / 1e9;
+  const double optims_gb = double(fp.optim_bytes) * layers / 1e9;
+  EXPECT_NEAR(params_gb, 648.0, 648.0 * 0.10);
+  EXPECT_NEAR(acts_gb, 162.0, 162.0 * 0.12);
+  EXPECT_NEAR(optims_gb, 1944.0, 1944.0 * 0.10);
+}
+
+TEST(FootprintTest, Table2TensorSizeClasses) {
+  // The model-state size classes of Table 2 for one GPT3 layer with
+  // d=12288, dffn=49152.
+  const auto tensors = EnumerateStateTensors(12288, 49152);
+  std::map<uint64_t, int> histogram;  // bytes -> count
+  for (const auto& t : tensors) histogram[t.bytes] += t.count;
+
+  EXPECT_EQ(histogram[2304 * kMiB], 6);  // fp32 states of 2 FFN linears.
+  EXPECT_EQ(histogram[1152 * kMiB], 4);  // fp16 param+grad of 2 FFN linears.
+  EXPECT_EQ(histogram[576 * kMiB], 12);  // fp32 states of 4 attn linears.
+  EXPECT_EQ(histogram[288 * kMiB], 8);   // fp16 param+grad of 4 attn linears.
+  EXPECT_EQ(histogram[48 * util::kKiB], 6);  // fp32 LayerNorm states.
+  EXPECT_EQ(histogram[24 * util::kKiB], 4);  // fp16 LayerNorm param+grad.
+}
+
+TEST(FootprintTest, Table2SizesSpanThreeOrdersOfMagnitude) {
+  // The spread motivating page-based management (§3.2).
+  const auto tensors = EnumerateStateTensors(12288, 49152);
+  ASSERT_FALSE(tensors.empty());
+  EXPECT_GE(tensors.front().bytes / tensors.back().bytes, 10000u);
+  // Sorted descending.
+  for (size_t i = 1; i < tensors.size(); ++i) {
+    EXPECT_LE(tensors[i].bytes, tensors[i - 1].bytes);
+  }
+}
+
+TEST(ModelZooTest, ContainsAllElevenTable4Models) {
+  const auto zoo = PaperModelZoo();
+  EXPECT_EQ(zoo.size(), 11u);
+  EXPECT_TRUE(FindModel("GPT3-175B").ok());
+  EXPECT_TRUE(FindModel("T5-MoE-1.2T").ok());
+  EXPECT_TRUE(FindModel("NoSuchModel").status().IsNotFound());
+}
+
+TEST(ModelZooTest, GptParamCountsMatchModelNames) {
+  struct Expectation {
+    const char* name;
+    double low_billion;
+    double high_billion;
+  };
+  // GPT3-28B and GPT3-30B configs are internally inconsistent in the paper's
+  // Table 4 (see EXPERIMENTS.md); the configs win, hence the wider bands.
+  const Expectation expectations[] = {
+      {"GPT3-1.7B", 1.5, 1.9},   {"GPT3-13B", 12.0, 14.0},
+      {"GPT3-28B", 20.0, 29.0},  {"GPT3-55B", 52.0, 58.0},
+      {"GPT3-120B", 110.0, 125.0}, {"GPT3-175B", 165.0, 185.0},
+  };
+  for (const auto& e : expectations) {
+    auto config = FindModel(e.name);
+    ASSERT_TRUE(config.ok()) << e.name;
+    const double billions = double(TotalParamCount(*config)) / 1e9;
+    EXPECT_GE(billions, e.low_billion) << e.name;
+    EXPECT_LE(billions, e.high_billion) << e.name;
+  }
+}
+
+TEST(ModelZooTest, T5MoeReachesTrillionScale) {
+  auto config = FindModel("T5-MoE-1.2T");
+  ASSERT_TRUE(config.ok());
+  const double trillions = double(TotalParamCount(*config)) / 1e12;
+  EXPECT_GE(trillions, 1.1);
+  EXPECT_LE(trillions, 1.35);
+}
+
+TEST(ModelZooTest, ModelStateBytesAre16BytesPerParam) {
+  auto config = FindModel("GPT3-13B");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(TotalModelStateBytes(*config), TotalParamCount(*config) * 16);
+}
+
+TEST(ModelZooTest, MakeConfigHelpers) {
+  const auto gpt = MakeGptConfig(12, 16, 2048, 8192);
+  EXPECT_EQ(gpt.family, ModelFamily::kGpt);
+  EXPECT_EQ(gpt.num_layers, 12);
+  const auto t5 = MakeT5Config(8, 16, 1024, 4096);
+  EXPECT_EQ(t5.family, ModelFamily::kT5);
+  const auto moe = MakeT5MoeConfig(16, 64, 1024, 16384);
+  EXPECT_EQ(moe.family, ModelFamily::kT5Moe);
+  EXPECT_TRUE(moe.IsMoe());
+  EXPECT_FALSE(gpt.IsMoe());
+}
+
+TEST(ModelZooTest, T5HasDecoderOverheadOverGpt) {
+  // Same dims and layer count: the T5 pair (enc+dec) must cost more than one
+  // GPT layer but less than 3x.
+  const auto gpt = MakeGptConfig(10, 16, 1024, 4096);
+  const auto t5 = MakeT5Config(10, 16, 1024, 4096);
+  EXPECT_GT(TotalParamCount(t5), TotalParamCount(gpt));
+  EXPECT_LT(TotalParamCount(t5), 3 * TotalParamCount(gpt));
+}
+
+TEST(ActivationTest, RecomputeShrinksResidentActivations) {
+  auto config = FindModel("GPT3-13B");
+  ASSERT_TRUE(config.ok());
+  const uint64_t full = TotalActivationBytes(*config, /*micro_batch=*/4);
+  const uint64_t resident = ResidentActivationBytes(*config, 4);
+  EXPECT_LT(resident, full / 5);  // Recompute must save a lot.
+  EXPECT_GT(resident, 0u);
+}
+
+TEST(ActivationTest, ActivationsScaleLinearlyWithBatch) {
+  auto config = FindModel("GPT3-1.7B");
+  ASSERT_TRUE(config.ok());
+  const uint64_t b1 = TotalActivationBytes(*config, 1);
+  const uint64_t b4 = TotalActivationBytes(*config, 4);
+  EXPECT_EQ(b4, 4 * b1);
+}
+
+}  // namespace
+}  // namespace angelptm::model

@@ -1,0 +1,76 @@
+#include "sim/cluster_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace angelptm::sim {
+namespace {
+
+ClusterQueueConfig BaseConfig() {
+  ClusterQueueConfig config;
+  config.total_gpus = 512;
+  config.arrivals_per_hour = 10.0;
+  config.gpus_per_finetune_job = 32;
+  config.gpus_per_pretrain_job = 256;
+  config.num_jobs = 400;
+  config.seed = 17;
+  return config;
+}
+
+TEST(ClusterQueueTest, AllJobsComplete) {
+  const ClusterQueueResult result = SimulateClusterQueue(BaseConfig());
+  EXPECT_EQ(result.jobs_completed, 400);
+  EXPECT_GE(result.mean_wait_hours, 0.0);
+  EXPECT_GE(result.p95_wait_hours, result.mean_wait_hours);
+  EXPECT_GE(result.max_wait_hours, result.p95_wait_hours);
+  EXPECT_GT(result.gpu_utilization, 0.0);
+  EXPECT_LE(result.gpu_utilization, 1.0);
+}
+
+TEST(ClusterQueueTest, SmallerJobsShrinkWaits) {
+  // The paper's §3.2 argument: hierarchical memory shrinks GPUs per
+  // fine-tuning job, so the same cluster clears the queue much faster.
+  ClusterQueueConfig heavy = BaseConfig();
+  heavy.gpus_per_finetune_job = 64;
+  ClusterQueueConfig light = BaseConfig();
+  light.gpus_per_finetune_job = 8;
+  const ClusterQueueResult heavy_result = SimulateClusterQueue(heavy);
+  const ClusterQueueResult light_result = SimulateClusterQueue(light);
+  EXPECT_LT(light_result.mean_finetune_wait_hours,
+            heavy_result.mean_finetune_wait_hours);
+  EXPECT_LT(light_result.p95_wait_hours, heavy_result.p95_wait_hours);
+}
+
+TEST(ClusterQueueTest, UnderloadedClusterHasNoWaits) {
+  ClusterQueueConfig config = BaseConfig();
+  config.arrivals_per_hour = 0.1;  // One job every 10 hours.
+  config.finetune_fraction = 1.0;
+  config.gpus_per_finetune_job = 8;
+  const ClusterQueueResult result = SimulateClusterQueue(config);
+  EXPECT_NEAR(result.mean_wait_hours, 0.0, 1e-9);
+}
+
+TEST(ClusterQueueTest, OverloadedClusterBacksUp) {
+  ClusterQueueConfig config = BaseConfig();
+  config.arrivals_per_hour = 100.0;  // Far beyond capacity.
+  const ClusterQueueResult result = SimulateClusterQueue(config);
+  EXPECT_GT(result.mean_wait_hours, 1.0);
+  EXPECT_GT(result.gpu_utilization, 0.5);
+}
+
+TEST(ClusterQueueTest, DeterministicForSeed) {
+  const ClusterQueueResult a = SimulateClusterQueue(BaseConfig());
+  const ClusterQueueResult b = SimulateClusterQueue(BaseConfig());
+  EXPECT_EQ(a.mean_wait_hours, b.mean_wait_hours);
+  EXPECT_EQ(a.max_wait_hours, b.max_wait_hours);
+}
+
+TEST(ClusterQueueTest, DifferentSeedsDiffer) {
+  ClusterQueueConfig other = BaseConfig();
+  other.seed = 18;
+  const ClusterQueueResult a = SimulateClusterQueue(BaseConfig());
+  const ClusterQueueResult b = SimulateClusterQueue(other);
+  EXPECT_NE(a.mean_wait_hours, b.mean_wait_hours);
+}
+
+}  // namespace
+}  // namespace angelptm::sim

@@ -1,0 +1,124 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+
+namespace angelptm::sim {
+namespace {
+
+CostModel MakeCostModel(const model::TransformerConfig& config) {
+  model::TrainingConfig training;
+  training.recompute_activations = true;
+  return CostModel(PaperServer(), config, training);
+}
+
+TEST(CostModelTest, GptForwardFlopsDominatedByMatmuls) {
+  const auto config = model::MakeGptConfig(1, 16, 2048, 8192);
+  const CostModel cost = MakeCostModel(config);
+  // 2 FLOPs per param per token plus attention term.
+  const double tokens = 1.0 * config.seq_len;
+  const double expected_matmul =
+      2.0 * (4.0 * 2048 * 2048 + 2.0 * 2048 * 8192) * tokens;
+  EXPECT_GT(cost.LayerForwardFlops(1), expected_matmul);
+  EXPECT_LT(cost.LayerForwardFlops(1), expected_matmul * 1.5);
+}
+
+TEST(CostModelTest, BackwardIsThreeTimesForwardWithRecompute) {
+  const auto config = model::MakeGptConfig(1, 16, 1024, 4096);
+  const CostModel cost = MakeCostModel(config);
+  EXPECT_DOUBLE_EQ(cost.LayerBackwardFlops(4),
+                   3.0 * cost.LayerForwardFlops(4));
+}
+
+TEST(CostModelTest, FlopsScaleLinearlyWithBatch) {
+  const auto config = model::MakeGptConfig(1, 16, 1024, 4096);
+  const CostModel cost = MakeCostModel(config);
+  EXPECT_DOUBLE_EQ(cost.LayerForwardFlops(8),
+                   8.0 * cost.LayerForwardFlops(1));
+}
+
+TEST(CostModelTest, EfficiencySaturatesWithTokens) {
+  const auto config = model::MakeGptConfig(1, 16, 1024, 4096);
+  const CostModel cost = MakeCostModel(config);
+  const double eff1 = cost.AchievedFlops(1);
+  const double eff8 = cost.AchievedFlops(8);
+  const double eff64 = cost.AchievedFlops(64);
+  EXPECT_LT(eff1, eff8);
+  EXPECT_LT(eff8, eff64);
+  const HardwareConfig hw = PaperServer();
+  EXPECT_LT(eff64, hw.GpuEffectiveFlops());
+  // Seconds per sample improve with batch (larger batch = better util).
+  EXPECT_LT(cost.LayerForwardSeconds(64) / 64,
+            cost.LayerForwardSeconds(1) / 1);
+}
+
+TEST(CostModelTest, AllGatherScalesWithWorldAndBytes) {
+  const auto config = model::MakeGptConfig(1, 16, 1024, 4096);
+  const CostModel cost = MakeCostModel(config);
+  EXPECT_DOUBLE_EQ(cost.AllGatherSeconds(1 << 20, 1), 0.0);
+  const double t2 = cost.AllGatherSeconds(1 << 20, 2);
+  const double t8 = cost.AllGatherSeconds(1 << 20, 8);
+  EXPECT_GT(t8, t2);  // (N-1) shards per rank.
+  EXPECT_DOUBLE_EQ(cost.AllGatherSeconds(2 << 20, 8), 2.0 * t8);
+  EXPECT_DOUBLE_EQ(cost.ReduceScatterSeconds(1 << 20, 8), t8);
+}
+
+TEST(CostModelTest, CrossNodeCollectivesAreSlower) {
+  const auto config = model::MakeGptConfig(1, 16, 1024, 4096);
+  const CostModel cost = MakeCostModel(config);
+  // Intra-node rides NVLink; 16 ranks span nodes and ride the NIC share.
+  const double intra = cost.AllGatherSeconds(1 << 20, 8);
+  const double inter = cost.AllGatherSeconds(1 << 20, 16);
+  EXPECT_GT(inter, 4.0 * intra);
+}
+
+TEST(CostModelTest, AllToAllLatencyGrowsWithWorld) {
+  const auto config = model::MakeT5MoeConfig(16, 64, 1024, 16384);
+  const CostModel cost = MakeCostModel(config);
+  const double t64 = cost.AllToAllSeconds(1 << 20, 64);
+  const double t1024 = cost.AllToAllSeconds(1 << 20, 1024);
+  EXPECT_GT(t1024, t64);  // Per-peer latency term dominates at scale.
+}
+
+TEST(CostModelTest, OptimizerAndSsdCosts) {
+  const auto config = model::MakeGptConfig(1, 16, 1024, 4096);
+  const CostModel cost = MakeCostModel(config);
+  const HardwareConfig hw = PaperServer();
+  const uint64_t elements = 1'000'000'000ull;
+  EXPECT_DOUBLE_EQ(cost.CpuAdamSeconds(elements),
+                   elements * 28.0 / hw.cpu_optimizer_bw_per_node);
+  EXPECT_DOUBLE_EQ(cost.SsdRoundTripSeconds(elements),
+                   elements * 24.0 / hw.ssd_bw_per_node);
+  // GPU HBM update is far faster than CPU.
+  EXPECT_LT(cost.GpuAdamSeconds(elements), cost.CpuAdamSeconds(elements));
+}
+
+TEST(CostModelTest, MoeComputeUsesActiveExpertOnly) {
+  // Compute cost must not scale with the number of (inactive) experts.
+  const auto small = MakeCostModel(model::MakeT5MoeConfig(16, 8, 1024, 16384));
+  const auto large =
+      MakeCostModel(model::MakeT5MoeConfig(16, 2304, 1024, 16384));
+  EXPECT_DOUBLE_EQ(small.LayerForwardFlops(8), large.LayerForwardFlops(8));
+}
+
+TEST(HardwareTest, PaperServerMatchesTable3) {
+  const HardwareConfig hw = PaperServer();
+  EXPECT_EQ(hw.gpus_per_node, 8);
+  EXPECT_EQ(hw.gpu_memory_bytes, 40ull * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(hw.pcie_bw_per_gpu, 32e9);
+  EXPECT_DOUBLE_EQ(hw.ssd_bw_per_node, 3.5e9);
+  EXPECT_DOUBLE_EQ(hw.nvlink_bw_per_gpu, 200e9);
+  const std::string description = DescribeHardware(hw);
+  EXPECT_NE(description.find("A100"), std::string::npos);
+}
+
+TEST(HardwareTest, CollectiveBandwidthDropsAcrossNodes) {
+  const HardwareConfig hw = PaperServer();
+  EXPECT_DOUBLE_EQ(hw.CollectiveBwPerRank(8), hw.nvlink_bw_per_gpu);
+  EXPECT_DOUBLE_EQ(hw.CollectiveBwPerRank(64),
+                   hw.nic_bw_per_node / hw.gpus_per_node);
+}
+
+}  // namespace
+}  // namespace angelptm::sim

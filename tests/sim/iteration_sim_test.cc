@@ -1,0 +1,293 @@
+#include "sim/iteration_sim.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::sim {
+namespace {
+
+using core::SchedStep;
+using core::Task;
+using core::TaskOp;
+
+/// Two compute steps of 1s each, one 32 MiB page per step.
+IterationSpec TwoStepSpec() {
+  IterationSpec spec;
+  spec.sched.world_size = 4;
+  spec.sched.gpu_memory_budget = 1ull << 40;
+  for (int i = 0; i < 2; ++i) {
+    SchedStep step;
+    step.param_pages = {{uint64_t(i), 32ull << 20}};
+    step.compute_seconds = 1.0;
+    spec.sched.steps.push_back(step);
+  }
+  spec.pcie_bw = 32e9;
+  spec.collective_bw_per_rank = 200e9;
+  return spec;
+}
+
+TEST(IterationSimTest, ComputeOnlySumsStepTimes) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 0, 0, 0},  // Zero-byte: residency marker.
+      {TaskOp::kMoveToGpu, 1, 0, 1, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const IterationResult result = SimulateIteration(spec);
+  EXPECT_NEAR(result.iteration_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(result.gpu_busy, 2.0, 1e-9);
+  EXPECT_NEAR(result.GpuIdleFraction(), 0.0, 1e-9);
+}
+
+TEST(IterationSimTest, PrefetchedMovesOverlapCompute) {
+  // Both moves issued at t=0: the second move (for step 1) overlaps the
+  // first compute, so only the first transfer is on the critical path.
+  IterationSpec spec = TwoStepSpec();
+  spec.collective_bw_per_rank = 1e18;  // Make gather wire time negligible.
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 32ull << 20, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 32ull << 20, 1, 0},
+      {TaskOp::kAllGather, 0, 32ull << 20, 0, 0},
+      {TaskOp::kAllGather, 1, 32ull << 20, 1, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const IterationResult result = SimulateIteration(spec);
+  const double move_seconds = double(32ull << 20) / 32e9;  // ~1 ms.
+  // Compute 0 waits for its own move; the second move rides under compute.
+  EXPECT_NEAR(result.iteration_seconds, 2.0 + move_seconds, 1e-4);
+}
+
+TEST(IterationSimTest, SerializedMovesStallCompute) {
+  // Move for step 1 triggered only after compute 0: its latency is exposed.
+  IterationSpec spec = TwoStepSpec();
+  spec.pcie_bw = 32e6;  // Slow link: ~1s per 32 MiB page.
+  spec.collective_bw_per_rank = 1e18;
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 32ull << 20, 0, 0},
+      {TaskOp::kAllGather, 0, 32ull << 20, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 32ull << 20, 1, 1},
+      {TaskOp::kAllGather, 1, 32ull << 20, 1, 1},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const IterationResult serialized = SimulateIteration(spec);
+  // vs both moves prefetched at t=0.
+  spec.tasks[3].trigger_id = 0;
+  const IterationResult overlapped = SimulateIteration(spec);
+  EXPECT_GT(serialized.iteration_seconds,
+            overlapped.iteration_seconds + 0.5);
+}
+
+TEST(IterationSimTest, OnDemandGatherPaysPcie) {
+  IterationSpec spec = TwoStepSpec();
+  spec.pcie_bw = 32e6;
+  // No moves at all: gathers must fetch shards over PCIe on demand.
+  spec.tasks = {
+      {TaskOp::kAllGather, 0, 32ull << 20, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kAllGather, 1, 32ull << 20, 1, 1},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const IterationResult result = SimulateIteration(spec);
+  EXPECT_GT(result.pcie_busy, 1.5);  // Two ~1s on-demand fetches.
+  EXPECT_GT(result.iteration_seconds, 3.5);
+}
+
+TEST(IterationSimTest, SynchronousOptimizerExtendsIteration) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 0, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 0, 1, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  OptimizerWork work;
+  work.after_step = 1;
+  work.cpu_update_elements = uint64_t(spec.cpu_optimizer_bw / 28.0);  // ~1s.
+  spec.opt_work = {work};
+  const IterationResult sync = SimulateIteration(spec);
+  EXPECT_NEAR(sync.iteration_seconds, 3.0, 0.01);
+
+  // Lock-free: the CPU tail leaves the critical path and becomes lag.
+  spec.lock_free = true;
+  const IterationResult lock_free = SimulateIteration(spec);
+  EXPECT_NEAR(lock_free.iteration_seconds, 2.0, 0.01);
+  EXPECT_NEAR(lock_free.optimizer_lag_seconds, 1.0, 0.01);
+}
+
+TEST(IterationSimTest, PerLayerOptimizerOverlapsBackward) {
+  // Optimizer work for step 0 can start right after compute 0 while
+  // compute 1 still runs: only the tail beyond compute is exposed.
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 0, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 0, 1, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const uint64_t one_second = uint64_t(spec.cpu_optimizer_bw / 28.0);
+  OptimizerWork early;
+  early.after_step = 0;
+  early.cpu_update_elements = one_second;
+  OptimizerWork late;
+  late.after_step = 1;
+  late.cpu_update_elements = one_second;
+  spec.opt_work = {early, late};
+  const IterationResult result = SimulateIteration(spec);
+  // early overlaps compute 1 entirely: total = 2 (compute) + 1 (late).
+  EXPECT_NEAR(result.iteration_seconds, 3.0, 0.01);
+  EXPECT_NEAR(result.cpu_busy, 2.0, 0.01);
+}
+
+TEST(IterationSimTest, SsdChainsReadUpdateWrite) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  OptimizerWork work;
+  work.after_step = 1;
+  work.ssd_read_bytes = uint64_t(spec.ssd_bw);   // 1s.
+  work.ssd_write_bytes = uint64_t(spec.ssd_bw);  // 1s.
+  work.cpu_update_elements = uint64_t(spec.cpu_optimizer_bw / 28.0);
+  spec.opt_work = {work};
+  const IterationResult result = SimulateIteration(spec);
+  // compute 2s, then read 1s -> update 1s -> write 1s.
+  EXPECT_NEAR(result.iteration_seconds, 5.0, 0.01);
+  EXPECT_NEAR(result.ssd_busy, 2.0, 0.01);
+}
+
+TEST(IterationSimTest, GradAccumulationAmortizesOptimizer) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 0, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 0, 1, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  OptimizerWork work;
+  work.after_step = 1;
+  work.cpu_update_elements = uint64_t(spec.cpu_optimizer_bw / 28.0);  // 1s.
+  spec.opt_work = {work};
+
+  spec.grad_accumulation = 1;
+  const IterationResult once = SimulateIteration(spec);
+  spec.grad_accumulation = 4;
+  const IterationResult accumulated = SimulateIteration(spec);
+  // 4 passes of 2s compute + ONE optimizer second.
+  EXPECT_NEAR(accumulated.iteration_seconds, 9.0, 0.05);
+  // Per-sample time improves: 9/4 < 3/1.
+  EXPECT_LT(accumulated.iteration_seconds / 4, once.iteration_seconds);
+}
+
+TEST(IterationSimTest, ExtraCommDelaysComputeSteps) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 0, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 0, 1, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  spec.extra_comm_seconds_per_step = 0.5;  // The MoE all-to-all.
+  const IterationResult result = SimulateIteration(spec);
+  EXPECT_NEAR(result.iteration_seconds, 3.0, 0.01);
+  EXPECT_NEAR(result.comm_busy, 1.0, 0.01);
+}
+
+TEST(IterationSimTest, TimelineIsConsistent) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 32ull << 20, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 32ull << 20, 1, 0},
+      {TaskOp::kAllGather, 0, 32ull << 20, 0, 0},
+      {TaskOp::kAllGather, 1, 32ull << 20, 1, 1},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  OptimizerWork work;
+  work.after_step = 1;
+  work.cpu_update_elements = uint64_t(spec.cpu_optimizer_bw / 28.0);
+  spec.opt_work = {work};
+  std::vector<TaskTiming> timeline;
+  const IterationResult result = SimulateIteration(spec, &timeline);
+  ASSERT_FALSE(timeline.empty());
+  // Sorted by start; per-resource tasks never overlap; everything finishes
+  // within the iteration.
+  std::map<std::string, double> last_end;
+  double previous_start = -1;
+  for (const TaskTiming& task : timeline) {
+    EXPECT_GE(task.start, previous_start);
+    previous_start = task.start;
+    EXPECT_GT(task.end, task.start);
+    EXPECT_LE(task.end, result.iteration_seconds + 1e-9) << task.name;
+    EXPECT_GE(task.start, last_end[task.resource] - 1e-12)
+        << task.name << " overlaps on " << task.resource;
+    last_end[task.resource] = task.end;
+  }
+  // Expected task mix.
+  int computes = 0, moves = 0;
+  for (const TaskTiming& task : timeline) {
+    if (task.resource == "gpu") ++computes;
+    if (task.resource == "pcie") ++moves;
+  }
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(moves, 2);
+}
+
+TEST(IterationSimTest, ChromeTraceExportWritesJson) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 32ull << 20, 0, 0},
+      {TaskOp::kAllGather, 0, 32ull << 20, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kAllGather, 1, 32ull << 20, 1, 1},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  std::vector<TaskTiming> timeline;
+  SimulateIteration(spec, &timeline);
+  const std::string path =
+      "/tmp/angelptm_trace_test_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(ExportChromeTrace(timeline, path).ok());
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("compute step 0"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  std::remove(path.c_str());
+}
+
+TEST(IterationSimTest, BusyCountersConsistent) {
+  IterationSpec spec = TwoStepSpec();
+  spec.tasks = {
+      {TaskOp::kMoveToGpu, 0, 32ull << 20, 0, 0},
+      {TaskOp::kMoveToGpu, 1, 32ull << 20, 1, 0},
+      {TaskOp::kAllGather, 0, 32ull << 20, 0, 0},
+      {TaskOp::kAllGather, 1, 32ull << 20, 1, 1},
+      {TaskOp::kCompute, ~0ull, 0, 0, 0},
+      {TaskOp::kCompute, ~0ull, 0, 1, 1},
+  };
+  const IterationResult result = SimulateIteration(spec);
+  EXPECT_NEAR(result.gpu_busy, 2.0, 1e-6);
+  EXPECT_GT(result.pcie_busy, 0.0);
+  EXPECT_GT(result.comm_busy, 0.0);
+  EXPECT_LE(result.gpu_busy, result.iteration_seconds + 1e-9);
+}
+
+}  // namespace
+}  // namespace angelptm::sim

@@ -1,0 +1,235 @@
+#include "train/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace angelptm::train {
+namespace {
+
+std::vector<float> RandomVector(util::Rng* rng, size_t n,
+                                double stddev = 1.0) {
+  std::vector<float> v(n);
+  rng->FillGaussian(&v, stddev);
+  return v;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<float> a = {1, 2, 3, 4};
+  const std::vector<float> b = {5, 6, 7, 8};
+  std::vector<float> c(4);
+  Gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(GemmTest, RectangularShapes) {
+  util::Rng rng(1);
+  const size_t m = 3, k = 5, n = 4;
+  const auto a = RandomVector(&rng, m * k);
+  const auto b = RandomVector(&rng, k * n);
+  std::vector<float> c(m * n);
+  Gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double expected = 0;
+      for (size_t p = 0; p < k; ++p) expected += double(a[i * k + p]) * b[p * n + j];
+      EXPECT_NEAR(c[i * n + j], expected, 1e-4);
+    }
+  }
+}
+
+TEST(GemmTest, TransAMatchesExplicitTranspose) {
+  util::Rng rng(2);
+  const size_t m = 4, k = 6, n = 3;
+  const auto a = RandomVector(&rng, k * m);  // k x m
+  const auto b = RandomVector(&rng, k * n);
+  std::vector<float> at(m * k);
+  for (size_t p = 0; p < k; ++p) {
+    for (size_t i = 0; i < m; ++i) at[i * k + p] = a[p * m + i];
+  }
+  std::vector<float> c1(m * n), c2(m * n);
+  GemmTransA(a.data(), b.data(), c1.data(), m, k, n);
+  Gemm(at.data(), b.data(), c2.data(), m, k, n);
+  for (size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4);
+}
+
+TEST(GemmTest, TransBMatchesExplicitTranspose) {
+  util::Rng rng(3);
+  const size_t m = 4, k = 6, n = 3;
+  const auto a = RandomVector(&rng, m * k);
+  const auto b = RandomVector(&rng, n * k);  // n x k
+  std::vector<float> bt(k * n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  }
+  std::vector<float> c1(m * n), c2(m * n);
+  GemmTransB(a.data(), b.data(), c1.data(), m, k, n);
+  Gemm(a.data(), bt.data(), c2.data(), m, k, n);
+  for (size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4);
+}
+
+TEST(BiasTest, AddAndBackward) {
+  std::vector<float> y = {1, 2, 3, 4, 5, 6};  // 2 x 3
+  const std::vector<float> bias = {10, 20, 30};
+  AddBias(y.data(), bias.data(), 2, 3);
+  EXPECT_FLOAT_EQ(y[0], 11);
+  EXPECT_FLOAT_EQ(y[5], 36);
+
+  const std::vector<float> grad = {1, 2, 3, 4, 5, 6};
+  std::vector<float> grad_bias(3);
+  BiasBackward(grad.data(), grad_bias.data(), 2, 3);
+  EXPECT_FLOAT_EQ(grad_bias[0], 5);   // 1 + 4
+  EXPECT_FLOAT_EQ(grad_bias[1], 7);   // 2 + 5
+  EXPECT_FLOAT_EQ(grad_bias[2], 9);   // 3 + 6
+}
+
+TEST(GeluTest, KnownValues) {
+  const std::vector<float> x = {0.0f, 1.0f, -1.0f, 3.0f};
+  std::vector<float> y(x.size());
+  Gelu(x.data(), y.data(), x.size());
+  EXPECT_NEAR(y[0], 0.0, 1e-6);
+  EXPECT_NEAR(y[1], 0.8412, 1e-3);
+  EXPECT_NEAR(y[2], -0.1588, 1e-3);
+  EXPECT_NEAR(y[3], 2.9964, 1e-3);
+}
+
+TEST(GeluTest, BackwardMatchesFiniteDifference) {
+  util::Rng rng(4);
+  const auto x = RandomVector(&rng, 32);
+  std::vector<float> dy(32, 1.0f);
+  std::vector<float> dx(32);
+  GeluBackward(x.data(), dy.data(), dx.data(), 32);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < 32; ++i) {
+    std::vector<float> xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    std::vector<float> yp(32), ym(32);
+    Gelu(xp.data(), yp.data(), 32);
+    Gelu(xm.data(), ym.data(), 32);
+    const double numeric = (yp[i] - ym[i]) / (2 * eps);
+    EXPECT_NEAR(dx[i], numeric, 1e-2) << "at " << i;
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  util::Rng rng(5);
+  const size_t m = 4, n = 16;
+  const auto x = RandomVector(&rng, m * n, 3.0);
+  std::vector<float> gamma(n, 1.0f), beta(n, 0.0f);
+  std::vector<float> y(m * n), mean(m), rstd(m);
+  LayerNorm(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+            rstd.data(), m, n);
+  for (size_t i = 0; i < m; ++i) {
+    double sum = 0, sum_sq = 0;
+    for (size_t j = 0; j < n; ++j) {
+      sum += y[i * n + j];
+      sum_sq += double(y[i * n + j]) * y[i * n + j];
+    }
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, BackwardMatchesFiniteDifference) {
+  util::Rng rng(6);
+  const size_t m = 2, n = 8;
+  const auto x = RandomVector(&rng, m * n);
+  auto gamma = RandomVector(&rng, n, 0.5);
+  for (auto& g : gamma) g += 1.0f;
+  const auto beta = RandomVector(&rng, n, 0.1);
+  const auto dy = RandomVector(&rng, m * n);
+
+  std::vector<float> y(m * n), mean(m), rstd(m);
+  LayerNorm(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+            rstd.data(), m, n);
+  std::vector<float> dx(m * n), dgamma(n, 0.0f), dbeta(n, 0.0f);
+  LayerNormBackward(x.data(), gamma.data(), dy.data(), mean.data(),
+                    rstd.data(), dx.data(), dgamma.data(), dbeta.data(), m,
+                    n);
+
+  auto loss = [&](const std::vector<float>& xv) {
+    std::vector<float> yv(m * n), mv(m), rv(m);
+    LayerNorm(xv.data(), gamma.data(), beta.data(), yv.data(), mv.data(),
+              rv.data(), m, n);
+    double total = 0;
+    for (size_t i = 0; i < m * n; ++i) total += double(yv[i]) * dy[i];
+    return total;
+  };
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < m * n; ++i) {
+    std::vector<float> xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(dx[i], numeric, 2e-2) << "dx at " << i;
+  }
+}
+
+TEST(SoftmaxXentTest, UniformLogitsGiveLogN) {
+  const size_t m = 2, n = 4;
+  std::vector<float> logits(m * n, 0.5f);
+  const std::vector<int> labels = {1, 3};
+  std::vector<float> grad(m * n);
+  const double loss =
+      SoftmaxCrossEntropy(logits.data(), labels.data(), grad.data(), m, n);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-5);
+  // Gradient rows sum to zero.
+  for (size_t i = 0; i < m; ++i) {
+    double sum = 0;
+    for (size_t j = 0; j < n; ++j) sum += grad[i * n + j];
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxXentTest, GradientMatchesFiniteDifference) {
+  util::Rng rng(7);
+  const size_t m = 3, n = 5;
+  const auto logits = RandomVector(&rng, m * n);
+  const std::vector<int> labels = {0, 2, 4};
+  std::vector<float> grad(m * n);
+  SoftmaxCrossEntropy(logits.data(), labels.data(), grad.data(), m, n);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < m * n; ++i) {
+    std::vector<float> lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    std::vector<float> g(m * n);
+    const double up =
+        SoftmaxCrossEntropy(lp.data(), labels.data(), g.data(), m, n);
+    const double down =
+        SoftmaxCrossEntropy(lm.data(), labels.data(), g.data(), m, n);
+    EXPECT_NEAR(grad[i], (up - down) / (2 * eps), 1e-3) << "at " << i;
+  }
+}
+
+TEST(SoftmaxXentTest, NumericallyStableWithLargeLogits) {
+  const size_t m = 1, n = 3;
+  std::vector<float> logits = {1000.0f, 999.0f, 998.0f};
+  const std::vector<int> labels = {0};
+  std::vector<float> grad(n);
+  const double loss =
+      SoftmaxCrossEntropy(logits.data(), labels.data(), grad.data(), m, n);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, 1.0);
+}
+
+TEST(MseTest, LossAndGradient) {
+  const std::vector<float> pred = {1.0f, 2.0f};
+  const std::vector<float> target = {0.0f, 4.0f};
+  std::vector<float> grad(2);
+  const double loss = MseLoss(pred.data(), target.data(), grad.data(), 2);
+  EXPECT_NEAR(loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad[0], 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(grad[1], 2.0 * -2.0 / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace angelptm::train

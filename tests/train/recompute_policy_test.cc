@@ -1,0 +1,90 @@
+#include "train/recompute_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace angelptm::train {
+namespace {
+
+std::vector<LayerActivationCost> UniformLayers(int n, uint64_t full,
+                                               uint64_t boundary,
+                                               double recompute) {
+  std::vector<LayerActivationCost> layers(n);
+  for (auto& layer : layers) {
+    layer.full_stash_bytes = full;
+    layer.boundary_bytes = boundary;
+    layer.recompute_seconds = recompute;
+  }
+  return layers;
+}
+
+TEST(RecomputePolicyTest, AmpleBudgetStashesEverything) {
+  const auto layers = UniformLayers(4, 100, 10, 0.5);
+  auto plan = PlanRecompute(layers, 1000);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->layers_recomputed, 0);
+  EXPECT_DOUBLE_EQ(plan->recompute_seconds, 0.0);
+  EXPECT_EQ(plan->resident_bytes, 4u * 100);
+}
+
+TEST(RecomputePolicyTest, TightBudgetRecomputesEverything) {
+  const auto layers = UniformLayers(4, 100, 10, 0.5);
+  auto plan = PlanRecompute(layers, 45);  // Boundaries are 40.
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->layers_recomputed, 4);
+  EXPECT_DOUBLE_EQ(plan->recompute_seconds, 2.0);
+  EXPECT_EQ(plan->resident_bytes, 40u);
+}
+
+TEST(RecomputePolicyTest, PartialBudgetPicksMostExpensiveRecomputes) {
+  // Layer 1 is 10x costlier to recompute for the same size: it must win
+  // the stash slot.
+  std::vector<LayerActivationCost> layers = UniformLayers(3, 100, 10, 0.1);
+  layers[1].recompute_seconds = 1.0;
+  auto plan = PlanRecompute(layers, 30 + 90 /* one extra stash */);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->choices[1], ActivationChoice::kStashFull);
+  EXPECT_EQ(plan->choices[0], ActivationChoice::kRecompute);
+  EXPECT_EQ(plan->choices[2], ActivationChoice::kRecompute);
+  EXPECT_DOUBLE_EQ(plan->recompute_seconds, 0.2);
+}
+
+TEST(RecomputePolicyTest, DensityBeatsAbsoluteTime) {
+  // Layer 0: saves 0.5s for 900 extra bytes (0.56 ms/B);
+  // layer 1: saves 0.3s for 90 extra bytes (3.3 ms/B) — denser, picked
+  // first when only ~100 bytes remain.
+  std::vector<LayerActivationCost> layers(2);
+  layers[0] = {1000, 100, 0.5};
+  layers[1] = {100, 10, 0.3};
+  auto plan = PlanRecompute(layers, 110 + 95);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->choices[1], ActivationChoice::kStashFull);
+  EXPECT_EQ(plan->choices[0], ActivationChoice::kRecompute);
+}
+
+TEST(RecomputePolicyTest, InfeasibleBudgetIsOutOfMemory) {
+  const auto layers = UniformLayers(4, 100, 10, 0.5);
+  EXPECT_TRUE(PlanRecompute(layers, 39).status().IsOutOfMemory());
+}
+
+TEST(RecomputePolicyTest, MonotoneInBudget) {
+  const auto layers = UniformLayers(8, 128, 16, 0.25);
+  double previous_recompute = 1e9;
+  for (uint64_t budget = 128; budget <= 1200; budget += 128) {
+    auto plan = PlanRecompute(layers, budget);
+    ASSERT_TRUE(plan.ok()) << budget;
+    EXPECT_LE(plan->recompute_seconds, previous_recompute) << budget;
+    EXPECT_LE(plan->resident_bytes, budget);
+    previous_recompute = plan->recompute_seconds;
+  }
+}
+
+TEST(RecomputePolicyTest, ZeroCostLayersStayRecomputed) {
+  // A layer with no recompute cost never deserves stash space.
+  std::vector<LayerActivationCost> layers = UniformLayers(2, 100, 10, 0.0);
+  auto plan = PlanRecompute(layers, 10000);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->layers_recomputed, 2);
+}
+
+}  // namespace
+}  // namespace angelptm::train

@@ -1,0 +1,197 @@
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bandwidth_throttle.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace angelptm::util {
+namespace {
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(4 * kMiB), "4.00 MiB");
+  EXPECT_EQ(FormatBytes(40ull * kGiB), "40.00 GiB");
+  EXPECT_EQ(FormatBytes(11ull * kTiB), "11.00 TiB");
+  EXPECT_EQ(FormatBytes(uint64_t(1.5 * kGiB)), "1.50 GiB");
+}
+
+TEST(UnitsTest, FormatParamCount) {
+  EXPECT_EQ(FormatParamCount(1'700'000'000ull), "1.7B");
+  EXPECT_EQ(FormatParamCount(175'000'000'000ull), "175.0B");
+  EXPECT_EQ(FormatParamCount(1'200'000'000'000ull), "1.2T");
+  EXPECT_EQ(FormatParamCount(12'000'000ull), "12.0M");
+  EXPECT_EQ(FormatParamCount(42), "42");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatDuration(12.3e-6), "12.30 us");
+  EXPECT_EQ(FormatDuration(5e-9), "5 ns");
+}
+
+TEST(UnitsTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+  EXPECT_EQ(RoundUp(10, 3), 12u);
+  EXPECT_EQ(RoundUp(7, 0), 7u);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, FillGaussianScalesByStddev) {
+  Rng rng(13);
+  std::vector<float> v(20000);
+  rng.FillGaussian(&v, 0.01);
+  double sum_sq = 0;
+  for (float x : v) sum_sq += double(x) * x;
+  EXPECT_NEAR(std::sqrt(sum_sq / v.size()), 0.01, 0.001);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndCountsRows) {
+  TablePrinter table({"Model", "Params"});
+  table.AddRow({"GPT3-175B", "175B"});
+  table.AddSeparator();
+  table.AddRow({"T5", "27B"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  std::ostringstream os;
+  table.Print(os, "Models");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Models =="), std::string::npos);
+  EXPECT_NE(out.find("| GPT3-175B | 175B"), std::string::npos);
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| x"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+}
+
+TEST(HistogramTest, RecordsMomentsAndPercentiles) {
+  Histogram histogram(16);
+  for (uint64_t v : {1, 1, 2, 2, 2, 3, 5, 9}) histogram.Record(v);
+  EXPECT_EQ(histogram.count(), 8u);
+  EXPECT_NEAR(histogram.Mean(), 25.0 / 8, 1e-9);
+  EXPECT_EQ(histogram.Max(), 9u);
+  EXPECT_EQ(histogram.Percentile(0.5), 2u);
+  EXPECT_EQ(histogram.Percentile(1.0), 9u);
+  EXPECT_NE(histogram.Summary().find("count=8"), std::string::npos);
+}
+
+TEST(HistogramTest, OverflowBucketClampsButTracksMax) {
+  Histogram histogram(4);
+  histogram.Record(100);
+  EXPECT_EQ(histogram.Max(), 100u);
+  EXPECT_EQ(histogram.Percentile(1.0), 4u);  // Clamped to last bucket.
+}
+
+TEST(HistogramTest, MergeAndReset) {
+  Histogram a(8), b(8);
+  a.Record(1);
+  b.Record(3);
+  b.Record(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Percentile(1.0), 3u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.Percentile(0.5), 0u);
+  EXPECT_EQ(histogram.Mean(), 0.0);
+}
+
+TEST(BandwidthThrottleTest, ZeroRateDoesNotSleep) {
+  BandwidthThrottle throttle(0.0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) throttle.Consume(1 << 20);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.1);
+}
+
+TEST(BandwidthThrottleTest, PacesToConfiguredRate) {
+  // 100 MiB/s, consume 10 MiB -> ~0.1 s.
+  BandwidthThrottle throttle(100.0 * 1024 * 1024);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) throttle.Consume(1 << 20);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.08);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+}  // namespace
+}  // namespace angelptm::util
