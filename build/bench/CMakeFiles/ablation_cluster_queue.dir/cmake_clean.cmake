@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_queue.dir/ablation_cluster_queue.cc.o"
+  "CMakeFiles/ablation_cluster_queue.dir/ablation_cluster_queue.cc.o.d"
+  "ablation_cluster_queue"
+  "ablation_cluster_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

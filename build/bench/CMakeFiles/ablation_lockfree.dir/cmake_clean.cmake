@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lockfree.dir/ablation_lockfree.cc.o"
+  "CMakeFiles/ablation_lockfree.dir/ablation_lockfree.cc.o.d"
+  "ablation_lockfree"
+  "ablation_lockfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lockfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

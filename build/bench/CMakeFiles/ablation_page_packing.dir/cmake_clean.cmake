@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_packing.dir/ablation_page_packing.cc.o"
+  "CMakeFiles/ablation_page_packing.dir/ablation_page_packing.cc.o.d"
+  "ablation_page_packing"
+  "ablation_page_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

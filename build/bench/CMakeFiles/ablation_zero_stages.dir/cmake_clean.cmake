@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zero_stages.dir/ablation_zero_stages.cc.o"
+  "CMakeFiles/ablation_zero_stages.dir/ablation_zero_stages.cc.o.d"
+  "ablation_zero_stages"
+  "ablation_zero_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zero_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_footprints.dir/table1_footprints.cc.o"
+  "CMakeFiles/table1_footprints.dir/table1_footprints.cc.o.d"
+  "table1_footprints"
+  "table1_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_models.dir/table4_models.cc.o"
+  "CMakeFiles/table4_models.dir/table4_models.cc.o.d"
+  "table4_models"
+  "table4_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

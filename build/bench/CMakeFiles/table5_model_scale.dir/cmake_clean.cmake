@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_model_scale.dir/table5_model_scale.cc.o"
+  "CMakeFiles/table5_model_scale.dir/table5_model_scale.cc.o.d"
+  "table5_model_scale"
+  "table5_model_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_model_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ssd_lockfree.dir/table6_ssd_lockfree.cc.o"
+  "CMakeFiles/table6_ssd_lockfree.dir/table6_ssd_lockfree.cc.o.d"
+  "table6_ssd_lockfree"
+  "table6_ssd_lockfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ssd_lockfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

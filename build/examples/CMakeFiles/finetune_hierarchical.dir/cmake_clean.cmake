@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_hierarchical.dir/finetune_hierarchical.cpp.o"
+  "CMakeFiles/finetune_hierarchical.dir/finetune_hierarchical.cpp.o.d"
+  "finetune_hierarchical"
+  "finetune_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

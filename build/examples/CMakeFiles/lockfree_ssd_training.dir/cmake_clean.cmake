@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_ssd_training.dir/lockfree_ssd_training.cpp.o"
+  "CMakeFiles/lockfree_ssd_training.dir/lockfree_ssd_training.cpp.o.d"
+  "lockfree_ssd_training"
+  "lockfree_ssd_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_ssd_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

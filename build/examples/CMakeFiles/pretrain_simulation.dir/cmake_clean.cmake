@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_simulation.dir/pretrain_simulation.cpp.o"
+  "CMakeFiles/pretrain_simulation.dir/pretrain_simulation.cpp.o.d"
+  "pretrain_simulation"
+  "pretrain_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_recovery.dir/transformer_recovery.cpp.o"
+  "CMakeFiles/transformer_recovery.dir/transformer_recovery.cpp.o.d"
+  "transformer_recovery"
+  "transformer_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_data_parallel.dir/zero_data_parallel.cpp.o"
+  "CMakeFiles/zero_data_parallel.dir/zero_data_parallel.cpp.o.d"
+  "zero_data_parallel"
+  "zero_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deepspeed_like.cc" "src/CMakeFiles/angelptm.dir/baselines/deepspeed_like.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/baselines/deepspeed_like.cc.o.d"
+  "/root/repo/src/baselines/megatron_like.cc" "src/CMakeFiles/angelptm.dir/baselines/megatron_like.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/baselines/megatron_like.cc.o.d"
+  "/root/repo/src/core/allocator.cc" "src/CMakeFiles/angelptm.dir/core/allocator.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/allocator.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/angelptm.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/communicator.cc" "src/CMakeFiles/angelptm.dir/core/communicator.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/communicator.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/angelptm.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/angelptm.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/lockfree_updater.cc" "src/CMakeFiles/angelptm.dir/core/lockfree_updater.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/lockfree_updater.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/angelptm.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/CMakeFiles/angelptm.dir/core/tensor.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/tensor.cc.o.d"
+  "/root/repo/src/core/tracer.cc" "src/CMakeFiles/angelptm.dir/core/tracer.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/tracer.cc.o.d"
+  "/root/repo/src/core/unified_scheduler.cc" "src/CMakeFiles/angelptm.dir/core/unified_scheduler.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/core/unified_scheduler.cc.o.d"
+  "/root/repo/src/dist/expert_parallel.cc" "src/CMakeFiles/angelptm.dir/dist/expert_parallel.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/dist/expert_parallel.cc.o.d"
+  "/root/repo/src/dist/sharded_data_parallel.cc" "src/CMakeFiles/angelptm.dir/dist/sharded_data_parallel.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/dist/sharded_data_parallel.cc.o.d"
+  "/root/repo/src/mem/copy_engine.cc" "src/CMakeFiles/angelptm.dir/mem/copy_engine.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/copy_engine.cc.o.d"
+  "/root/repo/src/mem/device.cc" "src/CMakeFiles/angelptm.dir/mem/device.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/device.cc.o.d"
+  "/root/repo/src/mem/hierarchical_memory.cc" "src/CMakeFiles/angelptm.dir/mem/hierarchical_memory.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/hierarchical_memory.cc.o.d"
+  "/root/repo/src/mem/memory_report.cc" "src/CMakeFiles/angelptm.dir/mem/memory_report.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/memory_report.cc.o.d"
+  "/root/repo/src/mem/page.cc" "src/CMakeFiles/angelptm.dir/mem/page.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/page.cc.o.d"
+  "/root/repo/src/mem/page_arena.cc" "src/CMakeFiles/angelptm.dir/mem/page_arena.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/page_arena.cc.o.d"
+  "/root/repo/src/mem/page_transport.cc" "src/CMakeFiles/angelptm.dir/mem/page_transport.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/page_transport.cc.o.d"
+  "/root/repo/src/mem/ssd_tier.cc" "src/CMakeFiles/angelptm.dir/mem/ssd_tier.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/mem/ssd_tier.cc.o.d"
+  "/root/repo/src/model/footprint.cc" "src/CMakeFiles/angelptm.dir/model/footprint.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/model/footprint.cc.o.d"
+  "/root/repo/src/model/model_zoo.cc" "src/CMakeFiles/angelptm.dir/model/model_zoo.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/model/model_zoo.cc.o.d"
+  "/root/repo/src/sim/cluster_queue.cc" "src/CMakeFiles/angelptm.dir/sim/cluster_queue.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/sim/cluster_queue.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/angelptm.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/hardware.cc" "src/CMakeFiles/angelptm.dir/sim/hardware.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/sim/hardware.cc.o.d"
+  "/root/repo/src/sim/iteration_sim.cc" "src/CMakeFiles/angelptm.dir/sim/iteration_sim.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/sim/iteration_sim.cc.o.d"
+  "/root/repo/src/sim/planner.cc" "src/CMakeFiles/angelptm.dir/sim/planner.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/sim/planner.cc.o.d"
+  "/root/repo/src/train/dataset.cc" "src/CMakeFiles/angelptm.dir/train/dataset.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/dataset.cc.o.d"
+  "/root/repo/src/train/engine_trainer.cc" "src/CMakeFiles/angelptm.dir/train/engine_trainer.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/engine_trainer.cc.o.d"
+  "/root/repo/src/train/kernels.cc" "src/CMakeFiles/angelptm.dir/train/kernels.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/kernels.cc.o.d"
+  "/root/repo/src/train/loss_scaler.cc" "src/CMakeFiles/angelptm.dir/train/loss_scaler.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/loss_scaler.cc.o.d"
+  "/root/repo/src/train/mlp.cc" "src/CMakeFiles/angelptm.dir/train/mlp.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/mlp.cc.o.d"
+  "/root/repo/src/train/recompute_policy.cc" "src/CMakeFiles/angelptm.dir/train/recompute_policy.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/recompute_policy.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/angelptm.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/trainer.cc.o.d"
+  "/root/repo/src/train/transformer.cc" "src/CMakeFiles/angelptm.dir/train/transformer.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/train/transformer.cc.o.d"
+  "/root/repo/src/util/bandwidth_throttle.cc" "src/CMakeFiles/angelptm.dir/util/bandwidth_throttle.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/bandwidth_throttle.cc.o.d"
+  "/root/repo/src/util/half.cc" "src/CMakeFiles/angelptm.dir/util/half.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/half.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/angelptm.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/angelptm.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/angelptm.dir/util/random.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/angelptm.dir/util/status.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/angelptm.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/angelptm.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/CMakeFiles/angelptm.dir/util/units.cc.o" "gcc" "src/CMakeFiles/angelptm.dir/util/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

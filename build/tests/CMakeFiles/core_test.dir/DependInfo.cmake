@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adam_test.cc" "tests/CMakeFiles/core_test.dir/core/adam_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/adam_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_property_test.cc" "tests/CMakeFiles/core_test.dir/core/scheduler_property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_property_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cc.o.d"
+  "/root/repo/tests/core/tensor_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/tensor_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tensor_allocator_test.cc.o.d"
+  "/root/repo/tests/core/tracer_test.cc" "tests/CMakeFiles/core_test.dir/core/tracer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tracer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/angelptm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/adam_test.cc.o"
+  "CMakeFiles/core_test.dir/core/adam_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scheduler_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tensor_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tensor_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tracer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tracer_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

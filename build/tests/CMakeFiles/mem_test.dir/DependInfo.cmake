@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/allocator_property_test.cc" "tests/CMakeFiles/mem_test.dir/mem/allocator_property_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/allocator_property_test.cc.o.d"
+  "/root/repo/tests/mem/copy_engine_test.cc" "tests/CMakeFiles/mem_test.dir/mem/copy_engine_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/copy_engine_test.cc.o.d"
+  "/root/repo/tests/mem/hierarchical_memory_test.cc" "tests/CMakeFiles/mem_test.dir/mem/hierarchical_memory_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/hierarchical_memory_test.cc.o.d"
+  "/root/repo/tests/mem/page_arena_test.cc" "tests/CMakeFiles/mem_test.dir/mem/page_arena_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/page_arena_test.cc.o.d"
+  "/root/repo/tests/mem/page_test.cc" "tests/CMakeFiles/mem_test.dir/mem/page_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/page_test.cc.o.d"
+  "/root/repo/tests/mem/page_transport_test.cc" "tests/CMakeFiles/mem_test.dir/mem/page_transport_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/page_transport_test.cc.o.d"
+  "/root/repo/tests/mem/ssd_tier_test.cc" "tests/CMakeFiles/mem_test.dir/mem/ssd_tier_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/ssd_tier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/angelptm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

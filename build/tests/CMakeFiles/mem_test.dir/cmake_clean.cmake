@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/allocator_property_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/allocator_property_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/copy_engine_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/copy_engine_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/hierarchical_memory_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/hierarchical_memory_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/page_arena_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/page_arena_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/page_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/page_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/page_transport_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/page_transport_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/ssd_tier_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/ssd_tier_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

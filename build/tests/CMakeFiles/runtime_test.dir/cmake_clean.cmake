@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/core/checkpoint_test.cc.o"
+  "CMakeFiles/runtime_test.dir/core/checkpoint_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/runtime_test.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/core/executor_communicator_test.cc.o"
+  "CMakeFiles/runtime_test.dir/core/executor_communicator_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/core/lockfree_updater_test.cc.o"
+  "CMakeFiles/runtime_test.dir/core/lockfree_updater_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train/engine_trainer_test.cc" "tests/CMakeFiles/train_test.dir/train/engine_trainer_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/engine_trainer_test.cc.o.d"
+  "/root/repo/tests/train/kernels_test.cc" "tests/CMakeFiles/train_test.dir/train/kernels_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/kernels_test.cc.o.d"
+  "/root/repo/tests/train/loss_scaler_test.cc" "tests/CMakeFiles/train_test.dir/train/loss_scaler_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/loss_scaler_test.cc.o.d"
+  "/root/repo/tests/train/mlp_test.cc" "tests/CMakeFiles/train_test.dir/train/mlp_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/mlp_test.cc.o.d"
+  "/root/repo/tests/train/recompute_policy_test.cc" "tests/CMakeFiles/train_test.dir/train/recompute_policy_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/recompute_policy_test.cc.o.d"
+  "/root/repo/tests/train/trainer_test.cc" "tests/CMakeFiles/train_test.dir/train/trainer_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/trainer_test.cc.o.d"
+  "/root/repo/tests/train/transformer_test.cc" "tests/CMakeFiles/train_test.dir/train/transformer_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/transformer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/angelptm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

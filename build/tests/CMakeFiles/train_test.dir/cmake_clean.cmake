@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_test.dir/train/engine_trainer_test.cc.o"
+  "CMakeFiles/train_test.dir/train/engine_trainer_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/kernels_test.cc.o"
+  "CMakeFiles/train_test.dir/train/kernels_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/loss_scaler_test.cc.o"
+  "CMakeFiles/train_test.dir/train/loss_scaler_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/mlp_test.cc.o"
+  "CMakeFiles/train_test.dir/train/mlp_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/recompute_policy_test.cc.o"
+  "CMakeFiles/train_test.dir/train/recompute_policy_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/trainer_test.cc.o"
+  "CMakeFiles/train_test.dir/train/trainer_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/transformer_test.cc.o"
+  "CMakeFiles/train_test.dir/train/transformer_test.cc.o.d"
+  "train_test"
+  "train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/half_test.cc.o"
+  "CMakeFiles/util_test.dir/util/half_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/misc_test.cc.o"
+  "CMakeFiles/util_test.dir/util/misc_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/util_test.dir/util/thread_pool_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
