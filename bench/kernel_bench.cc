@@ -1,0 +1,293 @@
+// Times every hot compute kernel single-threaded vs on the compute pool at
+// transformer-realistic shapes and writes BENCH_kernels.json, so the
+// kernel-performance trajectory is tracked from PR to PR. The headline
+// number is the 1024x1024x1024 GEMM speedup (target: >=4x on a >=8-core
+// host); the naive reference kernels are timed too, so the cache-blocking
+// gain is visible separately from the parallelism gain.
+//
+// Usage: kernel_bench [output.json] [gemm_size]
+//   output.json defaults to BENCH_kernels.json in the working directory;
+//   gemm_size defaults to 1024 (pass e.g. 256 for a quick smoke run).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/adam.h"
+#include "train/kernels.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace angelptm {
+namespace {
+
+double TimeMs(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string name;
+  std::string shape;
+  double flops = 0.0;  // 0 when GFLOP/s is not meaningful (memory-bound).
+  double reference_ms = -1.0;  // Naive kernel, when one exists.
+  double single_ms = 0.0;      // New kernel, 1 worker.
+  double parallel_ms = 0.0;    // New kernel, full compute pool.
+};
+
+class Harness {
+ public:
+  Harness() : serial_pool_(1) {}
+
+  /// Times `fn` once pinned to one worker and once on the default pool.
+  /// `reference` (optional) is the retained naive kernel.
+  void Run(KernelResult result, const std::function<void()>& fn,
+           const std::function<void()>& reference = nullptr) {
+    const int reps = 3;
+    if (reference) {
+      util::SetComputePoolOverride(&serial_pool_);
+      result.reference_ms = TimeMs(reference, reps);
+    }
+    util::SetComputePoolOverride(&serial_pool_);
+    result.single_ms = TimeMs(fn, reps);
+    util::SetComputePoolOverride(nullptr);
+    result.parallel_ms = TimeMs(fn, reps);
+    results_.push_back(result);
+
+    const KernelResult& r = results_.back();
+    std::cout << std::left << std::setw(22) << r.name << std::setw(20)
+              << r.shape;
+    if (r.reference_ms >= 0.0) {
+      std::cout << " naive " << std::setw(9) << FmtMs(r.reference_ms);
+    } else {
+      std::cout << "       " << std::setw(9) << "";
+    }
+    std::cout << " 1-thr " << std::setw(9) << FmtMs(r.single_ms) << " pool "
+              << std::setw(9) << FmtMs(r.parallel_ms) << " speedup "
+              << std::fixed << std::setprecision(2)
+              << r.single_ms / r.parallel_ms << "x";
+    if (r.flops > 0.0) {
+      std::cout << "  (" << std::setprecision(1)
+                << r.flops / r.parallel_ms / 1e6 << " GFLOP/s)";
+    }
+    std::cout << "\n";
+  }
+
+  const std::vector<KernelResult>& results() const { return results_; }
+
+ private:
+  static std::string FmtMs(double ms) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+    return buf;
+  }
+
+  util::ThreadPool serial_pool_;
+  std::vector<KernelResult> results_;
+};
+
+bool WriteJson(const std::string& path, const Harness& harness,
+               size_t gemm_size) {
+  std::ofstream out(path);
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n";
+  out << "  \"bench\": \"kernel_bench\",\n";
+  out << "  \"gemm_size\": " << gemm_size << ",\n";
+  out << "  \"compute_threads\": " << util::ComputePoolThreads() << ",\n";
+  out << "  \"kernels\": [\n";
+  const auto& results = harness.results();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
+        << "\", ";
+    if (r.reference_ms >= 0.0) {
+      out << "\"reference_ms\": " << r.reference_ms << ", ";
+    }
+    out << "\"single_thread_ms\": " << r.single_ms
+        << ", \"parallel_ms\": " << r.parallel_ms
+        << ", \"speedup\": " << r.single_ms / r.parallel_ms;
+    if (r.flops > 0.0) {
+      out << ", \"parallel_gflops\": " << r.flops / r.parallel_ms / 1e6;
+    }
+    out << "}";
+    if (i + 1 < results.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return bool(out.flush());
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  long gemm_arg = 1024;
+  if (argc > 2) {
+    char* end = nullptr;
+    gemm_arg = std::strtol(argv[2], &end, 10);
+    if (end == argv[2] || *end != '\0' || gemm_arg <= 0) {
+      std::cerr << "error: gemm_size must be a positive integer, got \""
+                << argv[2] << "\"\nusage: kernel_bench [output.json] "
+                << "[gemm_size]\n";
+      return 2;
+    }
+  }
+  const size_t gemm = size_t(gemm_arg);
+
+  std::cout << "Kernel benchmark: single-thread vs compute pool ("
+            << util::ComputePoolThreads() << " workers)\n\n";
+
+  util::Rng rng(42);
+  Harness harness;
+  auto shape = [](size_t m, size_t k, size_t n) {
+    return std::to_string(m) + "x" + std::to_string(k) + "x" +
+           std::to_string(n);
+  };
+
+  // --- GEMM family at the headline cubic shape. ---
+  {
+    const size_t m = gemm, k = gemm, n = gemm;
+    std::vector<float> a(m * k), b(k * n), c(m * n);
+    rng.FillGaussian(&a, 1.0);
+    rng.FillGaussian(&b, 1.0);
+    const double flops = 2.0 * double(m) * double(k) * double(n);
+    harness.Run(
+        {"gemm", shape(m, k, n), flops},
+        [&] { train::Gemm(a.data(), b.data(), c.data(), m, k, n); },
+        [&] { train::reference::Gemm(a.data(), b.data(), c.data(), m, k, n); });
+    harness.Run({"gemm_trans_a", shape(m, k, n), flops},
+                [&] { train::GemmTransA(a.data(), b.data(), c.data(), m, k, n); },
+                [&] {
+                  train::reference::GemmTransA(a.data(), b.data(), c.data(), m,
+                                               k, n);
+                });
+    harness.Run({"gemm_trans_b", shape(m, k, n), flops},
+                [&] { train::GemmTransB(a.data(), b.data(), c.data(), m, k, n); },
+                [&] {
+                  train::reference::GemmTransB(a.data(), b.data(), c.data(), m,
+                                               k, n);
+                });
+  }
+
+  // --- Transformer-block shapes: batch*seq = 2048 token rows, d = 1024. ---
+  const size_t rows = 2048, d = 1024, ffn = 4 * d;
+
+  {
+    std::vector<float> z(rows * ffn), bias(ffn), y(rows * ffn);
+    rng.FillGaussian(&z, 1.0);
+    rng.FillGaussian(&bias, 0.1);
+    const std::string bias_shape =
+        std::to_string(rows) + "x" + std::to_string(ffn);
+    harness.Run({"add_bias_gelu", bias_shape, 0.0},
+                [&] { train::AddBiasGelu(z.data(), bias.data(), y.data(), rows, ffn); });
+    std::vector<float> dz(rows * ffn), dbias(ffn);
+    harness.Run({"add_bias_gelu_bwd", bias_shape, 0.0},
+                [&] {
+                  train::AddBiasGeluBackward(z.data(), y.data(), dz.data(),
+                                             dbias.data(), rows, ffn);
+                });
+  }
+
+  {
+    std::vector<float> x(rows * d), gamma(d, 1.0f), beta(d, 0.0f);
+    std::vector<float> y(rows * d), mean(rows), rstd(rows);
+    rng.FillGaussian(&x, 1.0);
+    harness.Run({"layer_norm", std::to_string(rows) + "x" + std::to_string(d),
+                 0.0},
+                [&] {
+                  train::LayerNorm(x.data(), gamma.data(), beta.data(),
+                                   y.data(), mean.data(), rstd.data(), rows,
+                                   d);
+                },
+                [&] {
+                  train::reference::LayerNorm(x.data(), gamma.data(),
+                                              beta.data(), y.data(),
+                                              mean.data(), rstd.data(), rows,
+                                              d);
+                });
+    std::vector<float> dy(rows * d), dx(rows * d), dgamma(d), dbeta(d);
+    rng.FillGaussian(&dy, 1.0);
+    train::LayerNorm(x.data(), gamma.data(), beta.data(), y.data(),
+                     mean.data(), rstd.data(), rows, d);
+    harness.Run({"layer_norm_bwd",
+                 std::to_string(rows) + "x" + std::to_string(d), 0.0},
+                [&] {
+                  train::LayerNormBackward(x.data(), gamma.data(), dy.data(),
+                                           mean.data(), rstd.data(), dx.data(),
+                                           dgamma.data(), dbeta.data(), rows,
+                                           d);
+                },
+                [&] {
+                  train::reference::LayerNormBackward(
+                      x.data(), gamma.data(), dy.data(), mean.data(),
+                      rstd.data(), dx.data(), dgamma.data(), dbeta.data(),
+                      rows, d);
+                });
+  }
+
+  {
+    const size_t vocab = 8192;
+    std::vector<float> logits(rows * vocab), grad(rows * vocab);
+    rng.FillGaussian(&logits, 2.0);
+    std::vector<int> labels(rows);
+    for (size_t i = 0; i < rows; ++i) labels[i] = int(i % vocab);
+    harness.Run({"softmax_xent",
+                 std::to_string(rows) + "x" + std::to_string(vocab), 0.0},
+                [&] {
+                  train::SoftmaxCrossEntropy(logits.data(), labels.data(),
+                                             grad.data(), rows, vocab);
+                },
+                [&] {
+                  train::reference::SoftmaxCrossEntropy(
+                      logits.data(), labels.data(), grad.data(), rows, vocab);
+                });
+  }
+
+  {
+    // One optimizer step over a 64M-element layer, the lock-free updater's
+    // per-layer unit of work.
+    const size_t count = 64 * 1024 * 1024 / 4;
+    std::vector<float> p(count, 0.5f), m(count, 0.1f), v(count, 0.2f),
+        g(count);
+    rng.FillGaussian(&g, 1.0);
+    core::AdamConfig config;
+    long step = 0;
+    harness.Run({"adam_update", std::to_string(count) + " elems", 0.0},
+                [&] {
+                  core::AdamUpdate(config, p.data(), m.data(), v.data(),
+                                   g.data(), count, ++step);
+                });
+  }
+
+  if (!WriteJson(out_path, harness, gemm)) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+  const auto& results = harness.results();
+  const double headline = results.empty()
+                              ? 0.0
+                              : results[0].single_ms / results[0].parallel_ms;
+  std::cout << "\nHeadline: " << gemm << "^3 GEMM pool-vs-single speedup "
+            << std::fixed << std::setprecision(2) << headline << "x on "
+            << util::ComputePoolThreads() << " workers\nWrote " << out_path
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace angelptm
+
+int main(int argc, char** argv) { return angelptm::Main(argc, argv); }

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Per-PR check: the tier-1 verify (full build + ctest) plus a
+# ThreadSanitizer configuration of the concurrency-sensitive tests, so the
+# parallel kernels, ParallelFor, and the thread pool are race-checked on
+# every change.
+#
+# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+set -e
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+
+if [ "$MODE" != "--tsan-only" ]; then
+  echo "=== tier-1: build + full test suite ==="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j)
+fi
+
+if [ "$MODE" != "--tier1-only" ]; then
+  echo "=== ThreadSanitizer: thread pool / ParallelFor / kernel tests ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target util_test train_test runtime_test
+  # Deterministically exercise the parallel code paths even on small CI
+  # hosts: the kernels split work as if 4 workers were present.
+  ANGELPTM_COMPUTE_THREADS=4 \
+    TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure \
+      -R 'util_test|train_test|runtime_test'
+fi
+
+echo "check.sh: OK"

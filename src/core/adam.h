@@ -1,8 +1,11 @@
 #ifndef ANGELPTM_CORE_ADAM_H_
 #define ANGELPTM_CORE_ADAM_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+
+#include "util/parallel_for.h"
 
 namespace angelptm::core {
 
@@ -16,15 +19,14 @@ struct AdamConfig {
   double weight_decay = 0.0;
 };
 
-/// One Adam step over `count` elements: fp32 master params and moments,
-/// gradients provided in fp32 (already cast from the fp16 buffers).
-/// `step` is 1-based and drives bias correction.
-inline void AdamUpdate(const AdamConfig& config, float* params, float* m,
-                       float* v, const float* grads, size_t count,
-                       long step) {
-  const double bc1 = 1.0 - std::pow(config.beta1, double(step));
-  const double bc2 = 1.0 - std::pow(config.beta2, double(step));
-  for (size_t i = 0; i < count; ++i) {
+/// Adam over the element range [begin, end) with precomputed bias
+/// corrections. The math is strictly elementwise, so any partition of the
+/// range produces bitwise-identical results — which is what lets
+/// AdamUpdate below run the range blocked and in parallel.
+inline void AdamUpdateRange(const AdamConfig& config, float* params, float* m,
+                            float* v, const float* grads, size_t begin,
+                            size_t end, double bc1, double bc2) {
+  for (size_t i = begin; i < end; ++i) {
     double g = grads[i];
     if (config.weight_decay != 0.0) g += config.weight_decay * params[i];
     const double mi = config.beta1 * m[i] + (1.0 - config.beta1) * g;
@@ -36,6 +38,27 @@ inline void AdamUpdate(const AdamConfig& config, float* params, float* m,
     params[i] -= float(config.learning_rate * m_hat /
                        (std::sqrt(v_hat) + config.epsilon));
   }
+}
+
+/// One Adam step over `count` elements: fp32 master params and moments,
+/// gradients provided in fp32 (already cast from the fp16 buffers).
+/// `step` is 1-based and drives bias correction. Runs blocked and in
+/// parallel on util::ComputePool(); because the update is elementwise the
+/// result is bitwise identical to the single-threaded loop regardless of
+/// the thread count, so the lock-free updater's optimizer step scales with
+/// cores without perturbing convergence.
+inline void AdamUpdate(const AdamConfig& config, float* params, float* m,
+                       float* v, const float* grads, size_t count,
+                       long step) {
+  const double bc1 = 1.0 - std::pow(config.beta1, double(step));
+  const double bc2 = 1.0 - std::pow(config.beta2, double(step));
+  constexpr size_t kAdamGrain = 8192;
+  util::ParallelFor(util::ComputePool(), 0, count, kAdamGrain,
+                    [&config, params, m, v, grads, bc1, bc2](size_t lo,
+                                                             size_t hi) {
+                      AdamUpdateRange(config, params, m, v, grads, lo, hi,
+                                      bc1, bc2);
+                    });
 }
 
 }  // namespace angelptm::core

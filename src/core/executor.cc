@@ -13,10 +13,15 @@ std::future<util::Status> Executor::Submit(
   auto promise = std::make_shared<std::promise<util::Status>>();
   std::future<util::Status> future = promise->get_future();
   Stream& stream = StreamFor(device);
-  stream.pool.Submit([&stream, promise, fn = std::move(fn)] {
-    promise->set_value(fn());
-    stream.completed.fetch_add(1, std::memory_order_relaxed);
-  });
+  const bool accepted =
+      stream.pool.Submit([&stream, promise, fn = std::move(fn)] {
+        promise->set_value(fn());
+        stream.completed.fetch_add(1, std::memory_order_relaxed);
+      });
+  if (!accepted) {
+    promise->set_value(util::Status(util::StatusCode::kCancelled,
+                                    "executor stream is shut down"));
+  }
   return future;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/logging.h"
+
 namespace angelptm::mem {
 
 CopyEngine::CopyEngine(HierarchicalMemory* memory, size_t num_threads)
@@ -14,20 +16,30 @@ std::future<util::Status> CopyEngine::MoveAsync(Page* page,
   auto promise = std::make_shared<std::promise<util::Status>>();
   std::future<util::Status> future = promise->get_future();
   auto mutex = PageMutex(page->id());
-  pool_.Submit([this, page, target, promise = std::move(promise),
-                mutex = std::move(mutex)] {
-    util::Status status;
-    {
-      std::lock_guard<std::mutex> lock(*mutex);
-      status = memory_->MovePageSync(page, target);
-    }
-    if (status.ok()) {
-      moves_completed_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      moves_failed_.fetch_add(1, std::memory_order_relaxed);
-    }
-    promise->set_value(std::move(status));
-  });
+  const bool accepted =
+      pool_.Submit([this, page, target, promise,
+                    mutex = std::move(mutex)] {
+        util::Status status;
+        {
+          std::lock_guard<std::mutex> lock(*mutex);
+          status = memory_->MovePageSync(page, target);
+        }
+        if (status.ok()) {
+          moves_completed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          moves_failed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        promise->set_value(std::move(status));
+      });
+  if (!accepted) {
+    // The pool was shut down; fail the move instead of returning a future
+    // that never resolves.
+    moves_failed_.fetch_add(1, std::memory_order_relaxed);
+    ANGEL_LOG(Warning) << "copy engine rejected move for page " << page->id()
+                       << ": pool is shut down";
+    promise->set_value(util::Status(util::StatusCode::kCancelled,
+                                    "copy engine is shut down"));
+  }
   return future;
 }
 

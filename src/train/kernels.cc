@@ -4,12 +4,362 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/parallel_for.h"
+
 namespace angelptm::train {
 namespace {
 
 constexpr double kGeluC = 0.7978845608028654;  // sqrt(2/pi)
 
+// Cache tiles. The inner GEMM loops stream a kTileK x kTileN panel of B
+// (64 KiB) that stays resident in L2 across every row of a chunk, while the
+// kTileN-float segment of the C row being updated stays in L1 across the
+// whole k-tile.
+constexpr size_t kTileK = 64;
+constexpr size_t kTileN = 256;
+
+// Minimum rows per parallel chunk for matrix kernels; below this the
+// scheduling overhead beats the win.
+constexpr size_t kMinRowGrain = 4;
+constexpr size_t kElementGrain = 4096;  // Elementwise kernels (GeLU, bias).
+
+inline double GeluScalar(double v) {
+  return 0.5 * v * (1.0 + std::tanh(kGeluC * (v + 0.044715 * v * v * v)));
+}
+
+inline double GeluGradScalar(double v) {
+  const double u = kGeluC * (v + 0.044715 * v * v * v);
+  const double t = std::tanh(u);
+  const double du = kGeluC * (1.0 + 3.0 * 0.044715 * v * v);
+  return 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+}
+
+/// Picks a row grain that yields roughly 4 chunks per worker (good load
+/// balancing without flooding the queue) but never below `min_grain`.
+size_t RowGrain(size_t rows, size_t min_grain) {
+  const size_t workers = util::ComputePoolThreads();
+  const size_t target_chunks = std::max<size_t>(1, 4 * workers);
+  return std::max(min_grain, (rows + target_chunks - 1) / target_chunks);
+}
+
+/// C rows [i0, i1) of C = A * B, cache-blocked. Each worker owns a disjoint
+/// row range of C, so no synchronization is needed.
+void GemmRowBlock(const float* a, const float* b, float* c, size_t i0,
+                  size_t i1, size_t k, size_t n) {
+  std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+  for (size_t jb = 0; jb < n; jb += kTileN) {
+    const size_t jend = std::min(n, jb + kTileN);
+    for (size_t pb = 0; pb < k; pb += kTileK) {
+      const size_t pend = std::min(k, pb + kTileK);
+      for (size_t i = i0; i < i1; ++i) {
+        const float* a_row = a + i * k;
+        float* c_row = c + i * n;
+        for (size_t p = pb; p < pend; ++p) {
+          const float aip = a_row[p];
+          if (aip == 0.0f) continue;
+          const float* b_row = b + p * n;
+          for (size_t j = jb; j < jend; ++j) {
+            c_row[j] += aip * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// C rows [i0, i1) of C = A^T * B (A is k x m). The p loop sits outside the
+/// i loop so the A reads (a[p*m + i]) are contiguous in i and the B row
+/// segment stays hot across the whole row block.
+void GemmTransARowBlock(const float* a, const float* b, float* c, size_t i0,
+                        size_t i1, size_t m, size_t k, size_t n) {
+  std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+  for (size_t jb = 0; jb < n; jb += kTileN) {
+    const size_t jend = std::min(n, jb + kTileN);
+    for (size_t p = 0; p < k; ++p) {
+      const float* a_row = a + p * m;
+      const float* b_row = b + p * n;
+      for (size_t i = i0; i < i1; ++i) {
+        const float api = a_row[i];
+        if (api == 0.0f) continue;
+        float* c_row = c + i * n;
+        for (size_t j = jb; j < jend; ++j) {
+          c_row[j] += api * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+/// C rows [i0, i1) of C = A * B^T. Dot products over k with four
+/// independent double accumulators to break the serial dependency chain
+/// (same precision class as the reference's single double accumulator,
+/// different association order).
+void GemmTransBRowBlock(const float* a, const float* b, float* c, size_t i0,
+                        size_t i1, size_t k, size_t n) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        s0 += double(a_row[p]) * b_row[p];
+        s1 += double(a_row[p + 1]) * b_row[p + 1];
+        s2 += double(a_row[p + 2]) * b_row[p + 2];
+        s3 += double(a_row[p + 3]) * b_row[p + 3];
+      }
+      for (; p < k; ++p) s0 += double(a_row[p]) * b_row[p];
+      c_row[j] = float(s0 + s1 + s2 + s3);
+    }
+  }
+}
+
 }  // namespace
+
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
+                    [=](size_t i0, size_t i1) {
+                      GemmRowBlock(a, b, c, i0, i1, k, n);
+                    });
+}
+
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
+                    [=](size_t i0, size_t i1) {
+                      GemmTransARowBlock(a, b, c, i0, i1, m, k, n);
+                    });
+}
+
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
+                    [=](size_t i0, size_t i1) {
+                      GemmTransBRowBlock(a, b, c, i0, i1, k, n);
+                    });
+}
+
+void AddBias(float* y, const float* bias, size_t m, size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, 16),
+                    [=](size_t i0, size_t i1) {
+                      for (size_t i = i0; i < i1; ++i) {
+                        float* row = y + i * n;
+                        for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+                      }
+                    });
+}
+
+void BiasBackward(const float* grad, float* grad_bias, size_t m, size_t n) {
+  // Column-parallel: each worker owns a disjoint column slice of the
+  // reduction, so the row sweep needs no atomics.
+  util::ParallelFor(util::ComputePool(), 0, n, RowGrain(n, 16),
+                    [=](size_t j0, size_t j1) {
+                      for (size_t j = j0; j < j1; ++j) grad_bias[j] = 0.0f;
+                      for (size_t i = 0; i < m; ++i) {
+                        const float* row = grad + i * n;
+                        for (size_t j = j0; j < j1; ++j) {
+                          grad_bias[j] += row[j];
+                        }
+                      }
+                    });
+}
+
+void Gelu(const float* x, float* y, size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, n, kElementGrain,
+                    [=](size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) {
+                        y[i] = float(GeluScalar(x[i]));
+                      }
+                    });
+}
+
+void GeluBackward(const float* x, const float* dy, float* dx, size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, n, kElementGrain,
+                    [=](size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) {
+                        dx[i] = float(dy[i] * GeluGradScalar(x[i]));
+                      }
+                    });
+}
+
+void AddBiasGelu(float* z, const float* bias, float* y, size_t m, size_t n) {
+  util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, 8),
+                    [=](size_t i0, size_t i1) {
+                      for (size_t i = i0; i < i1; ++i) {
+                        float* z_row = z + i * n;
+                        float* y_row = y + i * n;
+                        for (size_t j = 0; j < n; ++j) {
+                          const float zj = z_row[j] + bias[j];
+                          z_row[j] = zj;
+                          y_row[j] = float(GeluScalar(zj));
+                        }
+                      }
+                    });
+}
+
+void AddBiasGeluBackward(const float* z, const float* dy, float* dz,
+                         float* dbias, size_t m, size_t n) {
+  // Column-parallel for the same reason as BiasBackward: the dbias
+  // reduction stays race-free, and dz is elementwise either way.
+  util::ParallelFor(util::ComputePool(), 0, n, RowGrain(n, 16),
+                    [=](size_t j0, size_t j1) {
+                      for (size_t j = j0; j < j1; ++j) dbias[j] = 0.0f;
+                      for (size_t i = 0; i < m; ++i) {
+                        const float* z_row = z + i * n;
+                        const float* dy_row = dy + i * n;
+                        float* dz_row = dz + i * n;
+                        for (size_t j = j0; j < j1; ++j) {
+                          const float d =
+                              float(dy_row[j] * GeluGradScalar(z_row[j]));
+                          dz_row[j] = d;
+                          dbias[j] += d;
+                        }
+                      }
+                    });
+}
+
+void LayerNorm(const float* x, const float* gamma, const float* beta,
+               float* y, float* mean, float* rstd, size_t m, size_t n) {
+  constexpr double kEps = 1e-5;
+  util::ParallelFor(
+      util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
+      [=](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+          const float* row = x + i * n;
+          double sum = 0.0;
+          for (size_t j = 0; j < n; ++j) sum += row[j];
+          const double mu = sum / n;
+          double var = 0.0;
+          for (size_t j = 0; j < n; ++j) {
+            const double d = row[j] - mu;
+            var += d * d;
+          }
+          var /= n;
+          const double rs = 1.0 / std::sqrt(var + kEps);
+          mean[i] = float(mu);
+          rstd[i] = float(rs);
+          float* out = y + i * n;
+          for (size_t j = 0; j < n; ++j) {
+            out[j] = float((row[j] - mu) * rs * gamma[j] + beta[j]);
+          }
+        }
+      });
+}
+
+void LayerNormBackward(const float* x, const float* gamma, const float* dy,
+                       const float* mean, const float* rstd, float* dx,
+                       float* dgamma, float* dbeta, size_t m, size_t n) {
+  util::ThreadPool* pool = util::ComputePool();
+  const size_t grain = RowGrain(m, kMinRowGrain);
+  const size_t num_chunks = util::ParallelForNumChunks(0, m, grain);
+  // Per-chunk partials: chunk c accumulates dgamma into partials[c*2n, n)
+  // and dbeta into partials[c*2n + n, n); the column-parallel reduction
+  // below folds them into the outputs. This is what makes the row loop
+  // safe to parallelize — the historical code accumulated straight into
+  // dgamma/dbeta, which would race across row chunks.
+  std::vector<float> partials(num_chunks * 2 * n, 0.0f);
+  float* partials_base = partials.data();
+  util::ParallelForChunks(
+      pool, 0, m, grain,
+      [=](size_t chunk, size_t i0, size_t i1) {
+        float* pgamma = partials_base + chunk * 2 * n;
+        float* pbeta = pgamma + n;
+        for (size_t i = i0; i < i1; ++i) {
+          const float* x_row = x + i * n;
+          const float* dy_row = dy + i * n;
+          float* dx_row = dx + i * n;
+          const double mu = mean[i];
+          const double rs = rstd[i];
+          double sum_dy_hat = 0.0, sum_dy_hat_xhat = 0.0;
+          for (size_t j = 0; j < n; ++j) {
+            const double xhat = (x_row[j] - mu) * rs;
+            const double dy_hat = double(dy_row[j]) * gamma[j];
+            sum_dy_hat += dy_hat;
+            sum_dy_hat_xhat += dy_hat * xhat;
+            pgamma[j] += float(dy_row[j] * xhat);
+            pbeta[j] += dy_row[j];
+          }
+          for (size_t j = 0; j < n; ++j) {
+            const double xhat = (x_row[j] - mu) * rs;
+            const double dy_hat = double(dy_row[j]) * gamma[j];
+            dx_row[j] = float(
+                rs * (dy_hat - sum_dy_hat / n - xhat * sum_dy_hat_xhat / n));
+          }
+        }
+      });
+  util::ParallelFor(pool, 0, n, RowGrain(n, 16),
+                    [=](size_t j0, size_t j1) {
+                      for (size_t j = j0; j < j1; ++j) {
+                        float dg = 0.0f, db = 0.0f;
+                        for (size_t c = 0; c < num_chunks; ++c) {
+                          dg += partials_base[c * 2 * n + j];
+                          db += partials_base[c * 2 * n + n + j];
+                        }
+                        dgamma[j] = dg;
+                        dbeta[j] = db;
+                      }
+                    });
+}
+
+double SoftmaxCrossEntropy(const float* logits, const int* labels,
+                           float* grad, size_t m, size_t n) {
+  const size_t grain = RowGrain(m, kMinRowGrain);
+  const size_t num_chunks = util::ParallelForNumChunks(0, m, grain);
+  std::vector<double> partial_loss(num_chunks, 0.0);
+  double* partial_base = partial_loss.data();
+  util::ParallelForChunks(
+      util::ComputePool(), 0, m, grain,
+      [=](size_t chunk, size_t i0, size_t i1) {
+        double loss = 0.0;
+        for (size_t i = i0; i < i1; ++i) {
+          const float* row = logits + i * n;
+          float* grad_row = grad + i * n;
+          double max_logit = row[0];
+          for (size_t j = 1; j < n; ++j) {
+            max_logit = std::max<double>(max_logit, row[j]);
+          }
+          double denom = 0.0;
+          for (size_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_logit);
+          const int label = labels[i];
+          loss += -(row[label] - max_logit - std::log(denom));
+          for (size_t j = 0; j < n; ++j) {
+            const double p = std::exp(row[j] - max_logit) / denom;
+            grad_row[j] =
+                float((p - (int(j) == label ? 1.0 : 0.0)) / double(m));
+          }
+        }
+        partial_base[chunk] = loss;
+      });
+  double total_loss = 0.0;
+  for (size_t c = 0; c < num_chunks; ++c) total_loss += partial_loss[c];
+  return total_loss / m;
+}
+
+double MseLoss(const float* pred, const float* target, float* grad,
+               size_t count) {
+  const size_t grain = std::max<size_t>(kElementGrain,
+                                        RowGrain(count, kElementGrain));
+  const size_t num_chunks = util::ParallelForNumChunks(0, count, grain);
+  std::vector<double> partial(num_chunks, 0.0);
+  double* partial_base = partial.data();
+  util::ParallelForChunks(util::ComputePool(), 0, count, grain,
+                          [=](size_t chunk, size_t lo, size_t hi) {
+                            double total = 0.0;
+                            for (size_t i = lo; i < hi; ++i) {
+                              const double d = double(pred[i]) - target[i];
+                              total += d * d;
+                              grad[i] = float(2.0 * d / double(count));
+                            }
+                            partial_base[chunk] = total;
+                          });
+  double total = 0.0;
+  for (size_t c = 0; c < num_chunks; ++c) total += partial[c];
+  return total / double(count);
+}
+
+namespace reference {
 
 void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
           size_t n) {
@@ -62,37 +412,8 @@ void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
   }
 }
 
-void AddBias(float* y, const float* bias, size_t m, size_t n) {
-  for (size_t i = 0; i < m; ++i) {
-    float* row = y + i * n;
-    for (size_t j = 0; j < n; ++j) row[j] += bias[j];
-  }
-}
-
-void BiasBackward(const float* grad, float* grad_bias, size_t m, size_t n) {
-  for (size_t j = 0; j < n; ++j) grad_bias[j] = 0.0f;
-  for (size_t i = 0; i < m; ++i) {
-    const float* row = grad + i * n;
-    for (size_t j = 0; j < n; ++j) grad_bias[j] += row[j];
-  }
-}
-
 void Gelu(const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    const double v = x[i];
-    y[i] = float(0.5 * v * (1.0 + std::tanh(kGeluC * (v + 0.044715 * v * v * v))));
-  }
-}
-
-void GeluBackward(const float* x, const float* dy, float* dx, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    const double v = x[i];
-    const double u = kGeluC * (v + 0.044715 * v * v * v);
-    const double t = std::tanh(u);
-    const double du = kGeluC * (1.0 + 3.0 * 0.044715 * v * v);
-    const double grad = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
-    dx[i] = float(dy[i] * grad);
-  }
+  for (size_t i = 0; i < n; ++i) y[i] = float(GeluScalar(x[i]));
 }
 
 void LayerNorm(const float* x, const float* gamma, const float* beta,
@@ -122,6 +443,10 @@ void LayerNorm(const float* x, const float* gamma, const float* beta,
 void LayerNormBackward(const float* x, const float* gamma, const float* dy,
                        const float* mean, const float* rstd, float* dx,
                        float* dgamma, float* dbeta, size_t m, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    dgamma[j] = 0.0f;
+    dbeta[j] = 0.0f;
+  }
   for (size_t i = 0; i < m; ++i) {
     const float* x_row = x + i * n;
     const float* dy_row = dy + i * n;
@@ -153,29 +478,21 @@ double SoftmaxCrossEntropy(const float* logits, const int* labels,
     const float* row = logits + i * n;
     float* grad_row = grad + i * n;
     double max_logit = row[0];
-    for (size_t j = 1; j < n; ++j) max_logit = std::max<double>(max_logit, row[j]);
+    for (size_t j = 1; j < n; ++j) {
+      max_logit = std::max<double>(max_logit, row[j]);
+    }
     double denom = 0.0;
     for (size_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_logit);
     const int label = labels[i];
     total_loss += -(row[label] - max_logit - std::log(denom));
     for (size_t j = 0; j < n; ++j) {
       const double p = std::exp(row[j] - max_logit) / denom;
-      grad_row[j] =
-          float((p - (int(j) == label ? 1.0 : 0.0)) / double(m));
+      grad_row[j] = float((p - (int(j) == label ? 1.0 : 0.0)) / double(m));
     }
   }
   return total_loss / m;
 }
 
-double MseLoss(const float* pred, const float* target, float* grad,
-               size_t count) {
-  double total = 0.0;
-  for (size_t i = 0; i < count; ++i) {
-    const double d = double(pred[i]) - target[i];
-    total += d * d;
-    grad[i] = float(2.0 * d / double(count));
-  }
-  return total / double(count);
-}
+}  // namespace reference
 
 }  // namespace angelptm::train

@@ -40,18 +40,20 @@ void MlpModel::Forward(int layer, const float* params,
 
   std::vector<float> z(batch * out_dim);
   Gemm(in.data(), weights, z.data(), batch, in_dim, out_dim);
-  AddBias(z.data(), bias, batch, out_dim);
 
-  if (stash != nullptr) {
-    stash->input = in;
-    stash->pre_activation = z;
-  }
   const bool is_head = layer == num_layers() - 1;
   out->resize(batch * out_dim);
   if (is_head) {
+    AddBias(z.data(), bias, batch, out_dim);
     *out = z;
   } else {
-    Gelu(z.data(), out->data(), z.size());
+    // Fused bias + GeLU: one pass over the activations instead of two.
+    // `z` ends up holding the post-bias pre-activation for backward.
+    AddBiasGelu(z.data(), bias, out->data(), batch, out_dim);
+  }
+  if (stash != nullptr) {
+    stash->input = in;
+    stash->pre_activation = std::move(z);
   }
 }
 
@@ -66,21 +68,22 @@ void MlpModel::Backward(int layer, const float* params,
   const float* weights = params;
 
   const bool is_head = layer == num_layers() - 1;
+  grad_params->assign(in_dim * out_dim + out_dim, 0.0f);
   std::vector<float> dz(batch * out_dim);
   if (is_head) {
     dz = grad_out;
+    // db = column sums of dz.
+    BiasBackward(dz.data(), grad_params->data() + in_dim * out_dim, batch,
+                 out_dim);
   } else {
-    GeluBackward(stash.pre_activation.data(), grad_out.data(), dz.data(),
-                 dz.size());
+    // Fused GeLU backward + bias gradient in one pass over dz.
+    AddBiasGeluBackward(stash.pre_activation.data(), grad_out.data(),
+                        dz.data(), grad_params->data() + in_dim * out_dim,
+                        batch, out_dim);
   }
-
-  grad_params->assign(in_dim * out_dim + out_dim, 0.0f);
   // dW = x^T * dz.
   GemmTransA(stash.input.data(), dz.data(), grad_params->data(), in_dim,
              batch, out_dim);
-  // db = column sums of dz.
-  BiasBackward(dz.data(), grad_params->data() + in_dim * out_dim, batch,
-               out_dim);
   // dx = dz * W^T.
   grad_in->resize(batch * in_dim);
   GemmTransB(dz.data(), weights, grad_in->data(), batch, out_dim, in_dim);

@@ -5,6 +5,7 @@
 
 #include "train/kernels.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace angelptm::train {
 namespace {
@@ -137,9 +138,16 @@ void TinyTransformer::Attention(const float* q, const float* k,
   concat_out->assign(batch * s * d, 0.0f);
   probs->assign(batch * heads * s * s, 0.0f);
 
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t head = 0; head < heads; ++head) {
-      float* p = probs->data() + (b * heads + head) * s * s;
+  // Each (sample, head) pair touches disjoint slices of probs/concat_out,
+  // so the flattened loop parallelizes without synchronization.
+  float* concat_base = concat_out->data();
+  float* probs_base = probs->data();
+  util::ParallelFor(util::ComputePool(), 0, batch * heads, 1, [&](size_t lo,
+                                                                 size_t hi) {
+    for (size_t bh = lo; bh < hi; ++bh) {
+      const size_t b = bh / heads;
+      const size_t head = bh % heads;
+      float* p = probs_base + (b * heads + head) * s * s;
       // Causal scores + row softmax.
       for (size_t i = 0; i < s; ++i) {
         const float* qi = q + (b * s + i) * d + head * dh;
@@ -161,7 +169,7 @@ void TinyTransformer::Attention(const float* q, const float* k,
           p[i * s + j] = float(scores[j] / denom);
         }
         // Weighted sum of values.
-        float* oi = concat_out->data() + (b * s + i) * d + head * dh;
+        float* oi = concat_base + (b * s + i) * d + head * dh;
         for (size_t j = 0; j <= i; ++j) {
           const float* vj = v + (b * s + j) * d + head * dh;
           const float pij = p[i * s + j];
@@ -169,7 +177,7 @@ void TinyTransformer::Attention(const float* q, const float* k,
         }
       }
     }
-  }
+  });
 }
 
 void TinyTransformer::BlockForward(const float* params,
@@ -205,9 +213,9 @@ void TinyTransformer::BlockForward(const float* params,
             mean2.data(), rstd2.data(), m, d);
   std::vector<float> u(m * f);
   Gemm(h2.data(), params + o.w1, u.data(), m, d, f);
-  AddBias(u.data(), params + o.b1, m, f);
+  // Fused bias + GeLU; `u` keeps the post-bias pre-activation for backward.
   std::vector<float> g(m * f);
-  Gelu(u.data(), g.data(), u.size());
+  AddBiasGelu(u.data(), params + o.b1, g.data(), m, f);
   out->assign(m * d, 0.0f);
   Gemm(g.data(), params + o.w2, out->data(), m, f, d);
   AddBias(out->data(), params + o.b2, m, d);
@@ -267,9 +275,9 @@ void TinyTransformer::BlockBackward(const float* params,
   BiasBackward(grad_out.data(), gp + o.b2, m, d);
 
   std::vector<float> du(m * f);
-  GeluBackward(u.data(), dg.data(), du.data(), du.size());
+  // Fused GeLU backward + b1 gradient in a single pass over du.
+  AddBiasGeluBackward(u.data(), dg.data(), du.data(), gp + o.b1, m, f);
   GemmTransA(h2.data(), du.data(), gp + o.w1, d, m, f);
-  BiasBackward(du.data(), gp + o.b1, m, f);
   std::vector<float> dh2(m * d);
   GemmTransB(du.data(), params + o.w1, dh2.data(), m, f, d);
 
@@ -285,11 +293,16 @@ void TinyTransformer::BlockBackward(const float* params,
   GemmTransB(dx2.data(), params + o.wo, dconcat.data(), m, d, d);
   GemmTransA(concat.data(), dx2.data(), gp + o.wo, d, m, d);
 
-  // Attention backward per (sample, head).
+  // Attention backward per (sample, head): each pair writes disjoint head
+  // slices of dq/dk/dv, so the flattened loop parallelizes cleanly with
+  // per-iteration dp/ds scratch.
   std::vector<float> dq(m * d, 0.0f), dk(m * d, 0.0f), dv(m * d, 0.0f);
-  std::vector<double> dp(s * s), ds(s * s);
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t head = 0; head < heads; ++head) {
+  util::ParallelFor(util::ComputePool(), 0, batch * heads, 1, [&](size_t lo,
+                                                                 size_t hi) {
+    std::vector<double> dp(s * s), ds(s * s);
+    for (size_t bh = lo; bh < hi; ++bh) {
+      const size_t b = bh / heads;
+      const size_t head = bh % heads;
       const float* p = probs.data() + (b * heads + head) * s * s;
       // dP = dO V^T ; dV = P^T dO (causal: j <= i only).
       std::fill(dp.begin(), dp.end(), 0.0);
@@ -332,7 +345,7 @@ void TinyTransformer::BlockBackward(const float* params,
         }
       }
     }
-  }
+  });
 
   // QKV projection backward into h1 and the weights.
   std::vector<float> dh1(m * d, 0.0f), tmp(m * d);

@@ -1,0 +1,44 @@
+#include "util/parallel_for.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace angelptm::util {
+namespace {
+
+std::atomic<ThreadPool*> g_compute_pool_override{nullptr};
+
+size_t DefaultComputeThreads() {
+  if (const char* env = std::getenv("ANGELPTM_COMPUTE_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return size_t(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : size_t(hw);
+}
+
+ThreadPool* DefaultComputePool() {
+  // Leaked on purpose: compute kernels may run from other static-lifetime
+  // threads (lock-free updater, executor streams), so tearing the pool down
+  // during static destruction would be an ordering hazard.
+  static ThreadPool* pool = new ThreadPool(DefaultComputeThreads());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool* ComputePool() {
+  ThreadPool* override_pool =
+      g_compute_pool_override.load(std::memory_order_acquire);
+  if (override_pool != nullptr) return override_pool;
+  return DefaultComputePool();
+}
+
+void SetComputePoolOverride(ThreadPool* pool) {
+  g_compute_pool_override.store(pool, std::memory_order_release);
+}
+
+size_t ComputePoolThreads() { return ComputePool()->num_threads(); }
+
+}  // namespace angelptm::util

@@ -1,0 +1,129 @@
+#ifndef ANGELPTM_UTIL_PARALLEL_FOR_H_
+#define ANGELPTM_UTIL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace angelptm::util {
+
+/// Process-wide compute pool for data-parallel kernels (GEMM, LayerNorm,
+/// Adam, ...). Lazily constructed on first use and intentionally leaked so it
+/// never races with static destruction. Sized from
+/// `std::thread::hardware_concurrency()`, overridable with the
+/// `ANGELPTM_COMPUTE_THREADS` environment variable (read once, at first use)
+/// for deterministic tests and benchmarks.
+ThreadPool* ComputePool();
+
+/// Replaces the pool returned by ComputePool() (pass nullptr to restore the
+/// default). Intended for tests and benchmarks that need to pin the worker
+/// count after process start; not thread-safe against in-flight ParallelFor
+/// calls, so only swap while no kernels are running.
+void SetComputePoolOverride(ThreadPool* pool);
+
+/// Number of worker threads ComputePool() runs with.
+size_t ComputePoolThreads();
+
+namespace internal_parallel {
+
+/// Shared completion state for one ParallelFor call. Completion is defined
+/// by *chunks finished*, never by helper-task completion: the calling
+/// thread participates in the work and can drain every chunk by itself, so
+/// a busy (or shut-down) pool cannot deadlock a nested ParallelFor —
+/// helpers that only get scheduled later (or never) find no chunks left
+/// and exit without touching anything but this state block, which they
+/// keep alive via shared_ptr.
+struct ParallelForState {
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+};
+
+}  // namespace internal_parallel
+
+/// Runs `fn(chunk_index, chunk_begin, chunk_end)` over [begin, end) split
+/// into fixed chunks of `grain` iterations: chunk c covers
+/// [begin + c*grain, min(end, begin + (c+1)*grain)). Chunks execute
+/// concurrently on `pool` plus the calling thread; the call returns only
+/// after every chunk has finished. `fn` must be safe to invoke concurrently
+/// and must not throw. The chunk index is stable and dense (0..num_chunks-1),
+/// which callers use to index per-chunk partial buffers for reductions.
+///
+/// A null `pool`, a single-thread pool, or a range that fits in one grain
+/// runs inline on the calling thread with zero synchronization.
+template <typename Fn>
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       size_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t count = end - begin;
+  const size_t num_chunks = (count + grain - 1) / grain;
+  const size_t pool_threads = pool != nullptr ? pool->num_threads() : 0;
+  if (num_chunks == 1 || pool_threads <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<internal_parallel::ParallelForState>();
+  auto run_chunks = [state, begin, end, grain, num_chunks, &fn] {
+    for (;;) {
+      const size_t c = state->next_chunk.fetch_add(1);
+      if (c >= num_chunks) return;
+      const size_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+      if (state->chunks_done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  // The calling thread is one worker; helpers race it for chunks. Helpers
+  // borrow `fn` by reference, which is safe because this frame blocks until
+  // every *claimed* chunk has finished and a helper arriving later finds no
+  // chunk to claim, so it never invokes `fn` at all. A rejected Submit
+  // (shut-down pool) is likewise fine: the calling thread drains whatever
+  // that helper would have taken.
+  const size_t helpers = std::min(pool_threads, num_chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!pool->Submit([state, run_chunks] { run_chunks(); })) break;
+  }
+
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(
+      lock, [&] { return state->chunks_done.load() == num_chunks; });
+}
+
+/// Range-only variant: runs `fn(range_begin, range_end)` over [begin, end)
+/// in chunks of `grain`, concurrently on `pool` plus the calling thread.
+/// Same contract as ParallelForChunks.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 Fn&& fn) {
+  ParallelForChunks(pool, begin, end, grain,
+                    [&fn](size_t /*chunk*/, size_t lo, size_t hi) {
+                      fn(lo, hi);
+                    });
+}
+
+/// Number of chunks a ParallelFor over [begin, end) with `grain` produces;
+/// used to size per-chunk partial buffers for reductions.
+inline size_t ParallelForNumChunks(size_t begin, size_t end, size_t grain) {
+  if (begin >= end) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_PARALLEL_FOR_H_

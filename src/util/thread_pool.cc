@@ -14,13 +14,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (shutting_down_) return;
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
   }
   task_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

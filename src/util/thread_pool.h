@@ -21,8 +21,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks submitted after Shutdown() are silently dropped.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Returns true if the task was accepted; returns false
+  /// (and does not run the task) when called after Shutdown(), so callers
+  /// can fail their promises instead of handing out futures that never
+  /// resolve.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all workers are idle.
   void Wait();

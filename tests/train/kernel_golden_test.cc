@@ -1,0 +1,246 @@
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adam.h"
+#include "train/kernels.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace angelptm::train {
+namespace {
+
+/// Forces the kernels onto a 4-thread pool regardless of the host's core
+/// count, so the parallel code paths (chunk splitting, partial reductions)
+/// are exercised deterministically even on single-core CI machines.
+class KernelGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = std::make_unique<util::ThreadPool>(4);
+    util::SetComputePoolOverride(pool_.get());
+  }
+  void TearDown() override {
+    util::SetComputePoolOverride(nullptr);
+    pool_.reset();
+  }
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+std::vector<float> RandomVector(util::Rng* rng, size_t n,
+                                double stddev = 1.0) {
+  std::vector<float> v(n);
+  rng->FillGaussian(&v, stddev);
+  return v;
+}
+
+// Odd shapes: nothing divides the tile sizes (64/256) or typical grains,
+// plus the degenerate m=1 / n=1 / k=1 edges.
+struct Shape {
+  size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 5, 3},      {3, 1, 7},      {7, 3, 1},
+    {65, 67, 63}, {129, 70, 257}, {33, 257, 31},
+};
+
+TEST_F(KernelGoldenTest, GemmMatchesReference) {
+  util::Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVector(&rng, s.m * s.k);
+    const auto b = RandomVector(&rng, s.k * s.n);
+    std::vector<float> got(s.m * s.n), want(s.m * s.n);
+    Gemm(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    reference::Gemm(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Identical per-element accumulation order: bitwise equal.
+      ASSERT_EQ(got[i], want[i])
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, GemmTransAMatchesReference) {
+  util::Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVector(&rng, s.k * s.m);
+    const auto b = RandomVector(&rng, s.k * s.n);
+    std::vector<float> got(s.m * s.n), want(s.m * s.n);
+    GemmTransA(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    reference::GemmTransA(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, GemmTransBMatchesReference) {
+  util::Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVector(&rng, s.m * s.k);
+    const auto b = RandomVector(&rng, s.n * s.k);
+    std::vector<float> got(s.m * s.n), want(s.m * s.n);
+    GemmTransB(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    reference::GemmTransB(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    for (size_t i = 0; i < got.size(); ++i) {
+      // The blocked kernel uses four dot-product accumulators, so only
+      // float-sum reassociation separates it from the reference.
+      ASSERT_NEAR(got[i], want[i], 1e-4)
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, AddBiasGeluMatchesUnfused) {
+  util::Rng rng(14);
+  for (const size_t m : {1u, 3u, 65u}) {
+    for (const size_t n : {1u, 7u, 129u}) {
+      const auto z0 = RandomVector(&rng, m * n);
+      const auto bias = RandomVector(&rng, n);
+      // Unfused path: AddBias then Gelu on a copy.
+      std::vector<float> z_ref = z0;
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) z_ref[i * n + j] += bias[j];
+      }
+      std::vector<float> y_ref(m * n);
+      reference::Gelu(z_ref.data(), y_ref.data(), m * n);
+
+      std::vector<float> z = z0, y(m * n);
+      AddBiasGelu(z.data(), bias.data(), y.data(), m, n);
+      for (size_t i = 0; i < m * n; ++i) {
+        ASSERT_EQ(z[i], z_ref[i]) << "pre-activation at " << i;
+        ASSERT_EQ(y[i], y_ref[i]) << "activation at " << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, AddBiasGeluBackwardMatchesUnfused) {
+  util::Rng rng(15);
+  const size_t m = 65, n = 33;
+  const auto z = RandomVector(&rng, m * n);
+  const auto dy = RandomVector(&rng, m * n);
+  std::vector<float> dz_ref(m * n), dbias_ref(n, 0.0f);
+  GeluBackward(z.data(), dy.data(), dz_ref.data(), m * n);
+  BiasBackward(dz_ref.data(), dbias_ref.data(), m, n);
+
+  std::vector<float> dz(m * n), dbias(n, 123.0f);  // Poisoned: must be
+                                                   // zeroed internally.
+  AddBiasGeluBackward(z.data(), dy.data(), dz.data(), dbias.data(), m, n);
+  for (size_t i = 0; i < m * n; ++i) ASSERT_EQ(dz[i], dz_ref[i]);
+  for (size_t j = 0; j < n; ++j) ASSERT_NEAR(dbias[j], dbias_ref[j], 1e-4);
+}
+
+TEST_F(KernelGoldenTest, LayerNormMatchesReference) {
+  util::Rng rng(16);
+  for (const size_t m : {1u, 2u, 67u}) {
+    for (const size_t n : {1u, 31u, 257u}) {
+      const auto x = RandomVector(&rng, m * n, 2.0);
+      const auto gamma = RandomVector(&rng, n);
+      const auto beta = RandomVector(&rng, n);
+      std::vector<float> y(m * n), mean(m), rstd(m);
+      std::vector<float> y_ref(m * n), mean_ref(m), rstd_ref(m);
+      LayerNorm(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+                rstd.data(), m, n);
+      reference::LayerNorm(x.data(), gamma.data(), beta.data(), y_ref.data(),
+                           mean_ref.data(), rstd_ref.data(), m, n);
+      for (size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(mean[i], mean_ref[i]);
+        ASSERT_EQ(rstd[i], rstd_ref[i]);
+      }
+      for (size_t i = 0; i < m * n; ++i) ASSERT_EQ(y[i], y_ref[i]);
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, LayerNormBackwardMatchesReference) {
+  util::Rng rng(17);
+  for (const size_t m : {1u, 5u, 67u}) {
+    for (const size_t n : {1u, 31u, 129u}) {
+      const auto x = RandomVector(&rng, m * n);
+      auto gamma = RandomVector(&rng, n, 0.3);
+      for (auto& g : gamma) g += 1.0f;
+      const auto beta = RandomVector(&rng, n, 0.1);
+      const auto dy = RandomVector(&rng, m * n);
+      std::vector<float> y(m * n), mean(m), rstd(m);
+      reference::LayerNorm(x.data(), gamma.data(), beta.data(), y.data(),
+                           mean.data(), rstd.data(), m, n);
+
+      std::vector<float> dx(m * n), dgamma(n, 55.0f), dbeta(n, -9.0f);
+      std::vector<float> dx_ref(m * n), dgamma_ref(n), dbeta_ref(n);
+      // Poisoned dgamma/dbeta: the kernel must zero them internally.
+      LayerNormBackward(x.data(), gamma.data(), dy.data(), mean.data(),
+                        rstd.data(), dx.data(), dgamma.data(), dbeta.data(),
+                        m, n);
+      reference::LayerNormBackward(x.data(), gamma.data(), dy.data(),
+                                   mean.data(), rstd.data(), dx_ref.data(),
+                                   dgamma_ref.data(), dbeta_ref.data(), m, n);
+      for (size_t i = 0; i < m * n; ++i) {
+        ASSERT_EQ(dx[i], dx_ref[i]) << "dx at " << i;
+      }
+      // dgamma/dbeta go through per-chunk partials: reassociation only.
+      for (size_t j = 0; j < n; ++j) {
+        ASSERT_NEAR(dgamma[j], dgamma_ref[j], 1e-3 * (1.0 + m)) << j;
+        ASSERT_NEAR(dbeta[j], dbeta_ref[j], 1e-3 * (1.0 + m)) << j;
+      }
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, SoftmaxCrossEntropyMatchesReference) {
+  util::Rng rng(18);
+  for (const size_t m : {1u, 3u, 65u}) {
+    for (const size_t n : {2u, 17u, 129u}) {
+      const auto logits = RandomVector(&rng, m * n, 2.0);
+      std::vector<int> labels(m);
+      for (size_t i = 0; i < m; ++i) labels[i] = int(i % n);
+      std::vector<float> grad(m * n), grad_ref(m * n);
+      const double loss = SoftmaxCrossEntropy(logits.data(), labels.data(),
+                                              grad.data(), m, n);
+      const double loss_ref = reference::SoftmaxCrossEntropy(
+          logits.data(), labels.data(), grad_ref.data(), m, n);
+      EXPECT_NEAR(loss, loss_ref, 1e-9 * (1.0 + std::abs(loss_ref)));
+      for (size_t i = 0; i < m * n; ++i) {
+        ASSERT_EQ(grad[i], grad_ref[i]) << "grad at " << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelGoldenTest, AdamUpdateBitwiseStableAcrossThreadCounts) {
+  util::Rng rng(19);
+  core::AdamConfig config;
+  config.weight_decay = 0.01;
+  const size_t count = 65537;  // Not a multiple of the Adam grain.
+  const auto grads = RandomVector(&rng, count);
+  std::vector<float> p1 = RandomVector(&rng, count), m1(count, 0.1f),
+                     v1(count, 0.2f);
+  std::vector<float> p2 = p1, m2 = m1, v2 = v1;
+
+  // Multi-threaded (the fixture's 4-thread override pool).
+  core::AdamUpdate(config, p1.data(), m1.data(), v1.data(), grads.data(),
+                   count, 3);
+  // Single-threaded: no pool at all.
+  util::SetComputePoolOverride(nullptr);
+  {
+    util::ThreadPool serial(1);
+    util::SetComputePoolOverride(&serial);
+    core::AdamUpdate(config, p2.data(), m2.data(), v2.data(), grads.data(),
+                     count, 3);
+    util::SetComputePoolOverride(nullptr);
+  }
+  util::SetComputePoolOverride(pool_.get());
+
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(p1[i], p2[i]) << "param at " << i;
+    ASSERT_EQ(m1[i], m2[i]) << "m at " << i;
+    ASSERT_EQ(v1[i], v2[i]) << "v at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace angelptm::train

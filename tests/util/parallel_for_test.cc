@@ -1,0 +1,131 @@
+#include "util/parallel_for.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace angelptm::util {
+namespace {
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 5, 5, 1, [&](size_t, size_t) { calls.fetch_add(1); });
+  ParallelFor(&pool, 7, 3, 1, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t count = 10007;  // Prime: never a multiple of the grain.
+  std::vector<std::atomic<int>> hits(count);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, 0, count, 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  size_t seen_lo = 99, seen_hi = 0;
+  ParallelFor(&pool, 2, 9, 100, [&](size_t lo, size_t hi) {
+    calls.fetch_add(1);
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 2u);
+  EXPECT_EQ(seen_hi, 9u);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::atomic<int> total{0};
+  ParallelFor(nullptr, 0, 100, 7, [&](size_t lo, size_t hi) {
+    total.fetch_add(int(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelForTest, ChunkIndicesAreDenseAndGrainAligned) {
+  ThreadPool pool(4);
+  const size_t begin = 3, end = 103, grain = 10;
+  const size_t num_chunks = ParallelForNumChunks(begin, end, grain);
+  EXPECT_EQ(num_chunks, 10u);
+  std::vector<std::atomic<int>> chunk_hits(num_chunks);
+  for (auto& h : chunk_hits) h.store(0);
+  ParallelForChunks(&pool, begin, end, grain,
+                    [&](size_t chunk, size_t lo, size_t hi) {
+                      EXPECT_EQ(lo, begin + chunk * grain);
+                      EXPECT_EQ(hi, std::min(end, lo + grain));
+                      chunk_hits[chunk].fetch_add(1);
+                    });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    EXPECT_EQ(chunk_hits[c].load(), 1) << "chunk " << c;
+  }
+}
+
+TEST(ParallelForTest, ShutdownPoolStillCompletesOnCallingThread) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 0, 1000, 10, [&](size_t lo, size_t hi) {
+    total.fetch_add(int(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ParallelFor(&pool, 0, 100, 10, [&](size_t ilo, size_t ihi) {
+        total.fetch_add(int(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  ThreadPool pool(8);
+  const size_t count = 4096;
+  std::vector<int> values(count);
+  std::iota(values.begin(), values.end(), 1);
+  const size_t grain = 100;
+  const size_t num_chunks = ParallelForNumChunks(0, count, grain);
+  std::vector<long> partial(num_chunks, 0);
+  ParallelForChunks(&pool, 0, count, grain,
+                    [&](size_t chunk, size_t lo, size_t hi) {
+                      long sum = 0;
+                      for (size_t i = lo; i < hi; ++i) sum += values[i];
+                      partial[chunk] = sum;
+                    });
+  long total = 0;
+  for (long p : partial) total += p;
+  EXPECT_EQ(total, long(count) * long(count + 1) / 2);
+}
+
+TEST(ComputePoolTest, OverrideIsReturnedAndRestorable) {
+  ThreadPool override_pool(2);
+  SetComputePoolOverride(&override_pool);
+  EXPECT_EQ(ComputePool(), &override_pool);
+  EXPECT_EQ(ComputePoolThreads(), 2u);
+  SetComputePoolOverride(nullptr);
+  ThreadPool* default_pool = ComputePool();
+  ASSERT_NE(default_pool, nullptr);
+  EXPECT_NE(default_pool, &override_pool);
+  EXPECT_GE(default_pool->num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace angelptm::util

@@ -14,7 +14,7 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 1000; ++i) {
-    pool.Submit([&] { counter.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&] { counter.fetch_add(1); }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 1000);
@@ -24,10 +24,10 @@ TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
   ThreadPool pool(2);
   std::atomic<int> done{0};
   for (int i = 0; i < 8; ++i) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       done.fetch_add(1);
-    });
+    }));
   }
   pool.Wait();
   EXPECT_EQ(done.load(), 8);
@@ -37,7 +37,7 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<bool> ran{false};
-  pool.Submit([&] { ran = true; });
+  ASSERT_TRUE(pool.Submit([&] { ran = true; }));
   pool.Wait();
   EXPECT_TRUE(ran.load());
 }
@@ -47,18 +47,18 @@ TEST(ThreadPoolTest, ShutdownDrainsQueue) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 100; ++i) {
-      pool.Submit([&] { counter.fetch_add(1); });
+      ASSERT_TRUE(pool.Submit([&] { counter.fetch_add(1); }));
     }
     pool.Shutdown();
   }
   EXPECT_EQ(counter.load(), 100);
 }
 
-TEST(ThreadPoolTest, SubmitAfterShutdownIsDropped) {
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
   ThreadPool pool(1);
   pool.Shutdown();
   std::atomic<bool> ran{false};
-  pool.Submit([&] { ran = true; });
+  EXPECT_FALSE(pool.Submit([&] { ran = true; }));
   EXPECT_FALSE(ran.load());
 }
 
@@ -67,14 +67,14 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
   std::atomic<int> in_flight{0};
   std::atomic<int> max_in_flight{0};
   for (int i = 0; i < 16; ++i) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       const int now = in_flight.fetch_add(1) + 1;
       int seen = max_in_flight.load();
       while (seen < now && !max_in_flight.compare_exchange_weak(seen, now)) {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       in_flight.fetch_sub(1);
-    });
+    }));
   }
   pool.Wait();
   EXPECT_GE(max_in_flight.load(), 2);
