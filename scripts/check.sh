@@ -1,23 +1,37 @@
 #!/bin/sh
-# Per-PR check: the tier-1 verify (full build + ctest) plus a
-# ThreadSanitizer configuration of the concurrency-sensitive tests, so the
-# parallel kernels, ParallelFor, and the thread pool are race-checked on
-# every change.
+# Per-PR check: the tier-1 verify (full build + ctest) plus sanitizer and
+# fault-injection configurations:
 #
-# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+#   * ThreadSanitizer over the concurrency-sensitive tests (parallel
+#     kernels, ParallelFor, thread pool, lock-free updater).
+#   * AddressSanitizer+UBSan over the memory-hierarchy and updater tests,
+#     which exercise raw pread/pwrite buffers and page frame arithmetic.
+#   * A fault-injection pass: the suites re-run with ANGELPTM_FAULT_SITES
+#     armed, proving the env-driven failpoint path works and that transient
+#     I/O faults are absorbed by the SsdTier retry policy (see DESIGN.md §7).
+#
+# Usage: scripts/check.sh [--tier1-only|--tsan-only|--asan-only]
 set -e
 cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 
-if [ "$MODE" != "--tsan-only" ]; then
+if [ "$MODE" = all ] || [ "$MODE" = --tier1-only ]; then
   echo "=== tier-1: build + full test suite ==="
   cmake -B build -S .
   cmake --build build -j
   (cd build && ctest --output-on-failure -j)
+
+  echo "=== fault injection: env-driven failpoints ==="
+  # The env probe proves ANGELPTM_FAULT_SITES is parsed and armed end to end.
+  ANGELPTM_FAULT_SITES="check.env_probe=always" \
+    ./build/tests/util_test --gtest_filter='FaultInjectorTest.EnvSpec*'
+  # A transient fault on the first pwrite of every tier: the retry policy
+  # must absorb it and the whole mem suite still passes.
+  ANGELPTM_FAULT_SITES="ssd.pwrite=nth:1" ./build/tests/mem_test
 fi
 
-if [ "$MODE" != "--tier1-only" ]; then
+if [ "$MODE" = all ] || [ "$MODE" = --tsan-only ]; then
   echo "=== ThreadSanitizer: thread pool / ParallelFor / kernel tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -30,6 +44,19 @@ if [ "$MODE" != "--tier1-only" ]; then
     TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
       -R 'util_test|train_test|runtime_test'
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --asan-only ]; then
+  echo "=== Address/UBSanitizer: memory hierarchy / updater tests ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j --target util_test mem_test runtime_test
+  ASAN_OPTIONS="detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure \
+      -R 'util_test|mem_test|runtime_test'
 fi
 
 echo "check.sh: OK"

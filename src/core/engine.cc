@@ -113,12 +113,15 @@ util::Status Engine::MoveWithEviction(int layer_index) {
       if (int(l) == layer_index) continue;
       WorkingLayer& other = layers_[l];
       if (other.tensor == nullptr || !other.staged_this_step) continue;
+      // Settle in-flight prefetch moves BEFORE inspecting residence: the
+      // copy-engine worker writes the page's device, and the future is the
+      // only synchronization edge between that write and this read.
+      for (auto& future : other.pending_moves) future.wait();
+      other.pending_moves.clear();
       if (other.tensor->device_index() !=
           static_cast<int>(mem::DeviceKind::kGpu)) {
         continue;
       }
-      for (auto& future : other.pending_moves) future.wait();
-      other.pending_moves.clear();
       ANGEL_RETURN_IF_ERROR(
           allocator_->Move(other.tensor, mem::DeviceKind::kCpu));
       evicted = true;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::core {
@@ -76,6 +77,7 @@ util::Result<int> LockFreeUpdater::AddLayer(
 
 util::Status LockFreeUpdater::FetchParams(int layer_index,
                                           std::vector<float>* out) const {
+  if (poisoned_.load(std::memory_order_acquire)) return status();
   if (layer_index < 0 || layer_index >= num_layers()) {
     return util::Status::InvalidArgument("bad layer index");
   }
@@ -86,6 +88,9 @@ util::Status LockFreeUpdater::FetchParams(int layer_index,
 
 util::Status LockFreeUpdater::OffloadGrads(int layer_index,
                                            const std::vector<float>& grads) {
+  // Fail fast once poisoned: accepting more gradients would only grow the
+  // queue behind a dead updating thread.
+  if (poisoned_.load(std::memory_order_acquire)) return status();
   if (layer_index < 0 || layer_index >= num_layers()) {
     return util::Status::InvalidArgument("bad layer index");
   }
@@ -191,15 +196,17 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
 }
 
 void LockFreeUpdater::UpdatingThreadLoop() {
-  while (running_.load()) {
+  while (running_.load() && !poisoned_.load(std::memory_order_acquire)) {
     bool any = false;
     // Algorithm 2 line 3: walk layers in reverse (gradients arrive in
     // backward order, so the last layers are dirty first).
     for (int i = num_layers() - 1; i >= 0 && running_.load(); --i) {
       auto updated = UpdateLayer(i);
       if (!updated.ok()) {
-        ANGEL_LOG(Error) << "lock-free update failed: "
-                         << updated.status().ToString();
+        // An error here (e.g. an SSD failure that survived the retry
+        // policy) is unrecoverable for this thread: poison the updater so
+        // the compute side and DrainUpdates observe it instead of hanging.
+        Poison(updated.status());
         return;
       }
       any = any || *updated;
@@ -217,8 +224,10 @@ void LockFreeUpdater::BufferingThreadLoop() {
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
-        return !buffer_queue_.empty() || !running_.load();
+        return !buffer_queue_.empty() || !running_.load() ||
+               poisoned_.load(std::memory_order_acquire);
       });
+      if (poisoned_.load(std::memory_order_acquire)) return;
       if (buffer_queue_.empty()) {
         if (!running_.load()) return;
         continue;
@@ -230,15 +239,22 @@ void LockFreeUpdater::BufferingThreadLoop() {
     std::lock_guard<std::mutex> lock(layer.buffer_mutex);
     if (task.is_params) {
       // Install updated parameters into p'16 (Algorithm 2 line 13).
-      const util::Status status =
-          layer.buffered_params->WriteFloats(task.data);
+      util::Status status =
+          util::FaultInjector::Instance().Check("updater.buffer_install");
+      if (status.ok()) status = layer.buffered_params->WriteFloats(task.data);
       if (!status.ok()) {
-        ANGEL_LOG(Error) << "buffering install failed: " << status.ToString();
+        // A failed install leaves the compute side reading stale (but
+        // consistent) parameters forever; that is silent divergence, so
+        // treat it as fatal rather than logging and moving on.
+        Poison(status);
+        return;
       }
     } else {
       // Accumulate into g'16 (line 15).
       std::vector<float> accumulated;
-      util::Status status = layer.buffered_grads->ReadFloats(&accumulated);
+      util::Status status =
+          util::FaultInjector::Instance().Check("updater.buffer_accumulate");
+      if (status.ok()) status = layer.buffered_grads->ReadFloats(&accumulated);
       if (status.ok()) {
         for (size_t i = 0; i < accumulated.size(); ++i) {
           accumulated[i] += task.data[i];
@@ -246,8 +262,10 @@ void LockFreeUpdater::BufferingThreadLoop() {
         status = layer.buffered_grads->WriteFloats(accumulated);
       }
       if (!status.ok()) {
-        ANGEL_LOG(Error) << "buffering accumulate failed: "
-                         << status.ToString();
+        // The batch was lost; marking it pending anyway would make the
+        // updater apply a zero (or partial) gradient and report it drained.
+        Poison(status);
+        return;
       }
       layer.pending_batches += 1;
     }
@@ -255,35 +273,65 @@ void LockFreeUpdater::BufferingThreadLoop() {
 }
 
 util::Status LockFreeUpdater::UpdateOnce() {
+  if (poisoned_.load(std::memory_order_acquire)) return status();
   if (running_.load()) {
     return util::Status::FailedPrecondition(
         "UpdateOnce is the synchronous path; Stop() the threads first");
   }
   for (int i = num_layers() - 1; i >= 0; --i) {
-    ANGEL_RETURN_IF_ERROR(UpdateLayer(i).status());
+    const util::Status layer_status = UpdateLayer(i).status();
+    if (!layer_status.ok()) {
+      Poison(layer_status);
+      return layer_status;
+    }
   }
   return util::Status::OK();
 }
 
-void LockFreeUpdater::DrainUpdates() {
+util::Status LockFreeUpdater::DrainUpdates(std::chrono::milliseconds deadline) {
+  const auto deadline_at = std::chrono::steady_clock::now() + deadline;
   while (true) {
+    if (poisoned_.load(std::memory_order_acquire)) return status();
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       const bool queue_empty = buffer_queue_.empty();
       if (queue_empty && grad_batches_applied_.load() ==
                              grad_batches_offloaded_.load()) {
-        return;
+        return util::Status::OK();
       }
+    }
+    if (std::chrono::steady_clock::now() >= deadline_at) {
+      return util::Status::DeadlineExceeded(
+          "DrainUpdates: " + std::to_string(pending_grad_batches()) +
+          " gradient batches still pending after " +
+          std::to_string(deadline.count()) + "ms");
     }
     if (!running_.load()) {
       // No threads to make progress; apply inline.
-      (void)UpdateOnce();
-      if (grad_batches_applied_.load() == grad_batches_offloaded_.load()) {
-        return;
-      }
+      ANGEL_RETURN_IF_ERROR(UpdateOnce());
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+}
+
+util::Status LockFreeUpdater::status() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return util::Status::OK();
+  std::lock_guard<std::mutex> lock(poison_mutex_);
+  return poison_status_;
+}
+
+void LockFreeUpdater::Poison(const util::Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    // Keep the first (root-cause) error; later failures are usually
+    // downstream of it.
+    if (poisoned_.load(std::memory_order_relaxed)) return;
+    poison_status_ = status;
+    poisoned_.store(true, std::memory_order_release);
+  }
+  ANGEL_LOG(Error) << "lock-free updater poisoned: " << status.ToString();
+  // Wake the buffering thread so it observes the state promptly.
+  queue_cv_.notify_all();
 }
 
 util::Status LockFreeUpdater::ReadMasterParams(int layer_index,

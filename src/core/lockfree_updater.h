@@ -2,6 +2,7 @@
 #define ANGELPTM_CORE_LOCKFREE_UPDATER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -41,6 +42,14 @@ namespace angelptm::core {
 /// The mechanism trades bounded staleness for throughput; staleness is
 /// observable via pending_grad_batches(). §6.5 shows convergence is not
 /// harmed — reproduced by bench/table6_ssd_lockfree.
+///
+/// Failure semantics: the first unrecoverable error on either background
+/// thread (an SSD I/O failure that survives the SsdTier retry policy, a
+/// buffer install/accumulate failure) *poisons* the updater — the thread
+/// stops, status() turns non-OK, and every subsequent OffloadGrads /
+/// FetchParams / DrainUpdates call fails fast with that status instead of
+/// silently training against a dead optimizer. Poisoning is terminal: the
+/// recovery path is checkpoint restore into a fresh updater (§3.1).
 class LockFreeUpdater {
  public:
   struct Options {
@@ -84,8 +93,16 @@ class LockFreeUpdater {
   /// layer), blocking the caller. Must not run concurrently with Start().
   util::Status UpdateOnce();
 
-  /// Blocks until every gradient offloaded so far has been applied.
-  void DrainUpdates();
+  /// Blocks until every gradient offloaded so far has been applied, the
+  /// deadline passes (DeadlineExceeded), or the updater is poisoned (the
+  /// poison status). Never spins forever: a dead updating thread surfaces
+  /// as an error within the deadline.
+  util::Status DrainUpdates(
+      std::chrono::milliseconds deadline = std::chrono::milliseconds(60000));
+
+  /// OK while the updater is healthy; the first unrecoverable background
+  /// error afterwards. A non-OK status is terminal.
+  util::Status status() const;
 
   /// Reads the fp32 master parameters of a layer (test/checkpoint access;
   /// moves them memory-side if they are on SSD and back).
@@ -137,6 +154,8 @@ class LockFreeUpdater {
   util::Result<bool> UpdateLayer(int layer_index);
   void UpdatingThreadLoop();
   void BufferingThreadLoop();
+  /// Records the first unrecoverable error; later calls keep the original.
+  void Poison(const util::Status& status);
 
   Allocator* allocator_;
   Options options_;
@@ -160,6 +179,12 @@ class LockFreeUpdater {
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> grad_batches_offloaded_{0};
   std::atomic<uint64_t> grad_batches_applied_{0};
+
+  /// Terminal error state. `poisoned_` is the lock-free fast-path flag;
+  /// the status itself is guarded by `poison_mutex_`.
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mutex_;
+  util::Status poison_status_;
 
   mutable std::mutex staleness_mutex_;
   util::Histogram staleness_;

@@ -1,7 +1,9 @@
 #include "mem/copy_engine.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::mem {
@@ -19,8 +21,12 @@ std::future<util::Status> CopyEngine::MoveAsync(Page* page,
   const bool accepted =
       pool_.Submit([this, page, target, promise,
                     mutex = std::move(mutex)] {
-        util::Status status;
-        {
+        // Failpoint for a copy thread dying mid-move (a failed
+        // cudaMemcpyAsync / DeepNVMe submission in the real system): the
+        // error reaches the caller through the move's future.
+        util::Status status =
+            util::FaultInjector::Instance().Check("copy_engine.move");
+        if (status.ok()) {
           std::lock_guard<std::mutex> lock(*mutex);
           status = memory_->MovePageSync(page, target);
         }
@@ -47,9 +53,28 @@ void CopyEngine::Drain() { pool_.Wait(); }
 
 std::shared_ptr<std::mutex> CopyEngine::PageMutex(uint64_t page_id) {
   std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
+  // A mutex whose only reference is the map entry has no in-flight move;
+  // sweep those out once the map doubles past the last sweep, so long-lived
+  // engines moving millions of distinct pages stay O(live moves).
+  if (page_mutexes_.size() >= page_mutex_gc_threshold_) {
+    for (auto it = page_mutexes_.begin(); it != page_mutexes_.end();) {
+      if (it->second.use_count() == 1) {
+        it = page_mutexes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    page_mutex_gc_threshold_ =
+        std::max<size_t>(kPageMutexGcMinThreshold, 2 * page_mutexes_.size());
+  }
   auto& entry = page_mutexes_[page_id];
   if (entry == nullptr) entry = std::make_shared<std::mutex>();
   return entry;
+}
+
+size_t CopyEngine::tracked_page_mutexes() const {
+  std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
+  return page_mutexes_.size();
 }
 
 }  // namespace angelptm::mem

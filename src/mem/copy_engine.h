@@ -44,7 +44,14 @@ class CopyEngine {
   uint64_t moves_completed() const { return moves_completed_.load(); }
   uint64_t moves_failed() const { return moves_failed_.load(); }
 
+  /// Per-page serialization mutexes currently tracked (bounded: entries with
+  /// no in-flight move are garbage-collected).
+  size_t tracked_page_mutexes() const;
+
  private:
+  /// Sweep the mutex map when it reaches this many entries at minimum.
+  static constexpr size_t kPageMutexGcMinThreshold = 64;
+
   std::shared_ptr<std::mutex> PageMutex(uint64_t page_id);
 
   HierarchicalMemory* memory_;
@@ -52,8 +59,9 @@ class CopyEngine {
   std::atomic<uint64_t> moves_completed_{0};
   std::atomic<uint64_t> moves_failed_{0};
 
-  std::mutex page_mutex_map_mutex_;
+  mutable std::mutex page_mutex_map_mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> page_mutexes_;
+  size_t page_mutex_gc_threshold_ = kPageMutexGcMinThreshold;
 };
 
 }  // namespace angelptm::mem

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::mem {
@@ -20,6 +21,7 @@ HierarchicalMemory::HierarchicalMemory(
     ssd_options.capacity_bytes = options.ssd_capacity_bytes;
     ssd_options.frame_bytes = options.page_bytes;
     ssd_options.throttle_bytes_per_sec = options.ssd_bandwidth_bytes_per_sec;
+    ssd_options.retry = options.ssd_retry;
     ANGEL_CHECK_OK(ssd_.Open(ssd_options));
     ssd_enabled_ = true;
   }
@@ -91,6 +93,7 @@ util::Status HierarchicalMemory::MovePageSync(Page* page, DeviceKind target) {
   if (page == nullptr) {
     return util::Status::InvalidArgument("null page");
   }
+  ANGEL_FAULT_CHECK("hmem.move_page");
   const DeviceKind source = page->device();
   if (source == target) return util::Status::OK();
   const size_t bytes = page->total_bytes();

@@ -30,6 +30,8 @@ struct HierarchicalMemoryOptions {
   /// Emulated link speeds; 0 = unthrottled (the default for tests).
   double pcie_bandwidth_bytes_per_sec = 0.0;
   double ssd_bandwidth_bytes_per_sec = 0.0;
+  /// Retry policy for transient SSD I/O errors (see SsdTier::RetryPolicy).
+  SsdTier::RetryPolicy ssd_retry;
 };
 
 /// Movement statistics per (source, target) tier pair.

@@ -3,9 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
+#include <thread>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::mem {
@@ -19,6 +24,20 @@ util::Status SsdTier::Open(const Options& options) {
   if (options.frame_bytes == 0) {
     return util::Status::InvalidArgument("frame_bytes must be positive");
   }
+  if (options.capacity_bytes < options.frame_bytes) {
+    return util::Status::InvalidArgument(
+        "ssd capacity (" + std::to_string(options.capacity_bytes) +
+        " bytes) smaller than one frame (" +
+        std::to_string(options.frame_bytes) + " bytes)");
+  }
+  const uint64_t frames = options.capacity_bytes / options.frame_bytes;
+  // Frame indices are stored as uint32_t in the free list; a silently
+  // truncated index would alias two different frames' offsets.
+  if (frames > std::numeric_limits<uint32_t>::max()) {
+    return util::Status::InvalidArgument(
+        "ssd capacity of " + std::to_string(frames) +
+        " frames exceeds the 2^32-1 frame-index limit; use larger frames");
+  }
   const int fd =
       ::open(options.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -26,7 +45,7 @@ util::Status SsdTier::Open(const Options& options) {
                                  "): " + std::strerror(errno));
   }
   frame_bytes_ = options.frame_bytes;
-  total_frames_ = options.capacity_bytes / options.frame_bytes;
+  total_frames_ = static_cast<size_t>(frames);
   if (::ftruncate(fd, static_cast<off_t>(uint64_t{total_frames_} *
                                          frame_bytes_)) != 0) {
     const std::string err = std::strerror(errno);
@@ -37,6 +56,7 @@ util::Status SsdTier::Open(const Options& options) {
   path_ = options.path;
   throttle_.set_rate(options.throttle_bytes_per_sec);
   delete_on_close_ = options.delete_on_close;
+  retry_ = options.retry;
   free_list_.clear();
   free_list_.reserve(total_frames_);
   for (size_t i = total_frames_; i > 0; --i) {
@@ -78,12 +98,34 @@ void SsdTier::ReleaseFrame(uint64_t offset) {
   free_list_.push_back(static_cast<uint32_t>(index));
 }
 
-util::Status SsdTier::WriteFrame(uint64_t offset, const std::byte* src,
-                                 size_t bytes) {
-  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
-  if (bytes > frame_bytes_) {
-    return util::Status::InvalidArgument("write exceeds frame size");
+template <typename Attempt>
+util::Status SsdTier::WithRetries(const char* site, Attempt&& attempt) {
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  int backoff_us = retry_.base_backoff_us;
+  util::Status status;
+  for (int try_no = 1; try_no <= max_attempts; ++try_no) {
+    status = attempt();
+    // Only IoError is plausibly transient; argument/precondition errors
+    // would fail identically on every attempt.
+    if (status.ok() || !status.IsIoError()) return status;
+    if (try_no == max_attempts) break;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    ANGEL_LOG(Warning) << site << " attempt " << try_no << "/" << max_attempts
+                       << " failed (" << status.ToString() << "), retrying in "
+                       << backoff_us << "us";
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = static_cast<int>(
+        std::min<double>(retry_.max_backoff_us,
+                         backoff_us * std::max(1.0, retry_.multiplier)));
   }
+  return status;
+}
+
+util::Status SsdTier::WriteFrameOnce(uint64_t offset, const std::byte* src,
+                                     size_t bytes) {
+  ANGEL_FAULT_CHECK("ssd.pwrite");
   size_t done = 0;
   while (done < bytes) {
     const ssize_t n = ::pwrite(fd_, src + done, bytes - done,
@@ -95,17 +137,25 @@ util::Status SsdTier::WriteFrame(uint64_t offset, const std::byte* src,
     }
     done += static_cast<size_t>(n);
   }
+  return util::Status::OK();
+}
+
+util::Status SsdTier::WriteFrame(uint64_t offset, const std::byte* src,
+                                 size_t bytes) {
+  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
+  if (bytes > frame_bytes_) {
+    return util::Status::InvalidArgument("write exceeds frame size");
+  }
+  ANGEL_RETURN_IF_ERROR(WithRetries(
+      "ssd.pwrite", [&] { return WriteFrameOnce(offset, src, bytes); }));
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   throttle_.Consume(bytes);
   return util::Status::OK();
 }
 
-util::Status SsdTier::ReadFrame(uint64_t offset, std::byte* dst,
-                                size_t bytes) {
-  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
-  if (bytes > frame_bytes_) {
-    return util::Status::InvalidArgument("read exceeds frame size");
-  }
+util::Status SsdTier::ReadFrameOnce(uint64_t offset, std::byte* dst,
+                                    size_t bytes) {
+  ANGEL_FAULT_CHECK("ssd.pread");
   size_t done = 0;
   while (done < bytes) {
     const ssize_t n = ::pread(fd_, dst + done, bytes - done,
@@ -120,6 +170,17 @@ util::Status SsdTier::ReadFrame(uint64_t offset, std::byte* dst,
     }
     done += static_cast<size_t>(n);
   }
+  return util::Status::OK();
+}
+
+util::Status SsdTier::ReadFrame(uint64_t offset, std::byte* dst,
+                                size_t bytes) {
+  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
+  if (bytes > frame_bytes_) {
+    return util::Status::InvalidArgument("read exceeds frame size");
+  }
+  ANGEL_RETURN_IF_ERROR(WithRetries(
+      "ssd.pread", [&] { return ReadFrameOnce(offset, dst, bytes); }));
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   throttle_.Consume(bytes);
   return util::Status::OK();

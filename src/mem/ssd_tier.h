@@ -21,14 +21,30 @@ namespace angelptm::mem {
 ///
 /// An optional bandwidth throttle (bytes/second) emulates the 3.5 GB/s SSD of
 /// the paper's A100 servers when the local disk is faster; 0 disables it.
+///
+/// Transient I/O failures (flaky NVMe, EIO under pressure) are absorbed by a
+/// retry-with-exponential-backoff policy at the ReadFrame/WriteFrame
+/// boundary; only errors that persist across every attempt reach the caller.
+/// The failpoints "ssd.pread" / "ssd.pwrite" (util::FaultInjector) fire
+/// per *attempt*, so an nth-call rule models exactly one transient fault.
 class SsdTier {
  public:
+  /// Retry policy for transient IoErrors on pread/pwrite. Attempt k waits
+  /// min(base_backoff_us * multiplier^(k-1), max_backoff_us) before retrying.
+  struct RetryPolicy {
+    int max_attempts = 3;        // Total attempts (1 = no retries).
+    int base_backoff_us = 100;   // Backoff before the first retry.
+    double multiplier = 4.0;     // Exponential growth per retry.
+    int max_backoff_us = 10000;  // Backoff ceiling.
+  };
+
   struct Options {
     std::string path;           // Backing file path; created/truncated.
     uint64_t capacity_bytes = 0;
     size_t frame_bytes = 0;
     double throttle_bytes_per_sec = 0.0;
     bool delete_on_close = true;
+    RetryPolicy retry;
   };
 
   SsdTier() = default;
@@ -61,18 +77,31 @@ class SsdTier {
 
   uint64_t bytes_read() const { return bytes_read_.load(); }
   uint64_t bytes_written() const { return bytes_written_.load(); }
+  /// Transient I/O failures absorbed by the retry policy (not surfaced).
+  uint64_t io_retries() const { return io_retries_.load(); }
 
  private:
+  /// One pread/pwrite attempt over the whole range (no retries).
+  util::Status WriteFrameOnce(uint64_t offset, const std::byte* src,
+                              size_t bytes);
+  util::Status ReadFrameOnce(uint64_t offset, std::byte* dst, size_t bytes);
+  /// Runs `attempt` under the retry policy, backing off on transient
+  /// IoErrors. `site` names the operation for diagnostics.
+  template <typename Attempt>
+  util::Status WithRetries(const char* site, Attempt&& attempt);
+
   int fd_ = -1;
   std::string path_;
   size_t frame_bytes_ = 0;
   size_t total_frames_ = 0;
   bool delete_on_close_ = true;
+  RetryPolicy retry_;
 
   mutable std::mutex mutex_;
   std::vector<uint32_t> free_list_;
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> io_retries_{0};
   util::BandwidthThrottle throttle_;
 };
 

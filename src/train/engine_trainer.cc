@@ -96,7 +96,8 @@ util::Result<TrainReport> EngineTrainer::Train(
     }
   }
   if (options_.engine.lock_free) {
-    engine_->updater()->DrainUpdates();
+    ANGEL_RETURN_IF_ERROR(engine_->updater()->DrainUpdates(
+        std::chrono::milliseconds(options_.drain_deadline_ms)));
   }
   report.wall_seconds = NowSeconds() - start;
   report.steps_per_second =

@@ -27,6 +27,8 @@ struct EngineTrainerOptions {
   /// stays in host vectors like a conventional framework.
   bool offload_activations = true;
   uint64_t seed = 1234;
+  /// Upper bound on the end-of-training drain in lock-free mode.
+  int drain_deadline_ms = 60000;
 };
 
 class EngineTrainer {

@@ -148,8 +148,10 @@ util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
   }
 
   if (options_.lock_free) {
-    updater_->DrainUpdates();
-    updater_->Stop();
+    const util::Status drained = updater_->DrainUpdates(
+        std::chrono::milliseconds(options_.drain_deadline_ms));
+    updater_->Stop();  // Join the threads even when the drain failed.
+    ANGEL_RETURN_IF_ERROR(drained);
   }
   report.wall_seconds = NowSeconds() - start;
   report.steps_per_second =

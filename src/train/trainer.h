@@ -45,6 +45,9 @@ struct TrainerOptions {
   bool use_loss_scaling = false;
   LossScaler::Options loss_scaler;
   uint64_t seed = 1234;
+  /// Upper bound on the end-of-training drain in lock-free mode; a dead or
+  /// wedged updater surfaces as DeadlineExceeded/IoError instead of a hang.
+  int drain_deadline_ms = 60000;
 };
 
 struct TrainReport {

@@ -1,0 +1,229 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace angelptm::util {
+namespace {
+
+/// Short spec names for the status codes a failpoint can inject.
+bool CodeFromName(const std::string& name, StatusCode* out) {
+  if (name == "io") *out = StatusCode::kIoError;
+  else if (name == "oom") *out = StatusCode::kOutOfMemory;
+  else if (name == "cancelled") *out = StatusCode::kCancelled;
+  else if (name == "internal") *out = StatusCode::kInternal;
+  else if (name == "invalid") *out = StatusCode::kInvalidArgument;
+  else if (name == "exhausted") *out = StatusCode::kResourceExhausted;
+  else if (name == "precondition") *out = StatusCode::kFailedPrecondition;
+  else if (name == "deadline") *out = StatusCode::kDeadlineExceeded;
+  else if (name == "notfound") *out = StatusCode::kNotFound;
+  else return false;
+  return true;
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+constexpr uint64_t kDefaultSeed = 0xFA17FA17u;
+
+}  // namespace
+
+FaultInjector::FaultInjector() : rng_(kDefaultSeed) {
+  const char* seed_env = std::getenv("ANGELPTM_FAULT_SEED");
+  if (seed_env != nullptr) {
+    rng_ = Rng(std::strtoull(seed_env, nullptr, 10));
+  }
+  const char* spec_env = std::getenv("ANGELPTM_FAULT_SITES");
+  if (spec_env != nullptr && spec_env[0] != '\0') {
+    const Status status = ArmFromSpec(spec_env);
+    if (!status.ok()) {
+      ANGEL_LOG(Error) << "ignoring malformed ANGELPTM_FAULT_SITES: "
+                       << status.ToString();
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();  // Leaked on purpose.
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool existed = sites_.count(site) > 0;
+  sites_[site] = SiteState{rule, 0, 0};
+  if (!existed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sites_.erase(site) > 0) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Rng(seed);
+}
+
+Status FaultInjector::Check(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  SiteState& state = it->second;
+  state.calls += 1;
+
+  const FaultRule& rule = state.rule;
+  bool fired = false;
+  if (rule.permanent && state.calls > rule.after_calls) fired = true;
+  if (!fired && rule.nth_call > 0 && state.calls == rule.nth_call) {
+    fired = true;
+  }
+  if (!fired && rule.probability > 0.0 &&
+      rng_.NextDouble() < rule.probability) {
+    fired = true;
+  }
+  if (!fired) return Status::OK();
+  if (rule.max_fires >= 0 && state.fires >= rule.max_fires) {
+    return Status::OK();
+  }
+  state.fires += 1;
+  if (state.fires == 1) {
+    ANGEL_LOG(Warning) << "failpoint '" << site << "' fired (call #"
+                       << state.calls << ", "
+                       << StatusCodeName(rule.code) << ")";
+  }
+  std::string message = rule.message;
+  if (message.empty()) {
+    message = std::string("injected fault at ") + site + " (call #" +
+              std::to_string(state.calls) + ")";
+  }
+  return Status(rule.code, std::move(message));
+}
+
+uint64_t FaultInjector::calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : static_cast<uint64_t>(it->second.calls);
+}
+
+uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : static_cast<uint64_t>(it->second.fires);
+}
+
+Status FaultInjector::ParseRule(const std::string& site,
+                                const std::string& body, FaultRule* out) {
+  if (body.empty()) {
+    return Status::InvalidArgument("empty rule for failpoint '" + site + "'");
+  }
+  FaultRule rule;
+  bool has_trigger = false;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    const size_t comma = body.find(',', pos);
+    const std::string token = body.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? body.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+
+    const size_t colon = token.find(':');
+    const std::string key = token.substr(0, colon);
+    const std::string value =
+        colon == std::string::npos ? "" : token.substr(colon + 1);
+
+    if (key == "always") {
+      rule.permanent = true;
+      has_trigger = true;
+    } else if (key == "nth") {
+      if (!ParseInt64(value, &rule.nth_call) || rule.nth_call <= 0) {
+        return Status::InvalidArgument("bad nth:<N> in '" + token + "'");
+      }
+      has_trigger = true;
+    } else if (key == "after") {
+      if (!ParseInt64(value, &rule.after_calls) || rule.after_calls < 0) {
+        return Status::InvalidArgument("bad after:<N> in '" + token + "'");
+      }
+      rule.permanent = true;
+      has_trigger = true;
+    } else if (key == "prob") {
+      if (!ParseDouble(value, &rule.probability) || rule.probability < 0.0 ||
+          rule.probability > 1.0) {
+        return Status::InvalidArgument("bad prob:<P> in '" + token + "'");
+      }
+      has_trigger = true;
+    } else if (key == "code") {
+      if (!CodeFromName(value, &rule.code)) {
+        return Status::InvalidArgument("unknown status code '" + value + "'");
+      }
+    } else if (key == "max") {
+      if (!ParseInt64(value, &rule.max_fires) || rule.max_fires < 0) {
+        return Status::InvalidArgument("bad max:<N> in '" + token + "'");
+      }
+    } else if (key == "msg") {
+      rule.message = value;
+    } else {
+      return Status::InvalidArgument("unknown failpoint key '" + key +
+                                     "' for site '" + site + "'");
+    }
+  }
+  if (!has_trigger) {
+    return Status::InvalidArgument("failpoint '" + site +
+                                   "' has no trigger (always/nth/after/prob)");
+  }
+  *out = rule;
+  return Status::OK();
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  // Parse everything first so a malformed spec arms nothing.
+  std::vector<std::pair<std::string, FaultRule>> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t semi = spec.find(';', pos);
+    const std::string entry = spec.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected site=rule, got '" + entry +
+                                     "'");
+    }
+    const std::string site = entry.substr(0, eq);
+    FaultRule rule;
+    ANGEL_RETURN_IF_ERROR(ParseRule(site, entry.substr(eq + 1), &rule));
+    parsed.emplace_back(site, rule);
+  }
+  for (auto& [site, rule] : parsed) {
+    Arm(site, rule);
+  }
+  return Status::OK();
+}
+
+}  // namespace angelptm::util

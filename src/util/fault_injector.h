@@ -1,0 +1,131 @@
+#ifndef ANGELPTM_UTIL_FAULT_INJECTOR_H_
+#define ANGELPTM_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace angelptm::util {
+
+/// One failpoint rule: when and with what status a named site fails.
+///
+/// Exactly one trigger should be set; when several are set a site fires if
+/// *any* trigger matches the current call. Call counting is per-site and
+/// 1-based (the first Check() at a site is call 1).
+struct FaultRule {
+  /// Status returned by a firing site.
+  StatusCode code = StatusCode::kIoError;
+  /// Optional message; defaults to "injected fault at <site> (call #N)".
+  std::string message;
+
+  // --- Triggers ---
+  /// Fire with this probability on every call (0 disables).
+  double probability = 0.0;
+  /// Fire on exactly this call number (0 disables). Models a transient
+  /// fault: the retrying caller succeeds on the next attempt.
+  int64_t nth_call = 0;
+  /// Fire on every call once more than this many calls have been made
+  /// (a permanent fault; 0 = from the very first call).
+  bool permanent = false;
+  int64_t after_calls = 0;
+
+  /// Stop firing after this many fires (-1 = unlimited). Lets a test model
+  /// "fails K times, then recovers".
+  int64_t max_fires = -1;
+};
+
+/// Process-wide failpoint registry (the jemalloc/RocksDB "fail point" idiom):
+/// production code declares *sites* via ANGEL_FAULT_CHECK("site.name"); tests
+/// and operators arm rules against those sites to force the error paths that
+/// real hardware only produces under duress (flaky NVMe, full disks, dying
+/// copy threads).
+///
+/// The disarmed fast path is one relaxed atomic load — cheap enough to keep
+/// the checks compiled into release binaries.
+///
+/// Environment configuration (read once, at first Instance() use):
+///   ANGELPTM_FAULT_SITES="site=trigger[,key:value]...[;site2=...]"
+///     trigger:  always | nth:<N> | after:<N> | prob:<P>
+///     keys:     code:<io|oom|cancelled|internal|unavailable-style names>
+///               max:<N>   (max fires)
+///               msg:<text>
+///   ANGELPTM_FAULT_SEED=<uint64>   seed for probabilistic triggers.
+///
+/// Example: ANGELPTM_FAULT_SITES="ssd.pwrite=nth:3;copy_engine.move=prob:0.01"
+class FaultInjector {
+ public:
+  /// The process-wide injector. First call parses the environment spec.
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms (or replaces) the rule for `site` and zeroes its counters.
+  void Arm(const std::string& site, const FaultRule& rule);
+  /// Removes the rule for `site` (its counters are dropped too).
+  void Disarm(const std::string& site);
+  /// Disarms every site and clears all counters. Tests call this in
+  /// SetUp/TearDown so armed faults never leak across test cases.
+  void Reset();
+
+  /// True when at least one rule is armed (the fast path used by the
+  /// ANGEL_FAULT_CHECK macro).
+  bool enabled() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates the site's rule. Returns OK when the site is unarmed or the
+  /// trigger does not match this call; otherwise the rule's error status.
+  Status Check(const char* site);
+
+  /// Diagnostics: how often a site was evaluated / actually fired.
+  uint64_t calls(const std::string& site) const;
+  uint64_t fires(const std::string& site) const;
+
+  /// Parses a spec string (the ANGELPTM_FAULT_SITES grammar above) and arms
+  /// every site in it. Returns InvalidArgument on malformed specs without
+  /// arming anything.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Reseeds the probabilistic-trigger PRNG (deterministic tests).
+  void Seed(uint64_t seed);
+
+ private:
+  FaultInjector();
+
+  struct SiteState {
+    FaultRule rule;
+    int64_t calls = 0;
+    int64_t fires = 0;
+  };
+
+  static Status ParseRule(const std::string& site, const std::string& body,
+                          FaultRule* out);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SiteState> sites_;
+  std::atomic<int> armed_sites_{0};
+  Rng rng_;
+};
+
+}  // namespace angelptm::util
+
+/// Declares a failpoint: returns the injected error from the enclosing
+/// function when the named site is armed and fires. Compiled into release
+/// builds; costs one relaxed load when nothing is armed.
+#define ANGEL_FAULT_CHECK(site)                                         \
+  do {                                                                  \
+    auto& _angel_fi = ::angelptm::util::FaultInjector::Instance();      \
+    if (_angel_fi.enabled()) {                                          \
+      ::angelptm::util::Status _angel_fault = _angel_fi.Check(site);    \
+      if (!_angel_fault.ok()) return _angel_fault;                      \
+    }                                                                   \
+  } while (0)
+
+#endif  // ANGELPTM_UTIL_FAULT_INJECTOR_H_

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OutOfMemory").
@@ -74,6 +75,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +91,9 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

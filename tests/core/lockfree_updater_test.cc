@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/adam.h"
+#include "util/fault_injector.h"
 
 namespace angelptm::core {
 namespace {
@@ -199,6 +200,99 @@ TEST_F(LockFreeUpdaterTest, StartStopIdempotent) {
   updater.Stop();
   updater.Stop();
   SUCCEED();
+}
+
+/// Failure semantics: injected faults must poison the updater and surface
+/// through status()/DrainUpdates instead of hanging or silently diverging.
+class LockFreeUpdaterFaultTest : public LockFreeUpdaterTest {
+ protected:
+  void SetUp() override { util::FaultInjector::Instance().Reset(); }
+  void TearDown() override { util::FaultInjector::Instance().Reset(); }
+
+  static void ArmPermanent(const char* site) {
+    util::FaultRule rule;
+    rule.permanent = true;
+    util::FaultInjector::Instance().Arm(site, rule);
+  }
+};
+
+TEST_F(LockFreeUpdaterFaultTest, SsdWriteFailurePoisonsAsyncUpdater) {
+  LockFreeUpdater updater(&allocator_,
+                          UpdaterOptions(mem::DeviceKind::kSsd));
+  // Setup writes (master migration to SSD) happen before the fault is armed.
+  ASSERT_TRUE(updater.AddLayer(std::vector<float>(8, 1.0f)).ok());
+  updater.Start();
+  ArmPermanent("ssd.pwrite");  // Every master write-back now fails.
+
+  // The offload itself never blocks; the failure surfaces asynchronously.
+  ASSERT_TRUE(updater.OffloadGrads(0, std::vector<float>(8, 0.5f)).ok());
+  const util::Status drained =
+      updater.DrainUpdates(std::chrono::milliseconds(30000));
+  EXPECT_TRUE(drained.IsIoError()) << drained;
+  EXPECT_TRUE(updater.status().IsIoError());
+
+  // Poisoning is terminal: the compute-side interface fails fast.
+  EXPECT_TRUE(
+      updater.OffloadGrads(0, std::vector<float>(8, 0.5f)).IsIoError());
+  std::vector<float> fetched;
+  EXPECT_TRUE(updater.FetchParams(0, &fetched).IsIoError());
+  EXPECT_TRUE(updater.UpdateOnce().IsIoError());
+  updater.Stop();
+}
+
+TEST_F(LockFreeUpdaterFaultTest, BufferAccumulateFailurePoisons) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({1.0f, 2.0f}).ok());
+  ArmPermanent("updater.buffer_accumulate");
+  updater.Start();
+  ASSERT_TRUE(updater.OffloadGrads(0, {0.1f, 0.1f}).ok());
+  EXPECT_TRUE(
+      updater.DrainUpdates(std::chrono::milliseconds(30000)).IsIoError());
+  updater.Stop();
+  // The lost batch was never marked pending, so no zero-gradient update ran
+  // — the regression where a failed accumulate still bumped pending_batches.
+  EXPECT_EQ(updater.updates_applied(), 0u);
+}
+
+TEST_F(LockFreeUpdaterFaultTest, BufferInstallFailurePoisons) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({1.0f}).ok());
+  ArmPermanent("updater.buffer_install");
+  updater.Start();
+  ASSERT_TRUE(updater.OffloadGrads(0, {0.5f}).ok());
+  // The gradient may count as applied before the install task fails, so
+  // DrainUpdates can legitimately return OK here; the poisoned state itself
+  // is what must become visible promptly.
+  (void)updater.DrainUpdates(std::chrono::milliseconds(30000));
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (updater.status().ok() &&
+         std::chrono::steady_clock::now() < poll_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(updater.status().IsIoError());
+  updater.Stop();
+  std::vector<float> fetched;
+  EXPECT_TRUE(updater.FetchParams(0, &fetched).IsIoError());
+}
+
+TEST_F(LockFreeUpdaterFaultTest, DrainDeadlineExceededWithoutProgress) {
+  LockFreeUpdater updater(&allocator_, UpdaterOptions());
+  ASSERT_TRUE(updater.AddLayer({1.0f}).ok());
+  ASSERT_TRUE(updater.OffloadGrads(0, {1.0f}).ok());
+  // Threads are not running and the deadline is already past, so the one
+  // pending batch cannot drain in time.
+  const util::Status drained =
+      updater.DrainUpdates(std::chrono::milliseconds(0));
+  EXPECT_TRUE(drained.IsDeadlineExceeded()) << drained;
+  EXPECT_NE(drained.message().find("1 gradient batches"), std::string::npos);
+
+  // DeadlineExceeded is not terminal: a later drain with time to spare
+  // applies the update inline and succeeds.
+  EXPECT_TRUE(updater.status().ok());
+  EXPECT_TRUE(updater.DrainUpdates().ok());
+  EXPECT_EQ(updater.updates_applied(), 1u);
+  EXPECT_EQ(updater.pending_grad_batches(), 0u);
 }
 
 }  // namespace

@@ -38,6 +38,36 @@ TEST(SsdTierTest, OpenCreatesSizedFile) {
   EXPECT_EQ(tier.capacity_bytes(), 10 * kFrame);
 }
 
+TEST(SsdTierTest, OpenRejectsCapacitySmallerThanFrame) {
+  SsdTier tier;
+  // A tier that cannot hold even one frame is a misconfiguration, not an
+  // empty-but-valid tier.
+  const auto status = tier.Open(MakeOptions("tiny", kFrame - 1));
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+  EXPECT_FALSE(tier.is_open());
+  // Validation happens before the backing file is created.
+  EXPECT_NE(::access(TempPath("tiny").c_str(), F_OK), 0);
+}
+
+TEST(SsdTierTest, OpenRejectsZeroFrameBytes) {
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("zerof", 4 * kFrame);
+  o.frame_bytes = 0;
+  EXPECT_TRUE(tier.Open(o).IsInvalidArgument());
+}
+
+TEST(SsdTierTest, OpenRejectsFrameIndexOverflow) {
+  SsdTier tier;
+  // More frames than fit in the uint32_t free-list entries must be rejected
+  // up front, not silently truncated to a wrapped frame count.
+  SsdTier::Options o = MakeOptions("wrap", (1ull << 32) + 5);
+  o.frame_bytes = 1;
+  const auto status = tier.Open(o);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+  EXPECT_FALSE(tier.is_open());
+  EXPECT_NE(::access(TempPath("wrap").c_str(), F_OK), 0);
+}
+
 TEST(SsdTierTest, DoubleOpenFails) {
   SsdTier tier;
   ASSERT_TRUE(tier.Open(MakeOptions("dbl", 2 * kFrame)).ok());

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/fault_injector.h"
+
 namespace angelptm::train {
 namespace {
 
@@ -168,6 +170,38 @@ TEST(TrainerTest, Bf16ComputeConvergesLikeFp32) {
   // bf16 result differs (it really rounded) but stays in the same band.
   EXPECT_NE(bf16_loss, fp32_loss);
   EXPECT_LT(bf16_loss, fp32_loss * 5 + 0.05);
+}
+
+/// End-to-end acceptance for the failure-propagation work: a permanently
+/// failing SSD write must turn into a Train() error within the drain
+/// deadline, never a hang or a silently-diverging run.
+class TrainerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Instance().Reset(); }
+  void TearDown() override { util::FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(TrainerFaultTest, TrainerSurfacesSsdWriteFailure) {
+  mem::HierarchicalMemory memory(MemoryOptions("fault"));
+  core::Allocator allocator(&memory);
+  TrainerOptions options = BaseOptions();
+  options.lock_free = true;
+  options.master_device = mem::DeviceKind::kSsd;
+  options.drain_deadline_ms = 5000;
+  Trainer trainer(&allocator, &TestModel(), options);
+  ASSERT_TRUE(trainer.Init().ok());  // Masters reach the SSD pre-fault.
+
+  util::FaultRule rule;
+  rule.permanent = true;
+  util::FaultInjector::Instance().Arm("ssd.pwrite", rule);
+
+  SyntheticRegression dataset(16, 32, 4, 99);
+  auto report = trainer.Train(dataset, 50);
+  ASSERT_FALSE(report.ok());
+  // The first master write-back failure poisons the updater; Train observes
+  // it either through a fast-failing offload or the final drain.
+  EXPECT_TRUE(report.status().IsIoError()) << report.status();
+  EXPECT_TRUE(trainer.updater()->status().IsIoError());
 }
 
 TEST(TrainerTest, TrainBeforeInitFails) {

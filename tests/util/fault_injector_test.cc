@@ -1,0 +1,201 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::util {
+namespace {
+
+/// The injector is process-wide; every test starts and ends disarmed so no
+/// rule leaks into other suites in this binary.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  FaultInjector& fi() { return FaultInjector::Instance(); }
+};
+
+/// A function with a failpoint, as production code would declare one.
+Status GuardedOperation(const char* site) {
+  ANGEL_FAULT_CHECK(site);
+  return Status::OK();
+}
+
+TEST_F(FaultInjectorTest, UnarmedSiteIsOk) {
+  EXPECT_FALSE(fi().enabled());
+  EXPECT_TRUE(GuardedOperation("nobody.armed.this").ok());
+  EXPECT_EQ(fi().calls("nobody.armed.this"), 0u);
+}
+
+TEST_F(FaultInjectorTest, NthCallFiresExactlyOnce) {
+  FaultRule rule;
+  rule.nth_call = 3;
+  fi().Arm("t.nth", rule);
+  EXPECT_TRUE(fi().enabled());
+  EXPECT_TRUE(GuardedOperation("t.nth").ok());
+  EXPECT_TRUE(GuardedOperation("t.nth").ok());
+  EXPECT_TRUE(GuardedOperation("t.nth").IsIoError());
+  EXPECT_TRUE(GuardedOperation("t.nth").ok());
+  EXPECT_EQ(fi().calls("t.nth"), 4u);
+  EXPECT_EQ(fi().fires("t.nth"), 1u);
+}
+
+TEST_F(FaultInjectorTest, PermanentFiresEveryCall) {
+  FaultRule rule;
+  rule.permanent = true;
+  fi().Arm("t.perm", rule);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(GuardedOperation("t.perm").IsIoError());
+  }
+  EXPECT_EQ(fi().fires("t.perm"), 5u);
+}
+
+TEST_F(FaultInjectorTest, AfterCallsDelaysPermanentFault) {
+  FaultRule rule;
+  rule.permanent = true;
+  rule.after_calls = 2;
+  fi().Arm("t.after", rule);
+  EXPECT_TRUE(GuardedOperation("t.after").ok());
+  EXPECT_TRUE(GuardedOperation("t.after").ok());
+  EXPECT_TRUE(GuardedOperation("t.after").IsIoError());
+  EXPECT_TRUE(GuardedOperation("t.after").IsIoError());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityEndpoints) {
+  FaultRule always;
+  always.probability = 1.0;
+  fi().Arm("t.p1", always);
+  FaultRule never;
+  never.probability = 0.0;
+  never.nth_call = 1000000;  // Some trigger so the rule parses as armed.
+  fi().Arm("t.p0", never);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(GuardedOperation("t.p1").ok());
+    EXPECT_TRUE(GuardedOperation("t.p0").ok());
+  }
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicUnderSeed) {
+  FaultRule rule;
+  rule.probability = 0.5;
+  std::string first, second;
+  for (std::string* out : {&first, &second}) {
+    fi().Reset();
+    fi().Seed(42);
+    fi().Arm("t.seed", rule);
+    for (int i = 0; i < 64; ++i) {
+      out->push_back(GuardedOperation("t.seed").ok() ? '0' : '1');
+    }
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('1'), std::string::npos);  // Some fired...
+  EXPECT_NE(first.find('0'), std::string::npos);  // ...and some did not.
+}
+
+TEST_F(FaultInjectorTest, MaxFiresCapsInjection) {
+  FaultRule rule;
+  rule.permanent = true;
+  rule.max_fires = 2;
+  fi().Arm("t.max", rule);
+  EXPECT_FALSE(GuardedOperation("t.max").ok());
+  EXPECT_FALSE(GuardedOperation("t.max").ok());
+  EXPECT_TRUE(GuardedOperation("t.max").ok());  // Recovered.
+  EXPECT_EQ(fi().fires("t.max"), 2u);
+}
+
+TEST_F(FaultInjectorTest, CustomCodeAndMessage) {
+  FaultRule rule;
+  rule.permanent = true;
+  rule.code = StatusCode::kResourceExhausted;
+  rule.message = "disk full";
+  fi().Arm("t.code", rule);
+  const Status status = GuardedOperation("t.code");
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.message(), "disk full");
+}
+
+TEST_F(FaultInjectorTest, DefaultMessageNamesSiteAndCall) {
+  FaultRule rule;
+  rule.nth_call = 2;
+  fi().Arm("t.msg", rule);
+  EXPECT_TRUE(GuardedOperation("t.msg").ok());
+  const Status status = GuardedOperation("t.msg");
+  EXPECT_NE(status.message().find("t.msg"), std::string::npos);
+  EXPECT_NE(status.message().find("#2"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, DisarmAndResetStopFiring) {
+  FaultRule rule;
+  rule.permanent = true;
+  fi().Arm("t.disarm", rule);
+  EXPECT_FALSE(GuardedOperation("t.disarm").ok());
+  fi().Disarm("t.disarm");
+  EXPECT_TRUE(GuardedOperation("t.disarm").ok());
+  EXPECT_FALSE(fi().enabled());
+
+  fi().Arm("t.a", rule);
+  fi().Arm("t.b", rule);
+  fi().Reset();
+  EXPECT_FALSE(fi().enabled());
+  EXPECT_TRUE(GuardedOperation("t.a").ok());
+  EXPECT_TRUE(GuardedOperation("t.b").ok());
+}
+
+TEST_F(FaultInjectorTest, RearmResetsCounters) {
+  FaultRule rule;
+  rule.nth_call = 1;
+  fi().Arm("t.rearm", rule);
+  EXPECT_FALSE(GuardedOperation("t.rearm").ok());
+  fi().Arm("t.rearm", rule);  // Fresh counters: call 1 fires again.
+  EXPECT_FALSE(GuardedOperation("t.rearm").ok());
+}
+
+TEST_F(FaultInjectorTest, SpecArmsMultipleSites) {
+  ASSERT_TRUE(fi().ArmFromSpec(
+                    "a.site=nth:2;b.site=always,code:cancelled,msg:gone;"
+                    "c.site=after:1,max:1")
+                  .ok());
+  EXPECT_TRUE(GuardedOperation("a.site").ok());
+  EXPECT_TRUE(GuardedOperation("a.site").IsIoError());
+
+  const Status b = GuardedOperation("b.site");
+  EXPECT_EQ(b.code(), StatusCode::kCancelled);
+  EXPECT_EQ(b.message(), "gone");
+
+  EXPECT_TRUE(GuardedOperation("c.site").ok());
+  EXPECT_FALSE(GuardedOperation("c.site").ok());
+  EXPECT_TRUE(GuardedOperation("c.site").ok());  // max:1 reached.
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsRejectedAtomically) {
+  EXPECT_TRUE(fi().ArmFromSpec("no-equals-sign").IsInvalidArgument());
+  EXPECT_TRUE(fi().ArmFromSpec("s=").IsInvalidArgument());
+  EXPECT_TRUE(fi().ArmFromSpec("s=bogus:1").IsInvalidArgument());
+  EXPECT_TRUE(fi().ArmFromSpec("s=nth:notanumber").IsInvalidArgument());
+  EXPECT_TRUE(fi().ArmFromSpec("s=prob:1.5").IsInvalidArgument());
+  EXPECT_TRUE(fi().ArmFromSpec("s=code:io").IsInvalidArgument());  // No trigger.
+  // A bad entry poisons the whole spec: the good site must not be armed.
+  EXPECT_FALSE(fi().ArmFromSpec("good=always;bad=nope:1").ok());
+  EXPECT_TRUE(GuardedOperation("good").ok());
+  EXPECT_FALSE(fi().enabled());
+}
+
+/// Run by scripts/check.sh with ANGELPTM_FAULT_SITES set to verify the
+/// env-driven configuration path end to end; a no-op in plain runs.
+TEST_F(FaultInjectorTest, EnvSpecArmsSitesWhenPresent) {
+  const char* spec = std::getenv("ANGELPTM_FAULT_SITES");
+  if (spec == nullptr || std::string(spec).find("check.env_probe") ==
+                             std::string::npos) {
+    GTEST_SKIP() << "ANGELPTM_FAULT_SITES not set for this run";
+  }
+  // Instance() parsed the env spec at first use, but this fixture Reset()s
+  // state; re-arm from the same spec to validate the full grammar path.
+  ASSERT_TRUE(fi().ArmFromSpec(spec).ok());
+  EXPECT_FALSE(GuardedOperation("check.env_probe").ok());
+}
+
+}  // namespace
+}  // namespace angelptm::util
