@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/adam.h"
 #include "train/kernels.h"
 #include "util/parallel_for.h"
@@ -127,7 +128,8 @@ bool WriteJson(const std::string& path, const Harness& harness,
     if (i + 1 < results.size()) out << ",";
     out << "\n";
   }
-  out << "  ]\n";
+  out << "  ],\n";
+  out << "  \"metrics\": " << bench::MetricsJson() << "\n";
   out << "}\n";
   return bool(out.flush());
 }

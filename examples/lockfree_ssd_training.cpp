@@ -55,15 +55,16 @@ int main() {
     std::printf("  train loss %.4f -> %.4f, validation %.4f\n",
                 report->losses.front(), report->final_train_loss,
                 report->validation_loss);
+    const train::TelemetrySnapshot& telemetry = report->telemetry;
     std::printf("  optimizer: %llu updates applied, peak staleness %llu "
                 "gradient batches\n",
-                (unsigned long long)report->updates_applied,
-                (unsigned long long)report->max_pending_batches);
+                (unsigned long long)telemetry.updater.updates_applied,
+                (unsigned long long)telemetry.max_pending_batches);
     std::printf("  staleness distribution: %s\n",
-                trainer.updater()->StalenessHistogram().Summary().c_str());
+                telemetry.updater.staleness.Summary().c_str());
     std::printf("  real SSD traffic: %s read, %s written\n\n",
-                util::FormatBytes(memory.ssd()->bytes_read()).c_str(),
-                util::FormatBytes(memory.ssd()->bytes_written()).c_str());
+                util::FormatBytes(telemetry.ssd.bytes_read).c_str(),
+                util::FormatBytes(telemetry.ssd.bytes_written).c_str());
   }
   std::printf("The lock-free run's compute never blocks on the SSD: the\n"
               "updating thread lags a few batches behind (bounded staleness)\n"

@@ -90,6 +90,7 @@ int main() {
   std::printf("prefetch hits %llu / waits %llu\n",
               (unsigned long long)(*engine)->prefetch_hits(),
               (unsigned long long)(*engine)->prefetch_waits());
-  std::printf("%s", mem::FormatMemoryReport(*(*engine)->memory()).c_str());
+  std::printf("%s",
+              mem::FormatMemoryReport((*engine)->memory()->Snapshot()).c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/unified_scheduler.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace angelptm::core {
@@ -52,6 +53,7 @@ util::Result<int> Engine::RegisterLayer(
 }
 
 util::Status Engine::BeginStep() {
+  ANGEL_SPAN("engine", "begin_step");
   if (step_active_) {
     return util::Status::FailedPrecondition("step already active");
   }
@@ -144,6 +146,7 @@ util::Status Engine::IssueReadyPrefetches() {
 }
 
 util::Result<std::vector<float>> Engine::UseLayerParams(int layer_index) {
+  ANGEL_SPAN("engine", "use_layer_params");
   if (!step_active_) {
     return util::Status::FailedPrecondition("no active step");
   }
@@ -327,6 +330,7 @@ util::Status Engine::BuildScheduleFromTrace() {
 }
 
 util::Status Engine::EndStep() {
+  ANGEL_SPAN("engine", "end_step");
   if (!step_active_) {
     return util::Status::FailedPrecondition("no active step");
   }

@@ -84,6 +84,7 @@ class Engine {
   LockFreeUpdater* updater() { return updater_.get(); }
   Allocator* allocator() { return allocator_.get(); }
   mem::HierarchicalMemory* memory() { return memory_.get(); }
+  mem::CopyEngine* copy_engine() { return copy_engine_.get(); }
 
   int steps_completed() const { return steps_completed_; }
   /// Scheduled prefetches that finished before the compute needed them /

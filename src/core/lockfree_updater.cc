@@ -2,13 +2,21 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::core {
 
 LockFreeUpdater::LockFreeUpdater(Allocator* allocator, const Options& options)
-    : allocator_(allocator), options_(options) {}
+    : allocator_(allocator), options_(options) {
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_updates_applied_ = registry.GetCounter("updater/updates_applied");
+  metric_grad_batches_offloaded_ =
+      registry.GetCounter("updater/grad_batches_offloaded");
+  metric_pending_batches_ = registry.GetGauge("updater/pending_batches");
+  metric_staleness_ = registry.GetHistogram("updater/staleness");
+}
 
 LockFreeUpdater::~LockFreeUpdater() {
   Stop();
@@ -81,6 +89,7 @@ util::Status LockFreeUpdater::FetchParams(int layer_index,
   if (layer_index < 0 || layer_index >= num_layers()) {
     return util::Status::InvalidArgument("bad layer index");
   }
+  ANGEL_SPAN("updater", "fetch_params");
   const Layer& layer = *layers_[layer_index];
   std::lock_guard<std::mutex> lock(layer.buffer_mutex);
   return layer.buffered_params->ReadFloats(out);
@@ -97,7 +106,11 @@ util::Status LockFreeUpdater::OffloadGrads(int layer_index,
   if (grads.size() != layers_[layer_index]->count) {
     return util::Status::InvalidArgument("gradient size mismatch");
   }
+  ANGEL_SPAN("updater", "offload_grads");
   grad_batches_offloaded_.fetch_add(1);
+  metric_grad_batches_offloaded_->Increment();
+  metric_pending_batches_->Set(
+      static_cast<int64_t>(pending_grad_batches()));
   if (running_.load()) {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     buffer_queue_.push_back(BufferTask{layer_index, false, grads});
@@ -129,6 +142,7 @@ void LockFreeUpdater::Stop() {
 }
 
 util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
+  ANGEL_SPAN("updater", "update_layer");
   Layer* layer = layers_[layer_index].get();
   // Snapshot-and-clear the accumulated fp16 gradients (see class comment).
   std::vector<float> grads;
@@ -188,6 +202,10 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
   }
   updates_applied_.fetch_add(1);
   grad_batches_applied_.fetch_add(batches_taken);
+  metric_updates_applied_->Increment();
+  metric_staleness_->Record(batches_taken);
+  metric_pending_batches_->Set(
+      static_cast<int64_t>(pending_grad_batches()));
   {
     std::lock_guard<std::mutex> lock(staleness_mutex_);
     staleness_.Record(batches_taken);
@@ -236,6 +254,8 @@ void LockFreeUpdater::BufferingThreadLoop() {
       buffer_queue_.pop_front();
     }
     Layer& layer = *layers_[task.layer];
+    ANGEL_SPAN("updater",
+               task.is_params ? "buffer_install" : "buffer_accumulate");
     std::lock_guard<std::mutex> lock(layer.buffer_mutex);
     if (task.is_params) {
       // Install updated parameters into p'16 (Algorithm 2 line 13).
@@ -421,9 +441,17 @@ util::Status LockFreeUpdater::ImportLayerState(int layer_index,
   return util::Status::OK();
 }
 
-util::Histogram LockFreeUpdater::StalenessHistogram() const {
-  std::lock_guard<std::mutex> lock(staleness_mutex_);
-  return staleness_;
+LockFreeUpdater::Stats LockFreeUpdater::Snapshot() const {
+  Stats stats;
+  stats.updates_applied = updates_applied_.load();
+  stats.grad_batches_offloaded = grad_batches_offloaded_.load();
+  stats.grad_batches_applied = grad_batches_applied_.load();
+  stats.pending_grad_batches = pending_grad_batches();
+  {
+    std::lock_guard<std::mutex> lock(staleness_mutex_);
+    stats.staleness = staleness_;
+  }
+  return stats;
 }
 
 uint64_t LockFreeUpdater::pending_grad_batches() const {

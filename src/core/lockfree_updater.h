@@ -14,6 +14,7 @@
 #include "core/adam.h"
 #include "core/allocator.h"
 #include "mem/device.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 #include "util/status.h"
 
@@ -40,8 +41,8 @@ namespace angelptm::core {
 /// gradient while keeping the same staleness behaviour.
 ///
 /// The mechanism trades bounded staleness for throughput; staleness is
-/// observable via pending_grad_batches(). §6.5 shows convergence is not
-/// harmed — reproduced by bench/table6_ssd_lockfree.
+/// observable via Snapshot().pending_grad_batches. §6.5 shows convergence is
+/// not harmed — reproduced by bench/table6_ssd_lockfree.
 ///
 /// Failure semantics: the first unrecoverable error on either background
 /// thread (an SSD I/O failure that survives the SsdTier retry policy, a
@@ -123,17 +124,23 @@ class LockFreeUpdater {
   util::Status ImportLayerState(int layer, const LayerState& state);
 
   // --- Introspection ---
-  uint64_t updates_applied() const { return updates_applied_.load(); }
-  uint64_t grad_batches_offloaded() const {
-    return grad_batches_offloaded_.load();
-  }
-  /// Gradient batches not yet folded into the master parameters — the
-  /// staleness the mechanism trades for throughput.
-  uint64_t pending_grad_batches() const;
 
-  /// Distribution of gradient batches folded per update (1 = fully fresh;
-  /// larger = the compute side ran ahead).
-  util::Histogram StalenessHistogram() const;
+  /// Structured statistics of this updater instance. The same series are
+  /// published process-wide through the obs:: registry ("updater/*").
+  struct Stats {
+    uint64_t updates_applied = 0;
+    uint64_t grad_batches_offloaded = 0;
+    uint64_t grad_batches_applied = 0;
+    /// Gradient batches not yet folded into the master parameters — the
+    /// staleness the mechanism trades for throughput.
+    uint64_t pending_grad_batches = 0;
+    /// Distribution of gradient batches folded per update (1 = fully
+    /// fresh; larger = the compute side ran ahead).
+    util::Histogram staleness;
+  };
+
+  /// Point-in-time copy of this instance's statistics.
+  Stats Snapshot() const;
 
  private:
   struct Layer {
@@ -156,6 +163,8 @@ class LockFreeUpdater {
   void BufferingThreadLoop();
   /// Records the first unrecoverable error; later calls keep the original.
   void Poison(const util::Status& status);
+  /// Gradient batches offloaded but not yet applied.
+  uint64_t pending_grad_batches() const;
 
   Allocator* allocator_;
   Options options_;
@@ -188,6 +197,12 @@ class LockFreeUpdater {
 
   mutable std::mutex staleness_mutex_;
   util::Histogram staleness_;
+
+  // Process-wide series (obs registry handles; set once in the ctor).
+  obs::Counter* metric_updates_applied_ = nullptr;
+  obs::Counter* metric_grad_batches_offloaded_ = nullptr;
+  obs::Gauge* metric_pending_batches_ = nullptr;
+  obs::Histogram* metric_staleness_ = nullptr;
 };
 
 }  // namespace angelptm::core

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::mem {
 
 CopyEngine::CopyEngine(HierarchicalMemory* memory, size_t num_threads)
-    : memory_(memory), pool_(num_threads) {}
+    : memory_(memory), pool_(num_threads) {
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_moves_completed_ = registry.GetCounter("copy/moves_completed");
+  metric_moves_failed_ = registry.GetCounter("copy/moves_failed");
+  metric_queue_depth_ = registry.GetGauge("copy/queue_depth");
+}
 
 CopyEngine::~CopyEngine() { Drain(); }
 
@@ -18,9 +24,12 @@ std::future<util::Status> CopyEngine::MoveAsync(Page* page,
   auto promise = std::make_shared<std::promise<util::Status>>();
   std::future<util::Status> future = promise->get_future();
   auto mutex = PageMutex(page->id());
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  metric_queue_depth_->Add(1);
   const bool accepted =
       pool_.Submit([this, page, target, promise,
                     mutex = std::move(mutex)] {
+        ANGEL_SPAN("copy", "move_async");
         // Failpoint for a copy thread dying mid-move (a failed
         // cudaMemcpyAsync / DeepNVMe submission in the real system): the
         // error reaches the caller through the move's future.
@@ -32,15 +41,22 @@ std::future<util::Status> CopyEngine::MoveAsync(Page* page,
         }
         if (status.ok()) {
           moves_completed_.fetch_add(1, std::memory_order_relaxed);
+          metric_moves_completed_->Increment();
         } else {
           moves_failed_.fetch_add(1, std::memory_order_relaxed);
+          metric_moves_failed_->Increment();
         }
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+        metric_queue_depth_->Add(-1);
         promise->set_value(std::move(status));
       });
   if (!accepted) {
     // The pool was shut down; fail the move instead of returning a future
     // that never resolves.
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    metric_queue_depth_->Add(-1);
     moves_failed_.fetch_add(1, std::memory_order_relaxed);
+    metric_moves_failed_->Increment();
     ANGEL_LOG(Warning) << "copy engine rejected move for page " << page->id()
                        << ": pool is shut down";
     promise->set_value(util::Status(util::StatusCode::kCancelled,
@@ -72,9 +88,16 @@ std::shared_ptr<std::mutex> CopyEngine::PageMutex(uint64_t page_id) {
   return entry;
 }
 
-size_t CopyEngine::tracked_page_mutexes() const {
-  std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
-  return page_mutexes_.size();
+CopyEngine::Stats CopyEngine::Snapshot() const {
+  Stats stats;
+  stats.moves_completed = moves_completed_.load(std::memory_order_relaxed);
+  stats.moves_failed = moves_failed_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
+    stats.tracked_page_mutexes = page_mutexes_.size();
+  }
+  return stats;
 }
 
 }  // namespace angelptm::mem

@@ -11,6 +11,7 @@
 #include "mem/device.h"
 #include "mem/hierarchical_memory.h"
 #include "mem/page.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -26,6 +27,19 @@ namespace angelptm::mem {
 /// always waits for a page's previous move before issuing another).
 class CopyEngine {
  public:
+  /// Structured statistics of this engine instance. The same series are
+  /// published process-wide through the obs:: registry ("copy/moves_*",
+  /// gauge "copy/queue_depth").
+  struct Stats {
+    uint64_t moves_completed = 0;
+    uint64_t moves_failed = 0;
+    /// Moves submitted but not yet resolved.
+    size_t queue_depth = 0;
+    /// Per-page serialization mutexes currently tracked (bounded: entries
+    /// with no in-flight move are garbage-collected).
+    size_t tracked_page_mutexes = 0;
+  };
+
   /// `memory` must outlive the engine.
   CopyEngine(HierarchicalMemory* memory, size_t num_threads);
   ~CopyEngine();
@@ -41,12 +55,8 @@ class CopyEngine {
   /// Blocks until every enqueued move has completed.
   void Drain();
 
-  uint64_t moves_completed() const { return moves_completed_.load(); }
-  uint64_t moves_failed() const { return moves_failed_.load(); }
-
-  /// Per-page serialization mutexes currently tracked (bounded: entries with
-  /// no in-flight move are garbage-collected).
-  size_t tracked_page_mutexes() const;
+  /// Point-in-time copy of this instance's statistics.
+  Stats Snapshot() const;
 
  private:
   /// Sweep the mutex map when it reaches this many entries at minimum.
@@ -58,6 +68,12 @@ class CopyEngine {
   util::ThreadPool pool_;
   std::atomic<uint64_t> moves_completed_{0};
   std::atomic<uint64_t> moves_failed_{0};
+  std::atomic<size_t> queue_depth_{0};
+
+  // Process-wide series (obs registry handles; set once in the ctor).
+  obs::Counter* metric_moves_completed_ = nullptr;
+  obs::Counter* metric_moves_failed_ = nullptr;
+  obs::Gauge* metric_queue_depth_ = nullptr;
 
   mutable std::mutex page_mutex_map_mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> page_mutexes_;

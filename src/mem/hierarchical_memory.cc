@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
@@ -11,6 +12,10 @@ HierarchicalMemory::HierarchicalMemory(
     const HierarchicalMemoryOptions& options)
     : options_(options),
       pcie_throttle_(options.pcie_bandwidth_bytes_per_sec) {
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_pages_created_ = registry.GetCounter("mem/pages_created");
+  metric_page_moves_ = registry.GetCounter("mem/page_moves");
+  metric_page_move_bytes_ = registry.GetCounter("mem/page_move_bytes");
   gpu_arena_ = std::make_unique<PageArena>(
       DeviceKind::kGpu, options.gpu_capacity_bytes, options.page_bytes);
   cpu_arena_ = std::make_unique<PageArena>(
@@ -44,6 +49,7 @@ util::Result<Page*> HierarchicalMemory::CreatePage(DeviceKind initial_device) {
     page->SetResidence(initial_device, frame);
   }
   Page* raw = page.get();
+  metric_pages_created_->Increment();
   std::lock_guard<std::mutex> lock(registry_mutex_);
   pages_.emplace(raw->id(), std::move(page));
   return raw;
@@ -59,6 +65,7 @@ util::Result<std::vector<Page*>> HierarchicalMemory::CreateContiguousPages(
                          MutableArena(device).AcquireContiguousFrames(count));
   std::vector<Page*> result;
   result.reserve(count);
+  metric_pages_created_->Increment(count);
   std::lock_guard<std::mutex> lock(registry_mutex_);
   for (size_t i = 0; i < count; ++i) {
     auto page = std::make_unique<Page>(next_page_id_.fetch_add(1),
@@ -96,6 +103,7 @@ util::Status HierarchicalMemory::MovePageSync(Page* page, DeviceKind target) {
   ANGEL_FAULT_CHECK("hmem.move_page");
   const DeviceKind source = page->device();
   if (source == target) return util::Status::OK();
+  ANGEL_SPAN("mem", "move_page");
   const size_t bytes = page->total_bytes();
 
   if (target == DeviceKind::kSsd || source == DeviceKind::kSsd) {
@@ -136,6 +144,8 @@ util::Status HierarchicalMemory::MovePageSync(Page* page, DeviceKind target) {
     page->SetResidence(target, frame);
   }
 
+  metric_page_moves_->Increment();
+  metric_page_move_bytes_->Increment(bytes);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     auto& cell = move_stats_[static_cast<int>(source)][static_cast<int>(target)];
@@ -189,6 +199,30 @@ uint64_t HierarchicalMemory::FragmentedBytes() const {
 MoveStats HierarchicalMemory::move_stats(DeviceKind from, DeviceKind to) const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return move_stats_[static_cast<int>(from)][static_cast<int>(to)];
+}
+
+MemorySnapshot HierarchicalMemory::Snapshot() const {
+  MemorySnapshot snapshot;
+  snapshot.page_bytes = options_.page_bytes;
+  for (const DeviceKind kind :
+       {DeviceKind::kGpu, DeviceKind::kCpu, DeviceKind::kSsd}) {
+    TierUsage& tier = snapshot.tiers[static_cast<int>(kind)];
+    tier.used_bytes = used_bytes(kind);
+    tier.capacity_bytes = capacity_bytes(kind);
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    snapshot.live_pages = pages_.size();
+    for (const auto& [id, page] : pages_) {
+      snapshot.fragmented_bytes += page->FragmentedBytes();
+      snapshot.tiers[static_cast<int>(page->device())].pages += 1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot.moves = move_stats_;
+  }
+  return snapshot;
 }
 
 PageArena& HierarchicalMemory::MutableArena(DeviceKind device) {

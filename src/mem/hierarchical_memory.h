@@ -14,6 +14,7 @@
 #include "mem/page.h"
 #include "mem/page_arena.h"
 #include "mem/ssd_tier.h"
+#include "obs/metrics.h"
 #include "util/bandwidth_throttle.h"
 #include "util/status.h"
 
@@ -38,6 +39,37 @@ struct HierarchicalMemoryOptions {
 struct MoveStats {
   uint64_t moves = 0;
   uint64_t bytes = 0;
+};
+
+/// One tier's occupancy within a MemorySnapshot.
+struct TierUsage {
+  uint64_t used_bytes = 0;
+  uint64_t capacity_bytes = 0;
+  /// Live pages currently resident on this tier.
+  size_t pages = 0;
+};
+
+/// Structured point-in-time view of the hierarchical memory — the machine-
+/// readable surface every stats consumer (reports, telemetry, tests) reads
+/// instead of poking individual getters. Produced by
+/// HierarchicalMemory::Snapshot(); rendered by mem::FormatMemoryReport.
+struct MemorySnapshot {
+  size_t page_bytes = 0;
+  size_t live_pages = 0;
+  /// Total bytes of internal fragmentation across live pages.
+  uint64_t fragmented_bytes = 0;
+  /// Indexed by DeviceKind; a tier with capacity_bytes == 0 is disabled.
+  std::array<TierUsage, kNumDeviceKinds> tiers{};
+  /// moves[from][to], indexed by DeviceKind.
+  std::array<std::array<MoveStats, kNumDeviceKinds>, kNumDeviceKinds>
+      moves{};
+
+  const TierUsage& tier(DeviceKind kind) const {
+    return tiers[static_cast<int>(kind)];
+  }
+  const MoveStats& link(DeviceKind from, DeviceKind to) const {
+    return moves[static_cast<int>(from)][static_cast<int>(to)];
+  }
 };
 
 /// Owner of the per-rank hierarchical storage: the pre-allocated GPU and CPU
@@ -92,6 +124,10 @@ class HierarchicalMemory {
 
   MoveStats move_stats(DeviceKind from, DeviceKind to) const;
 
+  /// Structured snapshot of occupancy, page counts, fragmentation and
+  /// per-link movement — the one-stop stats surface (DESIGN.md §8).
+  MemorySnapshot Snapshot() const;
+
  private:
   PageArena& MutableArena(DeviceKind device);
 
@@ -109,6 +145,11 @@ class HierarchicalMemory {
   mutable std::mutex stats_mutex_;
   std::array<std::array<MoveStats, kNumDeviceKinds>, kNumDeviceKinds>
       move_stats_{};
+
+  // Process-wide series (obs registry handles; set once in the ctor).
+  obs::Counter* metric_pages_created_ = nullptr;
+  obs::Counter* metric_page_moves_ = nullptr;
+  obs::Counter* metric_page_move_bytes_ = nullptr;
 };
 
 }  // namespace angelptm::mem

@@ -7,29 +7,28 @@
 
 namespace angelptm::mem {
 
-std::string FormatMemoryReport(const HierarchicalMemory& memory) {
+std::string FormatMemoryReport(const MemorySnapshot& snapshot) {
   std::ostringstream os;
-  os << "hierarchical memory (" << memory.num_live_pages()
-     << " live pages of " << util::FormatBytes(memory.page_bytes()) << ")\n";
-  for (const DeviceKind tier :
-       {DeviceKind::kGpu, DeviceKind::kCpu, DeviceKind::kSsd}) {
-    const uint64_t capacity = memory.capacity_bytes(tier);
-    if (capacity == 0) continue;
-    const uint64_t used = memory.used_bytes(tier);
-    os << "  " << DeviceKindName(tier) << ": "
-       << util::FormatBytes(used) << " / " << util::FormatBytes(capacity)
-       << " (" << util::FormatDouble(100.0 * double(used) /
-                                         double(capacity),
-                                     1)
-       << "%)\n";
-  }
-  os << "  internal fragmentation: "
-     << util::FormatBytes(memory.FragmentedBytes()) << "\n";
+  os << "hierarchical memory (" << snapshot.live_pages << " live pages of "
+     << util::FormatBytes(snapshot.page_bytes) << ")\n";
   static constexpr DeviceKind kTiers[] = {DeviceKind::kGpu, DeviceKind::kCpu,
                                           DeviceKind::kSsd};
+  for (const DeviceKind kind : kTiers) {
+    const TierUsage& tier = snapshot.tier(kind);
+    if (tier.capacity_bytes == 0) continue;
+    os << "  " << DeviceKindName(kind) << ": "
+       << util::FormatBytes(tier.used_bytes) << " / "
+       << util::FormatBytes(tier.capacity_bytes) << " ("
+       << util::FormatDouble(100.0 * double(tier.used_bytes) /
+                                 double(tier.capacity_bytes),
+                             1)
+       << "%), " << tier.pages << " pages\n";
+  }
+  os << "  internal fragmentation: "
+     << util::FormatBytes(snapshot.fragmented_bytes) << "\n";
   for (const DeviceKind from : kTiers) {
     for (const DeviceKind to : kTiers) {
-      const MoveStats stats = memory.move_stats(from, to);
+      const MoveStats& stats = snapshot.link(from, to);
       if (stats.moves == 0) continue;
       os << "  moves " << DeviceKindName(from) << "->" << DeviceKindName(to)
          << ": " << stats.moves << " pages, "

@@ -7,11 +7,11 @@
 
 namespace angelptm::mem {
 
-/// Multi-line human-readable snapshot of the hierarchical memory: per-tier
-/// usage, page counts, movement statistics per link, and internal
-/// fragmentation — the observability surface operators of a training
-/// runtime live in.
-std::string FormatMemoryReport(const HierarchicalMemory& memory);
+/// Multi-line human-readable rendering of a MemorySnapshot: per-tier usage,
+/// page counts, movement statistics per link, and internal fragmentation.
+/// Obtain the snapshot from HierarchicalMemory::Snapshot(); callers never
+/// assemble report strings from raw getters.
+std::string FormatMemoryReport(const MemorySnapshot& snapshot);
 
 }  // namespace angelptm::mem
 

@@ -10,10 +10,21 @@
 #include <limits>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace angelptm::mem {
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 SsdTier::~SsdTier() { Close(); }
 
@@ -57,6 +68,12 @@ util::Status SsdTier::Open(const Options& options) {
   throttle_.set_rate(options.throttle_bytes_per_sec);
   delete_on_close_ = options.delete_on_close;
   retry_ = options.retry;
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_bytes_read_ = registry.GetCounter("ssd/bytes_read");
+  metric_bytes_written_ = registry.GetCounter("ssd/bytes_written");
+  metric_io_retries_ = registry.GetCounter("ssd/io_retries");
+  metric_pread_us_ = registry.GetHistogram("ssd/pread_us");
+  metric_pwrite_us_ = registry.GetHistogram("ssd/pwrite_us");
   free_list_.clear();
   free_list_.reserve(total_frames_);
   for (size_t i = total_frames_; i > 0; --i) {
@@ -110,6 +127,7 @@ util::Status SsdTier::WithRetries(const char* site, Attempt&& attempt) {
     if (status.ok() || !status.IsIoError()) return status;
     if (try_no == max_attempts) break;
     io_retries_.fetch_add(1, std::memory_order_relaxed);
+    metric_io_retries_->Increment();
     ANGEL_LOG(Warning) << site << " attempt " << try_no << "/" << max_attempts
                        << " failed (" << status.ToString() << "), retrying in "
                        << backoff_us << "us";
@@ -146,9 +164,13 @@ util::Status SsdTier::WriteFrame(uint64_t offset, const std::byte* src,
   if (bytes > frame_bytes_) {
     return util::Status::InvalidArgument("write exceeds frame size");
   }
+  ANGEL_SPAN("ssd", "pwrite");
+  const uint64_t start_us = NowUs();
   ANGEL_RETURN_IF_ERROR(WithRetries(
       "ssd.pwrite", [&] { return WriteFrameOnce(offset, src, bytes); }));
+  metric_pwrite_us_->Record(NowUs() - start_us);
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  metric_bytes_written_->Increment(bytes);
   throttle_.Consume(bytes);
   return util::Status::OK();
 }
@@ -179,11 +201,25 @@ util::Status SsdTier::ReadFrame(uint64_t offset, std::byte* dst,
   if (bytes > frame_bytes_) {
     return util::Status::InvalidArgument("read exceeds frame size");
   }
+  ANGEL_SPAN("ssd", "pread");
+  const uint64_t start_us = NowUs();
   ANGEL_RETURN_IF_ERROR(WithRetries(
       "ssd.pread", [&] { return ReadFrameOnce(offset, dst, bytes); }));
+  metric_pread_us_->Record(NowUs() - start_us);
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  metric_bytes_read_->Increment(bytes);
   throttle_.Consume(bytes);
   return util::Status::OK();
+}
+
+SsdTier::Stats SsdTier::Snapshot() const {
+  Stats stats;
+  stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  stats.io_retries = io_retries_.load(std::memory_order_relaxed);
+  stats.total_frames = total_frames_;
+  stats.free_frames = free_frames();
+  return stats;
 }
 
 }  // namespace angelptm::mem

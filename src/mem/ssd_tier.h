@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mem/device.h"
+#include "obs/metrics.h"
 #include "util/bandwidth_throttle.h"
 #include "util/status.h"
 
@@ -47,6 +48,18 @@ class SsdTier {
     RetryPolicy retry;
   };
 
+  /// Structured I/O statistics of this tier instance. The same series are
+  /// published process-wide through the obs:: registry ("ssd/bytes_read",
+  /// "ssd/io_retries", latency histograms "ssd/pread_us"/"ssd/pwrite_us").
+  struct Stats {
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    /// Transient I/O failures absorbed by the retry policy (not surfaced).
+    uint64_t io_retries = 0;
+    size_t total_frames = 0;
+    size_t free_frames = 0;
+  };
+
   SsdTier() = default;
   ~SsdTier();
 
@@ -75,10 +88,8 @@ class SsdTier {
     return uint64_t{total_frames_} * frame_bytes_;
   }
 
-  uint64_t bytes_read() const { return bytes_read_.load(); }
-  uint64_t bytes_written() const { return bytes_written_.load(); }
-  /// Transient I/O failures absorbed by the retry policy (not surfaced).
-  uint64_t io_retries() const { return io_retries_.load(); }
+  /// Point-in-time copy of this instance's I/O statistics.
+  Stats Snapshot() const;
 
  private:
   /// One pread/pwrite attempt over the whole range (no retries).
@@ -103,6 +114,13 @@ class SsdTier {
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> io_retries_{0};
   util::BandwidthThrottle throttle_;
+
+  // Process-wide series (obs registry handles; set once in Open).
+  obs::Counter* metric_bytes_read_ = nullptr;
+  obs::Counter* metric_bytes_written_ = nullptr;
+  obs::Counter* metric_io_retries_ = nullptr;
+  obs::Histogram* metric_pread_us_ = nullptr;
+  obs::Histogram* metric_pwrite_us_ = nullptr;
 };
 
 }  // namespace angelptm::mem

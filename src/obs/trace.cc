@@ -1,0 +1,271 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace angelptm::obs {
+namespace {
+
+struct SpanRecord {
+  const char* category;
+  const char* name;
+  uint64_t begin_ns;
+  uint64_t end_ns;
+  /// Per-thread monotonic sequence numbers taken at span begin/end. Spans
+  /// on one thread nest strictly (RAII), so these order the B/E events
+  /// exactly even when timestamps tie at clock resolution.
+  uint64_t begin_seq;
+  uint64_t end_seq;
+};
+
+/// One thread's ring buffer. Owned by the global session (shared_ptr) and
+/// referenced by the recording thread's TLS; `mu` serializes the recording
+/// thread against the exporter.
+struct ThreadLog {
+  std::mutex mu;
+  std::vector<SpanRecord> ring;  // Sized once to the session capacity.
+  uint64_t recorded = 0;         // Total spans written (ring wraps).
+  int tid = 0;                   // Registration order, stable per session.
+};
+
+struct TraceState {
+  std::mutex mu;
+  bool active = false;
+  std::string path;
+  size_t ring_capacity = kDefaultTraceRingCapacity;
+  uint64_t start_ns = 0;
+  uint64_t generation = 0;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+/// Per-thread hook into the current session.
+struct ThreadHook {
+  std::shared_ptr<ThreadLog> log;
+  uint64_t generation = 0;
+};
+
+ThreadHook& Hook() {
+  thread_local ThreadHook hook;
+  return hook;
+}
+
+ThreadLog* CurrentThreadLog() {
+  TraceState& state = State();
+  ThreadHook& hook = Hook();
+  const uint64_t generation =
+      __atomic_load_n(&state.generation, __ATOMIC_RELAXED);
+  if (hook.log == nullptr || hook.generation != generation) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) return nullptr;
+    auto log = std::make_shared<ThreadLog>();
+    log->ring.resize(state.ring_capacity);
+    log->tid = static_cast<int>(state.logs.size());
+    state.logs.push_back(log);
+    hook.log = std::move(log);
+    hook.generation = state.generation;
+  }
+  return hook.log.get();
+}
+
+std::string FormatTimestampUs(uint64_t ns_since_start) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", double(ns_since_start) / 1000.0);
+  return buf;
+}
+
+void AppendEvent(std::string* out, const char* ph, const SpanRecord& span,
+                 int tid, uint64_t ts_ns, uint64_t start_ns, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += "  {\"ph\":\"";
+  *out += ph;
+  *out += "\",\"pid\":1,\"tid\":";
+  *out += std::to_string(tid);
+  // Clamp spans begun before the session opened (a scope alive across
+  // StartTracing) to the session origin.
+  *out += ",\"ts\":";
+  *out += FormatTimestampUs(ts_ns > start_ns ? ts_ns - start_ns : 0);
+  *out += ",\"cat\":\"";
+  *out += span.category;
+  *out += "\",\"name\":\"";
+  *out += span.name;
+  *out += "\"}";
+}
+
+/// Emits one thread's spans as balanced, properly nested B/E pairs.
+/// Records arrive in ring (end-time) order; sorting by begin_seq and
+/// unwinding a stack on end_seq reconstructs the original nesting.
+void EmitThreadEvents(std::string* out, std::vector<SpanRecord> spans,
+                      int tid, uint64_t start_ns, bool* first) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.begin_seq < b.begin_seq;
+            });
+  std::vector<const SpanRecord*> stack;
+  for (const SpanRecord& span : spans) {
+    while (!stack.empty() && stack.back()->end_seq < span.begin_seq) {
+      AppendEvent(out, "E", *stack.back(), tid, stack.back()->end_ns,
+                  start_ns, first);
+      stack.pop_back();
+    }
+    AppendEvent(out, "B", span, tid, span.begin_ns, start_ns, first);
+    stack.push_back(&span);
+  }
+  while (!stack.empty()) {
+    AppendEvent(out, "E", *stack.back(), tid, stack.back()->end_ns, start_ns,
+                first);
+    stack.pop_back();
+  }
+}
+
+void StopTracingAtExit() {
+  if (TracingEnabled()) (void)StopTracing();
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordSpan(const char* category, const char* name, uint64_t begin_ns,
+                uint64_t end_ns, uint64_t begin_seq, uint64_t end_seq) {
+  ThreadLog* log = CurrentThreadLog();
+  if (log == nullptr) return;  // Session ended between begin and end.
+  std::lock_guard<std::mutex> lock(log->mu);
+  SpanRecord& slot = log->ring[log->recorded % log->ring.size()];
+  slot.category = category;
+  slot.name = name;
+  slot.begin_ns = begin_ns;
+  slot.end_ns = end_ns;
+  slot.begin_seq = begin_seq;
+  slot.end_seq = end_seq;
+  log->recorded += 1;
+}
+
+}  // namespace internal
+
+util::Status StartTracing(const std::string& path, size_t ring_capacity) {
+  if (path.empty()) {
+    return util::Status::InvalidArgument("empty trace path");
+  }
+  if (ring_capacity == 0) {
+    return util::Status::InvalidArgument("zero trace ring capacity");
+  }
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.active) {
+    return util::Status::FailedPrecondition(
+        "tracing already active (writing to " + state.path + ")");
+  }
+  state.active = true;
+  state.path = path;
+  state.ring_capacity = ring_capacity;
+  state.start_ns = internal::TraceNowNs();
+  state.logs.clear();
+  __atomic_store_n(&state.generation, state.generation + 1, __ATOMIC_RELAXED);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+  return util::Status::OK();
+}
+
+util::Status StopTracing() {
+  TraceState& state = State();
+  std::string path;
+  uint64_t start_ns = 0;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) {
+      return util::Status::FailedPrecondition("tracing not active");
+    }
+    // Disable recording first so in-flight spans stop enqueueing; spans
+    // that already passed the enabled check land in a log we still hold.
+    internal::g_trace_enabled.store(false, std::memory_order_release);
+    state.active = false;
+    path = state.path;
+    start_ns = state.start_ns;
+    logs = std::move(state.logs);
+    state.logs.clear();
+  }
+
+  std::string events;
+  uint64_t dropped = 0;
+  bool first = true;
+  for (const auto& log : logs) {
+    std::vector<SpanRecord> spans;
+    {
+      std::lock_guard<std::mutex> lock(log->mu);
+      const size_t capacity = log->ring.size();
+      const size_t kept = std::min<uint64_t>(log->recorded, capacity);
+      dropped += log->recorded - kept;
+      spans.reserve(kept);
+      const uint64_t begin = log->recorded - kept;
+      for (uint64_t i = begin; i < log->recorded; ++i) {
+        spans.push_back(log->ring[i % capacity]);
+      }
+    }
+    EmitThreadEvents(&events, std::move(spans), log->tid, start_ns, &first);
+  }
+
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return util::Status::IoError("cannot open trace file " + path);
+  }
+  out << "{\"traceEvents\":[\n" << events << "\n],\n";
+  out << "\"displayTimeUnit\":\"ms\",\n";
+  out << "\"otherData\":{\"dropped_spans\":" << dropped << "}}\n";
+  if (!out.flush()) {
+    return util::Status::IoError("failed writing trace file " + path);
+  }
+  return util::Status::OK();
+}
+
+bool InitTracingFromEnv() {
+  const char* path = std::getenv("ANGELPTM_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  if (!StartTracing(path).ok()) return false;
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(StopTracingAtExit);
+  }
+  return true;
+}
+
+TraceCounts CurrentTraceCounts() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  TraceCounts counts;
+  for (const auto& log : state.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    const uint64_t kept = std::min<uint64_t>(log->recorded, log->ring.size());
+    counts.recorded += kept;
+    counts.dropped += log->recorded - kept;
+  }
+  return counts;
+}
+
+namespace {
+/// Arms tracing from the environment at process init (the object file is
+/// always linked: every span references RecordSpan above).
+const bool g_env_init = InitTracingFromEnv();
+}  // namespace
+
+}  // namespace angelptm::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "train/kernels.h"
 
 namespace angelptm::train {
@@ -14,11 +15,23 @@ double NowSeconds() {
       .count();
 }
 
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 EngineTrainer::EngineTrainer(const LayeredModel* model,
                              const EngineTrainerOptions& options)
-    : model_(model), options_(options), rng_(options.seed) {}
+    : model_(model), options_(options), rng_(options.seed) {
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_fwd_us_ = registry.GetHistogram("train/fwd_us");
+  metric_bwd_us_ = registry.GetHistogram("train/bwd_us");
+  metric_opt_us_ = registry.GetHistogram("train/opt_us");
+}
 
 util::Status EngineTrainer::Init() {
   ANGEL_ASSIGN_OR_RETURN(engine_, core::Engine::Create(options_.engine));
@@ -40,16 +53,25 @@ util::Result<double> EngineTrainer::Step(const std::vector<float>& x,
   // full per-layer stash in host vectors.
   std::vector<LayerStash> stash(num_layers);
   std::vector<float> acts = x;
-  for (int l = 0; l < num_layers; ++l) {
-    if (options_.offload_activations) {
-      ANGEL_RETURN_IF_ERROR(engine_->StashActivation(l, acts));
+  const uint64_t fwd_start = NowUs();
+  {
+    ANGEL_SPAN("train", "forward");
+    for (int l = 0; l < num_layers; ++l) {
+      if (options_.offload_activations) {
+        ANGEL_RETURN_IF_ERROR(engine_->StashActivation(l, acts));
+      }
+      ANGEL_ASSIGN_OR_RETURN(const std::vector<float> params,
+                             engine_->UseLayerParams(l));
+      std::vector<float> next;
+      model_->Forward(l, params.data(), acts, batch, &next,
+                      options_.offload_activations ? nullptr : &stash[l]);
+      acts = std::move(next);
     }
-    ANGEL_ASSIGN_OR_RETURN(const std::vector<float> params,
-                           engine_->UseLayerParams(l));
-    std::vector<float> next;
-    model_->Forward(l, params.data(), acts, batch, &next,
-                    options_.offload_activations ? nullptr : &stash[l]);
-    acts = std::move(next);
+  }
+  {
+    const uint64_t elapsed = NowUs() - fwd_start;
+    fwd_us_.Record(elapsed);
+    metric_fwd_us_->Record(elapsed);
   }
 
   std::vector<float> grad(acts.size());
@@ -57,23 +79,39 @@ util::Result<double> EngineTrainer::Step(const std::vector<float>& x,
       MseLoss(acts.data(), y.data(), grad.data(), acts.size());
 
   // Backward: fetch boundaries and recompute interiors when offloading.
-  for (int l = num_layers - 1; l >= 0; --l) {
-    ANGEL_ASSIGN_OR_RETURN(const std::vector<float> params,
-                           engine_->UseLayerParams(l));
-    if (options_.offload_activations) {
-      ANGEL_ASSIGN_OR_RETURN(const std::vector<float> boundary,
-                             engine_->FetchActivation(l));
-      std::vector<float> recomputed;
-      model_->Forward(l, params.data(), boundary, batch, &recomputed,
-                      &stash[l]);
+  const uint64_t bwd_start = NowUs();
+  {
+    ANGEL_SPAN("train", "backward");
+    for (int l = num_layers - 1; l >= 0; --l) {
+      ANGEL_ASSIGN_OR_RETURN(const std::vector<float> params,
+                             engine_->UseLayerParams(l));
+      if (options_.offload_activations) {
+        ANGEL_ASSIGN_OR_RETURN(const std::vector<float> boundary,
+                               engine_->FetchActivation(l));
+        std::vector<float> recomputed;
+        model_->Forward(l, params.data(), boundary, batch, &recomputed,
+                        &stash[l]);
+      }
+      std::vector<float> grad_in, grad_params;
+      model_->Backward(l, params.data(), stash[l], grad, batch, &grad_in,
+                       &grad_params);
+      ANGEL_RETURN_IF_ERROR(engine_->PushGrads(l, grad_params));
+      grad = std::move(grad_in);
     }
-    std::vector<float> grad_in, grad_params;
-    model_->Backward(l, params.data(), stash[l], grad, batch, &grad_in,
-                     &grad_params);
-    ANGEL_RETURN_IF_ERROR(engine_->PushGrads(l, grad_params));
-    grad = std::move(grad_in);
   }
+  {
+    const uint64_t elapsed = NowUs() - bwd_start;
+    bwd_us_.Record(elapsed);
+    metric_bwd_us_->Record(elapsed);
+  }
+  // EndStep runs the drain and (in synchronous mode) the optimizer pass.
+  const uint64_t opt_start = NowUs();
   ANGEL_RETURN_IF_ERROR(engine_->EndStep());
+  {
+    const uint64_t elapsed = NowUs() - opt_start;
+    opt_us_.Record(elapsed);
+    metric_opt_us_->Record(elapsed);
+  }
   return loss;
 }
 
@@ -83,16 +121,20 @@ util::Result<TrainReport> EngineTrainer::Train(
     return util::Status::FailedPrecondition("Init() not called");
   }
   TrainReport report;
+  fwd_us_ = obs::HistogramData();
+  bwd_us_ = obs::HistogramData();
+  opt_us_ = obs::HistogramData();
   const double start = NowSeconds();
   std::vector<float> x, y;
   for (int step = 0; step < steps; ++step) {
+    ANGEL_SPAN("train", "step");
     dataset.GenBatch(&rng_, options_.batch_size, &x, &y);
     ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y));
     report.losses.push_back(loss);
     if (options_.engine.lock_free) {
-      report.max_pending_batches =
-          std::max(report.max_pending_batches,
-                   engine_->updater()->pending_grad_batches());
+      report.telemetry.max_pending_batches =
+          std::max(report.telemetry.max_pending_batches,
+                   engine_->updater()->Snapshot().pending_grad_batches);
     }
   }
   if (options_.engine.lock_free) {
@@ -103,9 +145,21 @@ util::Result<TrainReport> EngineTrainer::Train(
   report.steps_per_second =
       report.wall_seconds > 0 ? steps / report.wall_seconds : 0.0;
   report.final_train_loss = report.losses.empty() ? 0.0 : report.losses.back();
-  report.updates_applied = engine_->updater()->updates_applied();
+
+  report.telemetry.fwd_us = fwd_us_;
+  report.telemetry.bwd_us = bwd_us_;
+  report.telemetry.opt_us = opt_us_;
+  report.telemetry.updater = engine_->updater()->Snapshot();
+  report.telemetry.memory = engine_->memory()->Snapshot();
+  if (engine_->memory()->ssd_enabled()) {
+    report.telemetry.ssd = engine_->memory()->ssd()->Snapshot();
+    report.telemetry.has_ssd = true;
+  }
+  report.telemetry.copy = engine_->copy_engine()->Snapshot();
+  report.telemetry.has_copy_engine = true;
 
   // Validation on the master parameters.
+  ANGEL_SPAN("train", "validate");
   util::Rng validation_rng(options_.seed ^ 0x5EEDF00Dull);
   double total = 0.0;
   const int validation_batches = 8;

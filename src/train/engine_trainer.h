@@ -57,6 +57,15 @@ class EngineTrainer {
   EngineTrainerOptions options_;
   std::unique_ptr<core::Engine> engine_;
   util::Rng rng_;
+
+  /// Per-run phase timers (reset at Train()); the same series also feed the
+  /// process-wide "train/fwd_us" etc. registry histograms.
+  obs::HistogramData fwd_us_;
+  obs::HistogramData bwd_us_;
+  obs::HistogramData opt_us_;
+  obs::Histogram* metric_fwd_us_ = nullptr;
+  obs::Histogram* metric_bwd_us_ = nullptr;
+  obs::Histogram* metric_opt_us_ = nullptr;
 };
 
 }  // namespace angelptm::train

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "train/kernels.h"
 #include "util/half.h"
 
@@ -13,6 +14,13 @@ double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Rounds every element through bfloat16 (the paper's compute precision).
@@ -30,7 +38,12 @@ Trainer::Trainer(core::Allocator* allocator, const LayeredModel* model,
       model_(model),
       options_(options),
       scaler_(options.loss_scaler),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_fwd_us_ = registry.GetHistogram("train/fwd_us");
+  metric_bwd_us_ = registry.GetHistogram("train/bwd_us");
+  metric_opt_us_ = registry.GetHistogram("train/opt_us");
+}
 
 Trainer::~Trainer() {
   if (updater_ != nullptr) updater_->Stop();
@@ -73,12 +86,21 @@ util::Result<double> Trainer::Step(const std::vector<float>& x,
       options_.compute_precision == ComputePrecision::kBf16;
   std::vector<LayerStash> stash(num_layers);
   std::vector<float> acts = x;
-  for (int l = 0; l < num_layers; ++l) {
-    std::vector<float> next;
-    model_->Forward(l, params[l].data(), acts, batch, &next,
-                   use_master_params ? nullptr : &stash[l]);
-    if (bf16) RoundToBf16(&next);  // Layer boundaries in bf16.
-    acts = std::move(next);
+  const uint64_t fwd_start = NowUs();
+  {
+    ANGEL_SPAN("train", "forward");
+    for (int l = 0; l < num_layers; ++l) {
+      std::vector<float> next;
+      model_->Forward(l, params[l].data(), acts, batch, &next,
+                      use_master_params ? nullptr : &stash[l]);
+      if (bf16) RoundToBf16(&next);  // Layer boundaries in bf16.
+      acts = std::move(next);
+    }
+  }
+  if (!use_master_params) {
+    const uint64_t elapsed = NowUs() - fwd_start;
+    fwd_us_.Record(elapsed);
+    metric_fwd_us_->Record(elapsed);
   }
 
   std::vector<float> grad(acts.size());
@@ -93,20 +115,29 @@ util::Result<double> Trainer::Step(const std::vector<float>& x,
   // Backward (line 23); gradients offload (line 24) only if none overflow.
   std::vector<std::vector<float>> layer_grads(num_layers);
   bool overflowed = false;
-  for (int l = num_layers - 1; l >= 0; --l) {
-    std::vector<float> grad_in;
-    model_->Backward(l, params[l].data(), stash[l], grad, batch, &grad_in,
-                     &layer_grads[l]);
-    if (bf16) {
-      RoundToBf16(&grad_in);
-      RoundToBf16(&layer_grads[l]);
+  const uint64_t bwd_start = NowUs();
+  {
+    ANGEL_SPAN("train", "backward");
+    for (int l = num_layers - 1; l >= 0; --l) {
+      std::vector<float> grad_in;
+      model_->Backward(l, params[l].data(), stash[l], grad, batch, &grad_in,
+                       &layer_grads[l]);
+      if (bf16) {
+        RoundToBf16(&grad_in);
+        RoundToBf16(&layer_grads[l]);
+      }
+      grad = std::move(grad_in);
+      if (options_.use_loss_scaling &&
+          LossScaler::HasNonFinite(layer_grads[l])) {
+        overflowed = true;
+        break;
+      }
     }
-    grad = std::move(grad_in);
-    if (options_.use_loss_scaling &&
-        LossScaler::HasNonFinite(layer_grads[l])) {
-      overflowed = true;
-      break;
-    }
+  }
+  {
+    const uint64_t elapsed = NowUs() - bwd_start;
+    bwd_us_.Record(elapsed);
+    metric_bwd_us_->Record(elapsed);
   }
   if (options_.use_loss_scaling) {
     if (!scaler_.Update(overflowed)) return loss;  // Skipped step.
@@ -127,19 +158,29 @@ util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
     return util::Status::FailedPrecondition("Init() not called");
   }
   TrainReport report;
+  fwd_us_ = obs::HistogramData();
+  bwd_us_ = obs::HistogramData();
+  opt_us_ = obs::HistogramData();
   if (options_.lock_free) updater_->Start();
   const double start = NowSeconds();
 
   std::vector<float> x, y;
   for (int step = 0; step < steps; ++step) {
+    ANGEL_SPAN("train", "step");
     dataset.GenBatch(&rng_, options_.batch_size, &x, &y);
     ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y, false));
     report.losses.push_back(loss);
     if (options_.lock_free) {
-      report.max_pending_batches = std::max(
-          report.max_pending_batches, updater_->pending_grad_batches());
+      report.telemetry.max_pending_batches =
+          std::max(report.telemetry.max_pending_batches,
+                   updater_->Snapshot().pending_grad_batches);
     } else if ((step + 1) % std::max(1, options_.grad_accumulation) == 0) {
+      ANGEL_SPAN("train", "update_once");
+      const uint64_t opt_start = NowUs();
       ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
+      const uint64_t elapsed = NowUs() - opt_start;
+      opt_us_.Record(elapsed);
+      metric_opt_us_->Record(elapsed);
     }
   }
   if (!options_.lock_free) {
@@ -158,11 +199,21 @@ util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
       report.wall_seconds > 0 ? steps / report.wall_seconds : 0.0;
   report.final_train_loss =
       report.losses.empty() ? 0.0 : report.losses.back();
-  report.updates_applied = updater_->updates_applied();
   report.overflow_steps_skipped = scaler_.steps_skipped();
   report.final_loss_scale =
       options_.use_loss_scaling ? scaler_.scale() : 1.0;
   ANGEL_ASSIGN_OR_RETURN(report.validation_loss, Validate(dataset, 8));
+
+  report.telemetry.fwd_us = fwd_us_;
+  report.telemetry.bwd_us = bwd_us_;
+  report.telemetry.opt_us = opt_us_;
+  report.telemetry.updater = updater_->Snapshot();
+  mem::HierarchicalMemory* memory = allocator_->memory();
+  report.telemetry.memory = memory->Snapshot();
+  if (memory->ssd_enabled()) {
+    report.telemetry.ssd = memory->ssd()->Snapshot();
+    report.telemetry.has_ssd = true;
+  }
   return report;
 }
 
@@ -171,6 +222,7 @@ util::Result<double> Trainer::Validate(const SyntheticRegression& dataset,
   if (updater_ == nullptr) {
     return util::Status::FailedPrecondition("Init() not called");
   }
+  ANGEL_SPAN("train", "validate");
   util::Rng validation_rng(options_.seed ^ 0x5EEDF00Dull);
   double total = 0.0;
   std::vector<float> x, y;

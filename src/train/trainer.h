@@ -7,6 +7,8 @@
 #include "core/adam.h"
 #include "core/allocator.h"
 #include "core/lockfree_updater.h"
+#include "mem/copy_engine.h"
+#include "obs/metrics.h"
 #include "train/dataset.h"
 #include "train/layered_model.h"
 #include "train/loss_scaler.h"
@@ -50,16 +52,35 @@ struct TrainerOptions {
   int drain_deadline_ms = 60000;
 };
 
+/// Structured telemetry nested in every TrainReport: per-phase step-time
+/// distributions for this run plus snapshots of every stats-bearing
+/// subsystem the run touched (each taken via that class's Snapshot()).
+struct TelemetrySnapshot {
+  /// Wall time per training-step phase, microseconds (this run only).
+  obs::HistogramData fwd_us;
+  obs::HistogramData bwd_us;
+  obs::HistogramData opt_us;
+  /// Peak staleness observed across the run (lock-free mode).
+  uint64_t max_pending_batches = 0;
+  core::LockFreeUpdater::Stats updater;
+  mem::MemorySnapshot memory;
+  /// Meaningful only when has_ssd is set.
+  mem::SsdTier::Stats ssd;
+  bool has_ssd = false;
+  /// Meaningful only when has_copy_engine is set (EngineTrainer runs).
+  mem::CopyEngine::Stats copy;
+  bool has_copy_engine = false;
+};
+
 struct TrainReport {
   std::vector<double> losses;  // Per-step training loss.
   double final_train_loss = 0.0;
   double validation_loss = 0.0;
   double wall_seconds = 0.0;
   double steps_per_second = 0.0;
-  uint64_t updates_applied = 0;
-  uint64_t max_pending_batches = 0;  // Peak staleness observed.
   uint64_t overflow_steps_skipped = 0;
   double final_loss_scale = 0.0;
+  TelemetrySnapshot telemetry;
 };
 
 class Trainer {
@@ -104,6 +125,15 @@ class Trainer {
   std::unique_ptr<core::LockFreeUpdater> updater_;
   LossScaler scaler_;
   util::Rng rng_;
+
+  /// Per-run phase timers (reset at Train()); the same series also feed the
+  /// process-wide "train/fwd_us" etc. registry histograms.
+  obs::HistogramData fwd_us_;
+  obs::HistogramData bwd_us_;
+  obs::HistogramData opt_us_;
+  obs::Histogram* metric_fwd_us_ = nullptr;
+  obs::Histogram* metric_bwd_us_ = nullptr;
+  obs::Histogram* metric_opt_us_ = nullptr;
 };
 
 }  // namespace angelptm::train

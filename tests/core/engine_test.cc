@@ -138,7 +138,7 @@ TEST(EngineTest, LockFreeModeTrains) {
   const double final_loss = TrainThroughEngine(engine->get(), model, 80, &rng);
   (*engine)->updater()->DrainUpdates();
   EXPECT_LT(final_loss, 1.0);
-  EXPECT_GT((*engine)->updater()->updates_applied(), 0u);
+  EXPECT_GT((*engine)->updater()->Snapshot().updates_applied, 0u);
 }
 
 TEST(EngineTest, TransformerTrainsThroughEngine) {
@@ -225,7 +225,7 @@ TEST(EngineTest, GpuCachedMasterStates) {
   }
   const double final_loss = TrainThroughEngine(engine->get(), model, 40, &rng);
   EXPECT_LT(final_loss, 2.0);
-  EXPECT_GT((*engine)->updater()->updates_applied(), 0u);
+  EXPECT_GT((*engine)->updater()->Snapshot().updates_applied, 0u);
 }
 
 TEST(EngineTest, SsdMasterStatesThroughEngine) {
@@ -243,8 +243,8 @@ TEST(EngineTest, SsdMasterStatesThroughEngine) {
         (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
   }
   TrainThroughEngine(engine->get(), model, 10, &rng);
-  EXPECT_GT((*engine)->memory()->ssd()->bytes_written(), 0u);
-  EXPECT_GT((*engine)->memory()->ssd()->bytes_read(), 0u);
+  EXPECT_GT((*engine)->memory()->ssd()->Snapshot().bytes_written, 0u);
+  EXPECT_GT((*engine)->memory()->ssd()->Snapshot().bytes_read, 0u);
 }
 
 TEST(EngineTest, ProtocolErrors) {

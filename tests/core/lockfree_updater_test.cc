@@ -85,8 +85,10 @@ TEST_F(LockFreeUpdaterTest, SynchronousUpdateMatchesReferenceAdam) {
   for (int i = 0; i < 4; ++i) {
     EXPECT_NEAR(fetched[i], p[i], 5e-3) << "buffered " << i;
   }
-  EXPECT_EQ(updater.updates_applied(), 1u);
-  EXPECT_EQ(updater.pending_grad_batches(), 0u);
+  const LockFreeUpdater::Stats stats = updater.Snapshot();
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.pending_grad_batches, 0u);
+  EXPECT_EQ(stats.grad_batches_offloaded, 1u);
 }
 
 TEST_F(LockFreeUpdaterTest, AccumulatedBatchesAreAveraged) {
@@ -106,14 +108,17 @@ TEST_F(LockFreeUpdaterTest, AccumulatedBatchesAreAveraged) {
   std::vector<float> master;
   ASSERT_TRUE(updater.ReadMasterParams(0, &master).ok());
   EXPECT_NEAR(master[0], p[0], 1e-4);
-  EXPECT_EQ(updater.updates_applied(), 1u);
+  const LockFreeUpdater::Stats stats = updater.Snapshot();
+  EXPECT_EQ(stats.updates_applied, 1u);
+  // Both batches folded into the one update: staleness of 2.
+  EXPECT_EQ(stats.staleness.count(), 1u);
 }
 
 TEST_F(LockFreeUpdaterTest, NoGradientsMeansNoUpdate) {
   LockFreeUpdater updater(&allocator_, UpdaterOptions());
   ASSERT_TRUE(updater.AddLayer({1.0f, 2.0f}).ok());
   ASSERT_TRUE(updater.UpdateOnce().ok());
-  EXPECT_EQ(updater.updates_applied(), 0u);
+  EXPECT_EQ(updater.Snapshot().updates_applied, 0u);
 }
 
 TEST_F(LockFreeUpdaterTest, AsyncThreadsApplyUpdates) {
@@ -130,8 +135,11 @@ TEST_F(LockFreeUpdaterTest, AsyncThreadsApplyUpdates) {
   updater.DrainUpdates();
   updater.Stop();
   EXPECT_FALSE(updater.running());
-  EXPECT_EQ(updater.pending_grad_batches(), 0u);
-  EXPECT_GT(updater.updates_applied(), 0u);
+  const LockFreeUpdater::Stats stats = updater.Snapshot();
+  EXPECT_EQ(stats.pending_grad_batches, 0u);
+  EXPECT_GT(stats.updates_applied, 0u);
+  EXPECT_EQ(stats.grad_batches_offloaded, 40u);
+  EXPECT_EQ(stats.grad_batches_applied, 40u);
   std::vector<float> p0, p1;
   ASSERT_TRUE(updater.ReadMasterParams(0, &p0).ok());
   ASSERT_TRUE(updater.ReadMasterParams(1, &p1).ok());
@@ -163,14 +171,14 @@ TEST_F(LockFreeUpdaterTest, SsdMasterStatesRoundTrip) {
                           UpdaterOptions(mem::DeviceKind::kSsd));
   const std::vector<float> init = {1.0f, 2.0f, 3.0f, 4.0f};
   ASSERT_TRUE(updater.AddLayer(init).ok());
-  EXPECT_GT(memory_.ssd()->bytes_written(), 0u);
+  EXPECT_GT(memory_.ssd()->Snapshot().bytes_written, 0u);
 
   ASSERT_TRUE(updater.OffloadGrads(0, {1.0f, 1.0f, 1.0f, 1.0f}).ok());
   ASSERT_TRUE(updater.UpdateOnce().ok());
   std::vector<float> master;
   ASSERT_TRUE(updater.ReadMasterParams(0, &master).ok());
   for (int i = 0; i < 4; ++i) EXPECT_LT(master[i], init[i]);
-  EXPECT_GT(memory_.ssd()->bytes_read(), 0u);
+  EXPECT_GT(memory_.ssd()->Snapshot().bytes_read, 0u);
 }
 
 TEST_F(LockFreeUpdaterTest, InputValidation) {
@@ -251,7 +259,7 @@ TEST_F(LockFreeUpdaterFaultTest, BufferAccumulateFailurePoisons) {
   updater.Stop();
   // The lost batch was never marked pending, so no zero-gradient update ran
   // — the regression where a failed accumulate still bumped pending_batches.
-  EXPECT_EQ(updater.updates_applied(), 0u);
+  EXPECT_EQ(updater.Snapshot().updates_applied, 0u);
 }
 
 TEST_F(LockFreeUpdaterFaultTest, BufferInstallFailurePoisons) {
@@ -291,8 +299,9 @@ TEST_F(LockFreeUpdaterFaultTest, DrainDeadlineExceededWithoutProgress) {
   // applies the update inline and succeeds.
   EXPECT_TRUE(updater.status().ok());
   EXPECT_TRUE(updater.DrainUpdates().ok());
-  EXPECT_EQ(updater.updates_applied(), 1u);
-  EXPECT_EQ(updater.pending_grad_batches(), 0u);
+  const LockFreeUpdater::Stats stats = updater.Snapshot();
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.pending_grad_batches, 0u);
 }
 
 }  // namespace

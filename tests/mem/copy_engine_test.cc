@@ -34,7 +34,7 @@ TEST(CopyEngineTest, AsyncMoveCompletesWithContents) {
   ASSERT_TRUE(future.get().ok());
   EXPECT_EQ((*page)->device(), DeviceKind::kGpu);
   EXPECT_EQ((*page)->data_ptr()[kPage - 1], std::byte{0x3D});
-  EXPECT_EQ(engine.moves_completed(), 1u);
+  EXPECT_EQ(engine.Snapshot().moves_completed, 1u);
 }
 
 TEST(CopyEngineTest, ManyConcurrentMovesAllLand) {
@@ -57,7 +57,9 @@ TEST(CopyEngineTest, ManyConcurrentMovesAllLand) {
     EXPECT_EQ(pages[i]->device(), DeviceKind::kGpu);
     EXPECT_EQ(pages[i]->data_ptr()[0], std::byte(i));
   }
-  EXPECT_EQ(engine.moves_completed(), 8u);
+  const CopyEngine::Stats stats = engine.Snapshot();
+  EXPECT_EQ(stats.moves_completed, 8u);
+  EXPECT_EQ(stats.queue_depth, 0u);  // Every submitted move resolved.
 }
 
 TEST(CopyEngineTest, FailedMoveReportsThroughFuture) {
@@ -69,7 +71,7 @@ TEST(CopyEngineTest, FailedMoveReportsThroughFuture) {
   ASSERT_TRUE(page.ok());
   auto future = engine.MoveAsync(*page, DeviceKind::kGpu);
   EXPECT_TRUE(future.get().IsResourceExhausted());
-  EXPECT_EQ(engine.moves_failed(), 1u);
+  EXPECT_EQ(engine.Snapshot().moves_failed, 1u);
   EXPECT_EQ((*page)->device(), DeviceKind::kCpu);
 }
 
@@ -101,7 +103,7 @@ TEST(CopyEngineTest, DrainWaitsForPending) {
     engine.MoveAsync(page, DeviceKind::kSsd);  // Futures dropped on purpose.
   }
   engine.Drain();
-  EXPECT_EQ(engine.moves_completed(), 6u);
+  EXPECT_EQ(engine.Snapshot().moves_completed, 6u);
   for (auto* page : pages) EXPECT_EQ(page->device(), DeviceKind::kSsd);
 }
 

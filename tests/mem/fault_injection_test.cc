@@ -75,7 +75,7 @@ TEST_F(MemFaultInjectionTest, TransientWriteFaultAbsorbedByRetry) {
 
   std::vector<std::byte> data(kFrame, std::byte{0x5A});
   ASSERT_TRUE(tier.WriteFrame(*offset, data.data(), kFrame).ok());
-  EXPECT_EQ(tier.io_retries(), 1u);
+  EXPECT_EQ(tier.Snapshot().io_retries, 1u);
   EXPECT_EQ(fi().fires("ssd.pwrite"), 1u);
   EXPECT_EQ(fi().calls("ssd.pwrite"), 2u);  // Failed attempt + retry.
 
@@ -83,7 +83,8 @@ TEST_F(MemFaultInjectionTest, TransientWriteFaultAbsorbedByRetry) {
   std::vector<std::byte> back(kFrame);
   ASSERT_TRUE(tier.ReadFrame(*offset, back.data(), kFrame).ok());
   EXPECT_EQ(back[kFrame - 1], std::byte{0x5A});
-  EXPECT_EQ(tier.bytes_written(), kFrame);  // Failed attempts don't count.
+  // Failed attempts don't count toward bytes written.
+  EXPECT_EQ(tier.Snapshot().bytes_written, kFrame);
 }
 
 TEST_F(MemFaultInjectionTest, TransientReadFaultAbsorbedByRetry) {
@@ -98,7 +99,7 @@ TEST_F(MemFaultInjectionTest, TransientReadFaultAbsorbedByRetry) {
   std::vector<std::byte> back(kFrame);
   ASSERT_TRUE(tier.ReadFrame(*offset, back.data(), kFrame).ok());
   EXPECT_EQ(back[0], std::byte{0x77});
-  EXPECT_EQ(tier.io_retries(), 1u);
+  EXPECT_EQ(tier.Snapshot().io_retries, 1u);
 }
 
 TEST_F(MemFaultInjectionTest, PermanentWriteFaultExhaustsRetries) {
@@ -112,9 +113,10 @@ TEST_F(MemFaultInjectionTest, PermanentWriteFaultExhaustsRetries) {
 
   std::vector<std::byte> data(kFrame, std::byte{1});
   EXPECT_TRUE(tier.WriteFrame(*offset, data.data(), kFrame).IsIoError());
-  EXPECT_EQ(fi().calls("ssd.pwrite"), 3u);  // Every attempt was made...
-  EXPECT_EQ(tier.io_retries(), 2u);         // ...after 2 backoffs.
-  EXPECT_EQ(tier.bytes_written(), 0u);
+  EXPECT_EQ(fi().calls("ssd.pwrite"), 3u);       // Every attempt was made...
+  const SsdTier::Stats stats = tier.Snapshot();
+  EXPECT_EQ(stats.io_retries, 2u);               // ...after 2 backoffs.
+  EXPECT_EQ(stats.bytes_written, 0u);
 }
 
 TEST_F(MemFaultInjectionTest, SingleAttemptPolicySurfacesImmediately) {
@@ -129,7 +131,7 @@ TEST_F(MemFaultInjectionTest, SingleAttemptPolicySurfacesImmediately) {
   std::vector<std::byte> back(kFrame);
   EXPECT_TRUE(tier.ReadFrame(*offset, back.data(), kFrame).IsIoError());
   EXPECT_EQ(fi().calls("ssd.pread"), 1u);
-  EXPECT_EQ(tier.io_retries(), 0u);
+  EXPECT_EQ(tier.Snapshot().io_retries, 0u);
 }
 
 TEST_F(MemFaultInjectionTest, NonIoErrorsAreNotRetried) {
@@ -213,12 +215,12 @@ TEST_F(MemFaultInjectionTest, CopyEngineMoveFailureSurfacesThroughFuture) {
   const util::Status status = future.get();
   EXPECT_TRUE(status.IsIoError());
   EXPECT_EQ((*page)->device(), DeviceKind::kCpu);
-  EXPECT_EQ(engine.moves_failed(), 1u);
-  EXPECT_EQ(engine.moves_completed(), 0u);
+  EXPECT_EQ(engine.Snapshot().moves_failed, 1u);
+  EXPECT_EQ(engine.Snapshot().moves_completed, 0u);
 
   fi().Reset();
   EXPECT_TRUE(engine.MoveAsync(*page, DeviceKind::kGpu).get().ok());
-  EXPECT_EQ(engine.moves_completed(), 1u);
+  EXPECT_EQ(engine.Snapshot().moves_completed, 1u);
 }
 
 TEST_F(MemFaultInjectionTest, PageMutexMapIsGarbageCollected) {
@@ -234,10 +236,12 @@ TEST_F(MemFaultInjectionTest, PageMutexMapIsGarbageCollected) {
     ASSERT_TRUE(memory.DestroyPage(*page, /*force=*/true).ok());
   }
   engine.Drain();
-  EXPECT_EQ(engine.moves_completed(), 400u);
+  const CopyEngine::Stats stats = engine.Snapshot();
+  EXPECT_EQ(stats.moves_completed, 400u);
+  EXPECT_EQ(stats.queue_depth, 0u);
   // Entries with no in-flight move were swept; the map stays bounded well
   // below the 200 distinct page ids it has seen.
-  EXPECT_LT(engine.tracked_page_mutexes(), 100u);
+  EXPECT_LT(stats.tracked_page_mutexes, 100u);
 }
 
 }  // namespace

@@ -164,7 +164,13 @@ TEST(HierarchicalMemoryTest, MemoryReportShowsTiersAndMoves) {
   auto page = hm.CreatePage(DeviceKind::kCpu);
   ASSERT_TRUE(page.ok());
   ASSERT_TRUE(hm.MovePageSync(*page, DeviceKind::kGpu).ok());
-  const std::string report = FormatMemoryReport(hm);
+  const MemorySnapshot snapshot = hm.Snapshot();
+  EXPECT_EQ(snapshot.live_pages, 1u);
+  EXPECT_EQ(snapshot.tier(DeviceKind::kGpu).pages, 1u);
+  EXPECT_EQ(snapshot.tier(DeviceKind::kCpu).pages, 0u);
+  EXPECT_EQ(snapshot.link(DeviceKind::kCpu, DeviceKind::kGpu).moves, 1u);
+  EXPECT_EQ(snapshot.tier(DeviceKind::kGpu).used_bytes, kPage);
+  const std::string report = FormatMemoryReport(snapshot);
   EXPECT_NE(report.find("gpu:"), std::string::npos);
   EXPECT_NE(report.find("cpu:"), std::string::npos);
   EXPECT_NE(report.find("moves cpu->gpu: 1"), std::string::npos);

@@ -88,8 +88,11 @@ TEST(SsdTierTest, WriteReadRoundTrip) {
   std::vector<std::byte> in(kFrame);
   ASSERT_TRUE(tier.ReadFrame(*offset, in.data(), kFrame).ok());
   EXPECT_EQ(std::memcmp(out.data(), in.data(), kFrame), 0);
-  EXPECT_EQ(tier.bytes_written(), kFrame);
-  EXPECT_EQ(tier.bytes_read(), kFrame);
+  const SsdTier::Stats stats = tier.Snapshot();
+  EXPECT_EQ(stats.bytes_written, kFrame);
+  EXPECT_EQ(stats.bytes_read, kFrame);
+  EXPECT_EQ(stats.io_retries, 0u);
+  EXPECT_EQ(stats.total_frames, 4u);
 }
 
 TEST(SsdTierTest, FramesIndependent) {

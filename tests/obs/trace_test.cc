@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace angelptm::obs {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/angelptm_trace_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+size_t CountOccurrences(const std::string& haystack, const std::string& pin) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(pin); pos != std::string::npos;
+       pos = haystack.find(pin, pos + pin.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceTest, DisabledByDefaultAndSpansAreFree) {
+  ASSERT_FALSE(TracingEnabled());
+  { ANGEL_SPAN("test", "noop"); }
+  const TraceCounts counts = CurrentTraceCounts();
+  EXPECT_EQ(counts.recorded, 0u);
+  EXPECT_EQ(counts.dropped, 0u);
+  EXPECT_FALSE(StopTracing().ok());  // No session to stop.
+}
+
+TEST(TraceTest, StartStopWritesBalancedEvents) {
+  const std::string path = TempPath("basic");
+  ASSERT_TRUE(StartTracing(path).ok());
+  EXPECT_TRUE(TracingEnabled());
+  // A second session cannot start while one is active.
+  EXPECT_FALSE(StartTracing(TempPath("second")).ok());
+
+  { ANGEL_SPAN("alpha", "first"); }
+  { ANGEL_SPAN("beta", "second"); }
+  EXPECT_EQ(CurrentTraceCounts().recorded, 2u);
+
+  ASSERT_TRUE(StopTracing().ok());
+  EXPECT_FALSE(TracingEnabled());
+
+  const std::string json = ReadFile(path);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), 2u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"second\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(TraceTest, NestedSpansEmitProperlyNestedPairs) {
+  const std::string path = TempPath("nested");
+  ASSERT_TRUE(StartTracing(path).ok());
+  {
+    ANGEL_SPAN("test", "outer");
+    { ANGEL_SPAN("test", "inner"); }
+  }
+  ASSERT_TRUE(StopTracing().ok());
+
+  const std::string json = ReadFile(path);
+  // The inner span completes (and lands in the ring) first, but the
+  // exporter reconstructs begin order: B outer, B inner, E inner, E outer.
+  const size_t b_outer = json.find("\"ph\":\"B\",\"pid\":1,\"tid\":0");
+  ASSERT_NE(b_outer, std::string::npos);
+  EXPECT_LT(json.find("\"name\":\"outer\""), json.find("\"name\":\"inner\""));
+  const size_t last_e = json.rfind("\"ph\":\"E\"");
+  const size_t last_outer = json.rfind("\"name\":\"outer\"");
+  EXPECT_LT(last_e, last_outer);  // The final event closes the outer span.
+  ::unlink(path.c_str());
+}
+
+TEST(TraceTest, RingOverflowKeepsNewestAndCountsDropped) {
+  const std::string path = TempPath("overflow");
+  ASSERT_TRUE(StartTracing(path, /*ring_capacity=*/4).ok());
+  for (int i = 0; i < 10; ++i) {
+    ANGEL_SPAN("test", "churn");
+  }
+  const TraceCounts counts = CurrentTraceCounts();
+  EXPECT_EQ(counts.recorded, 4u);
+  EXPECT_EQ(counts.dropped, 6u);
+  ASSERT_TRUE(StopTracing().ok());
+
+  const std::string json = ReadFile(path);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 4u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), 4u);
+  EXPECT_NE(json.find("\"dropped_spans\":6"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(TraceTest, ThreadsGetDistinctTidsAndBalancedEvents) {
+  const std::string path = TempPath("threads");
+  ASSERT_TRUE(StartTracing(path).ok());
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ANGEL_SPAN("test", "worker");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_TRUE(StopTracing().ok());
+
+  const std::string json = ReadFile(path);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), size_t(kThreads) * 25);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), size_t(kThreads) * 25);
+  int distinct_tids = 0;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    const std::string pin = "\"tid\":" + std::to_string(tid) + ",";
+    if (CountOccurrences(json, pin) == 2 * kSpansPerThread) ++distinct_tids;
+  }
+  EXPECT_EQ(distinct_tids, kThreads);
+  ::unlink(path.c_str());
+}
+
+TEST(TraceTest, RejectsBadSessionConfigs) {
+  EXPECT_TRUE(StartTracing("").IsInvalidArgument());
+  EXPECT_TRUE(StartTracing(TempPath("zero"), 0).IsInvalidArgument());
+  // An unwritable path surfaces at StopTracing, when the file is opened.
+  ASSERT_TRUE(StartTracing("/nonexistent_dir/trace.json").ok());
+  { ANGEL_SPAN("test", "doomed"); }
+  EXPECT_TRUE(StopTracing().IsIoError());
+  EXPECT_FALSE(TracingEnabled());  // The failed stop still ended the session.
+}
+
+}  // namespace
+}  // namespace angelptm::obs

@@ -104,7 +104,7 @@ TEST(EngineTrainerTest, LockFreeEngineTraining) {
   auto report = trainer.Train(dataset, 150);
   ASSERT_TRUE(report.ok());
   EXPECT_LT(report->validation_loss, 0.6);
-  EXPECT_GT(report->updates_applied, 0u);
+  EXPECT_GT(report->telemetry.updater.updates_applied, 0u);
 }
 
 TEST(EngineTrainerTest, TransformerThroughFullStack) {

@@ -130,7 +130,7 @@ TEST(LossScalerTest, TrainerSkipsOverflowedSteps) {
   auto report = trainer.Train(dataset, 10);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->overflow_steps_skipped, 10u);
-  EXPECT_EQ(report->updates_applied, 0u);
+  EXPECT_EQ(report->telemetry.updater.updates_applied, 0u);
   std::vector<float> after;
   ASSERT_TRUE(trainer.updater()->ReadMasterParams(0, &after).ok());
   EXPECT_EQ(before, after);

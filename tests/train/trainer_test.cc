@@ -46,8 +46,9 @@ TEST(TrainerTest, SynchronousTrainingConverges) {
   ASSERT_TRUE(report.ok());
   EXPECT_LT(report->final_train_loss, report->losses.front() / 5);
   EXPECT_LT(report->validation_loss, 0.2);
-  EXPECT_EQ(report->updates_applied, 3u * 300);  // One per layer per step.
-  EXPECT_EQ(report->max_pending_batches, 0u);
+  // One per layer per step.
+  EXPECT_EQ(report->telemetry.updater.updates_applied, 3u * 300);
+  EXPECT_EQ(report->telemetry.max_pending_batches, 0u);
 }
 
 TEST(TrainerTest, LockFreeMatchesSynchronousLoss) {
@@ -74,7 +75,7 @@ TEST(TrainerTest, LockFreeMatchesSynchronousLoss) {
     auto report = trainer.Train(dataset, 400);
     ASSERT_TRUE(report.ok());
     lockfree_loss = report->validation_loss;
-    EXPECT_GT(report->updates_applied, 0u);
+    EXPECT_GT(report->telemetry.updater.updates_applied, 0u);
   }
   EXPECT_LT(lockfree_loss, 0.25);
   // Within a factor of ~4 of the synchronous loss (both near-converged).
@@ -92,9 +93,9 @@ TEST(TrainerTest, LockFreeObservesStaleness) {
   auto report = trainer.Train(dataset, 200);
   ASSERT_TRUE(report.ok());
   // The compute loop runs ahead of the updater at least sometimes.
-  EXPECT_GT(report->max_pending_batches, 0u);
+  EXPECT_GT(report->telemetry.max_pending_batches, 0u);
   // Drained at the end: everything applied.
-  EXPECT_EQ(trainer.updater()->pending_grad_batches(), 0u);
+  EXPECT_EQ(trainer.updater()->Snapshot().pending_grad_batches, 0u);
 }
 
 TEST(TrainerTest, SsdMasterStatesTrainForReal) {
@@ -111,8 +112,11 @@ TEST(TrainerTest, SsdMasterStatesTrainForReal) {
   ASSERT_TRUE(report.ok());
   EXPECT_LT(report->final_train_loss, report->losses.front());
   // Real bytes hit the disk.
-  EXPECT_GT(memory.ssd()->bytes_written(), 0u);
-  EXPECT_GT(memory.ssd()->bytes_read(), 0u);
+  EXPECT_GT(memory.ssd()->Snapshot().bytes_written, 0u);
+  EXPECT_GT(memory.ssd()->Snapshot().bytes_read, 0u);
+  // The report carries the same telemetry without poking getters.
+  EXPECT_GT(report->telemetry.ssd.bytes_written, 0u);
+  EXPECT_TRUE(report->telemetry.has_ssd);
 }
 
 TEST(TrainerTest, DeterministicAcrossRuns) {
@@ -144,7 +148,7 @@ TEST(TrainerTest, GradAccumulationConverges) {
   EXPECT_LT(report->validation_loss, 0.3);
   // One optimizer pass per 4 steps (3 layers each), plus the final flush
   // which finds nothing pending.
-  EXPECT_EQ(report->updates_applied, 3u * 100);
+  EXPECT_EQ(report->telemetry.updater.updates_applied, 3u * 100);
 }
 
 TEST(TrainerTest, Bf16ComputeConvergesLikeFp32) {
