@@ -1,15 +1,20 @@
 #include "core/checkpoint.h"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "util/fault_injector.h"
+
 namespace angelptm::core {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'P', 'T', 'M', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 /// Incremental FNV-1a over byte spans.
 class Fnv1a {
@@ -32,16 +37,20 @@ class Writer {
   explicit Writer(std::FILE* file) : file_(file) {}
   bool Write(const void* data, size_t bytes) {
     checksum_.Update(data, bytes);
+    bytes_ += bytes;
     return std::fwrite(data, 1, bytes, file_) == bytes;
   }
   bool WriteChecksum() {
     const uint64_t value = checksum_.value();
+    bytes_ += sizeof(value);
     return std::fwrite(&value, 1, sizeof(value), file_) == sizeof(value);
   }
+  uint64_t bytes() const { return bytes_; }
 
  private:
   std::FILE* file_;
   Fnv1a checksum_;
+  uint64_t bytes_ = 0;
 };
 
 class Reader {
@@ -65,15 +74,42 @@ class Reader {
   Fnv1a checksum_;
 };
 
+bool WriteProgress(Writer* writer, const TrainProgress& progress) {
+  const int64_t step = progress.global_step;
+  const uint8_t has_cached = progress.rng_state.has_cached_gaussian ? 1 : 0;
+  return writer->Write(&step, sizeof(step)) &&
+         writer->Write(progress.rng_state.s.data(), 4 * sizeof(uint64_t)) &&
+         writer->Write(&has_cached, sizeof(has_cached)) &&
+         writer->Write(&progress.rng_state.cached_gaussian, sizeof(double)) &&
+         writer->Write(&progress.loss_scale, sizeof(double)) &&
+         writer->Write(&progress.scaler_good_steps, sizeof(int32_t)) &&
+         writer->Write(&progress.scaler_overflows, sizeof(uint64_t)) &&
+         writer->Write(&progress.scaler_growths, sizeof(uint64_t));
+}
+
+bool ReadProgress(Reader* reader, TrainProgress* progress) {
+  uint8_t has_cached = 0;
+  const bool ok =
+      reader->Read(&progress->global_step, sizeof(int64_t)) &&
+      reader->Read(progress->rng_state.s.data(), 4 * sizeof(uint64_t)) &&
+      reader->Read(&has_cached, sizeof(has_cached)) &&
+      reader->Read(&progress->rng_state.cached_gaussian, sizeof(double)) &&
+      reader->Read(&progress->loss_scale, sizeof(double)) &&
+      reader->Read(&progress->scaler_good_steps, sizeof(int32_t)) &&
+      reader->Read(&progress->scaler_overflows, sizeof(uint64_t)) &&
+      reader->Read(&progress->scaler_growths, sizeof(uint64_t));
+  progress->rng_state.has_cached_gaussian = has_cached != 0;
+  progress->has_progress = ok;
+  return ok;
+}
+
 }  // namespace
 
-util::Status SaveCheckpoint(LockFreeUpdater* updater,
-                            const std::string& path) {
+util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
+                            const TrainProgress* progress,
+                            uint64_t* bytes_written) {
   if (updater == nullptr) return util::Status::InvalidArgument("null updater");
-  if (updater->running()) {
-    return util::Status::FailedPrecondition(
-        "Stop() the updater before checkpointing");
-  }
+  ANGEL_FAULT_CHECK("checkpoint.write");
   const std::string tmp_path = path + ".tmp";
   std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
   if (file == nullptr) {
@@ -81,12 +117,15 @@ util::Status SaveCheckpoint(LockFreeUpdater* updater,
   }
   Writer writer(file);
   const uint32_t num_layers = uint32_t(updater->num_layers());
+  const TrainProgress defaults;
   bool ok = writer.Write(kMagic, sizeof(kMagic)) &&
             writer.Write(&kVersion, sizeof(kVersion)) &&
+            WriteProgress(&writer, progress != nullptr ? *progress : defaults) &&
             writer.Write(&num_layers, sizeof(num_layers));
   for (uint32_t l = 0; ok && l < num_layers; ++l) {
     LockFreeUpdater::LayerState state;
-    const util::Status exported = updater->ExportLayerState(int(l), &state);
+    // Per-layer quiesce: safe while the updater threads keep running.
+    const util::Status exported = updater->SnapshotLayerState(int(l), &state);
     if (!exported.ok()) {
       std::fclose(file);
       std::remove(tmp_path.c_str());
@@ -101,25 +140,37 @@ util::Status SaveCheckpoint(LockFreeUpdater* updater,
          writer.Write(state.variance.data(), count * sizeof(float));
   }
   ok = ok && writer.WriteChecksum();
+  // Flush user-space buffers and force the data to stable storage before the
+  // rename publishes it: a crash right after the rename must never leave a
+  // checkpoint whose bytes were still in the page cache only.
+  if (ok && std::fflush(file) != 0) ok = false;
+  if (ok && ::fsync(::fileno(file)) != 0) ok = false;
   if (std::fclose(file) != 0) ok = false;
   if (!ok) {
     std::remove(tmp_path.c_str());
     return util::Status::IoError("short write to " + tmp_path);
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+  const util::Status rename_fault =
+      util::FaultInjector::Instance().Check("checkpoint.rename");
+  if (!rename_fault.ok() ||
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
-    return util::Status::IoError("rename to " + path + " failed");
+    return rename_fault.ok()
+               ? util::Status::IoError("rename to " + path + " failed")
+               : rename_fault;
   }
+  if (bytes_written != nullptr) *bytes_written = writer.bytes();
   return util::Status::OK();
 }
 
-util::Status LoadCheckpoint(LockFreeUpdater* updater,
-                            const std::string& path) {
+util::Status LoadCheckpoint(LockFreeUpdater* updater, const std::string& path,
+                            TrainProgress* progress) {
   if (updater == nullptr) return util::Status::InvalidArgument("null updater");
   if (updater->running()) {
     return util::Status::FailedPrecondition(
         "Stop() the updater before restoring");
   }
+  if (progress != nullptr) *progress = TrainProgress();
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return util::Status::NotFound("no checkpoint at " + path);
@@ -132,15 +183,27 @@ util::Status LoadCheckpoint(LockFreeUpdater* updater,
     std::fclose(file);
     return util::Status::InvalidArgument(path + " is not a checkpoint");
   }
-  if (!reader.Read(&version, sizeof(version)) || version != kVersion ||
-      !reader.Read(&num_layers, sizeof(num_layers))) {
+  if (!reader.Read(&version, sizeof(version)) || version < kMinVersion ||
+      version > kVersion) {
     std::fclose(file);
-    return util::Status::InvalidArgument("unsupported checkpoint version");
+    return util::Status::InvalidArgument(
+        path + ": unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads v" + std::to_string(kMinVersion) + "..v" +
+        std::to_string(kVersion) + ")");
+  }
+  TrainProgress loaded_progress;
+  if (version >= 2 && !ReadProgress(&reader, &loaded_progress)) {
+    std::fclose(file);
+    return util::Status::IoError(path + ": truncated in the progress block");
+  }
+  if (!reader.Read(&num_layers, sizeof(num_layers))) {
+    std::fclose(file);
+    return util::Status::IoError(path + ": truncated in the header");
   }
   if (int(num_layers) != updater->num_layers()) {
     std::fclose(file);
     return util::Status::InvalidArgument(
-        "checkpoint has " + std::to_string(num_layers) + " layers, model has " +
+        path + " has " + std::to_string(num_layers) + " layers, model has " +
         std::to_string(updater->num_layers()));
   }
 
@@ -153,7 +216,8 @@ util::Status LoadCheckpoint(LockFreeUpdater* updater,
     if (!reader.Read(&count, sizeof(count)) ||
         !reader.Read(&step, sizeof(step))) {
       std::fclose(file);
-      return util::Status::IoError("truncated checkpoint");
+      return util::Status::IoError(path + ": truncated in layer " +
+                                   std::to_string(l) + " header");
     }
     LockFreeUpdater::LayerState& state = states[l];
     state.adam_step = long(step);
@@ -164,17 +228,20 @@ util::Status LoadCheckpoint(LockFreeUpdater* updater,
         !reader.Read(state.momentum.data(), count * sizeof(float)) ||
         !reader.Read(state.variance.data(), count * sizeof(float))) {
       std::fclose(file);
-      return util::Status::IoError("truncated checkpoint");
+      return util::Status::IoError(path + ": truncated in layer " +
+                                   std::to_string(l) + " payload");
     }
   }
   const bool checksum_ok = reader.VerifyChecksum();
   std::fclose(file);
   if (!checksum_ok) {
-    return util::Status::IoError("checkpoint checksum mismatch (corrupt)");
+    return util::Status::IoError(
+        path + ": checksum mismatch (corrupt or torn checkpoint)");
   }
   for (uint32_t l = 0; l < num_layers; ++l) {
     ANGEL_RETURN_IF_ERROR(updater->ImportLayerState(int(l), states[l]));
   }
+  if (progress != nullptr) *progress = loaded_progress;
   return util::Status::OK();
 }
 

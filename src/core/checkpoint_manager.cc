@@ -1,0 +1,160 @@
+#include "core/checkpoint_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace angelptm::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Parses "<stem>-NNNNNNNNN.ckpt" -> step; -1 when `name` does not match.
+int64_t StepFromFilename(const std::string& stem, const std::string& name) {
+  const std::string prefix = stem + "-";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  int64_t step = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    step = step * 10 + (name[i] - '0');
+  }
+  return step;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(const Options& options)
+    : options_(options) {
+  if (options_.keep_last < 1) options_.keep_last = 1;
+  obs::Registry& registry = obs::Registry::Instance();
+  metric_saves_ = registry.GetCounter("checkpoint/saves");
+  metric_save_failures_ = registry.GetCounter("checkpoint/save_failures");
+  metric_bytes_written_ = registry.GetCounter("checkpoint/bytes_written");
+  metric_loads_ = registry.GetCounter("checkpoint/loads");
+  metric_fallbacks_ = registry.GetCounter("checkpoint/fallbacks");
+  metric_save_us_ = registry.GetHistogram("checkpoint/save_us");
+}
+
+util::Status CheckpointManager::Init() {
+  if (options_.dir.empty()) {
+    return util::Status::InvalidArgument("checkpoint dir not set");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create checkpoint dir " +
+                                 options_.dir + ": " + ec.message());
+  }
+  return util::Status::OK();
+}
+
+std::string CheckpointManager::PathForStep(int64_t step) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%09lld", static_cast<long long>(step));
+  return options_.dir + "/" + options_.basename + "-" + buf + ".ckpt";
+}
+
+std::vector<std::string> CheckpointManager::ListCheckpoints() const {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const int64_t step = StepFromFilename(options_.basename, name);
+    if (step >= 0) found.emplace_back(step, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [step, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+util::Status CheckpointManager::Save(LockFreeUpdater* updater,
+                                     const TrainProgress& progress) {
+  ANGEL_SPAN("checkpoint", "save");
+  const uint64_t start = NowUs();
+  uint64_t bytes = 0;
+  const std::string path = PathForStep(progress.global_step);
+  const util::Status saved =
+      SaveCheckpoint(updater, path, &progress, &bytes);
+  if (!saved.ok()) {
+    metric_save_failures_->Increment();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.save_failures += 1;
+    return saved;
+  }
+  const uint64_t elapsed = NowUs() - start;
+  metric_saves_->Increment();
+  metric_bytes_written_->Increment(bytes);
+  metric_save_us_->Record(elapsed);
+
+  // Rotate: drop the oldest files beyond keep_last. The new file is already
+  // durable, so deleting old ones cannot lose the only good checkpoint.
+  std::vector<std::string> checkpoints = ListCheckpoints();
+  while (checkpoints.size() > static_cast<size_t>(options_.keep_last)) {
+    std::remove(checkpoints.front().c_str());
+    checkpoints.erase(checkpoints.begin());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.saves += 1;
+  stats_.bytes_written += bytes;
+  stats_.last_saved_step = progress.global_step;
+  stats_.save_us.Record(elapsed);
+  return util::Status::OK();
+}
+
+util::Result<TrainProgress> CheckpointManager::LoadLatest(
+    LockFreeUpdater* updater) {
+  ANGEL_SPAN("checkpoint", "load_latest");
+  const std::vector<std::string> checkpoints = ListCheckpoints();
+  util::Status last_error = util::Status::NotFound(
+      "no checkpoint under " + options_.dir);
+  // Newest first; fall back on corruption.
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    TrainProgress progress;
+    const util::Status loaded = LoadCheckpoint(updater, *it, &progress);
+    if (loaded.ok()) {
+      metric_loads_->Increment();
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.loads += 1;
+      return progress;
+    }
+    if (loaded.code() == util::StatusCode::kFailedPrecondition) {
+      return loaded;  // Running updater: retrying older files cannot help.
+    }
+    ANGEL_LOG(Warning) << "checkpoint " << *it << " unusable ("
+                       << loaded.ToString() << "); falling back";
+    metric_fallbacks_->Increment();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.fallbacks += 1;
+    }
+    last_error = loaded;
+  }
+  return last_error;
+}
+
+CheckpointManager::Stats CheckpointManager::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace angelptm::core

@@ -1,0 +1,97 @@
+#ifndef ANGELPTM_CORE_CHECKPOINT_MANAGER_H_
+#define ANGELPTM_CORE_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/lockfree_updater.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace angelptm::core {
+
+/// Periodic-checkpoint policy over SaveCheckpoint/LoadCheckpoint (§3.1
+/// failure recovery): writes step-stamped files into a directory, atomically
+/// (tmp + fsync + rename, checksummed), keeps the last K, and on recovery
+/// walks from the newest file backwards until one loads cleanly — a torn or
+/// corrupt latest checkpoint falls back to the previous one instead of
+/// killing the restart.
+///
+/// Save() snapshots a *running* LockFreeUpdater through the per-layer
+/// quiesce, so the training loop never stops for a checkpoint; only
+/// LoadLatest() requires a stopped updater (import would race otherwise).
+///
+/// Durations, sizes, and fallback/recovery counters are published through
+/// the obs:: registry under "checkpoint/*" and mirrored in Snapshot().
+class CheckpointManager {
+ public:
+  struct Options {
+    /// Directory holding the rotated files (created by Init).
+    std::string dir;
+    /// File stem: files are "<stem>-<step padded to 9>.ckpt".
+    std::string basename = "ckpt";
+    /// How many checkpoints to keep; older ones are deleted after a
+    /// successful save. Minimum 1.
+    int keep_last = 3;
+  };
+
+  explicit CheckpointManager(const Options& options);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Creates the checkpoint directory (recursively). Idempotent.
+  util::Status Init();
+
+  /// Cuts a checkpoint at `progress.global_step` and rotates old files.
+  /// Safe while the updater's threads run. A failed save never disturbs
+  /// existing checkpoints (the tmp file is discarded).
+  util::Status Save(LockFreeUpdater* updater, const TrainProgress& progress);
+
+  /// Restores the newest checkpoint that loads cleanly, deleting nothing:
+  /// corrupt files are skipped (counted as fallbacks) and left on disk for
+  /// post-mortems. NotFound when no valid checkpoint exists. The updater
+  /// must be stopped.
+  util::Result<TrainProgress> LoadLatest(LockFreeUpdater* updater);
+
+  /// Step-sorted (ascending) paths of the checkpoints currently on disk.
+  std::vector<std::string> ListCheckpoints() const;
+
+  /// Path a checkpoint for `step` would be written to.
+  std::string PathForStep(int64_t step) const;
+
+  struct Stats {
+    uint64_t saves = 0;
+    uint64_t save_failures = 0;
+    uint64_t bytes_written = 0;
+    uint64_t loads = 0;
+    /// Corrupt/unreadable files skipped on the way to a clean load.
+    uint64_t fallbacks = 0;
+    /// Step of the most recent successful save (-1 = none this instance).
+    int64_t last_saved_step = -1;
+    /// Wall time per successful save, microseconds.
+    obs::HistogramData save_us;
+  };
+  Stats Snapshot() const;
+
+ private:
+  Options options_;
+
+  mutable std::mutex mutex_;
+  Stats stats_;
+
+  // Process-wide series (obs registry handles; set once in the ctor).
+  obs::Counter* metric_saves_ = nullptr;
+  obs::Counter* metric_save_failures_ = nullptr;
+  obs::Counter* metric_bytes_written_ = nullptr;
+  obs::Counter* metric_loads_ = nullptr;
+  obs::Counter* metric_fallbacks_ = nullptr;
+  obs::Histogram* metric_save_us_ = nullptr;
+};
+
+}  // namespace angelptm::core
+
+#endif  // ANGELPTM_CORE_CHECKPOINT_MANAGER_H_

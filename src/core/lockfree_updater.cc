@@ -163,41 +163,44 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
   }
 
   // Fetch fp32 states from the master device (Algorithm 2 line 4; a real
-  // SSD read when the master tier is the SSD).
+  // SSD read when the master tier is the SSD). The master mutex quiesces
+  // this one layer against concurrent checkpoint snapshots.
   const bool on_ssd = options_.master_device == mem::DeviceKind::kSsd;
-  if (on_ssd) {
-    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
-      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
+  {
+    std::lock_guard<std::mutex> master_lock(layer->master_mutex);
+    if (on_ssd) {
+      for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+        ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
+      }
     }
-  }
-  std::vector<float> p, m, v;
-  ANGEL_RETURN_IF_ERROR(layer->p32->ReadFloats(&p));
-  ANGEL_RETURN_IF_ERROR(layer->m32->ReadFloats(&m));
-  ANGEL_RETURN_IF_ERROR(layer->v32->ReadFloats(&v));
+    std::vector<float> p, m, v;
+    ANGEL_RETURN_IF_ERROR(layer->p32->ReadFloats(&p));
+    ANGEL_RETURN_IF_ERROR(layer->m32->ReadFloats(&m));
+    ANGEL_RETURN_IF_ERROR(layer->v32->ReadFloats(&v));
 
-  layer->adam_step += 1;
-  AdamUpdate(options_.adam, p.data(), m.data(), v.data(), grads.data(),
-             layer->count, layer->adam_step);
+    layer->adam_step += 1;
+    AdamUpdate(options_.adam, p.data(), m.data(), v.data(), grads.data(),
+               layer->count, layer->adam_step);
 
-  ANGEL_RETURN_IF_ERROR(layer->p32->WriteFloats(p));
-  ANGEL_RETURN_IF_ERROR(layer->m32->WriteFloats(m));
-  ANGEL_RETURN_IF_ERROR(layer->v32->WriteFloats(v));
+    ANGEL_RETURN_IF_ERROR(layer->p32->WriteFloats(p));
+    ANGEL_RETURN_IF_ERROR(layer->m32->WriteFloats(m));
+    ANGEL_RETURN_IF_ERROR(layer->v32->WriteFloats(v));
 
-  // Hand the fresh parameters to the buffering side (line 6), overlapping
-  // with the SSD write-back (line 7).
-  if (running_.load()) {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    buffer_queue_.push_back(BufferTask{layer_index, true, std::move(p)});
-    queue_cv_.notify_one();
-  } else {
-    std::lock_guard<std::mutex> lock(layer->buffer_mutex);
-    ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(p));
-  }
+    // Hand the fresh parameters to the buffering side (line 6), overlapping
+    // with the SSD write-back (line 7).
+    if (running_.load()) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      buffer_queue_.push_back(BufferTask{layer_index, true, p});
+      queue_cv_.notify_one();
+    } else {
+      std::lock_guard<std::mutex> lock(layer->buffer_mutex);
+      ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(p));
+    }
 
-  if (on_ssd) {
-    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
-      ANGEL_RETURN_IF_ERROR(
-          allocator_->Move(tensor, mem::DeviceKind::kSsd));
+    if (on_ssd) {
+      for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+        ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kSsd));
+      }
     }
   }
   updates_applied_.fetch_add(1);
@@ -360,6 +363,7 @@ util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
     return util::Status::InvalidArgument("bad layer index");
   }
   Layer& layer = *layers_[layer_index];
+  std::lock_guard<std::mutex> master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
@@ -374,14 +378,25 @@ util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
 
 util::Status LockFreeUpdater::ExportLayerState(int layer_index,
                                                LayerState* out) {
-  if (layer_index < 0 || layer_index >= num_layers()) {
-    return util::Status::InvalidArgument("bad layer index");
-  }
   if (running_.load()) {
     return util::Status::FailedPrecondition(
         "Stop() the updater before exporting state");
   }
+  return SnapshotLayerState(layer_index, out);
+}
+
+util::Status LockFreeUpdater::SnapshotLayerState(int layer_index,
+                                                 LayerState* out) {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  ANGEL_SPAN("updater", "snapshot_layer");
   Layer& layer = *layers_[layer_index];
+  // The per-layer quiesce: while held, the updating thread cannot start or
+  // finish this layer's master update, so params/moments/adam_step are a
+  // consistent cut. Everything else (other layers, the compute side, the
+  // buffering thread) keeps running.
+  std::lock_guard<std::mutex> master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
@@ -416,6 +431,7 @@ util::Status LockFreeUpdater::ImportLayerState(int layer_index,
       state.variance.size() != layer.count) {
     return util::Status::InvalidArgument("checkpoint state size mismatch");
   }
+  std::lock_guard<std::mutex> master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {

@@ -120,6 +120,13 @@ class LockFreeUpdater {
   /// Snapshots a layer's fp32 master state. Must not run concurrently with
   /// the updating threads (Stop() first).
   util::Status ExportLayerState(int layer, LayerState* out);
+  /// Like ExportLayerState, but safe on a *running* updater: it briefly
+  /// quiesces that one layer (the updating thread's per-layer master mutex)
+  /// while the copy is taken, so training never stops globally. Each layer's
+  /// state is internally consistent (params/moments/step from the same
+  /// update count); different layers may be a few updates apart — which the
+  /// per-layer adam_step records, so a restore is still exact.
+  util::Status SnapshotLayerState(int layer, LayerState* out);
   /// Restores a layer's fp32 master state and refreshes its fp16 buffers.
   util::Status ImportLayerState(int layer, const LayerState& state);
 
@@ -153,7 +160,12 @@ class LockFreeUpdater {
     Tensor* buffered_grads = nullptr;   // g'16
     mutable std::mutex buffer_mutex;
     uint64_t pending_batches = 0;  // Guarded by buffer_mutex.
-    long adam_step = 0;            // Owned by the updating path.
+    /// Serializes access to the fp32 master states (p32/m32/v32, including
+    /// their tier moves) between the updating path and concurrent
+    /// checkpoint snapshots / master reads. Held only for the master-state
+    /// section of one layer's update — the per-layer quiesce window.
+    mutable std::mutex master_mutex;
+    long adam_step = 0;  // Guarded by master_mutex.
   };
 
   /// Applies one Adam update to layer `layer_index` if it has pending

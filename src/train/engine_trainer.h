@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint_manager.h"
 #include "core/engine.h"
 #include "train/dataset.h"
 #include "train/layered_model.h"
@@ -29,6 +30,16 @@ struct EngineTrainerOptions {
   uint64_t seed = 1234;
   /// Upper bound on the end-of-training drain in lock-free mode.
   int drain_deadline_ms = 60000;
+
+  // --- Fault tolerance (§3.1; DESIGN.md §9). Same semantics as the
+  // corresponding TrainerOptions fields. ---
+  int checkpoint_every_n_steps = 0;
+  std::string checkpoint_dir;
+  int checkpoint_keep_last = 3;
+  /// When > 0, Train() rebuilds the whole Engine (memory hierarchy, copy
+  /// engine, updater — the schedule re-traces on the first post-recovery
+  /// step) from the latest valid checkpoint after an updater poisoning.
+  int max_recoveries = 0;
 };
 
 class EngineTrainer {
@@ -43,20 +54,46 @@ class EngineTrainer {
   /// Creates the engine and registers every layer.
   util::Status Init();
 
+  /// Restores the newest valid checkpoint into the engine's updater and
+  /// rewinds the step counter / data cursor. Returns false when no
+  /// checkpoint exists. Call after Init(), before Train().
+  util::Result<bool> TryResume(const SyntheticRegression* dataset = nullptr);
+
   /// Runs `steps` training steps; same report shape as train::Trainer.
+  /// With `max_recoveries > 0`, an updater poisoning is absorbed by
+  /// rebuilding the engine from the latest valid checkpoint.
   util::Result<TrainReport> Train(const SyntheticRegression& dataset,
                                   int steps);
 
   core::Engine* engine() { return engine_.get(); }
+  core::CheckpointManager* checkpoint_manager() { return ckpt_manager_.get(); }
+  int64_t global_step() const { return global_step_; }
+  uint64_t recoveries() const { return recoveries_; }
 
  private:
   util::Result<double> Step(const std::vector<float>& x,
                             const std::vector<float>& y);
 
+  /// Creates the engine and registers every layer, drawing the initial
+  /// parameters from `rng` (shared by Init and the recovery rebuild).
+  util::Status BuildEngine(util::Rng* rng);
+  /// The step loop from global_step_ to `target_step`, checkpointing
+  /// periodically and draining at the end.
+  util::Status TrainRange(const SyntheticRegression& dataset,
+                          int64_t target_step, TrainReport* report);
+  util::Status Recover(const util::Status& cause,
+                       const SyntheticRegression& dataset);
+  void RestoreProgress(const core::TrainProgress& progress,
+                       const SyntheticRegression* dataset);
+  core::TrainProgress CurrentProgress() const;
+
   const LayeredModel* model_;
   EngineTrainerOptions options_;
   std::unique_ptr<core::Engine> engine_;
+  std::unique_ptr<core::CheckpointManager> ckpt_manager_;
   util::Rng rng_;
+  int64_t global_step_ = 0;
+  uint64_t recoveries_ = 0;
 
   /// Per-run phase timers (reset at Train()); the same series also feed the
   /// process-wide "train/fwd_us" etc. registry histograms.
@@ -66,6 +103,7 @@ class EngineTrainer {
   obs::Histogram* metric_fwd_us_ = nullptr;
   obs::Histogram* metric_bwd_us_ = nullptr;
   obs::Histogram* metric_opt_us_ = nullptr;
+  obs::Counter* metric_recoveries_ = nullptr;
 };
 
 }  // namespace angelptm::train

@@ -10,6 +10,22 @@ LossScaler::LossScaler() : LossScaler(Options()) {}
 LossScaler::LossScaler(const Options& options)
     : options_(options), scale_(options.initial_scale) {}
 
+LossScaler::State LossScaler::GetState() const {
+  State state;
+  state.scale = scale_;
+  state.good_steps = good_steps_;
+  state.overflows = overflows_;
+  state.growths = growths_;
+  return state;
+}
+
+void LossScaler::SetState(const State& state) {
+  scale_ = state.scale;
+  good_steps_ = state.good_steps;
+  overflows_ = state.overflows;
+  growths_ = state.growths;
+}
+
 bool LossScaler::HasNonFinite(const std::vector<float>& values) {
   for (float v : values) {
     if (!std::isfinite(v)) return true;

@@ -26,6 +26,18 @@ class LossScaler {
   LossScaler();
   explicit LossScaler(const Options& options);
 
+  /// The scaler's mutable state, for checkpointing: restoring it resumes the
+  /// growth/backoff schedule exactly where it left off (Options are config,
+  /// not state, and are not captured).
+  struct State {
+    double scale = 0.0;
+    int good_steps = 0;
+    uint64_t overflows = 0;
+    uint64_t growths = 0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
   double scale() const { return scale_; }
 
   /// True if any element is inf or NaN.

@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "train/kernels.h"
 #include "util/half.h"
+#include "util/logging.h"
 
 namespace angelptm::train {
 namespace {
@@ -43,13 +44,14 @@ Trainer::Trainer(core::Allocator* allocator, const LayeredModel* model,
   metric_fwd_us_ = registry.GetHistogram("train/fwd_us");
   metric_bwd_us_ = registry.GetHistogram("train/bwd_us");
   metric_opt_us_ = registry.GetHistogram("train/opt_us");
+  metric_recoveries_ = registry.GetCounter("train/recoveries");
 }
 
 Trainer::~Trainer() {
   if (updater_ != nullptr) updater_->Stop();
 }
 
-util::Status Trainer::Init() {
+util::Status Trainer::BuildUpdater(util::Rng* rng) {
   core::LockFreeUpdater::Options updater_options;
   updater_options.adam = options_.adam;
   updater_options.master_device = options_.master_device;
@@ -57,8 +59,108 @@ util::Status Trainer::Init() {
                                                      updater_options);
   for (int l = 0; l < model_->num_layers(); ++l) {
     ANGEL_RETURN_IF_ERROR(
-        updater_->AddLayer(model_->InitLayerParams(l, &rng_)).status());
+        updater_->AddLayer(model_->InitLayerParams(l, rng)).status());
   }
+  return util::Status::OK();
+}
+
+util::Status Trainer::Init() {
+  ANGEL_RETURN_IF_ERROR(BuildUpdater(&rng_));
+  if (!options_.checkpoint_dir.empty()) {
+    core::CheckpointManager::Options manager_options;
+    manager_options.dir = options_.checkpoint_dir;
+    manager_options.keep_last = options_.checkpoint_keep_last;
+    ckpt_manager_ = std::make_unique<core::CheckpointManager>(manager_options);
+    ANGEL_RETURN_IF_ERROR(ckpt_manager_->Init());
+  }
+  return util::Status::OK();
+}
+
+core::TrainProgress Trainer::CurrentProgress() const {
+  core::TrainProgress progress;
+  progress.global_step = global_step_;
+  progress.rng_state = rng_.GetState();
+  const LossScaler::State scaler = scaler_.GetState();
+  progress.loss_scale = scaler.scale;
+  progress.scaler_good_steps = scaler.good_steps;
+  progress.scaler_overflows = scaler.overflows;
+  progress.scaler_growths = scaler.growths;
+  progress.has_progress = true;
+  return progress;
+}
+
+void Trainer::RestoreProgress(const core::TrainProgress& progress,
+                              const SyntheticRegression* dataset) {
+  global_step_ = progress.global_step;
+  if (progress.has_progress) {
+    rng_.SetState(progress.rng_state);
+    LossScaler::State scaler;
+    scaler.scale = progress.loss_scale;
+    scaler.good_steps = progress.scaler_good_steps;
+    scaler.overflows = progress.scaler_overflows;
+    scaler.growths = progress.scaler_growths;
+    scaler_.SetState(scaler);
+    return;
+  }
+  // v1 checkpoint: no RNG/scaler state. Rebuild the data cursor by
+  // re-consuming the seeded stream — the init draws, then every batch up to
+  // the checkpointed step. The scaler restarts from its options (the only
+  // approximation the upgrade path carries).
+  rng_ = util::Rng(options_.seed);
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    (void)model_->InitLayerParams(l, &rng_);
+  }
+  if (dataset != nullptr) {
+    dataset->SkipBatches(&rng_, options_.batch_size, progress.global_step);
+  }
+  scaler_ = LossScaler(options_.loss_scaler);
+}
+
+util::Result<bool> Trainer::TryResume(const SyntheticRegression* dataset) {
+  if (updater_ == nullptr) {
+    return util::Status::FailedPrecondition("Init() not called");
+  }
+  if (ckpt_manager_ == nullptr) return false;
+  auto latest = ckpt_manager_->LoadLatest(updater_.get());
+  if (!latest.ok()) {
+    if (latest.status().IsNotFound()) return false;  // Fresh start.
+    return latest.status();
+  }
+  RestoreProgress(*latest, dataset);
+  return true;
+}
+
+util::Status Trainer::Recover(const util::Status& cause,
+                              const SyntheticRegression& dataset) {
+  if (ckpt_manager_ == nullptr || options_.max_recoveries <= 0) return cause;
+  // Only a poisoned updater is recoverable: it means the optimizer state is
+  // suspect but a checkpoint of it is not. Anything else (protocol misuse,
+  // bad arguments) would just fail again.
+  if (updater_ == nullptr || updater_->status().ok()) return cause;
+  if (recoveries_ >= uint64_t(options_.max_recoveries)) {
+    return util::Status(cause.code(),
+                        cause.message() + " (recovery budget of " +
+                            std::to_string(options_.max_recoveries) +
+                            " exhausted)");
+  }
+  recoveries_ += 1;
+  metric_recoveries_->Increment();
+  ANGEL_LOG(Warning) << "recovering from poisoned updater (attempt "
+                     << recoveries_ << "/" << options_.max_recoveries
+                     << "): " << cause.ToString();
+
+  // Tear down the dead updater; its destructor releases every tensor so the
+  // rebuild fits in the same memory budget.
+  updater_->Stop();
+  updater_.reset();
+  // The rebuild's initial parameters are placeholders (the restore
+  // overwrites them); a scratch RNG keeps rng_ — the data cursor — intact
+  // until RestoreProgress rewinds it.
+  util::Rng scratch_rng(options_.seed ^ 0xC0FFEEull);
+  ANGEL_RETURN_IF_ERROR(BuildUpdater(&scratch_rng));
+  ANGEL_ASSIGN_OR_RETURN(const core::TrainProgress progress,
+                         ckpt_manager_->LoadLatest(updater_.get()));
+  RestoreProgress(progress, &dataset);
   return util::Status::OK();
 }
 
@@ -152,6 +254,58 @@ util::Result<double> Trainer::Step(const std::vector<float>& x,
   return loss;
 }
 
+util::Status Trainer::TrainRange(const SyntheticRegression& dataset,
+                                 int64_t base_step, int64_t target_step,
+                                 TrainReport* report) {
+  if (options_.lock_free) updater_->Start();
+  std::vector<float> x, y;
+  while (global_step_ < target_step) {
+    ANGEL_SPAN("train", "step");
+    dataset.GenBatch(&rng_, options_.batch_size, &x, &y);
+    ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y, false));
+    global_step_ += 1;
+    report->losses.push_back(loss);
+    if (options_.lock_free) {
+      report->telemetry.max_pending_batches =
+          std::max(report->telemetry.max_pending_batches,
+                   updater_->Snapshot().pending_grad_batches);
+    } else if ((global_step_ - base_step) %
+                   std::max(1, options_.grad_accumulation) ==
+               0) {
+      ANGEL_SPAN("train", "update_once");
+      const uint64_t opt_start = NowUs();
+      ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
+      const uint64_t elapsed = NowUs() - opt_start;
+      opt_us_.Record(elapsed);
+      metric_opt_us_->Record(elapsed);
+    }
+    if (ckpt_manager_ != nullptr && options_.checkpoint_every_n_steps > 0 &&
+        global_step_ % options_.checkpoint_every_n_steps == 0) {
+      // The cut is taken with the updater threads still running (per-layer
+      // quiesce); in lock-free mode the optimizer keeps folding gradients
+      // while the file is written. A failed save is a warning, not a dead
+      // run — the previous rotated checkpoint still covers recovery.
+      const util::Status saved =
+          ckpt_manager_->Save(updater_.get(), CurrentProgress());
+      if (!saved.ok()) {
+        ANGEL_LOG(Warning) << "checkpoint at step " << global_step_
+                           << " failed: " << saved.ToString();
+      }
+    }
+  }
+  if (!options_.lock_free) {
+    // Flush a trailing partial accumulation window.
+    ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
+  }
+  if (options_.lock_free) {
+    const util::Status drained = updater_->DrainUpdates(
+        std::chrono::milliseconds(options_.drain_deadline_ms));
+    updater_->Stop();  // Join the threads even when the drain failed.
+    ANGEL_RETURN_IF_ERROR(drained);
+  }
+  return util::Status::OK();
+}
+
 util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
                                          int steps) {
   if (updater_ == nullptr) {
@@ -161,39 +315,25 @@ util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
   fwd_us_ = obs::HistogramData();
   bwd_us_ = obs::HistogramData();
   opt_us_ = obs::HistogramData();
-  if (options_.lock_free) updater_->Start();
+  const int64_t base_step = global_step_;
+  const int64_t target_step = base_step + steps;
+  const uint64_t recoveries_at_entry = recoveries_;
   const double start = NowSeconds();
 
-  std::vector<float> x, y;
-  for (int step = 0; step < steps; ++step) {
-    ANGEL_SPAN("train", "step");
-    dataset.GenBatch(&rng_, options_.batch_size, &x, &y);
-    ANGEL_ASSIGN_OR_RETURN(const double loss, Step(x, y, false));
-    report.losses.push_back(loss);
-    if (options_.lock_free) {
-      report.telemetry.max_pending_batches =
-          std::max(report.telemetry.max_pending_batches,
-                   updater_->Snapshot().pending_grad_batches);
-    } else if ((step + 1) % std::max(1, options_.grad_accumulation) == 0) {
-      ANGEL_SPAN("train", "update_once");
-      const uint64_t opt_start = NowUs();
-      ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
-      const uint64_t elapsed = NowUs() - opt_start;
-      opt_us_.Record(elapsed);
-      metric_opt_us_->Record(elapsed);
-    }
-  }
-  if (!options_.lock_free) {
-    // Flush a trailing partial accumulation window.
-    ANGEL_RETURN_IF_ERROR(updater_->UpdateOnce());
+  // The recovery loop (§3.1): a poisoned updater inside the range is torn
+  // down and rebuilt from the latest valid checkpoint, the step counter and
+  // data cursor rewind with it, and the range re-runs from there — bounded
+  // by max_recoveries.
+  for (;;) {
+    const util::Status ran = TrainRange(dataset, base_step, target_step,
+                                        &report);
+    if (ran.ok()) break;
+    ANGEL_RETURN_IF_ERROR(Recover(ran, dataset));
+    // Steps past the restored checkpoint will re-run: drop their losses.
+    const int64_t kept = std::max<int64_t>(global_step_ - base_step, 0);
+    if (int64_t(report.losses.size()) > kept) report.losses.resize(kept);
   }
 
-  if (options_.lock_free) {
-    const util::Status drained = updater_->DrainUpdates(
-        std::chrono::milliseconds(options_.drain_deadline_ms));
-    updater_->Stop();  // Join the threads even when the drain failed.
-    ANGEL_RETURN_IF_ERROR(drained);
-  }
   report.wall_seconds = NowSeconds() - start;
   report.steps_per_second =
       report.wall_seconds > 0 ? steps / report.wall_seconds : 0.0;
@@ -208,6 +348,11 @@ util::Result<TrainReport> Trainer::Train(const SyntheticRegression& dataset,
   report.telemetry.bwd_us = bwd_us_;
   report.telemetry.opt_us = opt_us_;
   report.telemetry.updater = updater_->Snapshot();
+  report.telemetry.recoveries = recoveries_ - recoveries_at_entry;
+  if (ckpt_manager_ != nullptr) {
+    report.telemetry.checkpoint = ckpt_manager_->Snapshot();
+    report.telemetry.has_checkpoint_manager = true;
+  }
   mem::HierarchicalMemory* memory = allocator_->memory();
   report.telemetry.memory = memory->Snapshot();
   if (memory->ssd_enabled()) {

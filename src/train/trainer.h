@@ -6,6 +6,7 @@
 
 #include "core/adam.h"
 #include "core/allocator.h"
+#include "core/checkpoint_manager.h"
 #include "core/lockfree_updater.h"
 #include "mem/copy_engine.h"
 #include "obs/metrics.h"
@@ -50,6 +51,22 @@ struct TrainerOptions {
   /// Upper bound on the end-of-training drain in lock-free mode; a dead or
   /// wedged updater surfaces as DeadlineExceeded/IoError instead of a hang.
   int drain_deadline_ms = 60000;
+
+  // --- Fault tolerance (§3.1 failure recovery; DESIGN.md §9) ---
+  /// Cut a checkpoint every N completed steps (0 disables). Saves go
+  /// through CheckpointManager: atomic, checksummed, rotated, and taken
+  /// through the per-layer quiesce so lock-free training never pauses.
+  int checkpoint_every_n_steps = 0;
+  /// Where the rotated checkpoints live. Required when checkpointing or
+  /// auto-recovery is on.
+  std::string checkpoint_dir;
+  int checkpoint_keep_last = 3;
+  /// When > 0, Train() absorbs updater poisonings: it tears the dead
+  /// updater down, rebuilds a fresh one from the latest valid checkpoint
+  /// (exact resume: step counter, RNG cursor, loss-scaler schedule), and
+  /// continues — up to this many times per Trainer before the error
+  /// propagates. 0 = propagate the first poisoning (previous behaviour).
+  int max_recoveries = 0;
 };
 
 /// Structured telemetry nested in every TrainReport: per-phase step-time
@@ -70,6 +87,12 @@ struct TelemetrySnapshot {
   /// Meaningful only when has_copy_engine is set (EngineTrainer runs).
   mem::CopyEngine::Stats copy;
   bool has_copy_engine = false;
+  /// Automatic checkpoint-restore recoveries performed during this run
+  /// (updater poisonings absorbed by the recovery loop).
+  uint64_t recoveries = 0;
+  /// Meaningful only when has_checkpoint_manager is set.
+  core::CheckpointManager::Stats checkpoint;
+  bool has_checkpoint_manager = false;
 };
 
 struct TrainReport {
@@ -97,10 +120,23 @@ class Trainer {
   /// Allocates and initializes all layer states.
   util::Status Init();
 
+  /// Restores the newest valid checkpoint from `checkpoint_dir` into this
+  /// trainer — the restart-after-crash entry point. Returns false when no
+  /// checkpoint exists (fresh start), true after an exact resume (master
+  /// states, per-layer Adam steps, global step, RNG cursor, loss-scaler
+  /// schedule). For v1 checkpoints without progress the data cursor is
+  /// replayed through `dataset` instead (pass the training dataset; may be
+  /// null, which skips the replay). Call after Init(), before Train().
+  util::Result<bool> TryResume(const SyntheticRegression* dataset = nullptr);
+
   /// Runs `steps` training steps against `dataset`, returning the report.
   /// In lock-free mode the updater threads are started before the first
   /// step and drained after the last so the report reflects a consistent
-  /// final model.
+  /// final model. With `max_recoveries > 0`, updater poisonings inside the
+  /// run are absorbed by restoring the latest checkpoint into a fresh
+  /// updater and rewinding to its step (the batches in between are
+  /// regenerated from the restored RNG cursor — no gradient is silently
+  /// dropped or double-applied).
   util::Result<TrainReport> Train(const SyntheticRegression& dataset,
                                   int steps);
 
@@ -111,6 +147,12 @@ class Trainer {
 
   core::LockFreeUpdater* updater() { return updater_.get(); }
   const LossScaler& loss_scaler() const { return scaler_; }
+  core::CheckpointManager* checkpoint_manager() { return ckpt_manager_.get(); }
+  /// Steps completed over this trainer's lifetime (survives recoveries and
+  /// is restored by TryResume).
+  int64_t global_step() const { return global_step_; }
+  /// Checkpoint-restore recoveries performed by this trainer so far.
+  uint64_t recoveries() const { return recoveries_; }
 
  private:
   /// One forward/backward over a batch; returns the loss and offloads
@@ -119,12 +161,34 @@ class Trainer {
                             const std::vector<float>& y,
                             bool use_master_params);
 
+  /// Creates the updater and registers every model layer (shared by Init
+  /// and the recovery rebuild; `rng` provides the initial parameters).
+  util::Status BuildUpdater(util::Rng* rng);
+  /// The step loop from global_step_ to `target_step`, including periodic
+  /// checkpoints and the end-of-run drain. `base_step` anchors
+  /// report->losses indexing across recoveries.
+  util::Status TrainRange(const SyntheticRegression& dataset,
+                          int64_t base_step, int64_t target_step,
+                          TrainReport* report);
+  /// Tears down the poisoned updater and restores the latest checkpoint
+  /// into a fresh one. Returns `cause` unchanged when recovery is not
+  /// possible (no manager, budget exhausted, not a poisoning).
+  util::Status Recover(const util::Status& cause,
+                       const SyntheticRegression& dataset);
+  /// Applies a loaded TrainProgress to this trainer's step/RNG/scaler.
+  void RestoreProgress(const core::TrainProgress& progress,
+                       const SyntheticRegression* dataset);
+  core::TrainProgress CurrentProgress() const;
+
   core::Allocator* allocator_;
   const LayeredModel* model_;
   TrainerOptions options_;
   std::unique_ptr<core::LockFreeUpdater> updater_;
+  std::unique_ptr<core::CheckpointManager> ckpt_manager_;
   LossScaler scaler_;
   util::Rng rng_;
+  int64_t global_step_ = 0;
+  uint64_t recoveries_ = 0;
 
   /// Per-run phase timers (reset at Train()); the same series also feed the
   /// process-wide "train/fwd_us" etc. registry histograms.
@@ -134,6 +198,7 @@ class Trainer {
   obs::Histogram* metric_fwd_us_ = nullptr;
   obs::Histogram* metric_bwd_us_ = nullptr;
   obs::Histogram* metric_opt_us_ = nullptr;
+  obs::Counter* metric_recoveries_ = nullptr;
 };
 
 }  // namespace angelptm::train

@@ -21,6 +21,20 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(&sm);
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -1,6 +1,7 @@
 #ifndef ANGELPTM_UTIL_RANDOM_H_
 #define ANGELPTM_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +13,17 @@ namespace angelptm::util {
 class Rng {
  public:
   explicit Rng(uint64_t seed);
+
+  /// The complete generator state: checkpointing it and restoring it later
+  /// continues the exact same sample stream (the Box-Muller cache is part of
+  /// the state, so Gaussian streams resume mid-pair too).
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
 
   /// Uniform 64-bit value.
   uint64_t Next();

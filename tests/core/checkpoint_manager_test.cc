@@ -1,0 +1,180 @@
+#include "core/checkpoint_manager.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/allocator.h"
+#include "mem/hierarchical_memory.h"
+#include "util/fault_injector.h"
+
+namespace angelptm::core {
+namespace {
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  CheckpointManagerTest() : memory_(MemoryOptions()), allocator_(&memory_) {}
+
+  void SetUp() override { util::FaultInjector::Instance().Reset(); }
+  void TearDown() override {
+    util::FaultInjector::Instance().Reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static mem::HierarchicalMemoryOptions MemoryOptions() {
+    mem::HierarchicalMemoryOptions options;
+    options.page_bytes = 16 * 1024;
+    options.gpu_capacity_bytes = 4ull << 20;
+    options.cpu_capacity_bytes = 64ull << 20;
+    return options;
+  }
+
+  std::string FreshDir(const char* tag) {
+    dir_ = "/tmp/angelptm_ckptmgr_" + std::to_string(::getpid()) + "_" + tag;
+    std::filesystem::remove_all(dir_);
+    return dir_;
+  }
+
+  std::unique_ptr<LockFreeUpdater> MakeUpdater() {
+    LockFreeUpdater::Options options;
+    auto updater = std::make_unique<LockFreeUpdater>(&allocator_, options);
+    EXPECT_TRUE(updater->AddLayer({1.0f, 2.0f, 3.0f}).ok());
+    return updater;
+  }
+
+  static TrainProgress ProgressAt(int64_t step) {
+    TrainProgress progress;
+    progress.global_step = step;
+    progress.has_progress = true;
+    return progress;
+  }
+
+  mem::HierarchicalMemory memory_;
+  Allocator allocator_;
+  std::string dir_;
+};
+
+TEST_F(CheckpointManagerTest, RotationKeepsOnlyLastK) {
+  CheckpointManager::Options options;
+  options.dir = FreshDir("rotate");
+  options.keep_last = 2;
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Init().ok());
+  auto updater = MakeUpdater();
+
+  for (int64_t step : {10, 20, 30, 40}) {
+    ASSERT_TRUE(updater->OffloadGrads(0, {0.1f, 0.1f, 0.1f}).ok());
+    ASSERT_TRUE(updater->UpdateOnce().ok());
+    ASSERT_TRUE(manager.Save(updater.get(), ProgressAt(step)).ok());
+  }
+  const std::vector<std::string> files = manager.ListCheckpoints();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], manager.PathForStep(30));
+  EXPECT_EQ(files[1], manager.PathForStep(40));
+  EXPECT_FALSE(std::filesystem::exists(manager.PathForStep(10)));
+  EXPECT_FALSE(std::filesystem::exists(manager.PathForStep(20)));
+
+  const CheckpointManager::Stats stats = manager.Snapshot();
+  EXPECT_EQ(stats.saves, 4u);
+  EXPECT_EQ(stats.save_failures, 0u);
+  EXPECT_EQ(stats.last_saved_step, 40);
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_EQ(stats.save_us.count, 4u);
+}
+
+TEST_F(CheckpointManagerTest, LoadLatestFallsBackPastCorruptNewest) {
+  CheckpointManager::Options options;
+  options.dir = FreshDir("fallback");
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Init().ok());
+  auto updater = MakeUpdater();
+
+  ASSERT_TRUE(manager.Save(updater.get(), ProgressAt(10)).ok());
+  std::vector<float> good_params;
+  ASSERT_TRUE(updater->ReadMasterParams(0, &good_params).ok());
+
+  ASSERT_TRUE(updater->OffloadGrads(0, {1.0f, 1.0f, 1.0f}).ok());
+  ASSERT_TRUE(updater->UpdateOnce().ok());
+  ASSERT_TRUE(manager.Save(updater.get(), ProgressAt(20)).ok());
+
+  // Corrupt the newest file (flip a byte in the middle).
+  {
+    std::fstream file(manager.PathForStep(20),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(60);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(60);
+    byte ^= 0x5A;
+    file.write(&byte, 1);
+  }
+
+  auto recovered = MakeUpdater();
+  auto progress = manager.LoadLatest(recovered.get());
+  ASSERT_TRUE(progress.ok()) << progress.status();
+  EXPECT_EQ(progress->global_step, 10);  // The previous checkpoint won.
+  std::vector<float> restored;
+  ASSERT_TRUE(recovered->ReadMasterParams(0, &restored).ok());
+  EXPECT_EQ(restored, good_params);
+  // The corrupt file is skipped, counted, and left for post-mortems.
+  EXPECT_EQ(manager.Snapshot().fallbacks, 1u);
+  EXPECT_EQ(manager.Snapshot().loads, 1u);
+  EXPECT_TRUE(std::filesystem::exists(manager.PathForStep(20)));
+}
+
+TEST_F(CheckpointManagerTest, EmptyDirectoryIsNotFound) {
+  CheckpointManager::Options options;
+  options.dir = FreshDir("empty");
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Init().ok());
+  auto updater = MakeUpdater();
+  EXPECT_TRUE(manager.LoadLatest(updater.get()).status().IsNotFound());
+  EXPECT_TRUE(manager.ListCheckpoints().empty());
+}
+
+TEST_F(CheckpointManagerTest, FailedSaveLeavesExistingCheckpointsIntact) {
+  CheckpointManager::Options options;
+  options.dir = FreshDir("savefail");
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Init().ok());
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(manager.Save(updater.get(), ProgressAt(10)).ok());
+
+  util::FaultRule rule;
+  rule.nth_call = 1;
+  util::FaultInjector::Instance().Arm("checkpoint.write", rule);
+  EXPECT_FALSE(manager.Save(updater.get(), ProgressAt(20)).ok());
+
+  rule = util::FaultRule();
+  rule.nth_call = 1;
+  util::FaultInjector::Instance().Arm("checkpoint.rename", rule);
+  EXPECT_FALSE(manager.Save(updater.get(), ProgressAt(30)).ok());
+
+  const CheckpointManager::Stats stats = manager.Snapshot();
+  EXPECT_EQ(stats.saves, 1u);
+  EXPECT_EQ(stats.save_failures, 2u);
+  EXPECT_EQ(stats.last_saved_step, 10);
+  // The surviving checkpoint still loads; no tmp litter was published.
+  EXPECT_EQ(manager.ListCheckpoints(),
+            std::vector<std::string>{manager.PathForStep(10)});
+  auto recovered = MakeUpdater();
+  auto progress = manager.LoadLatest(recovered.get());
+  ASSERT_TRUE(progress.ok()) << progress.status();
+  EXPECT_EQ(progress->global_step, 10);
+}
+
+TEST_F(CheckpointManagerTest, PathForStepIsStable) {
+  CheckpointManager::Options options;
+  options.dir = FreshDir("paths");
+  options.basename = "model";
+  CheckpointManager manager(options);
+  EXPECT_EQ(manager.PathForStep(42), dir_ + "/model-000000042.ckpt");
+}
+
+}  // namespace
+}  // namespace angelptm::core

@@ -2,15 +2,19 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "train/dataset.h"
 #include "train/mlp.h"
 #include "train/trainer.h"
+#include "util/random.h"
 
 namespace angelptm::core {
 namespace {
@@ -198,15 +202,249 @@ TEST_F(CheckpointTest, MissingFileAndBadMagic) {
   std::remove(path.c_str());
 }
 
-TEST_F(CheckpointTest, RunningUpdaterRefused) {
+TEST_F(CheckpointTest, RunningUpdaterSavesButRefusesLoad) {
+  // Saving snapshots a *running* updater through the per-layer quiesce;
+  // restoring still requires the threads stopped (it rewrites the state
+  // they race on wholesale).
   const std::string path = TempPath("running");
   auto updater = MakeUpdater();
   updater->Start();
-  EXPECT_EQ(SaveCheckpoint(updater.get(), path).code(),
-            util::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(updater->OffloadGrads(0, {0.1f, 0.1f, 0.1f}).ok());
+  EXPECT_TRUE(SaveCheckpoint(updater.get(), path).ok());
   EXPECT_EQ(LoadCheckpoint(updater.get(), path).code(),
             util::StatusCode::kFailedPrecondition);
   updater->Stop();
+
+  auto recovered = MakeUpdater();
+  EXPECT_TRUE(LoadCheckpoint(recovered.get(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ProgressRoundTrip) {
+  const std::string path = TempPath("progress");
+  auto updater = MakeUpdater();
+
+  TrainProgress saved;
+  saved.global_step = 1234;
+  util::Rng rng(99);
+  for (int i = 0; i < 7; ++i) (void)rng.NextGaussian();  // Odd count: cache live.
+  saved.rng_state = rng.GetState();
+  saved.loss_scale = 4096.0;
+  saved.scaler_good_steps = 17;
+  saved.scaler_overflows = 3;
+  saved.scaler_growths = 5;
+  saved.has_progress = true;
+  uint64_t bytes = 0;
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path, &saved, &bytes).ok());
+  EXPECT_GT(bytes, 0u);
+
+  auto recovered = MakeUpdater();
+  TrainProgress loaded;
+  ASSERT_TRUE(LoadCheckpoint(recovered.get(), path, &loaded).ok());
+  EXPECT_TRUE(loaded.has_progress);
+  EXPECT_EQ(loaded.global_step, saved.global_step);
+  EXPECT_EQ(loaded.rng_state.s, saved.rng_state.s);
+  EXPECT_EQ(loaded.rng_state.has_cached_gaussian,
+            saved.rng_state.has_cached_gaussian);
+  EXPECT_EQ(loaded.rng_state.cached_gaussian, saved.rng_state.cached_gaussian);
+  EXPECT_EQ(loaded.loss_scale, saved.loss_scale);
+  EXPECT_EQ(loaded.scaler_good_steps, saved.scaler_good_steps);
+  EXPECT_EQ(loaded.scaler_overflows, saved.scaler_overflows);
+  EXPECT_EQ(loaded.scaler_growths, saved.scaler_growths);
+
+  // A restored RNG continues the exact stream.
+  util::Rng resumed(1);
+  resumed.SetState(loaded.rng_state);
+  EXPECT_EQ(resumed.NextGaussian(), rng.NextGaussian());
+  EXPECT_EQ(resumed.NextDouble(), rng.NextDouble());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncationFailsLoudlyAtEveryOffset) {
+  const std::string path = TempPath("torn");
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(updater->OffloadGrads(0, {0.2f, 0.2f, 0.2f}).ok());
+  ASSERT_TRUE(updater->UpdateOnce().ok());
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  std::ifstream sized(path, std::ios::binary | std::ios::ate);
+  const long long full = sized.tellg();
+  sized.close();
+  ASSERT_GT(full, 120);
+
+  // Cut the file inside every section: magic, version, progress block,
+  // layer-count, layer header, layer payload, trailing checksum. A torn
+  // write must never load and never crash.
+  const long long cuts[] = {4, 10, 40, 90, 97, full - 300, full - 4};
+  for (const long long cut : cuts) {
+    ASSERT_GT(cut, 0) << "bad test offset";
+    const std::string torn = TempPath("torn_cut");
+    {
+      std::ifstream in(path, std::ios::binary);
+      std::vector<char> bytes(static_cast<size_t>(cut));
+      in.read(bytes.data(), cut);
+      std::ofstream out(torn, std::ios::binary);
+      out.write(bytes.data(), cut);
+    }
+    auto recovered = MakeUpdater();
+    const util::Status loaded = LoadCheckpoint(recovered.get(), torn);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_TRUE(loaded.IsIoError() || loaded.IsInvalidArgument())
+        << "cut at " << cut << ": " << loaded;
+    // Every failure names the file so the operator can find the bad one.
+    EXPECT_NE(loaded.message().find(torn), std::string::npos)
+        << "cut at " << cut << ": " << loaded;
+    std::remove(torn.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ByteFlipsCaughtPerSection) {
+  const std::string path = TempPath("flip");
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+  std::ifstream sized(path, std::ios::binary | std::ios::ate);
+  const long long full = sized.tellg();
+  sized.close();
+
+  struct Case {
+    long long offset;
+    const char* expect;  // Substring the error message must carry.
+  };
+  const Case cases[] = {
+      {2, "is not a checkpoint"},              // Magic.
+      {8, "unsupported checkpoint version"},   // Version word.
+      {20, "checksum mismatch"},               // Progress block.
+      {full - 40, "checksum mismatch"},        // Layer payload.
+      {full - 4, "checksum mismatch"},         // The stored checksum itself.
+  };
+  for (const Case& c : cases) {
+    const std::string flipped = TempPath("flip_case");
+    {
+      std::ifstream in(path, std::ios::binary);
+      std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+      bytes[size_t(c.offset)] ^= 0x5A;
+      std::ofstream out(flipped, std::ios::binary);
+      out.write(bytes.data(), long(bytes.size()));
+    }
+    auto recovered = MakeUpdater();
+    const util::Status loaded = LoadCheckpoint(recovered.get(), flipped);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << c.offset;
+    EXPECT_NE(loaded.message().find(c.expect), std::string::npos)
+        << "flip at " << c.offset << ": " << loaded;
+    std::remove(flipped.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, RandomizedLayoutsRoundTrip) {
+  // Property test: arbitrary layer counts/sizes/Adam steps and a random
+  // progress block survive the save/load cycle exactly.
+  util::Rng rng(20260805);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int num_layers = 1 + int(rng.NextDouble() * 5);
+    std::vector<size_t> sizes;
+    for (int l = 0; l < num_layers; ++l) {
+      sizes.push_back(1 + size_t(rng.NextDouble() * 300));
+    }
+    auto make = [&]() {
+      LockFreeUpdater::Options options;
+      auto updater = std::make_unique<LockFreeUpdater>(&allocator_, options);
+      for (const size_t n : sizes) {
+        EXPECT_TRUE(updater->AddLayer(std::vector<float>(n, 0.0f)).ok());
+      }
+      return updater;
+    };
+    auto updater = make();
+    std::vector<LockFreeUpdater::LayerState> want(num_layers);
+    for (int l = 0; l < num_layers; ++l) {
+      LockFreeUpdater::LayerState& state = want[l];
+      state.adam_step = long(rng.NextDouble() * 10000);
+      state.params.resize(sizes[l]);
+      state.momentum.resize(sizes[l]);
+      state.variance.resize(sizes[l]);
+      for (size_t i = 0; i < sizes[l]; ++i) {
+        state.params[i] = float(rng.NextGaussian());
+        state.momentum[i] = float(rng.NextGaussian());
+        state.variance[i] = float(rng.NextDouble());
+      }
+      ASSERT_TRUE(updater->ImportLayerState(l, state).ok());
+    }
+    TrainProgress progress;
+    progress.global_step = int64_t(rng.NextDouble() * 1000000);
+    progress.rng_state = rng.GetState();
+    progress.loss_scale = rng.NextDouble() * 65536.0;
+    progress.has_progress = true;
+
+    const std::string path = TempPath("prop");
+    ASSERT_TRUE(SaveCheckpoint(updater.get(), path, &progress).ok());
+    auto recovered = make();
+    TrainProgress loaded;
+    ASSERT_TRUE(LoadCheckpoint(recovered.get(), path, &loaded).ok());
+    EXPECT_EQ(loaded.global_step, progress.global_step);
+    EXPECT_EQ(loaded.rng_state.s, progress.rng_state.s);
+    EXPECT_EQ(loaded.loss_scale, progress.loss_scale);
+    for (int l = 0; l < num_layers; ++l) {
+      LockFreeUpdater::LayerState got;
+      ASSERT_TRUE(recovered->SnapshotLayerState(l, &got).ok());
+      EXPECT_EQ(got.adam_step, want[l].adam_step) << "layer " << l;
+      EXPECT_EQ(got.params, want[l].params) << "layer " << l;
+      EXPECT_EQ(got.momentum, want[l].momentum) << "layer " << l;
+      EXPECT_EQ(got.variance, want[l].variance) << "layer " << l;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(CheckpointTest, V1CheckpointStillLoads) {
+  // Hand-written v1 file (no progress block): the upgrade path must accept
+  // it and report has_progress == false so callers fall back to replay.
+  const std::string path = TempPath("v1");
+  const std::vector<float> p = {1.5f, -2.5f, 3.5f};
+  const std::vector<float> m = {0.1f, 0.2f, 0.3f};
+  const std::vector<float> v = {0.01f, 0.02f, 0.03f};
+  {
+    std::vector<char> bytes;
+    auto put = [&bytes](const void* data, size_t n) {
+      const char* c = static_cast<const char*>(data);
+      bytes.insert(bytes.end(), c, c + n);
+    };
+    put("APTMCKPT", 8);
+    const uint32_t version = 1, num_layers = 1;
+    put(&version, 4);
+    put(&num_layers, 4);
+    const uint64_t count = 3;
+    const int64_t adam_step = 7;
+    put(&count, 8);
+    put(&adam_step, 8);
+    put(p.data(), 3 * sizeof(float));
+    put(m.data(), 3 * sizeof(float));
+    put(v.data(), 3 * sizeof(float));
+    uint64_t hash = 14695981039346656037ull;
+    for (const char byte : bytes) {
+      hash ^= static_cast<unsigned char>(byte);
+      hash *= 1099511628211ull;
+    }
+    put(&hash, 8);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), long(bytes.size()));
+  }
+  LockFreeUpdater::Options options;
+  LockFreeUpdater updater(&allocator_, options);
+  ASSERT_TRUE(updater.AddLayer({0.0f, 0.0f, 0.0f}).ok());
+  TrainProgress progress;
+  progress.has_progress = true;  // Must be cleared by the v1 load.
+  ASSERT_TRUE(LoadCheckpoint(&updater, path, &progress).ok());
+  EXPECT_FALSE(progress.has_progress);
+  EXPECT_EQ(progress.global_step, 0);
+  LockFreeUpdater::LayerState got;
+  ASSERT_TRUE(updater.SnapshotLayerState(0, &got).ok());
+  EXPECT_EQ(got.params, p);
+  EXPECT_EQ(got.momentum, m);
+  EXPECT_EQ(got.variance, v);
+  EXPECT_EQ(got.adam_step, 7);
+  std::remove(path.c_str());
 }
 
 }  // namespace
