@@ -13,7 +13,13 @@
 #   * A trace-smoke pass: a real training binary runs under ANGELPTM_TRACE
 #     and the emitted Chrome trace JSON must parse (see DESIGN.md §8).
 #
-# Usage: scripts/check.sh [--tier1-only|--tsan-only|--asan-only|--trace-smoke]
+#   * A lint pass (DESIGN.md §10): the project linter (scripts/lint.py)
+#     always runs; clang-tidy and the changed-files-only clang-format check
+#     run when the tools are installed and skip with a notice otherwise
+#     (the CI lint job installs them).
+#
+# Usage: scripts/check.sh
+#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -32,6 +38,37 @@ if [ "$MODE" = all ] || [ "$MODE" = --tier1-only ]; then
   # A transient fault on the first pwrite of every tier: the retry policy
   # must absorb it and the whole mem suite still passes.
   ANGELPTM_FAULT_SITES="ssd.pwrite=nth:1" ./build/tests/mem_test
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --lint ]; then
+  echo "=== lint: project rules (scripts/lint.py, DESIGN.md §10) ==="
+  python3 scripts/lint.py
+
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "=== lint: clang-tidy (bugprone / concurrency / performance) ==="
+    # Configure (not build) is enough: it exports compile_commands.json.
+    cmake -B build -S . > /dev/null
+    git ls-files 'src/*.cc' 'src/*/*.cc' | \
+      xargs clang-tidy -p build --quiet
+  else
+    echo "lint: clang-tidy not found; skipping (the CI lint job runs it)"
+  fi
+
+  if command -v clang-format > /dev/null 2>&1; then
+    echo "=== lint: clang-format (changed files only) ==="
+    # Diff base: origin/main in CI (CHECK_FORMAT_BASE), HEAD locally so
+    # only uncommitted edits are checked.
+    BASE="${CHECK_FORMAT_BASE:-HEAD}"
+    CHANGED=$(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+      '*.h' '*.cc' || true)
+    if [ -n "$CHANGED" ]; then
+      echo "$CHANGED" | xargs clang-format --dry-run --Werror
+    else
+      echo "lint: no changed C++ files vs $BASE"
+    fi
+  else
+    echo "lint: clang-format not found; skipping (the CI lint job runs it)"
+  fi
 fi
 
 if [ "$MODE" = all ] || [ "$MODE" = --trace-smoke ]; then

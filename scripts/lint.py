@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Project lint for angelptm (DESIGN.md §10).
+
+Four rules over src/ (tests and benches are exempt unless noted):
+
+  mutex       Every mutex-like member must participate in the thread-safety
+              contract: raw std::mutex / std::condition_variable declarations
+              need a `// lint: unguarded` waiver (use util::Mutex/util::CondVar
+              from util/thread_annotations.h instead), and every util::Mutex
+              member must be referenced by at least one ANGEL_GUARDED_BY /
+              ANGEL_PT_GUARDED_BY / ANGEL_REQUIRES / ANGEL_ACQUIRE /
+              ANGEL_EXCLUDES in the same file (or carry the waiver).
+
+  nodiscard   Every declaration returning util::Status or util::Result<...>
+              must be [[nodiscard]]. (src/util/status.h itself is exempt:
+              the types are declared [[nodiscard]] at class level there.)
+
+  failpoint   Every fault-injection site named in src/ (ANGEL_FAULT_CHECK("x")
+              or FaultInjector...Check("x")) must appear in the canonical
+              failpoint table of DESIGN.md §10, and vice versa — the table
+              and the code cannot drift apart.
+
+  naked-new   No naked `new`: allocations must land in a smart pointer on the
+              same statement, or carry a `// lint: naked-new (<reason>)`
+              waiver (leaked singletons are the only expected use).
+
+Exit code 0 when clean, 1 with one finding per line otherwise.
+
+Usage: scripts/lint.py [--root DIR] [--design FILE] [--src DIR]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+MUTEX_WAIVER = "// lint: unguarded"
+NEW_WAIVER = "// lint: naked-new"
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?)\b"
+)
+UTIL_MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:util::)?Mutex\s+(\w+)\s*(?:;|ANGEL_GUARDED_BY)"
+)
+ANNOTATION_REF_RE = re.compile(
+    r"ANGEL_(?:PT_)?(?:GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE|"
+    r"EXCLUDES|RETURN_CAPABILITY)\s*\(([^)]*)\)"
+)
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+)*"
+    r"util::(?:Status|Result<[^;=]*?>)\s+\w+\s*\("
+)
+FAULT_SITE_RE = re.compile(
+    r'(?:ANGEL_FAULT_CHECK|\bCheck)\s*\(\s*"([^"]+)"')
+NEW_RE = re.compile(r"(?<![:\w])new\s+[A-Za-z_:][\w:<>, \[\]]*")
+SMART_WRAP_RE = re.compile(
+    r"std::(unique_ptr|shared_ptr)\s*<|\breset\s*\(\s*new\b")
+LOCK_USE_RE = re.compile(
+    r"std::(?:lock_guard|unique_lock|scoped_lock)\s*<[^>]*>")
+# Rows of the §10 table: | `site.name` | where | meaning |
+TABLE_ROW_RE = re.compile(r"^\|\s*`([\w.]+)`\s*\|")
+# The heading that introduces the canonical failpoint table; only rows
+# between it and the next heading count as failpoint sites (other tables in
+# the doc, e.g. the lint-rule table, must not be parsed as sites).
+FAILPOINT_HEADING_RE = re.compile(r"^#+\s.*failpoint table", re.IGNORECASE)
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string literals (keeps "")."""
+    out = []
+    i = 0
+    in_str = False
+    while i < len(line):
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+                out.append(c)
+            i += 1
+            continue
+        if c == '"':
+            in_str = True
+            out.append(c)
+            i += 1
+            continue
+        if line.startswith("//", i):
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(src_dir, suffixes=(".h", ".cc")):
+    for root, _dirs, files in os.walk(src_dir):
+        for name in sorted(files):
+            if name.endswith(suffixes):
+                yield os.path.join(root, name)
+
+
+def lint_file(path, findings):
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    text = "".join(lines)
+    annotated = set()
+    for m in ANNOTATION_REF_RE.finditer(text):
+        for arg in m.group(1).split(","):
+            arg = arg.strip()
+            if arg:
+                annotated.add(arg.lstrip("*&"))
+
+    basename = os.path.basename(path)
+    for lineno, raw in enumerate(lines, start=1):
+        code = strip_comments_and_strings(raw)
+
+        # Rule: mutex. Locking a (waivered) raw mutex with std::lock_guard
+        # etc. is fine — the rule targets the declaration, not its uses.
+        decl_code = LOCK_USE_RE.sub("", code)
+        if RAW_MUTEX_RE.search(decl_code) and "#include" not in code:
+            if MUTEX_WAIVER not in raw:
+                findings.append(
+                    f"{path}:{lineno}: [mutex] raw std:: mutex/condvar; use "
+                    f"util::Mutex/util::CondVar (util/thread_annotations.h) "
+                    f"or waive with `{MUTEX_WAIVER}`")
+        m = UTIL_MUTEX_MEMBER_RE.search(code)
+        if m and ";" in code:
+            name = m.group(1)
+            if name not in annotated and MUTEX_WAIVER not in raw:
+                findings.append(
+                    f"{path}:{lineno}: [mutex] util::Mutex member `{name}` "
+                    f"is never referenced by ANGEL_GUARDED_BY/ANGEL_REQUIRES/"
+                    f"ANGEL_EXCLUDES in this file; annotate what it guards "
+                    f"or waive with `{MUTEX_WAIVER}`")
+
+        # Rule: nodiscard (headers only; status.h is nodiscard at class
+        # level; definitions in .cc repeat the declaration without it).
+        if (path.endswith(".h") and basename != "status.h"
+                and STATUS_DECL_RE.match(code)
+                and "[[nodiscard]]" not in code):
+            prev = lines[lineno - 2] if lineno >= 2 else ""
+            if "[[nodiscard]]" not in prev:
+                findings.append(
+                    f"{path}:{lineno}: [nodiscard] declaration returning "
+                    f"util::Status/util::Result lacks [[nodiscard]]")
+
+        # Rule: naked-new.
+        if NEW_RE.search(code):
+            if (not SMART_WRAP_RE.search(code)
+                    and NEW_WAIVER not in raw):
+                findings.append(
+                    f"{path}:{lineno}: [naked-new] `new` outside a smart "
+                    f"pointer; wrap it or waive with "
+                    f"`{NEW_WAIVER} (<reason>)`")
+
+
+def collect_fault_sites(src_dir):
+    sites = {}
+    for path in iter_source_files(src_dir):
+        with open(path, encoding="utf-8") as f:
+            for lineno, raw in enumerate(f, start=1):
+                if "#define" in raw:
+                    continue
+                comment = raw.find("//")
+                for m in FAULT_SITE_RE.finditer(raw):
+                    if comment != -1 and m.start() > comment:
+                        continue  # Doc comments mention sites by example.
+                    sites.setdefault(m.group(1), f"{path}:{lineno}")
+    return sites
+
+
+def collect_design_sites(design_path):
+    sites = set()
+    in_section = False
+    with open(design_path, encoding="utf-8") as f:
+        for line in f:
+            if FAILPOINT_HEADING_RE.match(line):
+                in_section = True
+                continue
+            if in_section and line.startswith("#"):
+                break  # Next heading ends the failpoint table's section.
+            if not in_section:
+                continue
+            m = TABLE_ROW_RE.match(line.strip())
+            if m and m.group(1) not in ("site", "---"):
+                sites.add(m.group(1))
+    return sites
+
+
+def lint_failpoints(src_dir, design_path, findings):
+    code_sites = collect_fault_sites(src_dir)
+    doc_sites = collect_design_sites(design_path)
+    for site, where in sorted(code_sites.items()):
+        if site not in doc_sites:
+            findings.append(
+                f"{where}: [failpoint] site `{site}` is not listed in the "
+                f"failpoint table of {os.path.basename(design_path)} §10")
+    for site in sorted(doc_sites - set(code_sites)):
+        findings.append(
+            f"{design_path}: [failpoint] table lists `{site}` but no such "
+            f"ANGEL_FAULT_CHECK/Check site exists in {src_dir}")
+
+
+def run(src_dir, design_path):
+    findings = []
+    for path in iter_source_files(src_dir):
+        lint_file(path, findings)
+    if os.path.exists(design_path):
+        lint_failpoints(src_dir, design_path, findings)
+    else:
+        findings.append(f"{design_path}: [failpoint] design doc not found")
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--src", default=None,
+                        help="source dir to lint (default: <root>/src)")
+    parser.add_argument("--design", default=None,
+                        help="design doc with the failpoint table "
+                             "(default: <root>/DESIGN.md)")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src_dir = args.src or os.path.join(root, "src")
+    design = args.design or os.path.join(root, "DESIGN.md")
+
+    findings = run(src_dir, design)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint.py: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

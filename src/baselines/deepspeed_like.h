@@ -22,7 +22,7 @@ namespace angelptm::baselines {
 ///  - Gradient offload overlaps backward, but the optimizer step itself is
 ///    a synchronous trailing phase, followed by re-uploading the updated
 ///    fp16 parameters.
-util::Result<sim::Plan> PlanDeepSpeedLike(const sim::PlanRequest& request);
+[[nodiscard]] util::Result<sim::Plan> PlanDeepSpeedLike(const sim::PlanRequest& request);
 
 /// Largest feasible micro-batch under the DeepSpeed-like policy.
 int MaxMicroBatchDeepSpeedLike(sim::PlanRequest request, int max_batch = 512);

@@ -11,7 +11,7 @@ Allocator::Allocator(mem::HierarchicalMemory* memory) : memory_(memory) {}
 
 Allocator::~Allocator() {
   // Live tensors at teardown are released so their frames return to tiers.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [id, tensor] : tensors_) {
     for (mem::Page* page : tensor->pages()) {
       (void)page->Release(id);
@@ -33,7 +33,7 @@ util::Result<Tensor*> Allocator::Allocate(std::vector<size_t> shape,
   if (elements == 0) {
     return util::Status::InvalidArgument("tensor with zero elements");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto tensor =
       std::make_unique<Tensor>(next_tensor_id_++, std::move(shape), dtype);
   Tensor* raw = tensor.get();
@@ -52,7 +52,7 @@ util::Status Allocator::AllocatePagesLocked(Tensor* tensor,
   const size_t tail = total % page_bytes;
 
   std::vector<mem::Page*> created;
-  auto rollback = [&] {
+  auto rollback = [&]() ANGEL_REQUIRES(mutex_) {
     for (mem::Page* page : created) {
       (void)page->Release(tensor->id());
       if (page->IsEmpty()) {
@@ -125,7 +125,7 @@ util::Status Allocator::AllocatePagesLocked(Tensor* tensor,
 
 util::Status Allocator::Release(Tensor* tensor) {
   if (tensor == nullptr) return util::Status::InvalidArgument("null tensor");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = tensors_.find(tensor->id());
   if (it == tensors_.end() || it->second.get() != tensor) {
     return util::Status::NotFound("tensor " + std::to_string(tensor->id()) +
@@ -146,7 +146,7 @@ util::Status Allocator::Release(Tensor* tensor) {
 
 util::Status Allocator::Move(Tensor* tensor, mem::DeviceKind target) {
   if (tensor == nullptr) return util::Status::InvalidArgument("null tensor");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (mem::Page* page : tensor->pages()) {
     // A moved page can no longer serve as an open tail on its old tier.
     ForgetOpenPage(page);
@@ -157,7 +157,7 @@ util::Status Allocator::Move(Tensor* tensor, mem::DeviceKind target) {
 
 util::Status Allocator::Merge(Tensor* tensor) {
   if (tensor == nullptr) return util::Status::InvalidArgument("null tensor");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (tensor->IsContiguous()) return util::Status::OK();
   if (!tensor->IsResident()) {
     return util::Status::FailedPrecondition(
@@ -197,17 +197,17 @@ util::Status Allocator::Merge(Tensor* tensor) {
 }
 
 size_t Allocator::num_tensors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return tensors_.size();
 }
 
 uint64_t Allocator::allocated_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return allocated_bytes_;
 }
 
 uint64_t Allocator::padding_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return page_capacity_bytes_ - allocated_bytes_;
 }
 

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "mem/copy_engine.h"
 #include "mem/hierarchical_memory.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::core {
 
@@ -39,31 +39,34 @@ class Allocator {
   /// are exclusive; the tail (bytes % page size) shares a page with at most
   /// one other tensor of the same `group`. Tensors smaller than one page get
   /// an individual page (shared only within their group).
-  util::Result<Tensor*> Allocate(std::vector<size_t> shape, DType dtype,
-                                 mem::DeviceKind device,
-                                 uint64_t group = kNoGroup);
+  [[nodiscard]] util::Result<Tensor*> Allocate(std::vector<size_t> shape,
+                                               DType dtype,
+                                               mem::DeviceKind device,
+                                               uint64_t group = kNoGroup)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Releases the tensor's claims; pages that drain are destroyed, returning
   /// frames to their tier.
-  util::Status Release(Tensor* tensor);
+  [[nodiscard]] util::Status Release(Tensor* tensor) ANGEL_EXCLUDES(mutex_);
 
   /// Moves every page of the tensor to `target`, synchronously. A shared
   /// tail page carries its partner tensor's bytes along (by design — grouped
   /// tensors co-migrate).
-  util::Status Move(Tensor* tensor, mem::DeviceKind target);
+  [[nodiscard]] util::Status Move(Tensor* tensor, mem::DeviceKind target)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Ensures the tensor's bytes form one contiguous range, re-packing onto
   /// physically adjacent frames if necessary (Fig. 4 `merge`). Requires the
   /// tensor to be resident in a memory tier.
-  util::Status Merge(Tensor* tensor);
+  [[nodiscard]] util::Status Merge(Tensor* tensor) ANGEL_EXCLUDES(mutex_);
 
   /// Number of live tensors.
-  size_t num_tensors() const;
+  size_t num_tensors() const ANGEL_EXCLUDES(mutex_);
   /// Bytes requested by live tensors (excluding page-granularity padding).
-  uint64_t allocated_bytes() const;
+  uint64_t allocated_bytes() const ANGEL_EXCLUDES(mutex_);
   /// Bytes of page capacity held minus bytes requested: the internal waste
   /// the 4 MiB page choice trades for bandwidth (§4.1).
-  uint64_t padding_bytes() const;
+  uint64_t padding_bytes() const ANGEL_EXCLUDES(mutex_);
 
   mem::HierarchicalMemory* memory() { return memory_; }
 
@@ -76,19 +79,22 @@ class Allocator {
     }
   };
 
-  util::Status AllocatePagesLocked(Tensor* tensor, mem::DeviceKind device,
-                                   uint64_t group);
-  void ForgetOpenPage(const mem::Page* page);
+  [[nodiscard]] util::Status AllocatePagesLocked(Tensor* tensor,
+                                                 mem::DeviceKind device,
+                                                 uint64_t group)
+      ANGEL_REQUIRES(mutex_);
+  void ForgetOpenPage(const mem::Page* page) ANGEL_REQUIRES(mutex_);
 
   mem::HierarchicalMemory* memory_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, std::unique_ptr<Tensor>> tensors_;
-  uint64_t next_tensor_id_ = 0;
-  uint64_t allocated_bytes_ = 0;
-  uint64_t page_capacity_bytes_ = 0;
+  mutable util::Mutex mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<Tensor>> tensors_
+      ANGEL_GUARDED_BY(mutex_);
+  uint64_t next_tensor_id_ ANGEL_GUARDED_BY(mutex_) = 0;
+  uint64_t allocated_bytes_ ANGEL_GUARDED_BY(mutex_) = 0;
+  uint64_t page_capacity_bytes_ ANGEL_GUARDED_BY(mutex_) = 0;
   /// Pages with one tensor and remaining space, eligible as a shared tail.
-  std::map<OpenPageKey, mem::Page*> open_pages_;
+  std::map<OpenPageKey, mem::Page*> open_pages_ ANGEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace angelptm::core

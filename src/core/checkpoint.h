@@ -58,7 +58,7 @@ struct TrainProgress {
 /// (LockFreeUpdater::SnapshotLayerState), so training continues while the
 /// checkpoint is cut. `bytes_written`, when non-null, receives the file
 /// size on success.
-util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
+[[nodiscard]] util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
                             const TrainProgress* progress = nullptr,
                             uint64_t* bytes_written = nullptr);
 
@@ -67,7 +67,7 @@ util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
 /// layer-count/size mismatch, truncation, or checksum error — always with a
 /// message naming the file and the section that broke. The updater must be
 /// stopped: importing under a live updating thread would race.
-util::Status LoadCheckpoint(LockFreeUpdater* updater, const std::string& path,
+[[nodiscard]] util::Status LoadCheckpoint(LockFreeUpdater* updater, const std::string& path,
                             TrainProgress* progress = nullptr);
 
 }  // namespace angelptm::core

@@ -96,7 +96,7 @@ util::Status CheckpointManager::Save(LockFreeUpdater* updater,
       SaveCheckpoint(updater, path, &progress, &bytes);
   if (!saved.ok()) {
     metric_save_failures_->Increment();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stats_.save_failures += 1;
     return saved;
   }
@@ -106,16 +106,26 @@ util::Status CheckpointManager::Save(LockFreeUpdater* updater,
   metric_save_us_->Record(elapsed);
 
   // Rotate: drop the oldest files beyond keep_last. The new file is already
-  // durable, so deleting old ones cannot lose the only good checkpoint.
+  // durable, so deleting old ones cannot lose the only good checkpoint. A
+  // failed delete is not a failed save — the extra file costs disk, not
+  // correctness — but it must not pass silently (an undeletable directory
+  // would otherwise fill the disk one checkpoint at a time).
+  uint64_t rotate_failures = 0;
   std::vector<std::string> checkpoints = ListCheckpoints();
   while (checkpoints.size() > static_cast<size_t>(options_.keep_last)) {
-    std::remove(checkpoints.front().c_str());
+    std::error_code ec;
+    if (!fs::remove(checkpoints.front(), ec) || ec) {
+      ANGEL_LOG(Warning) << "checkpoint rotation could not delete "
+                         << checkpoints.front() << ": " << ec.message();
+      rotate_failures += 1;
+    }
     checkpoints.erase(checkpoints.begin());
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   stats_.saves += 1;
   stats_.bytes_written += bytes;
+  stats_.rotate_failures += rotate_failures;
   stats_.last_saved_step = progress.global_step;
   stats_.save_us.Record(elapsed);
   return util::Status::OK();
@@ -133,7 +143,7 @@ util::Result<TrainProgress> CheckpointManager::LoadLatest(
     const util::Status loaded = LoadCheckpoint(updater, *it, &progress);
     if (loaded.ok()) {
       metric_loads_->Increment();
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stats_.loads += 1;
       return progress;
     }
@@ -144,7 +154,7 @@ util::Result<TrainProgress> CheckpointManager::LoadLatest(
                        << loaded.ToString() << "); falling back";
     metric_fallbacks_->Increment();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stats_.fallbacks += 1;
     }
     last_error = loaded;
@@ -153,7 +163,7 @@ util::Result<TrainProgress> CheckpointManager::LoadLatest(
 }
 
 CheckpointManager::Stats CheckpointManager::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 

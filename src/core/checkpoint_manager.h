@@ -2,7 +2,6 @@
 #define ANGELPTM_CORE_CHECKPOINT_MANAGER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +9,7 @@
 #include "core/lockfree_updater.h"
 #include "obs/metrics.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::core {
 
@@ -44,18 +44,21 @@ class CheckpointManager {
   CheckpointManager& operator=(const CheckpointManager&) = delete;
 
   /// Creates the checkpoint directory (recursively). Idempotent.
-  util::Status Init();
+  [[nodiscard]] util::Status Init();
 
   /// Cuts a checkpoint at `progress.global_step` and rotates old files.
   /// Safe while the updater's threads run. A failed save never disturbs
   /// existing checkpoints (the tmp file is discarded).
-  util::Status Save(LockFreeUpdater* updater, const TrainProgress& progress);
+  [[nodiscard]] util::Status Save(LockFreeUpdater* updater,
+                                  const TrainProgress& progress)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Restores the newest checkpoint that loads cleanly, deleting nothing:
   /// corrupt files are skipped (counted as fallbacks) and left on disk for
   /// post-mortems. NotFound when no valid checkpoint exists. The updater
   /// must be stopped.
-  util::Result<TrainProgress> LoadLatest(LockFreeUpdater* updater);
+  [[nodiscard]] util::Result<TrainProgress> LoadLatest(
+      LockFreeUpdater* updater) ANGEL_EXCLUDES(mutex_);
 
   /// Step-sorted (ascending) paths of the checkpoints currently on disk.
   std::vector<std::string> ListCheckpoints() const;
@@ -70,18 +73,21 @@ class CheckpointManager {
     uint64_t loads = 0;
     /// Corrupt/unreadable files skipped on the way to a clean load.
     uint64_t fallbacks = 0;
+    /// Old checkpoints rotation failed to delete (they stay on disk and
+    /// are retried after the next save).
+    uint64_t rotate_failures = 0;
     /// Step of the most recent successful save (-1 = none this instance).
     int64_t last_saved_step = -1;
     /// Wall time per successful save, microseconds.
     obs::HistogramData save_us;
   };
-  Stats Snapshot() const;
+  Stats Snapshot() const ANGEL_EXCLUDES(mutex_);
 
  private:
   Options options_;
 
-  mutable std::mutex mutex_;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  Stats stats_ ANGEL_GUARDED_BY(mutex_);
 
   // Process-wide series (obs registry handles; set once in the ctor).
   obs::Counter* metric_saves_ = nullptr;

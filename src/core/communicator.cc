@@ -12,14 +12,14 @@ Communicator::Communicator(int world_size) : world_size_(world_size) {
 }
 
 void Communicator::Arrive() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const uint64_t generation = generation_;
   if (++arrived_ == world_size_) {
     arrived_ = 0;
     ++generation_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   } else {
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    while (generation_ == generation) cv_.Wait(mutex_);
   }
 }
 
@@ -29,7 +29,7 @@ util::Status Communicator::AllGather(int rank, const float* send,
     return util::Status::InvalidArgument("bad rank");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     published_[rank] = send;
   }
   Arrive();  // All pointers published.
@@ -39,7 +39,7 @@ util::Status Communicator::AllGather(int rank, const float* send,
   }
   Arrive();  // All ranks done reading.
   if (rank == 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++collectives_;
   }
   return util::Status::OK();
@@ -56,7 +56,7 @@ util::Status Communicator::ReduceScatter(int rank, const float* send,
   }
   const size_t chunk = total_count / world_size_;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     published_[rank] = send;
   }
   Arrive();
@@ -71,7 +71,7 @@ util::Status Communicator::ReduceScatter(int rank, const float* send,
   }
   Arrive();
   if (rank == 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++collectives_;
   }
   return util::Status::OK();
@@ -82,7 +82,7 @@ util::Status Communicator::AllReduce(int rank, float* data, size_t count) {
     return util::Status::InvalidArgument("bad rank");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     published_[rank] = data;
   }
   Arrive();
@@ -96,7 +96,7 @@ util::Status Communicator::AllReduce(int rank, float* data, size_t count) {
   std::memcpy(data, reduced.data(), count * sizeof(float));
   Arrive();  // Writes visible before the next collective reuses buffers.
   if (rank == 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++collectives_;
   }
   return util::Status::OK();
@@ -108,7 +108,7 @@ util::Status Communicator::AllToAll(int rank, const float* send,
     return util::Status::InvalidArgument("bad rank");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     published_[rank] = send;
   }
   Arrive();
@@ -119,7 +119,7 @@ util::Status Communicator::AllToAll(int rank, const float* send,
   }
   Arrive();
   if (rank == 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++collectives_;
   }
   return util::Status::OK();
@@ -134,8 +134,7 @@ util::Status Communicator::Barrier(int rank) {
 }
 
 uint64_t Communicator::collectives_completed() const {
-  std::lock_guard<std::mutex> lock(
-      const_cast<Communicator*>(this)->mutex_);
+  util::MutexLock lock(mutex_);
   return collectives_;
 }
 

@@ -1,13 +1,12 @@
 #ifndef ANGELPTM_CORE_COMMUNICATOR_H_
 #define ANGELPTM_CORE_COMMUNICATOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::core {
 
@@ -28,38 +27,46 @@ class Communicator {
   /// recv (world_size * count floats) receives every rank's `send`
   /// (count floats), ordered by rank — the primitive ZeRO-3 uses to
   /// materialize full parameters from shards.
-  util::Status AllGather(int rank, const float* send, size_t count,
-                         float* recv);
+  [[nodiscard]] util::Status AllGather(int rank, const float* send,
+                                       size_t count, float* recv)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Element-wise sum of all ranks' `send` (total_count floats), scattered:
   /// rank r receives chunk r of size total_count / world_size — the
   /// gradient-synchronization primitive of sharded data parallelism.
-  util::Status ReduceScatter(int rank, const float* send, size_t total_count,
-                             float* recv);
+  [[nodiscard]] util::Status ReduceScatter(int rank, const float* send,
+                                           size_t total_count, float* recv)
+      ANGEL_EXCLUDES(mutex_);
 
   /// In-place element-wise sum across ranks (classic data parallelism).
-  util::Status AllReduce(int rank, float* data, size_t count);
+  [[nodiscard]] util::Status AllReduce(int rank, float* data, size_t count)
+      ANGEL_EXCLUDES(mutex_);
 
   /// rank r's chunk p (count_per_peer floats) is delivered to rank p's
   /// chunk r — the MoE token-routing primitive (§6.4).
-  util::Status AllToAll(int rank, const float* send, size_t count_per_peer,
-                        float* recv);
+  [[nodiscard]] util::Status AllToAll(int rank, const float* send,
+                                      size_t count_per_peer, float* recv)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Rendezvous with no data.
-  util::Status Barrier(int rank);
+  [[nodiscard]] util::Status Barrier(int rank) ANGEL_EXCLUDES(mutex_);
 
-  uint64_t collectives_completed() const;
+  uint64_t collectives_completed() const ANGEL_EXCLUDES(mutex_);
 
  private:
   /// Reusable two-phase barrier: Arrive() returns once all ranks arrived.
-  void Arrive();
+  void Arrive() ANGEL_EXCLUDES(mutex_);
 
   int world_size_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int arrived_ = 0;
-  uint64_t generation_ = 0;
-  uint64_t collectives_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  int arrived_ ANGEL_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ ANGEL_GUARDED_BY(mutex_) = 0;
+  uint64_t collectives_ ANGEL_GUARDED_BY(mutex_) = 0;
+  /// Written under mutex_, but deliberately read *outside* it between the
+  /// two Arrive() barriers of each collective: the barrier's happens-before
+  /// ordering (not the mutex) is what makes those reads race-free, a
+  /// relationship outside the analysis's vocabulary.  // lint: unguarded
   std::vector<const float*> published_;
   std::vector<float> staging_;
 };

@@ -47,7 +47,7 @@ struct EngineOptions {
 /// step on, parameter movements follow the unified schedule.
 class Engine {
  public:
-  static util::Result<std::unique_ptr<Engine>> Create(
+  [[nodiscard]] static util::Result<std::unique_ptr<Engine>> Create(
       const EngineOptions& options);
   ~Engine();
 
@@ -56,26 +56,26 @@ class Engine {
 
   /// Registers a layer (its fp32 master states and fp16 buffers). Must be
   /// called before the first BeginStep.
-  util::Result<int> RegisterLayer(const std::vector<float>& initial_params);
+  [[nodiscard]] util::Result<int> RegisterLayer(const std::vector<float>& initial_params);
 
-  util::Status BeginStep();
+  [[nodiscard]] util::Status BeginStep();
   /// Stores a layer's boundary activations on the hierarchical memory (as
   /// fp16, like Table 1's activation accounting): on the fast tier when
   /// room remains, spilling to the CPU tier otherwise. Call during forward;
   /// retrieve with FetchActivation during backward (§4.2's recompute flow
   /// keeps only these boundaries alive).
-  util::Status StashActivation(int layer,
+  [[nodiscard]] util::Status StashActivation(int layer,
                                const std::vector<float>& activations);
   /// Returns and releases a previously stashed activation.
-  util::Result<std::vector<float>> FetchActivation(int layer);
+  [[nodiscard]] util::Result<std::vector<float>> FetchActivation(int layer);
   /// Returns the layer's current fp16 working parameters (as fp32),
   /// resident on the fast tier. Each call is one access in the layer's
   /// life-time; call once per forward and once per backward.
-  util::Result<std::vector<float>> UseLayerParams(int layer);
+  [[nodiscard]] util::Result<std::vector<float>> UseLayerParams(int layer);
   /// Offloads the layer's gradients (backward order). The layer's working
   /// tensor is released once its traced accesses are exhausted.
-  util::Status PushGrads(int layer, const std::vector<float>& grads);
-  util::Status EndStep();
+  [[nodiscard]] util::Status PushGrads(int layer, const std::vector<float>& grads);
+  [[nodiscard]] util::Status EndStep();
 
   // --- Introspection ---
   /// The unified schedule (null until the traced first step completed).
@@ -108,16 +108,16 @@ class Engine {
 
   /// Creates the layer's working tensor on the CPU tier with the current
   /// buffered fp16 parameters.
-  util::Status StageWorkingTensor(int layer);
+  [[nodiscard]] util::Status StageWorkingTensor(int layer);
   /// Starts the asynchronous CPU->GPU movement of the layer's pages.
-  util::Status IssuePrefetch(int layer);
+  [[nodiscard]] util::Status IssuePrefetch(int layer);
   /// Moves the layer's working tensor to the GPU tier, evicting other
   /// staged layers back to CPU if the tier is full.
-  util::Status MoveWithEviction(int layer);
+  [[nodiscard]] util::Status MoveWithEviction(int layer);
   /// Issues every scheduled prefetch whose trigger has been reached.
-  util::Status IssueReadyPrefetches();
-  util::Status ReleaseWorkingTensor(int layer);
-  util::Status BuildScheduleFromTrace();
+  [[nodiscard]] util::Status IssueReadyPrefetches();
+  [[nodiscard]] util::Status ReleaseWorkingTensor(int layer);
+  [[nodiscard]] util::Status BuildScheduleFromTrace();
 
   EngineOptions options_;
   std::unique_ptr<mem::HierarchicalMemory> memory_;

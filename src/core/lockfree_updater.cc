@@ -91,7 +91,7 @@ util::Status LockFreeUpdater::FetchParams(int layer_index,
   }
   ANGEL_SPAN("updater", "fetch_params");
   const Layer& layer = *layers_[layer_index];
-  std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+  util::MutexLock lock(layer.buffer_mutex);
   return layer.buffered_params->ReadFloats(out);
 }
 
@@ -112,14 +112,14 @@ util::Status LockFreeUpdater::OffloadGrads(int layer_index,
   metric_pending_batches_->Set(
       static_cast<int64_t>(pending_grad_batches()));
   if (running_.load()) {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     buffer_queue_.push_back(BufferTask{layer_index, false, grads});
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
     return util::Status::OK();
   }
   // Synchronous mode: accumulate inline (the buffering thread's job).
   Layer& layer = *layers_[layer_index];
-  std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+  util::MutexLock lock(layer.buffer_mutex);
   std::vector<float> accumulated;
   ANGEL_RETURN_IF_ERROR(layer.buffered_grads->ReadFloats(&accumulated));
   for (size_t i = 0; i < accumulated.size(); ++i) accumulated[i] += grads[i];
@@ -136,7 +136,7 @@ void LockFreeUpdater::Start() {
 
 void LockFreeUpdater::Stop() {
   if (!running_.exchange(false)) return;
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (buffering_thread_.joinable()) buffering_thread_.join();
   if (updating_thread_.joinable()) updating_thread_.join();
 }
@@ -148,7 +148,7 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
   std::vector<float> grads;
   uint64_t batches_taken = 0;
   {
-    std::lock_guard<std::mutex> lock(layer->buffer_mutex);
+    util::MutexLock lock(layer->buffer_mutex);
     if (layer->pending_batches == 0) return false;
     ANGEL_RETURN_IF_ERROR(layer->buffered_grads->ReadFloats(&grads));
     const std::vector<float> zeros(layer->count, 0.0f);
@@ -167,7 +167,7 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
   // this one layer against concurrent checkpoint snapshots.
   const bool on_ssd = options_.master_device == mem::DeviceKind::kSsd;
   {
-    std::lock_guard<std::mutex> master_lock(layer->master_mutex);
+    util::MutexLock master_lock(layer->master_mutex);
     if (on_ssd) {
       for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
         ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
@@ -189,11 +189,11 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
     // Hand the fresh parameters to the buffering side (line 6), overlapping
     // with the SSD write-back (line 7).
     if (running_.load()) {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       buffer_queue_.push_back(BufferTask{layer_index, true, p});
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     } else {
-      std::lock_guard<std::mutex> lock(layer->buffer_mutex);
+      util::MutexLock lock(layer->buffer_mutex);
       ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(p));
     }
 
@@ -210,7 +210,7 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
   metric_pending_batches_->Set(
       static_cast<int64_t>(pending_grad_batches()));
   {
-    std::lock_guard<std::mutex> lock(staleness_mutex_);
+    util::MutexLock lock(staleness_mutex_);
     staleness_.Record(batches_taken);
   }
   return true;
@@ -243,11 +243,11 @@ void LockFreeUpdater::BufferingThreadLoop() {
   for (;;) {
     BufferTask task;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return !buffer_queue_.empty() || !running_.load() ||
-               poisoned_.load(std::memory_order_acquire);
-      });
+      util::MutexLock lock(queue_mutex_);
+      while (buffer_queue_.empty() && running_.load() &&
+             !poisoned_.load(std::memory_order_acquire)) {
+        queue_cv_.Wait(queue_mutex_);
+      }
       if (poisoned_.load(std::memory_order_acquire)) return;
       if (buffer_queue_.empty()) {
         if (!running_.load()) return;
@@ -259,7 +259,7 @@ void LockFreeUpdater::BufferingThreadLoop() {
     Layer& layer = *layers_[task.layer];
     ANGEL_SPAN("updater",
                task.is_params ? "buffer_install" : "buffer_accumulate");
-    std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+    util::MutexLock lock(layer.buffer_mutex);
     if (task.is_params) {
       // Install updated parameters into p'16 (Algorithm 2 line 13).
       util::Status status =
@@ -316,7 +316,7 @@ util::Status LockFreeUpdater::DrainUpdates(std::chrono::milliseconds deadline) {
   while (true) {
     if (poisoned_.load(std::memory_order_acquire)) return status();
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       const bool queue_empty = buffer_queue_.empty();
       if (queue_empty && grad_batches_applied_.load() ==
                              grad_batches_offloaded_.load()) {
@@ -339,13 +339,13 @@ util::Status LockFreeUpdater::DrainUpdates(std::chrono::milliseconds deadline) {
 
 util::Status LockFreeUpdater::status() const {
   if (!poisoned_.load(std::memory_order_acquire)) return util::Status::OK();
-  std::lock_guard<std::mutex> lock(poison_mutex_);
+  util::MutexLock lock(poison_mutex_);
   return poison_status_;
 }
 
 void LockFreeUpdater::Poison(const util::Status& status) {
   {
-    std::lock_guard<std::mutex> lock(poison_mutex_);
+    util::MutexLock lock(poison_mutex_);
     // Keep the first (root-cause) error; later failures are usually
     // downstream of it.
     if (poisoned_.load(std::memory_order_relaxed)) return;
@@ -354,7 +354,7 @@ void LockFreeUpdater::Poison(const util::Status& status) {
   }
   ANGEL_LOG(Error) << "lock-free updater poisoned: " << status.ToString();
   // Wake the buffering thread so it observes the state promptly.
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
@@ -363,7 +363,7 @@ util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
     return util::Status::InvalidArgument("bad layer index");
   }
   Layer& layer = *layers_[layer_index];
-  std::lock_guard<std::mutex> master_lock(layer.master_mutex);
+  util::MutexLock master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
@@ -396,7 +396,7 @@ util::Status LockFreeUpdater::SnapshotLayerState(int layer_index,
   // finish this layer's master update, so params/moments/adam_step are a
   // consistent cut. Everything else (other layers, the compute side, the
   // buffering thread) keeps running.
-  std::lock_guard<std::mutex> master_lock(layer.master_mutex);
+  util::MutexLock master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
@@ -431,7 +431,7 @@ util::Status LockFreeUpdater::ImportLayerState(int layer_index,
       state.variance.size() != layer.count) {
     return util::Status::InvalidArgument("checkpoint state size mismatch");
   }
-  std::lock_guard<std::mutex> master_lock(layer.master_mutex);
+  util::MutexLock master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
@@ -449,7 +449,7 @@ util::Status LockFreeUpdater::ImportLayerState(int layer_index,
     }
   }
   // Refresh the compute-side fp16 view and drop stale gradients.
-  std::lock_guard<std::mutex> lock(layer.buffer_mutex);
+  util::MutexLock lock(layer.buffer_mutex);
   ANGEL_RETURN_IF_ERROR(layer.buffered_params->WriteFloats(state.params));
   const std::vector<float> zeros(layer.count, 0.0f);
   ANGEL_RETURN_IF_ERROR(layer.buffered_grads->WriteFloats(zeros));
@@ -464,7 +464,7 @@ LockFreeUpdater::Stats LockFreeUpdater::Snapshot() const {
   stats.grad_batches_applied = grad_batches_applied_.load();
   stats.pending_grad_batches = pending_grad_batches();
   {
-    std::lock_guard<std::mutex> lock(staleness_mutex_);
+    util::MutexLock lock(staleness_mutex_);
     stats.staleness = staleness_;
   }
   return stats;

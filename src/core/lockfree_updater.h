@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -17,6 +15,7 @@
 #include "obs/metrics.h"
 #include "util/histogram.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::core {
 
@@ -69,18 +68,22 @@ class LockFreeUpdater {
 
   /// Registers a layer, allocating its fp32 master states on the master
   /// device and its fp16 buffers on the CPU tier. Returns the layer index.
-  util::Result<int> AddLayer(const std::vector<float>& initial_params);
+  [[nodiscard]] util::Result<int> AddLayer(
+      const std::vector<float>& initial_params);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
   // --- Compute-side interface (Algorithm 2 lines 18-24) ---
 
   /// Reads the buffered fp16 parameters, cast to fp32 (line 20).
-  util::Status FetchParams(int layer, std::vector<float>* out) const;
+  [[nodiscard]] util::Status FetchParams(int layer,
+                                         std::vector<float>* out) const;
 
   /// Accumulates gradients into the layer's fp16 buffer and marks it dirty
   /// (lines 24 / 14-15). Never blocks on the updating thread.
-  util::Status OffloadGrads(int layer, const std::vector<float>& grads);
+  [[nodiscard]] util::Status OffloadGrads(int layer,
+                                          const std::vector<float>& grads)
+      ANGEL_EXCLUDES(queue_mutex_);
 
   // --- Control ---
 
@@ -92,22 +95,24 @@ class LockFreeUpdater {
 
   /// Synchronous baseline: applies one full update pass inline (every dirty
   /// layer), blocking the caller. Must not run concurrently with Start().
-  util::Status UpdateOnce();
+  [[nodiscard]] util::Status UpdateOnce();
 
   /// Blocks until every gradient offloaded so far has been applied, the
   /// deadline passes (DeadlineExceeded), or the updater is poisoned (the
   /// poison status). Never spins forever: a dead updating thread surfaces
   /// as an error within the deadline.
-  util::Status DrainUpdates(
-      std::chrono::milliseconds deadline = std::chrono::milliseconds(60000));
+  [[nodiscard]] util::Status DrainUpdates(
+      std::chrono::milliseconds deadline = std::chrono::milliseconds(60000))
+      ANGEL_EXCLUDES(queue_mutex_);
 
   /// OK while the updater is healthy; the first unrecoverable background
   /// error afterwards. A non-OK status is terminal.
-  util::Status status() const;
+  [[nodiscard]] util::Status status() const ANGEL_EXCLUDES(poison_mutex_);
 
   /// Reads the fp32 master parameters of a layer (test/checkpoint access;
   /// moves them memory-side if they are on SSD and back).
-  util::Status ReadMasterParams(int layer, std::vector<float>* out);
+  [[nodiscard]] util::Status ReadMasterParams(int layer,
+                                              std::vector<float>* out);
 
   /// Full optimizer state of one layer, for checkpointing (§3.1 failure
   /// recovery).
@@ -119,16 +124,17 @@ class LockFreeUpdater {
   };
   /// Snapshots a layer's fp32 master state. Must not run concurrently with
   /// the updating threads (Stop() first).
-  util::Status ExportLayerState(int layer, LayerState* out);
+  [[nodiscard]] util::Status ExportLayerState(int layer, LayerState* out);
   /// Like ExportLayerState, but safe on a *running* updater: it briefly
   /// quiesces that one layer (the updating thread's per-layer master mutex)
   /// while the copy is taken, so training never stops globally. Each layer's
   /// state is internally consistent (params/moments/step from the same
   /// update count); different layers may be a few updates apart — which the
   /// per-layer adam_step records, so a restore is still exact.
-  util::Status SnapshotLayerState(int layer, LayerState* out);
+  [[nodiscard]] util::Status SnapshotLayerState(int layer, LayerState* out);
   /// Restores a layer's fp32 master state and refreshes its fp16 buffers.
-  util::Status ImportLayerState(int layer, const LayerState& state);
+  [[nodiscard]] util::Status ImportLayerState(int layer,
+                                              const LayerState& state);
 
   // --- Introspection ---
 
@@ -155,26 +161,30 @@ class LockFreeUpdater {
     Tensor* p32 = nullptr;
     Tensor* m32 = nullptr;
     Tensor* v32 = nullptr;
-    /// Algorithm 2's CPU buffers, as fp16 tensors on the CPU tier.
+    /// Algorithm 2's CPU buffers, as fp16 tensors on the CPU tier. The
+    /// pointers are set once in AddLayer; the *bytes* they reach are what
+    /// buffer_mutex guards, a method-call-level relationship (ReadFloats/
+    /// WriteFloats) the analysis cannot see through Tensor's interface.
     Tensor* buffered_params = nullptr;  // p'16
     Tensor* buffered_grads = nullptr;   // g'16
-    mutable std::mutex buffer_mutex;
-    uint64_t pending_batches = 0;  // Guarded by buffer_mutex.
+    mutable util::Mutex buffer_mutex;
+    uint64_t pending_batches ANGEL_GUARDED_BY(buffer_mutex) = 0;
     /// Serializes access to the fp32 master states (p32/m32/v32, including
     /// their tier moves) between the updating path and concurrent
     /// checkpoint snapshots / master reads. Held only for the master-state
     /// section of one layer's update — the per-layer quiesce window.
-    mutable std::mutex master_mutex;
-    long adam_step = 0;  // Guarded by master_mutex.
+    mutable util::Mutex master_mutex;
+    long adam_step ANGEL_GUARDED_BY(master_mutex) = 0;
   };
 
   /// Applies one Adam update to layer `layer_index` if it has pending
   /// gradients. Returns true if an update was applied.
-  util::Result<bool> UpdateLayer(int layer_index);
+  [[nodiscard]] util::Result<bool> UpdateLayer(int layer_index)
+      ANGEL_EXCLUDES(queue_mutex_, staleness_mutex_);
   void UpdatingThreadLoop();
-  void BufferingThreadLoop();
+  void BufferingThreadLoop() ANGEL_EXCLUDES(queue_mutex_);
   /// Records the first unrecoverable error; later calls keep the original.
-  void Poison(const util::Status& status);
+  void Poison(const util::Status& status) ANGEL_EXCLUDES(poison_mutex_);
   /// Gradient batches offloaded but not yet applied.
   uint64_t pending_grad_batches() const;
 
@@ -193,9 +203,9 @@ class LockFreeUpdater {
     bool is_params;            // true: install params; false: accumulate.
     std::vector<float> data;   // fp32 values (cast to fp16 on apply).
   };
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<BufferTask> buffer_queue_;
+  mutable util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  std::deque<BufferTask> buffer_queue_ ANGEL_GUARDED_BY(queue_mutex_);
 
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> grad_batches_offloaded_{0};
@@ -204,11 +214,11 @@ class LockFreeUpdater {
   /// Terminal error state. `poisoned_` is the lock-free fast-path flag;
   /// the status itself is guarded by `poison_mutex_`.
   std::atomic<bool> poisoned_{false};
-  mutable std::mutex poison_mutex_;
-  util::Status poison_status_;
+  mutable util::Mutex poison_mutex_;
+  util::Status poison_status_ ANGEL_GUARDED_BY(poison_mutex_);
 
-  mutable std::mutex staleness_mutex_;
-  util::Histogram staleness_;
+  mutable util::Mutex staleness_mutex_;
+  util::Histogram staleness_ ANGEL_GUARDED_BY(staleness_mutex_);
 
   // Process-wide series (obs registry handles; set once in the ctor).
   obs::Counter* metric_updates_applied_ = nullptr;

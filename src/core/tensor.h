@@ -57,13 +57,13 @@ class Tensor {
   const std::byte* data() const;
 
   /// Gathers the tensor's bytes (resident pages, any layout) into `dst`.
-  util::Status CopyOut(std::byte* dst, size_t bytes) const;
+  [[nodiscard]] util::Status CopyOut(std::byte* dst, size_t bytes) const;
   /// Scatters `src` into the tensor's pages.
-  util::Status CopyIn(const std::byte* src, size_t bytes);
+  [[nodiscard]] util::Status CopyIn(const std::byte* src, size_t bytes);
 
   /// Typed convenience accessors over CopyOut/CopyIn.
-  util::Status ReadFloats(std::vector<float>* out) const;
-  util::Status WriteFloats(const std::vector<float>& values);
+  [[nodiscard]] util::Status ReadFloats(std::vector<float>* out) const;
+  [[nodiscard]] util::Status WriteFloats(const std::vector<float>& values);
 
   // --- Allocator plumbing ---
   std::vector<mem::Page*>* mutable_pages() { return &pages_; }

@@ -44,7 +44,7 @@ class Tracer {
 
   /// Marks `tensor_id` as accessed by the current operation. Must follow at
   /// least one BeginOp.
-  util::Status RecordAccess(uint64_t tensor_id, uint64_t bytes);
+  [[nodiscard]] util::Status RecordAccess(uint64_t tensor_id, uint64_t bytes);
 
   /// Records how long producing the tensor took on each device.
   void RecordProduceTime(uint64_t tensor_id, double cpu_time,

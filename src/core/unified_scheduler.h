@@ -24,7 +24,7 @@ namespace angelptm::core {
 ///
 /// The returned schedule is validated by replay: peak_gpu_bytes <= budget.
 /// Returns OutOfMemory when even the fully on-demand schedule cannot fit.
-util::Result<Schedule> BuildSchedule(const ScheduleInput& input);
+[[nodiscard]] util::Result<Schedule> BuildSchedule(const ScheduleInput& input);
 
 }  // namespace angelptm::core
 

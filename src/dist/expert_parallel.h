@@ -35,7 +35,7 @@ struct ExpertParallelRequest {
 /// all-gather), each layer pays a token all-to-all on the collective stream,
 /// and the expert optimizer states update on CPU (or SSD with §6.5's
 /// extreme-scale mode), pipelined per layer.
-util::Result<sim::Plan> PlanExpertParallel(
+[[nodiscard]] util::Result<sim::Plan> PlanExpertParallel(
     const ExpertParallelRequest& request);
 
 /// Total parameter count of the scaled model the request trains.

@@ -71,14 +71,14 @@ class ShardedDataParallel {
 
   /// Allocates and initializes all shards (identical full parameters on
   /// every rank's view, then scattered).
-  util::Status Init();
+  [[nodiscard]] util::Status Init();
 
   /// Runs `steps` training steps across world_size rank threads.
-  util::Result<DpReport> Train(const train::SyntheticRegression& dataset,
+  [[nodiscard]] util::Result<DpReport> Train(const train::SyntheticRegression& dataset,
                                int steps);
 
   /// Reconstructs a layer's full fp32 parameters from the shards.
-  util::Result<std::vector<float>> GatherLayerParams(int layer);
+  [[nodiscard]] util::Result<std::vector<float>> GatherLayerParams(int layer);
 
  private:
   struct Shard {
@@ -93,7 +93,7 @@ class ShardedDataParallel {
   };
 
   /// One rank's full training loop body (runs on its own thread).
-  util::Status RankLoop(int rank, const train::SyntheticRegression& dataset,
+  [[nodiscard]] util::Status RankLoop(int rank, const train::SyntheticRegression& dataset,
                         int steps, const std::vector<std::vector<float>>* xs,
                         const std::vector<std::vector<float>>* ys,
                         std::vector<double>* step_losses);

@@ -36,7 +36,7 @@ std::future<util::Status> CopyEngine::MoveAsync(Page* page,
         util::Status status =
             util::FaultInjector::Instance().Check("copy_engine.move");
         if (status.ok()) {
-          std::lock_guard<std::mutex> lock(*mutex);
+          util::MutexLock lock(*mutex);
           status = memory_->MovePageSync(page, target);
         }
         if (status.ok()) {
@@ -67,8 +67,8 @@ std::future<util::Status> CopyEngine::MoveAsync(Page* page,
 
 void CopyEngine::Drain() { pool_.Wait(); }
 
-std::shared_ptr<std::mutex> CopyEngine::PageMutex(uint64_t page_id) {
-  std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
+std::shared_ptr<util::Mutex> CopyEngine::PageMutex(uint64_t page_id) {
+  util::MutexLock lock(page_mutex_map_mutex_);
   // A mutex whose only reference is the map entry has no in-flight move;
   // sweep those out once the map doubles past the last sweep, so long-lived
   // engines moving millions of distinct pages stay O(live moves).
@@ -84,7 +84,7 @@ std::shared_ptr<std::mutex> CopyEngine::PageMutex(uint64_t page_id) {
         std::max<size_t>(kPageMutexGcMinThreshold, 2 * page_mutexes_.size());
   }
   auto& entry = page_mutexes_[page_id];
-  if (entry == nullptr) entry = std::make_shared<std::mutex>();
+  if (entry == nullptr) entry = std::make_shared<util::Mutex>();
   return entry;
 }
 
@@ -94,7 +94,7 @@ CopyEngine::Stats CopyEngine::Snapshot() const {
   stats.moves_failed = moves_failed_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(page_mutex_map_mutex_);
+    util::MutexLock lock(page_mutex_map_mutex_);
     stats.tracked_page_mutexes = page_mutexes_.size();
   }
   return stats;

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "mem/device.h"
@@ -13,6 +12,7 @@
 #include "mem/page.h"
 #include "obs/metrics.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace angelptm::mem {
@@ -50,19 +50,23 @@ class CopyEngine {
   /// Enqueues an asynchronous move of `page` to `target`. The returned future
   /// resolves with the move's status. This is the implementation of the
   /// paper's `Page::move(target_device_index)` interface.
-  std::future<util::Status> MoveAsync(Page* page, DeviceKind target);
+  [[nodiscard]] std::future<util::Status> MoveAsync(Page* page,
+                                                    DeviceKind target)
+      ANGEL_EXCLUDES(page_mutex_map_mutex_);
 
-  /// Blocks until every enqueued move has completed.
-  void Drain();
+  /// Blocks until every enqueued move has completed. Never call while holding
+  /// a lock that a move callback can take.
+  void Drain() ANGEL_EXCLUDES(page_mutex_map_mutex_);
 
   /// Point-in-time copy of this instance's statistics.
-  Stats Snapshot() const;
+  Stats Snapshot() const ANGEL_EXCLUDES(page_mutex_map_mutex_);
 
  private:
   /// Sweep the mutex map when it reaches this many entries at minimum.
   static constexpr size_t kPageMutexGcMinThreshold = 64;
 
-  std::shared_ptr<std::mutex> PageMutex(uint64_t page_id);
+  std::shared_ptr<util::Mutex> PageMutex(uint64_t page_id)
+      ANGEL_EXCLUDES(page_mutex_map_mutex_);
 
   HierarchicalMemory* memory_;
   util::ThreadPool pool_;
@@ -75,9 +79,11 @@ class CopyEngine {
   obs::Counter* metric_moves_failed_ = nullptr;
   obs::Gauge* metric_queue_depth_ = nullptr;
 
-  mutable std::mutex page_mutex_map_mutex_;
-  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> page_mutexes_;
-  size_t page_mutex_gc_threshold_ = kPageMutexGcMinThreshold;
+  mutable util::Mutex page_mutex_map_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<util::Mutex>> page_mutexes_
+      ANGEL_GUARDED_BY(page_mutex_map_mutex_);
+  size_t page_mutex_gc_threshold_ ANGEL_GUARDED_BY(page_mutex_map_mutex_) =
+      kPageMutexGcMinThreshold;
 };
 
 }  // namespace angelptm::mem

@@ -50,7 +50,7 @@ util::Result<Page*> HierarchicalMemory::CreatePage(DeviceKind initial_device) {
   }
   Page* raw = page.get();
   metric_pages_created_->Increment();
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   pages_.emplace(raw->id(), std::move(page));
   return raw;
 }
@@ -66,7 +66,7 @@ util::Result<std::vector<Page*>> HierarchicalMemory::CreateContiguousPages(
   std::vector<Page*> result;
   result.reserve(count);
   metric_pages_created_->Increment(count);
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   for (size_t i = 0; i < count; ++i) {
     auto page = std::make_unique<Page>(next_page_id_.fetch_add(1),
                                        options_.page_bytes);
@@ -90,7 +90,7 @@ util::Status HierarchicalMemory::DestroyPage(Page* page, bool force) {
   } else {
     MutableArena(page->device()).ReleaseFrame(page->data_ptr());
   }
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   const size_t erased = pages_.erase(page->id());
   ANGEL_CHECK(erased == 1) << "destroying unregistered page";
   return util::Status::OK();
@@ -147,7 +147,7 @@ util::Status HierarchicalMemory::MovePageSync(Page* page, DeviceKind target) {
   metric_page_moves_->Increment();
   metric_page_move_bytes_->Increment(bytes);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     auto& cell = move_stats_[static_cast<int>(source)][static_cast<int>(target)];
     cell.moves += 1;
     cell.bytes += bytes;
@@ -156,7 +156,7 @@ util::Status HierarchicalMemory::MovePageSync(Page* page, DeviceKind target) {
 }
 
 size_t HierarchicalMemory::num_live_pages() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   return pages_.size();
 }
 
@@ -188,7 +188,7 @@ uint64_t HierarchicalMemory::capacity_bytes(DeviceKind device) const {
 }
 
 uint64_t HierarchicalMemory::FragmentedBytes() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   uint64_t total = 0;
   for (const auto& [id, page] : pages_) {
     total += page->FragmentedBytes();
@@ -197,7 +197,7 @@ uint64_t HierarchicalMemory::FragmentedBytes() const {
 }
 
 MoveStats HierarchicalMemory::move_stats(DeviceKind from, DeviceKind to) const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return move_stats_[static_cast<int>(from)][static_cast<int>(to)];
 }
 
@@ -211,7 +211,7 @@ MemorySnapshot HierarchicalMemory::Snapshot() const {
     tier.capacity_bytes = capacity_bytes(kind);
   }
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    util::MutexLock lock(registry_mutex_);
     snapshot.live_pages = pages_.size();
     for (const auto& [id, page] : pages_) {
       snapshot.fragmented_bytes += page->FragmentedBytes();
@@ -219,7 +219,7 @@ MemorySnapshot HierarchicalMemory::Snapshot() const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     snapshot.moves = move_stats_;
   }
   return snapshot;

@@ -5,7 +5,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "obs/metrics.h"
 #include "util/bandwidth_throttle.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::mem {
 
@@ -89,21 +89,24 @@ class HierarchicalMemory {
   HierarchicalMemory& operator=(const HierarchicalMemory&) = delete;
 
   /// Creates a page resident on `initial_device`, acquiring a frame there.
-  util::Result<Page*> CreatePage(DeviceKind initial_device);
+  [[nodiscard]] util::Result<Page*> CreatePage(DeviceKind initial_device)
+      ANGEL_EXCLUDES(registry_mutex_);
 
   /// Creates `count` pages over physically adjacent frames on a memory tier
   /// (used by Tensor::merge to produce one contiguous range). All-or-nothing.
-  util::Result<std::vector<Page*>> CreateContiguousPages(DeviceKind device,
-                                                         size_t count);
+  [[nodiscard]] util::Result<std::vector<Page*>> CreateContiguousPages(
+      DeviceKind device, size_t count) ANGEL_EXCLUDES(registry_mutex_);
 
   /// Releases the page's frame and unregisters it. The page must be empty
   /// (no tensor slots) unless `force` is set.
-  util::Status DestroyPage(Page* page, bool force = false);
+  [[nodiscard]] util::Status DestroyPage(Page* page, bool force = false)
+      ANGEL_EXCLUDES(registry_mutex_);
 
   /// Moves a page's contents to `target`, synchronously. Acquires the target
   /// frame first, so on ResourceExhausted the page is untouched. This is the
   /// primitive beneath Page::move(); asynchrony is added by CopyEngine.
-  util::Status MovePageSync(Page* page, DeviceKind target);
+  [[nodiscard]] util::Status MovePageSync(Page* page, DeviceKind target)
+      ANGEL_EXCLUDES(stats_mutex_);
 
   const PageArena& gpu_arena() const { return *gpu_arena_; }
   const PageArena& cpu_arena() const { return *cpu_arena_; }
@@ -111,7 +114,7 @@ class HierarchicalMemory {
   bool ssd_enabled() const { return ssd_enabled_; }
 
   size_t page_bytes() const { return options_.page_bytes; }
-  size_t num_live_pages() const;
+  size_t num_live_pages() const ANGEL_EXCLUDES(registry_mutex_);
   uint64_t used_bytes(DeviceKind device) const;
   uint64_t capacity_bytes(DeviceKind device) const;
   uint64_t free_bytes(DeviceKind device) const {
@@ -120,13 +123,15 @@ class HierarchicalMemory {
 
   /// Total bytes of internal fragmentation across live pages (holes from
   /// out-of-order releases; bounded by the two-tensor cap).
-  uint64_t FragmentedBytes() const;
+  uint64_t FragmentedBytes() const ANGEL_EXCLUDES(registry_mutex_);
 
-  MoveStats move_stats(DeviceKind from, DeviceKind to) const;
+  MoveStats move_stats(DeviceKind from, DeviceKind to) const
+      ANGEL_EXCLUDES(stats_mutex_);
 
   /// Structured snapshot of occupancy, page counts, fragmentation and
   /// per-link movement — the one-stop stats surface (DESIGN.md §8).
-  MemorySnapshot Snapshot() const;
+  MemorySnapshot Snapshot() const
+      ANGEL_EXCLUDES(registry_mutex_, stats_mutex_);
 
  private:
   PageArena& MutableArena(DeviceKind device);
@@ -138,13 +143,14 @@ class HierarchicalMemory {
   bool ssd_enabled_ = false;
   util::BandwidthThrottle pcie_throttle_;
 
-  mutable std::mutex registry_mutex_;
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  mutable util::Mutex registry_mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_
+      ANGEL_GUARDED_BY(registry_mutex_);
   std::atomic<uint64_t> next_page_id_{0};
 
-  mutable std::mutex stats_mutex_;
+  mutable util::Mutex stats_mutex_;
   std::array<std::array<MoveStats, kNumDeviceKinds>, kNumDeviceKinds>
-      move_stats_{};
+      move_stats_ ANGEL_GUARDED_BY(stats_mutex_){};
 
   // Process-wide series (obs registry handles; set once in the ctor).
   obs::Counter* metric_pages_created_ = nullptr;

@@ -64,14 +64,14 @@ class Page {
   /// Fails with ResourceExhausted when fewer than `required_bytes` remain or
   /// both slots are taken, and with AlreadyExists if the tensor already has a
   /// slot here.
-  util::Status Allocate(size_t required_bytes, uint64_t tensor_id);
+  [[nodiscard]] util::Status Allocate(size_t required_bytes, uint64_t tensor_id);
 
   /// Releases tensor `tensor_id`'s claim (paper interface `release`). Space
   /// becomes reusable immediately when the freed slot is the bump tail or
   /// when the page empties entirely; otherwise the hole is accounted as
   /// internal fragmentation until the page drains (the 2-tensor cap bounds
   /// this, which is the rationale for the cap in §4.1).
-  util::Status Release(uint64_t tensor_id);
+  [[nodiscard]] util::Status Release(uint64_t tensor_id);
 
   /// True when no tensor occupies the page.
   bool IsEmpty() const;

@@ -22,7 +22,7 @@ PageArena::PageArena(DeviceKind device, uint64_t capacity_bytes,
 }
 
 util::Result<std::byte*> PageArena::AcquireFrame() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (free_list_.empty()) {
     return util::Status::ResourceExhausted(
         std::string(DeviceKindName(device_)) + " tier full (" +
@@ -38,7 +38,7 @@ util::Result<std::byte*> PageArena::AcquireContiguousFrames(size_t count) {
   if (count == 0) {
     return util::Status::InvalidArgument("contiguous run of zero frames");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (free_list_.size() < count) {
     return util::Status::ResourceExhausted("fewer than " +
                                            std::to_string(count) +
@@ -68,17 +68,17 @@ void PageArena::ReleaseFrame(std::byte* frame) {
                            << DeviceKindName(device_) << " arena";
   const uint64_t offset = frame - buffer_.get();
   ANGEL_CHECK(offset % frame_bytes_ == 0) << "misaligned frame pointer";
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   free_list_.push_back(static_cast<uint32_t>(offset / frame_bytes_));
 }
 
 size_t PageArena::free_frames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return free_list_.size();
 }
 
 size_t PageArena::peak_used_frames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return peak_used_;
 }
 

@@ -4,11 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "mem/device.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::mem {
 
@@ -33,21 +33,23 @@ class PageArena {
 
   /// Acquires one free frame. Returns ResourceExhausted when the tier is
   /// full; callers (the unified scheduler) react by deferring movements.
-  util::Result<std::byte*> AcquireFrame();
+  [[nodiscard]] util::Result<std::byte*> AcquireFrame()
+      ANGEL_EXCLUDES(mutex_);
 
   /// Acquires `count` physically adjacent frames (for Tensor::merge, which
   /// needs one contiguous range). Returns the base frame pointer, or
   /// ResourceExhausted when no run of `count` adjacent free frames exists.
-  util::Result<std::byte*> AcquireContiguousFrames(size_t count);
+  [[nodiscard]] util::Result<std::byte*> AcquireContiguousFrames(size_t count)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Returns a frame obtained from AcquireFrame(). Aborts on a pointer that
   /// does not belong to this arena (a programming error).
-  void ReleaseFrame(std::byte* frame);
+  void ReleaseFrame(std::byte* frame) ANGEL_EXCLUDES(mutex_);
 
   DeviceKind device() const { return device_; }
   size_t frame_bytes() const { return frame_bytes_; }
   size_t total_frames() const { return total_frames_; }
-  size_t free_frames() const;
+  size_t free_frames() const ANGEL_EXCLUDES(mutex_);
   size_t used_frames() const { return total_frames_ - free_frames(); }
   uint64_t capacity_bytes() const {
     return uint64_t{total_frames_} * frame_bytes_;
@@ -55,7 +57,7 @@ class PageArena {
   uint64_t used_bytes() const { return uint64_t{used_frames()} * frame_bytes_; }
 
   /// High-water mark of simultaneously used frames.
-  size_t peak_used_frames() const;
+  size_t peak_used_frames() const ANGEL_EXCLUDES(mutex_);
 
   bool Owns(const std::byte* ptr) const;
 
@@ -65,9 +67,9 @@ class PageArena {
   size_t total_frames_;
   std::unique_ptr<std::byte[]> buffer_;
 
-  mutable std::mutex mutex_;
-  std::vector<uint32_t> free_list_;
-  size_t peak_used_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<uint32_t> free_list_ ANGEL_GUARDED_BY(mutex_);
+  size_t peak_used_ ANGEL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace angelptm::mem

@@ -12,7 +12,7 @@ util::Status PageTransport::RegisterServer(int server_id,
   if (memory == nullptr) {
     return util::Status::InvalidArgument("null memory");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto [it, inserted] = servers_.try_emplace(server_id);
   if (!inserted && it->second.memory != nullptr) {
     return util::Status::AlreadyExists("server " +
@@ -32,7 +32,7 @@ util::Status PageTransport::Send(int server_id, const Page& page) {
   std::memcpy(payload.data(), page.data_ptr(), payload.size());
   throttle_.Consume(payload.size());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = servers_.find(server_id);
     if (it == servers_.end() || it->second.memory == nullptr) {
       return util::Status::NotFound("no server " +
@@ -41,7 +41,7 @@ util::Status PageTransport::Send(int server_id, const Page& page) {
     bytes_sent_ += payload.size();
     it->second.inbox.push_back(std::move(payload));
   }
-  arrived_.notify_all();
+  arrived_.NotifyAll();
   return util::Status::OK();
 }
 
@@ -66,19 +66,19 @@ util::Result<Page*> PageTransport::Deliver(Wire* wire, DeviceKind tier) {
 }
 
 util::Result<Page*> PageTransport::Receive(int server_id, DeviceKind tier) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = servers_.find(server_id);
   if (it == servers_.end() || it->second.memory == nullptr) {
     return util::Status::NotFound("no server " + std::to_string(server_id));
   }
   Wire& wire = it->second;
-  arrived_.wait(lock, [&] { return !wire.inbox.empty(); });
+  while (wire.inbox.empty()) arrived_.Wait(mutex_);
   return Deliver(&wire, tier);
 }
 
 util::Result<Page*> PageTransport::TryReceive(int server_id,
                                               DeviceKind tier) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = servers_.find(server_id);
   if (it == servers_.end() || it->second.memory == nullptr) {
     return util::Status::NotFound("no server " + std::to_string(server_id));
@@ -90,7 +90,7 @@ util::Result<Page*> PageTransport::TryReceive(int server_id,
 }
 
 size_t PageTransport::InFlight(int server_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = servers_.find(server_id);
   return it == servers_.end() ? 0 : it->second.inbox.size();
 }

@@ -1,17 +1,16 @@
 #ifndef ANGELPTM_MEM_PAGE_TRANSPORT_H_
 #define ANGELPTM_MEM_PAGE_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "mem/hierarchical_memory.h"
 #include "mem/page.h"
 #include "util/bandwidth_throttle.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::mem {
 
@@ -33,24 +32,32 @@ class PageTransport {
 
   /// Registers a server's memory under `server_id`. The memory must
   /// outlive the transport.
-  util::Status RegisterServer(int server_id, HierarchicalMemory* memory);
+  [[nodiscard]] util::Status RegisterServer(int server_id,
+                                            HierarchicalMemory* memory)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Copies `page`'s bytes onto the wire toward `server_id` (the paper's
   /// `Page::send`). The page must be memory-resident; it is not modified.
-  util::Status Send(int server_id, const Page& page);
+  [[nodiscard]] util::Status Send(int server_id, const Page& page)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Receives the oldest in-flight page for `server_id` into a fresh page
   /// on `tier` of that server's memory (the paper's `Page::receive`).
   /// Blocks until a page is available.
-  util::Result<Page*> Receive(int server_id, DeviceKind tier);
+  [[nodiscard]] util::Result<Page*> Receive(int server_id, DeviceKind tier)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Non-blocking variant; NotFound when nothing is in flight.
-  util::Result<Page*> TryReceive(int server_id, DeviceKind tier);
+  [[nodiscard]] util::Result<Page*> TryReceive(int server_id, DeviceKind tier)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Pages currently in flight toward `server_id`.
-  size_t InFlight(int server_id) const;
+  size_t InFlight(int server_id) const ANGEL_EXCLUDES(mutex_);
 
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_sent() const ANGEL_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return bytes_sent_;
+  }
 
  private:
   struct Wire {
@@ -58,13 +65,14 @@ class PageTransport {
     std::deque<std::vector<std::byte>> inbox;
   };
 
-  util::Result<Page*> Deliver(Wire* wire, DeviceKind tier);
+  [[nodiscard]] util::Result<Page*> Deliver(Wire* wire, DeviceKind tier)
+      ANGEL_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable arrived_;
-  std::map<int, Wire> servers_;
+  mutable util::Mutex mutex_;
+  util::CondVar arrived_;
+  std::map<int, Wire> servers_ ANGEL_GUARDED_BY(mutex_);
   util::BandwidthThrottle throttle_;
-  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_sent_ ANGEL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace angelptm::mem

@@ -91,7 +91,7 @@ void SsdTier::Close() {
 }
 
 util::Result<uint64_t> SsdTier::AcquireFrame() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (free_list_.empty()) {
     return util::Status::ResourceExhausted("ssd tier full (" +
                                            std::to_string(total_frames_) +
@@ -103,7 +103,7 @@ util::Result<uint64_t> SsdTier::AcquireFrame() {
 }
 
 size_t SsdTier::free_frames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return free_list_.size();
 }
 
@@ -111,7 +111,7 @@ void SsdTier::ReleaseFrame(uint64_t offset) {
   ANGEL_CHECK(offset % frame_bytes_ == 0) << "misaligned ssd frame offset";
   const uint64_t index = offset / frame_bytes_;
   ANGEL_CHECK(index < total_frames_) << "ssd frame offset out of range";
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   free_list_.push_back(static_cast<uint32_t>(index));
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "obs/metrics.h"
 #include "util/bandwidth_throttle.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::mem {
 
@@ -68,22 +68,25 @@ class SsdTier {
 
   /// Creates (or truncates) the backing file sized to hold
   /// floor(capacity / frame_bytes) frames.
-  util::Status Open(const Options& options);
+  [[nodiscard]] util::Status Open(const Options& options)
+      ANGEL_EXCLUDES(mutex_);
   void Close();
   bool is_open() const { return fd_ >= 0; }
 
   /// Acquires a free frame, returning its byte offset in the backing file.
-  util::Result<uint64_t> AcquireFrame();
-  void ReleaseFrame(uint64_t offset);
+  [[nodiscard]] util::Result<uint64_t> AcquireFrame() ANGEL_EXCLUDES(mutex_);
+  void ReleaseFrame(uint64_t offset) ANGEL_EXCLUDES(mutex_);
 
   /// Writes `bytes` from `src` to the frame at `offset` (full pwrite).
-  util::Status WriteFrame(uint64_t offset, const std::byte* src, size_t bytes);
+  [[nodiscard]] util::Status WriteFrame(uint64_t offset, const std::byte* src,
+                                        size_t bytes);
   /// Reads `bytes` into `dst` from the frame at `offset`.
-  util::Status ReadFrame(uint64_t offset, std::byte* dst, size_t bytes);
+  [[nodiscard]] util::Status ReadFrame(uint64_t offset, std::byte* dst,
+                                       size_t bytes);
 
   size_t frame_bytes() const { return frame_bytes_; }
   size_t total_frames() const { return total_frames_; }
-  size_t free_frames() const;
+  size_t free_frames() const ANGEL_EXCLUDES(mutex_);
   uint64_t capacity_bytes() const {
     return uint64_t{total_frames_} * frame_bytes_;
   }
@@ -93,14 +96,18 @@ class SsdTier {
 
  private:
   /// One pread/pwrite attempt over the whole range (no retries).
-  util::Status WriteFrameOnce(uint64_t offset, const std::byte* src,
-                              size_t bytes);
-  util::Status ReadFrameOnce(uint64_t offset, std::byte* dst, size_t bytes);
+  [[nodiscard]] util::Status WriteFrameOnce(uint64_t offset,
+                                            const std::byte* src,
+                                            size_t bytes);
+  [[nodiscard]] util::Status ReadFrameOnce(uint64_t offset, std::byte* dst,
+                                           size_t bytes);
   /// Runs `attempt` under the retry policy, backing off on transient
   /// IoErrors. `site` names the operation for diagnostics.
   template <typename Attempt>
-  util::Status WithRetries(const char* site, Attempt&& attempt);
+  [[nodiscard]] util::Status WithRetries(const char* site, Attempt&& attempt);
 
+  // Set once in Open() before any I/O can run; read-only afterwards, so
+  // deliberately unguarded.
   int fd_ = -1;
   std::string path_;
   size_t frame_bytes_ = 0;
@@ -108,8 +115,8 @@ class SsdTier {
   bool delete_on_close_ = true;
   RetryPolicy retry_;
 
-  mutable std::mutex mutex_;
-  std::vector<uint32_t> free_list_;
+  mutable util::Mutex mutex_;
+  std::vector<uint32_t> free_list_ ANGEL_GUARDED_BY(mutex_);
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> io_retries_{0};

@@ -20,7 +20,7 @@ namespace angelptm::model {
 std::vector<TransformerConfig> PaperModelZoo();
 
 /// Looks up a zoo model by name ("GPT3-175B").
-util::Result<TransformerConfig> FindModel(const std::string& name);
+[[nodiscard]] util::Result<TransformerConfig> FindModel(const std::string& name);
 
 /// Builds a GPT config with `num_layers` layers and the given dims; used by
 /// the Table 5 max-model-scale search which grows the layer count until OOM.

@@ -153,33 +153,33 @@ std::string MetricsSnapshot::ToJson() const {
 Registry& Registry::Instance() {
   // Leaked on purpose: subsystems bump handles from background threads that
   // may outlive main()'s locals, and static destruction must not race them.
-  static Registry* instance = new Registry();
+  static Registry* instance = new Registry();  // lint: naked-new (leaked singleton)
   return *instance;
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::unique_ptr<Counter>(new Counter());
   return slot.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::unique_ptr<Gauge>(new Gauge());
   return slot.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::unique_ptr<Histogram>(new Histogram());
   return slot.get();
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -197,7 +197,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetAllForTest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

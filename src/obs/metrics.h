@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace angelptm::obs {
 
@@ -135,23 +136,26 @@ class Registry {
  public:
   static Registry& Instance();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) ANGEL_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) ANGEL_EXCLUDES(mutex_);
+  Histogram* GetHistogram(const std::string& name) ANGEL_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const ANGEL_EXCLUDES(mutex_);
 
   /// Zeroes every metric (handles stay valid). Metrics are process-wide
   /// and cumulative; tests isolate themselves with this.
-  void ResetAllForTest();
+  void ResetAllForTest() ANGEL_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ANGEL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      ANGEL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ANGEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace angelptm::obs

@@ -27,14 +27,14 @@ struct SpanRecord {
 /// referenced by the recording thread's TLS; `mu` serializes the recording
 /// thread against the exporter.
 struct ThreadLog {
-  std::mutex mu;
+  std::mutex mu;  // lint: unguarded
   std::vector<SpanRecord> ring;  // Sized once to the session capacity.
   uint64_t recorded = 0;         // Total spans written (ring wraps).
   int tid = 0;                   // Registration order, stable per session.
 };
 
 struct TraceState {
-  std::mutex mu;
+  std::mutex mu;  // lint: unguarded
   bool active = false;
   std::string path;
   size_t ring_capacity = kDefaultTraceRingCapacity;
@@ -44,7 +44,7 @@ struct TraceState {
 };
 
 TraceState& State() {
-  static TraceState* state = new TraceState();
+  static TraceState* state = new TraceState();  // lint: naked-new (leaked singleton)
   return *state;
 }
 

@@ -58,12 +58,12 @@ inline bool TracingEnabled() {
 
 /// Starts a tracing session writing to `path` on StopTracing. Fails if a
 /// session is already active.
-util::Status StartTracing(const std::string& path,
+[[nodiscard]] util::Status StartTracing(const std::string& path,
                           size_t ring_capacity = kDefaultTraceRingCapacity);
 
 /// Ends the session: disables recording, exports the JSON file, clears the
 /// buffers. Fails if no session is active or the file cannot be written.
-util::Status StopTracing();
+[[nodiscard]] util::Status StopTracing();
 
 /// Reads ANGELPTM_TRACE; when set (and no session is active), starts
 /// tracing to that path and registers an atexit hook that writes the file.

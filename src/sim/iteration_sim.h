@@ -106,7 +106,7 @@ IterationResult SimulateIteration(const IterationSpec& spec,
 
 /// Writes a Chrome tracing JSON (chrome://tracing / Perfetto) with one row
 /// per resource, so the scheduler's overlap is visible at a glance.
-util::Status ExportChromeTrace(const std::vector<TaskTiming>& timeline,
+[[nodiscard]] util::Status ExportChromeTrace(const std::vector<TaskTiming>& timeline,
                                const std::string& path);
 
 }  // namespace angelptm::sim

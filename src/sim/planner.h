@@ -48,7 +48,7 @@ struct Plan {
 ///  4. Pipelines the remaining CPU/SSD optimizer work per backward layer.
 /// Returns OutOfMemory when the model cannot fit the memory hierarchy at
 /// this batch size.
-util::Result<Plan> PlanAngelPtm(const PlanRequest& request);
+[[nodiscard]] util::Result<Plan> PlanAngelPtm(const PlanRequest& request);
 
 /// Largest micro-batch for which `PlanAngelPtm` succeeds (0 = infeasible at
 /// any batch). Linear+binary search capped at `max_batch`.

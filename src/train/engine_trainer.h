@@ -52,17 +52,17 @@ class EngineTrainer {
   EngineTrainer& operator=(const EngineTrainer&) = delete;
 
   /// Creates the engine and registers every layer.
-  util::Status Init();
+  [[nodiscard]] util::Status Init();
 
   /// Restores the newest valid checkpoint into the engine's updater and
   /// rewinds the step counter / data cursor. Returns false when no
   /// checkpoint exists. Call after Init(), before Train().
-  util::Result<bool> TryResume(const SyntheticRegression* dataset = nullptr);
+  [[nodiscard]] util::Result<bool> TryResume(const SyntheticRegression* dataset = nullptr);
 
   /// Runs `steps` training steps; same report shape as train::Trainer.
   /// With `max_recoveries > 0`, an updater poisoning is absorbed by
   /// rebuilding the engine from the latest valid checkpoint.
-  util::Result<TrainReport> Train(const SyntheticRegression& dataset,
+  [[nodiscard]] util::Result<TrainReport> Train(const SyntheticRegression& dataset,
                                   int steps);
 
   core::Engine* engine() { return engine_.get(); }
@@ -71,17 +71,17 @@ class EngineTrainer {
   uint64_t recoveries() const { return recoveries_; }
 
  private:
-  util::Result<double> Step(const std::vector<float>& x,
+  [[nodiscard]] util::Result<double> Step(const std::vector<float>& x,
                             const std::vector<float>& y);
 
   /// Creates the engine and registers every layer, drawing the initial
   /// parameters from `rng` (shared by Init and the recovery rebuild).
-  util::Status BuildEngine(util::Rng* rng);
+  [[nodiscard]] util::Status BuildEngine(util::Rng* rng);
   /// The step loop from global_step_ to `target_step`, checkpointing
   /// periodically and draining at the end.
-  util::Status TrainRange(const SyntheticRegression& dataset,
+  [[nodiscard]] util::Status TrainRange(const SyntheticRegression& dataset,
                           int64_t target_step, TrainReport* report);
-  util::Status Recover(const util::Status& cause,
+  [[nodiscard]] util::Status Recover(const util::Status& cause,
                        const SyntheticRegression& dataset);
   void RestoreProgress(const core::TrainProgress& progress,
                        const SyntheticRegression* dataset);

@@ -41,7 +41,7 @@ struct RecomputePlan {
 /// budget goes to the layers whose recompute is most expensive relative to
 /// their stash size. Returns OutOfMemory when even boundaries alone exceed
 /// the budget.
-util::Result<RecomputePlan> PlanRecompute(
+[[nodiscard]] util::Result<RecomputePlan> PlanRecompute(
     const std::vector<LayerActivationCost>& layers,
     uint64_t memory_budget_bytes);
 

@@ -118,7 +118,7 @@ class Trainer {
   Trainer& operator=(const Trainer&) = delete;
 
   /// Allocates and initializes all layer states.
-  util::Status Init();
+  [[nodiscard]] util::Status Init();
 
   /// Restores the newest valid checkpoint from `checkpoint_dir` into this
   /// trainer — the restart-after-crash entry point. Returns false when no
@@ -127,7 +127,7 @@ class Trainer {
   /// schedule). For v1 checkpoints without progress the data cursor is
   /// replayed through `dataset` instead (pass the training dataset; may be
   /// null, which skips the replay). Call after Init(), before Train().
-  util::Result<bool> TryResume(const SyntheticRegression* dataset = nullptr);
+  [[nodiscard]] util::Result<bool> TryResume(const SyntheticRegression* dataset = nullptr);
 
   /// Runs `steps` training steps against `dataset`, returning the report.
   /// In lock-free mode the updater threads are started before the first
@@ -137,12 +137,12 @@ class Trainer {
   /// updater and rewinding to its step (the batches in between are
   /// regenerated from the restored RNG cursor — no gradient is silently
   /// dropped or double-applied).
-  util::Result<TrainReport> Train(const SyntheticRegression& dataset,
+  [[nodiscard]] util::Result<TrainReport> Train(const SyntheticRegression& dataset,
                                   int steps);
 
   /// Mean validation loss over `batches` fresh batches using the *master*
   /// fp32 parameters (what a checkpoint would contain).
-  util::Result<double> Validate(const SyntheticRegression& dataset,
+  [[nodiscard]] util::Result<double> Validate(const SyntheticRegression& dataset,
                                 int batches);
 
   core::LockFreeUpdater* updater() { return updater_.get(); }
@@ -157,23 +157,23 @@ class Trainer {
  private:
   /// One forward/backward over a batch; returns the loss and offloads
   /// per-layer gradients.
-  util::Result<double> Step(const std::vector<float>& x,
+  [[nodiscard]] util::Result<double> Step(const std::vector<float>& x,
                             const std::vector<float>& y,
                             bool use_master_params);
 
   /// Creates the updater and registers every model layer (shared by Init
   /// and the recovery rebuild; `rng` provides the initial parameters).
-  util::Status BuildUpdater(util::Rng* rng);
+  [[nodiscard]] util::Status BuildUpdater(util::Rng* rng);
   /// The step loop from global_step_ to `target_step`, including periodic
   /// checkpoints and the end-of-run drain. `base_step` anchors
   /// report->losses indexing across recoveries.
-  util::Status TrainRange(const SyntheticRegression& dataset,
+  [[nodiscard]] util::Status TrainRange(const SyntheticRegression& dataset,
                           int64_t base_step, int64_t target_step,
                           TrainReport* report);
   /// Tears down the poisoned updater and restores the latest checkpoint
   /// into a fresh one. Returns `cause` unchanged when recovery is not
   /// possible (no manager, budget exhausted, not a poisoning).
-  util::Status Recover(const util::Status& cause,
+  [[nodiscard]] util::Status Recover(const util::Status& cause,
                        const SyntheticRegression& dataset);
   /// Applies a loaded TrainProgress to this trainer's step/RNG/scaler.
   void RestoreProgress(const core::TrainProgress& progress,

@@ -16,11 +16,14 @@ double NowSeconds() {
 }  // namespace
 
 void BandwidthThrottle::Consume(size_t bytes) {
-  if (bytes_per_sec_ <= 0.0) return;
-  const double cost = static_cast<double>(bytes) / bytes_per_sec_;
   double sleep_until;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
+    // The rate is read under the same lock that guards the clock: set_rate
+    // used to race with the unlocked fast-path read here (a torn double is
+    // UB even when the value "looks" benign).
+    if (bytes_per_sec_ <= 0.0) return;
+    const double cost = static_cast<double>(bytes) / bytes_per_sec_;
     const double now = NowSeconds();
     available_at_ = std::max(available_at_, now) + cost;
     sleep_until = available_at_;

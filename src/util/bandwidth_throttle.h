@@ -2,7 +2,8 @@
 #define ANGELPTM_UTIL_BANDWIDTH_THROTTLE_H_
 
 #include <cstddef>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace angelptm::util {
 
@@ -19,15 +20,21 @@ class BandwidthThrottle {
 
   /// Accounts `bytes` against the link, sleeping until the virtual clock
   /// catches up. Thread-safe.
-  void Consume(size_t bytes);
+  void Consume(size_t bytes) ANGEL_EXCLUDES(mutex_);
 
-  void set_rate(double bytes_per_sec) { bytes_per_sec_ = bytes_per_sec; }
-  double rate() const { return bytes_per_sec_; }
+  void set_rate(double bytes_per_sec) ANGEL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    bytes_per_sec_ = bytes_per_sec;
+  }
+  double rate() const ANGEL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return bytes_per_sec_;
+  }
 
  private:
-  double bytes_per_sec_;
-  std::mutex mutex_;
-  double available_at_ = 0.0;
+  mutable Mutex mutex_;
+  double bytes_per_sec_ ANGEL_GUARDED_BY(mutex_);
+  double available_at_ ANGEL_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace angelptm::util

@@ -61,37 +61,37 @@ FaultInjector::FaultInjector() : rng_(kDefaultSeed) {
 }
 
 FaultInjector& FaultInjector::Instance() {
-  static FaultInjector* injector = new FaultInjector();  // Leaked on purpose.
+  static FaultInjector* injector = new FaultInjector();  // lint: naked-new (leaked singleton)
   return *injector;
 }
 
 void FaultInjector::Arm(const std::string& site, const FaultRule& rule) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const bool existed = sites_.count(site) > 0;
   sites_[site] = SiteState{rule, 0, 0};
   if (!existed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sites_.erase(site) > 0) {
     armed_sites_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
   armed_sites_.store(0, std::memory_order_relaxed);
 }
 
 void FaultInjector::Seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rng_ = Rng(seed);
 }
 
 Status FaultInjector::Check(const char* site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();
   SiteState& state = it->second;
@@ -126,13 +126,13 @@ Status FaultInjector::Check(const char* site) {
 }
 
 uint64_t FaultInjector::calls(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : static_cast<uint64_t>(it->second.calls);
 }
 
 uint64_t FaultInjector::fires(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : static_cast<uint64_t>(it->second.fires);
 }

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace angelptm::util {
 
@@ -67,12 +67,13 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Arms (or replaces) the rule for `site` and zeroes its counters.
-  void Arm(const std::string& site, const FaultRule& rule);
+  void Arm(const std::string& site, const FaultRule& rule)
+      ANGEL_EXCLUDES(mutex_);
   /// Removes the rule for `site` (its counters are dropped too).
-  void Disarm(const std::string& site);
+  void Disarm(const std::string& site) ANGEL_EXCLUDES(mutex_);
   /// Disarms every site and clears all counters. Tests call this in
   /// SetUp/TearDown so armed faults never leak across test cases.
-  void Reset();
+  void Reset() ANGEL_EXCLUDES(mutex_);
 
   /// True when at least one rule is armed (the fast path used by the
   /// ANGEL_FAULT_CHECK macro).
@@ -82,19 +83,20 @@ class FaultInjector {
 
   /// Evaluates the site's rule. Returns OK when the site is unarmed or the
   /// trigger does not match this call; otherwise the rule's error status.
-  Status Check(const char* site);
+  [[nodiscard]] Status Check(const char* site) ANGEL_EXCLUDES(mutex_);
 
   /// Diagnostics: how often a site was evaluated / actually fired.
-  uint64_t calls(const std::string& site) const;
-  uint64_t fires(const std::string& site) const;
+  uint64_t calls(const std::string& site) const ANGEL_EXCLUDES(mutex_);
+  uint64_t fires(const std::string& site) const ANGEL_EXCLUDES(mutex_);
 
   /// Parses a spec string (the ANGELPTM_FAULT_SITES grammar above) and arms
   /// every site in it. Returns InvalidArgument on malformed specs without
   /// arming anything.
-  Status ArmFromSpec(const std::string& spec);
+  [[nodiscard]] Status ArmFromSpec(const std::string& spec)
+      ANGEL_EXCLUDES(mutex_);
 
   /// Reseeds the probabilistic-trigger PRNG (deterministic tests).
-  void Seed(uint64_t seed);
+  void Seed(uint64_t seed) ANGEL_EXCLUDES(mutex_);
 
  private:
   FaultInjector();
@@ -105,13 +107,14 @@ class FaultInjector {
     int64_t fires = 0;
   };
 
-  static Status ParseRule(const std::string& site, const std::string& body,
-                          FaultRule* out);
+  [[nodiscard]] static Status ParseRule(const std::string& site,
+                                        const std::string& body,
+                                        FaultRule* out);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, SiteState> sites_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, SiteState> sites_ ANGEL_GUARDED_BY(mutex_);
   std::atomic<int> armed_sites_{0};
-  Rng rng_;
+  Rng rng_ ANGEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace angelptm::util

@@ -41,8 +41,10 @@ namespace internal_parallel {
 struct ParallelForState {
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> chunks_done{0};
-  std::mutex mutex;
-  std::condition_variable done_cv;
+  // Predicate waits with std::condition_variable need the std types;
+  // the state is call-local and dies with the call.
+  std::mutex mutex;  // lint: unguarded
+  std::condition_variable done_cv;  // lint: unguarded
 };
 
 }  // namespace internal_parallel

@@ -32,7 +32,12 @@ const char* StatusCodeName(StatusCode code);
 /// Value-semantic error carrier. Functions that can fail return `Status` (or
 /// `Result<T>` when they also produce a value); exceptions are not used across
 /// API boundaries.
-class Status {
+///
+/// The class itself is [[nodiscard]]: a dropped return value is a swallowed
+/// error, and the build treats it as one (-Werror=unused-result). Truly
+/// intentional drops are spelled `(void)expr;` — grep-able, and a signal to
+/// the reviewer that someone decided the error does not matter.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -114,8 +119,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// A value-or-error holder in the Arrow style. `Result<T>` either contains a
 /// `T` or a non-OK `Status`; accessing the value of an errored result aborts.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value keeps `return value;` ergonomic.
   Result(T value)  // NOLINT(google-explicit-constructor)

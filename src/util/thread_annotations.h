@@ -1,0 +1,152 @@
+#ifndef ANGELPTM_UTIL_THREAD_ANNOTATIONS_H_
+#define ANGELPTM_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Compile-time concurrency contracts (DESIGN.md §10).
+///
+/// Wrappers over Clang's Thread Safety Analysis attributes, in the abseil
+/// `GUARDED_BY`/`REQUIRES` style: lock requirements that previously lived in
+/// comments ("Guarded by buffer_mutex.") become types the compiler checks.
+/// Under Clang with -Wthread-safety (CMake option ANGELPTM_THREAD_SAFETY=ON)
+/// an unguarded access to an annotated field, a missing lock on a REQUIRES
+/// function, or a reentrant call into an EXCLUDES function is a hard error.
+/// On other compilers every macro expands to nothing and util::Mutex degrades
+/// to a plain std::mutex wrapper with identical codegen.
+///
+/// The analysis only tracks capabilities it can see, so annotated classes
+/// must lock through the annotatable shims below (util::Mutex /
+/// util::MutexLock / util::CondVar), not raw std::mutex — libstdc++'s
+/// std::mutex carries no attributes and is invisible to the analysis.
+
+#if defined(__clang__)
+#define ANGEL_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ANGEL_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define ANGEL_CAPABILITY(x) ANGEL_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define ANGEL_SCOPED_CAPABILITY \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define ANGEL_GUARDED_BY(x) ANGEL_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The annotated pointer may only be *dereferenced* while holding `x` (the
+/// pointer itself is unguarded).
+#define ANGEL_PT_GUARDED_BY(x) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called while already holding every listed
+/// capability (it does not acquire them itself).
+#define ANGEL_REQUIRES(...) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define ANGEL_ACQUIRE(...) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held).
+#define ANGEL_RELEASE(...) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define ANGEL_TRY_ACQUIRE(ret, ...) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities: the function (or
+/// something it calls/waits on) acquires them itself, so entering with one
+/// held is deadlock-by-reentrancy — rejected at compile time.
+#define ANGEL_EXCLUDES(...) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define ANGEL_RETURN_CAPABILITY(x) \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only where the
+/// locking pattern is deliberately invisible to the analysis (e.g. a
+/// condition variable's internal unlock/relock) — never to silence a real
+/// violation.
+#define ANGEL_NO_THREAD_SAFETY_ANALYSIS \
+  ANGEL_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace angelptm::util {
+
+/// An annotatable mutex: std::mutex plus the `capability` attribute so the
+/// analysis can track who holds it. Also satisfies *BasicLockable* (lower
+/// case lock()/unlock()) so util::CondVar can wait on it directly.
+class ANGEL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ANGEL_ACQUIRE() { mu_.lock(); }
+  void Unlock() ANGEL_RELEASE() { mu_.unlock(); }
+  bool TryLock() ANGEL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling (std interop; same annotations).
+  void lock() ANGEL_ACQUIRE() { mu_.lock(); }
+  void unlock() ANGEL_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;  // lint: unguarded (this IS the wrapper)
+};
+
+/// std::lock_guard for util::Mutex, visible to the analysis: holding a
+/// MutexLock is holding the mutex for the enclosing scope.
+class ANGEL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ANGEL_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ANGEL_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over util::Mutex. Wait() REQUIRES the mutex: the
+/// internal unlock/relock is hidden from the analysis (the standard idiom —
+/// the capability state is identical before and after the call), so callers
+/// re-check their predicate in an explicit `while` loop under the lock
+/// instead of passing a lambda, keeping the guarded reads inside the
+/// analyzed, lock-holding function:
+///
+///   util::MutexLock lock(mutex_);
+///   while (queue_.empty()) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and re-acquires `mu` before returning.
+  void Wait(Mutex& mu) ANGEL_REQUIRES(mu) ANGEL_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  /// Timed Wait; returns false on timeout (with `mu` re-held either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      ANGEL_REQUIRES(mu) ANGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;  // lint: unguarded (this IS the wrapper)
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_THREAD_ANNOTATIONS_H_

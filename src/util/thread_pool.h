@@ -1,13 +1,13 @@
 #ifndef ANGELPTM_UTIL_THREAD_POOL_H_
 #define ANGELPTM_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace angelptm::util {
 
@@ -25,30 +25,32 @@ class ThreadPool {
   /// (and does not run the task) when called after Shutdown(), so callers
   /// can fail their promises instead of handing out futures that never
   /// resolve.
-  [[nodiscard]] bool Submit(std::function<void()> task);
+  [[nodiscard]] bool Submit(std::function<void()> task)
+      ANGEL_EXCLUDES(mutex_);
 
-  /// Blocks until the queue is empty and all workers are idle.
-  void Wait();
+  /// Blocks until the queue is empty and all workers are idle. Must not be
+  /// called from a pool task (a worker waiting on its own pool deadlocks).
+  void Wait() ANGEL_EXCLUDES(mutex_);
 
   /// Stops accepting tasks, drains the queue, and joins the workers.
   /// Idempotent; also called by the destructor.
-  void Shutdown();
+  void Shutdown() ANGEL_EXCLUDES(mutex_);
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Number of tasks currently queued (excluding running ones).
-  size_t QueueDepth() const;
+  size_t QueueDepth() const ANGEL_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ANGEL_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ ANGEL_GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
+  size_t active_ ANGEL_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ ANGEL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace angelptm::util

@@ -87,6 +87,32 @@ TEST_F(CheckpointManagerTest, RotationKeepsOnlyLastK) {
   EXPECT_EQ(stats.save_us.count, 4u);
 }
 
+TEST_F(CheckpointManagerTest, RotationFailureIsCountedNotFatal) {
+  CheckpointManager::Options options;
+  options.dir = FreshDir("rotatefail");
+  options.keep_last = 1;
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Init().ok());
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(manager.Save(updater.get(), ProgressAt(10)).ok());
+
+  // An undeletable entry where an old checkpoint would be: a non-empty
+  // directory named like a step-5 checkpoint. Rotation used to drop the
+  // std::filesystem::remove result on the floor; it must now count the
+  // failure, still delete what it can, and keep the save green.
+  const std::string stuck = manager.PathForStep(5);
+  std::filesystem::create_directory(stuck);
+  std::ofstream(stuck + "/pin").put('x');
+
+  ASSERT_TRUE(manager.Save(updater.get(), ProgressAt(20)).ok());
+  const CheckpointManager::Stats stats = manager.Snapshot();
+  EXPECT_EQ(stats.saves, 2u);
+  EXPECT_EQ(stats.rotate_failures, 1u);
+  EXPECT_FALSE(std::filesystem::exists(manager.PathForStep(10)));
+  EXPECT_TRUE(std::filesystem::exists(manager.PathForStep(20)));
+  EXPECT_TRUE(std::filesystem::exists(stuck));
+}
+
 TEST_F(CheckpointManagerTest, LoadLatestFallsBackPastCorruptNewest) {
   CheckpointManager::Options options;
   options.dir = FreshDir("fallback");

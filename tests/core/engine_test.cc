@@ -136,7 +136,7 @@ TEST(EngineTest, LockFreeModeTrains) {
         (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
   }
   const double final_loss = TrainThroughEngine(engine->get(), model, 80, &rng);
-  (*engine)->updater()->DrainUpdates();
+  ASSERT_TRUE((*engine)->updater()->DrainUpdates().ok());
   EXPECT_LT(final_loss, 1.0);
   EXPECT_GT((*engine)->updater()->Snapshot().updates_applied, 0u);
 }

@@ -132,7 +132,7 @@ TEST_F(LockFreeUpdaterTest, AsyncThreadsApplyUpdates) {
     ASSERT_TRUE(updater.OffloadGrads(0, std::vector<float>(64, 0.1f)).ok());
     ASSERT_TRUE(updater.OffloadGrads(1, std::vector<float>(64, -0.1f)).ok());
   }
-  updater.DrainUpdates();
+  ASSERT_TRUE(updater.DrainUpdates().ok());
   updater.Stop();
   EXPECT_FALSE(updater.running());
   const LockFreeUpdater::Stats stats = updater.Snapshot();
@@ -162,7 +162,7 @@ TEST_F(LockFreeUpdaterTest, ComputeNeverBlocksOnUpdater) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   EXPECT_LT(elapsed, 2.0);
-  updater.DrainUpdates();
+  ASSERT_TRUE(updater.DrainUpdates().ok());
   updater.Stop();
 }
 

@@ -1,0 +1,40 @@
+// Lint fixture: a file that satisfies every scripts/lint.py rule, including
+// the waiver forms. Never compiled — the linter only reads text.
+#ifndef ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_CLEAN_H_
+#define ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_CLEAN_H_
+
+#include <memory>
+#include <mutex>
+
+namespace demo {
+
+class Clean {
+ public:
+  [[nodiscard]] util::Status Flush() ANGEL_EXCLUDES(mutex_);
+  [[nodiscard]] static util::Result<int> Count();
+
+ private:
+  mutable util::Mutex mutex_;
+  int value_ ANGEL_GUARDED_BY(mutex_) = 0;
+  // Waiver forms: a raw std::mutex and a leaked singleton, both annotated.
+  std::mutex raw_but_waived_;  // lint: unguarded (fixture)
+  std::unique_ptr<int> owned_ = std::make_unique<int>(3);
+};
+
+inline int* LeakedSingleton() {
+  static int* instance = new int(7);  // lint: naked-new (leaked singleton)
+  return instance;
+}
+
+inline void Touch() {
+  // A mention in a comment must not count: ANGEL_FAULT_CHECK("demo.ghost").
+  ANGEL_FAULT_CHECK("demo.flush");
+  auto wrapped = std::unique_ptr<int>(new int(1));
+  (void)wrapped;
+  // Locking a waived raw mutex is fine; only declarations are flagged.
+  std::lock_guard<std::mutex> lock(LockRef());
+}
+
+}  // namespace demo
+
+#endif  // ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_CLEAN_H_

@@ -1,0 +1,25 @@
+// Lint fixture: violates every scripts/lint.py rule. Never compiled.
+#ifndef ANGELPTM_TESTS_LINT_FIXTURES_DIRTY_SRC_BAD_H_
+#define ANGELPTM_TESTS_LINT_FIXTURES_DIRTY_SRC_BAD_H_
+
+#include <mutex>
+
+namespace demo {
+
+class Bad {
+ public:
+  util::Status Flush();  // Missing [[nodiscard]].
+
+ private:
+  std::mutex raw_mutex_;      // Raw std::mutex, no waiver.
+  util::Mutex lonely_mutex_;  // Never referenced by any annotation.
+  int* leak_ = new int(3);    // Naked new, no waiver.
+};
+
+inline void Touch() {
+  ANGEL_FAULT_CHECK("demo.undocumented");  // Absent from the table.
+}
+
+}  // namespace demo
+
+#endif  // ANGELPTM_TESTS_LINT_FIXTURES_DIRTY_SRC_BAD_H_

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Proves the thread-safety annotations have teeth (DESIGN.md §10.1): under
+# Clang with -Wthread-safety, a write to an ANGEL_GUARDED_BY member without
+# holding the lock must FAIL to compile, and the properly locked twin must
+# still compile. Exits 77 (ctest SKIP_RETURN_CODE) where Clang is absent —
+# GCC compiles the annotations away, so there is nothing to prove there.
+set -e
+
+SRC_DIR="${1:-$(dirname "$0")/../../src}"
+
+if ! command -v clang++ > /dev/null 2>&1; then
+  echo "thread_safety_negative_test: clang++ not found; skipping"
+  exit 77
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/good.cc" << 'EOF'
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Bump() {
+    angelptm::util::MutexLock lock(mutex_);
+    value_ += 1;
+  }
+
+ private:
+  angelptm::util::Mutex mutex_;
+  int value_ ANGEL_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}
+EOF
+
+cat > "$TMP/bad.cc" << 'EOF'
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Bump() { value_ += 1; }  // BUG: guarded write without the lock.
+
+ private:
+  angelptm::util::Mutex mutex_;
+  int value_ ANGEL_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}
+EOF
+
+FLAGS="-std=c++20 -I$SRC_DIR -Wthread-safety -Werror=thread-safety \
+-fsyntax-only"
+
+if ! clang++ $FLAGS "$TMP/good.cc" 2> "$TMP/good.err"; then
+  echo "FAIL: correctly locked access was rejected:"
+  cat "$TMP/good.err"
+  exit 1
+fi
+
+if clang++ $FLAGS "$TMP/bad.cc" 2> "$TMP/bad.err"; then
+  echo "FAIL: unguarded write of a GUARDED_BY member compiled cleanly"
+  exit 1
+fi
+if ! grep -q "thread-safety\|guarded by" "$TMP/bad.err"; then
+  echo "FAIL: compile failed for a reason other than thread-safety:"
+  cat "$TMP/bad.err"
+  exit 1
+fi
+
+echo "thread_safety_negative_test: OK (-Wthread-safety rejects the race)"

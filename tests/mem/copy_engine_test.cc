@@ -99,10 +99,12 @@ TEST(CopyEngineTest, DrainWaitsForPending) {
     ASSERT_TRUE(page.ok());
     pages.push_back(*page);
   }
+  std::vector<std::future<util::Status>> futures;
   for (auto* page : pages) {
-    engine.MoveAsync(page, DeviceKind::kSsd);  // Futures dropped on purpose.
+    futures.push_back(engine.MoveAsync(page, DeviceKind::kSsd));
   }
   engine.Drain();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
   EXPECT_EQ(engine.Snapshot().moves_completed, 6u);
   for (auto* page : pages) EXPECT_EQ(page->device(), DeviceKind::kSsd);
 }

@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -50,6 +52,43 @@ TEST(PageTransportTest, SendReceivePreservesBytes) {
   // Sender's page untouched.
   EXPECT_EQ((*page)->data_ptr()[0], std::byte{0});
   EXPECT_EQ(transport.InFlight(1), 0u);
+}
+
+TEST(PageTransportTest, BytesSentIsRaceFreeUnderConcurrentSends) {
+  // Regression: bytes_sent() read bytes_sent_ without mutex_, so a reader
+  // polling transfer progress raced senders mid-Send. The reader now
+  // locks: the counter must be monotonic and land exactly on the bytes
+  // shipped (TSan enforces the "no torn read" half).
+  HierarchicalMemory server(Options("race"));
+  PageTransport transport;
+  ASSERT_TRUE(transport.RegisterServer(0, &server).ok());
+  auto page = server.CreatePage(DeviceKind::kCpu);
+  ASSERT_TRUE(page.ok());
+
+  constexpr int kSenders = 2;
+  constexpr int kSendsEach = 8;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!done.load()) {
+      const uint64_t now = transport.bytes_sent();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kSenders; ++t) {
+    senders.emplace_back([&] {
+      for (int i = 0; i < kSendsEach; ++i) {
+        EXPECT_TRUE(transport.Send(0, **page).ok());
+      }
+    });
+  }
+  for (auto& sender : senders) sender.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(transport.bytes_sent(), uint64_t{kSenders * kSendsEach} * kPage);
+  EXPECT_EQ(transport.InFlight(0), size_t{kSenders * kSendsEach});
 }
 
 TEST(PageTransportTest, FifoOrderPerDestination) {

@@ -1,6 +1,8 @@
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -191,6 +193,31 @@ TEST(BandwidthThrottleTest, PacesToConfiguredRate) {
           .count();
   EXPECT_GE(elapsed, 0.08);
   EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(BandwidthThrottleTest, ConcurrentConsumeAndRetuneIsClean) {
+  // Regression: Consume() read bytes_per_sec_ outside the lock, racing
+  // set_rate() — a torn double read under TSan. Hammer both sides; the
+  // assertion is that TSan stays quiet and the final rate is one of the
+  // values written.
+  BandwidthThrottle throttle(8.0e9);
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    for (int i = 0; i < 500; ++i) {
+      throttle.set_rate((i % 2) != 0 ? 2.0e9 : 8.0e9);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&] {
+      while (!stop.load()) throttle.Consume(64);
+    });
+  }
+  tuner.join();
+  for (auto& thread : consumers) thread.join();
+  const double rate = throttle.rate();
+  EXPECT_TRUE(rate == 2.0e9 || rate == 8.0e9);
 }
 
 }  // namespace
