@@ -1,9 +1,22 @@
-// Times every hot compute kernel single-threaded vs on the compute pool at
+// Times every hot compute kernel across a sweep of thread counts at
 // transformer-realistic shapes and writes BENCH_kernels.json, so the
-// kernel-performance trajectory is tracked from PR to PR. The headline
-// number is the 1024x1024x1024 GEMM speedup (target: >=4x on a >=8-core
-// host); the naive reference kernels are timed too, so the cache-blocking
-// gain is visible separately from the parallelism gain.
+// kernel-performance trajectory is tracked from PR to PR.
+//
+// Honesty rules (DESIGN.md §11.5):
+//   - every measurement records the compute_threads it actually ran with
+//     (one JSON block per thread count, plus the field on each entry);
+//   - the resolved SIMD dispatch path and the host's online CPU count are
+//     recorded, so a flat "scaling curve" on a 1-CPU container reads as
+//     what it is rather than as a regression;
+//   - throughput is reported as GFLOP/s for FLOP-bound kernels and GB/s
+//     for bandwidth-bound ones, with the FLOP/byte conventions spelled
+//     out at the definition site below.
+//
+// The run also enforces a GEMM-variant regression guard: at every thread
+// count, neither transposed variant may be more than 2x slower than the
+// plain GEMM (packing absorbs the transposes, so they should be within
+// noise of each other). Violations exit non-zero so CI can catch a
+// reintroduced strided inner loop.
 //
 // Usage: kernel_bench [output.json] [gemm_size]
 //   output.json defaults to BENCH_kernels.json in the working directory;
@@ -17,17 +30,21 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/adam.h"
 #include "train/kernels.h"
+#include "train/simd/dispatch.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace angelptm {
 namespace {
+
+const int kThreadSweep[] = {1, 4, 8, 16};
 
 double TimeMs(const std::function<void()>& fn, int reps) {
   double best = 1e300;
@@ -41,97 +58,54 @@ double TimeMs(const std::function<void()>& fn, int reps) {
   return best;
 }
 
-struct KernelResult {
+struct Measurement {
   std::string name;
   std::string shape;
-  double flops = 0.0;  // 0 when GFLOP/s is not meaningful (memory-bound).
-  double reference_ms = -1.0;  // Naive kernel, when one exists.
-  double single_ms = 0.0;      // New kernel, 1 worker.
-  double parallel_ms = 0.0;    // New kernel, full compute pool.
+  double flops = 0.0;  // Per invocation; 0 when GFLOP/s is not meaningful.
+  double bytes = 0.0;  // Memory traffic per invocation; 0 when FLOP-bound.
+  double ms = 0.0;
+  int compute_threads = 0;
+
+  double Gflops() const { return flops > 0.0 ? flops / ms / 1e6 : 0.0; }
+  double Gbps() const { return bytes > 0.0 ? bytes / ms / 1e6 : 0.0; }
 };
 
-class Harness {
- public:
-  Harness() : serial_pool_(1) {}
-
-  /// Times `fn` once pinned to one worker and once on the default pool.
-  /// `reference` (optional) is the retained naive kernel.
-  void Run(KernelResult result, const std::function<void()>& fn,
-           const std::function<void()>& reference = nullptr) {
-    const int reps = 3;
-    if (reference) {
-      util::SetComputePoolOverride(&serial_pool_);
-      result.reference_ms = TimeMs(reference, reps);
-    }
-    util::SetComputePoolOverride(&serial_pool_);
-    result.single_ms = TimeMs(fn, reps);
-    util::SetComputePoolOverride(nullptr);
-    result.parallel_ms = TimeMs(fn, reps);
-    results_.push_back(result);
-
-    const KernelResult& r = results_.back();
-    std::cout << std::left << std::setw(22) << r.name << std::setw(20)
-              << r.shape;
-    if (r.reference_ms >= 0.0) {
-      std::cout << " naive " << std::setw(9) << FmtMs(r.reference_ms);
-    } else {
-      std::cout << "       " << std::setw(9) << "";
-    }
-    std::cout << " 1-thr " << std::setw(9) << FmtMs(r.single_ms) << " pool "
-              << std::setw(9) << FmtMs(r.parallel_ms) << " speedup "
-              << std::fixed << std::setprecision(2)
-              << r.single_ms / r.parallel_ms << "x";
-    if (r.flops > 0.0) {
-      std::cout << "  (" << std::setprecision(1)
-                << r.flops / r.parallel_ms / 1e6 << " GFLOP/s)";
-    }
-    std::cout << "\n";
-  }
-
-  const std::vector<KernelResult>& results() const { return results_; }
-
- private:
-  static std::string FmtMs(double ms) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.2fms", ms);
-    return buf;
-  }
-
-  util::ThreadPool serial_pool_;
-  std::vector<KernelResult> results_;
+/// A kernel plus its work accounting; timed once per thread count.
+struct Kernel {
+  std::string name;
+  std::string shape;
+  double flops;
+  double bytes;
+  std::function<void()> fn;
+  std::function<void()> reference;  // Naive kernel, when one is retained.
 };
 
-bool WriteJson(const std::string& path, const Harness& harness,
-               size_t gemm_size) {
-  std::ofstream out(path);
-  out << std::setprecision(6) << std::fixed;
-  out << "{\n";
-  out << "  \"bench\": \"kernel_bench\",\n";
-  out << "  \"gemm_size\": " << gemm_size << ",\n";
-  out << "  \"compute_threads\": " << util::ComputePoolThreads() << ",\n";
-  out << "  \"kernels\": [\n";
-  const auto& results = harness.results();
-  for (size_t i = 0; i < results.size(); ++i) {
-    const KernelResult& r = results[i];
-    out << "    {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
-        << "\", ";
-    if (r.reference_ms >= 0.0) {
-      out << "\"reference_ms\": " << r.reference_ms << ", ";
-    }
-    out << "\"single_thread_ms\": " << r.single_ms
-        << ", \"parallel_ms\": " << r.parallel_ms
-        << ", \"speedup\": " << r.single_ms / r.parallel_ms;
-    if (r.flops > 0.0) {
-      out << ", \"parallel_gflops\": " << r.flops / r.parallel_ms / 1e6;
-    }
-    out << "}";
-    if (i + 1 < results.size()) out << ",";
-    out << "\n";
+std::string FmtMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  return buf;
+}
+
+void PrintRow(const Measurement& m) {
+  std::cout << "  " << std::left << std::setw(22) << m.name << std::setw(20)
+            << m.shape << " " << std::setw(10) << FmtMs(m.ms);
+  if (m.flops > 0.0) {
+    std::cout << std::fixed << std::setprecision(1) << std::setw(7)
+              << m.Gflops() << " GFLOP/s";
+  } else if (m.bytes > 0.0) {
+    std::cout << std::fixed << std::setprecision(1) << std::setw(7) << m.Gbps()
+              << " GB/s";
   }
-  out << "  ],\n";
-  out << "  \"metrics\": " << bench::MetricsJson() << "\n";
-  out << "}\n";
-  return bool(out.flush());
+  std::cout << "\n";
+}
+
+void JsonEntry(std::ostream& out, const Measurement& m, bool last) {
+  out << "      {\"name\": \"" << m.name << "\", \"shape\": \"" << m.shape
+      << "\", \"compute_threads\": " << m.compute_threads
+      << ", \"ms\": " << m.ms;
+  if (m.flops > 0.0) out << ", \"gflops\": " << m.Gflops();
+  if (m.bytes > 0.0) out << ", \"gbps\": " << m.Gbps();
+  out << "}" << (last ? "" : ",") << "\n";
 }
 
 int Main(int argc, char** argv) {
@@ -148,144 +122,252 @@ int Main(int argc, char** argv) {
     }
   }
   const size_t gemm = size_t(gemm_arg);
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+  const char* simd_path = simd::IsaPathName(simd::Dispatch());
 
-  std::cout << "Kernel benchmark: single-thread vs compute pool ("
-            << util::ComputePoolThreads() << " workers)\n\n";
+  std::cout << "Kernel benchmark: simd=" << simd_path
+            << ", host_cpus=" << host_cpus << ", thread sweep {1,4,8,16}\n";
+  if (host_cpus < 8) {
+    std::cout << "note: only " << host_cpus << " CPU(s) online — thread "
+              << "counts above that oversubscribe and cannot show real "
+              << "scaling\n";
+  }
+  std::cout << "\n";
 
   util::Rng rng(42);
-  Harness harness;
-  auto shape = [](size_t m, size_t k, size_t n) {
+  auto shape3 = [](size_t m, size_t k, size_t n) {
     return std::to_string(m) + "x" + std::to_string(k) + "x" +
            std::to_string(n);
   };
+  auto shape2 = [](size_t m, size_t n) {
+    return std::to_string(m) + "x" + std::to_string(n);
+  };
 
-  // --- GEMM family at the headline cubic shape. ---
-  {
-    const size_t m = gemm, k = gemm, n = gemm;
-    std::vector<float> a(m * k), b(k * n), c(m * n);
-    rng.FillGaussian(&a, 1.0);
-    rng.FillGaussian(&b, 1.0);
-    const double flops = 2.0 * double(m) * double(k) * double(n);
-    harness.Run(
-        {"gemm", shape(m, k, n), flops},
-        [&] { train::Gemm(a.data(), b.data(), c.data(), m, k, n); },
-        [&] { train::reference::Gemm(a.data(), b.data(), c.data(), m, k, n); });
-    harness.Run({"gemm_trans_a", shape(m, k, n), flops},
-                [&] { train::GemmTransA(a.data(), b.data(), c.data(), m, k, n); },
-                [&] {
-                  train::reference::GemmTransA(a.data(), b.data(), c.data(), m,
-                                               k, n);
-                });
-    harness.Run({"gemm_trans_b", shape(m, k, n), flops},
-                [&] { train::GemmTransB(a.data(), b.data(), c.data(), m, k, n); },
-                [&] {
-                  train::reference::GemmTransB(a.data(), b.data(), c.data(), m,
-                                               k, n);
-                });
-  }
+  // --- Workloads (allocated once; timed at every thread count). ---
+  std::vector<Kernel> kernels;
 
-  // --- Transformer-block shapes: batch*seq = 2048 token rows, d = 1024. ---
+  // GEMM family at the headline cubic shape: FLOP-bound, 2mkn FLOPs.
+  const size_t gm = gemm, gk = gemm, gn = gemm;
+  std::vector<float> ga(gm * gk), gb(gk * gn), gc(gm * gn);
+  rng.FillGaussian(&ga, 1.0);
+  rng.FillGaussian(&gb, 1.0);
+  const double gemm_flops = 2.0 * double(gm) * double(gk) * double(gn);
+  kernels.push_back(
+      {"gemm", shape3(gm, gk, gn), gemm_flops, 0.0,
+       [&, gm, gk, gn] { train::Gemm(ga.data(), gb.data(), gc.data(), gm, gk, gn); },
+       [&, gm, gk, gn] {
+         train::reference::Gemm(ga.data(), gb.data(), gc.data(), gm, gk, gn);
+       }});
+  kernels.push_back(
+      {"gemm_trans_a", shape3(gm, gk, gn), gemm_flops, 0.0,
+       [&, gm, gk, gn] {
+         train::GemmTransA(ga.data(), gb.data(), gc.data(), gm, gk, gn);
+       },
+       [&, gm, gk, gn] {
+         train::reference::GemmTransA(ga.data(), gb.data(), gc.data(), gm, gk,
+                                      gn);
+       }});
+  kernels.push_back(
+      {"gemm_trans_b", shape3(gm, gk, gn), gemm_flops, 0.0,
+       [&, gm, gk, gn] {
+         train::GemmTransB(ga.data(), gb.data(), gc.data(), gm, gk, gn);
+       },
+       [&, gm, gk, gn] {
+         train::reference::GemmTransB(ga.data(), gb.data(), gc.data(), gm, gk,
+                                      gn);
+       }});
+
+  // Transformer-block shapes: batch*seq = 2048 token rows, d = 1024.
   const size_t rows = 2048, d = 1024, ffn = 4 * d;
 
+  // add_bias_gelu: FLOP-bound on the tanh chain. Convention: 1 FLOP for
+  // the bias add + 14 for the tanh-approx GeLU = 15 FLOPs/element.
+  std::vector<float> z(rows * ffn), bias(ffn), y(rows * ffn);
+  rng.FillGaussian(&z, 1.0);
+  rng.FillGaussian(&bias, 0.1);
+  kernels.push_back({"add_bias_gelu", shape2(rows, ffn),
+                     15.0 * double(rows) * double(ffn), 0.0,
+                     [&, rows, ffn] {
+                       train::AddBiasGelu(z.data(), bias.data(), y.data(),
+                                          rows, ffn);
+                     },
+                     nullptr});
+  // Backward: ~20 FLOPs/element for the gelu' chain + dbias reduction.
+  std::vector<float> dz(rows * ffn), dbias(ffn);
+  kernels.push_back({"add_bias_gelu_bwd", shape2(rows, ffn),
+                     20.0 * double(rows) * double(ffn), 0.0,
+                     [&, rows, ffn] {
+                       train::AddBiasGeluBackward(z.data(), y.data(),
+                                                  dz.data(), dbias.data(),
+                                                  rows, ffn);
+                     },
+                     nullptr});
+
+  // layer_norm: bandwidth-bound. Convention: read x + write y = 8
+  // bytes/element (mean/rstd are negligible).
+  std::vector<float> lx(rows * d), gamma(d, 1.0f), beta(d, 0.0f);
+  std::vector<float> ly(rows * d), mean(rows), rstd(rows);
+  rng.FillGaussian(&lx, 1.0);
+  kernels.push_back({"layer_norm", shape2(rows, d), 0.0,
+                     8.0 * double(rows) * double(d),
+                     [&, rows, d] {
+                       train::LayerNorm(lx.data(), gamma.data(), beta.data(),
+                                        ly.data(), mean.data(), rstd.data(),
+                                        rows, d);
+                     },
+                     [&, rows, d] {
+                       train::reference::LayerNorm(
+                           lx.data(), gamma.data(), beta.data(), ly.data(),
+                           mean.data(), rstd.data(), rows, d);
+                     }});
+
+  // layer_norm_bwd: bandwidth-bound; two passes over x and dy plus the dx
+  // write = 20 bytes/element.
+  std::vector<float> ldy(rows * d), ldx(rows * d), dgamma(d), dbeta(d);
+  rng.FillGaussian(&ldy, 1.0);
+  train::LayerNorm(lx.data(), gamma.data(), beta.data(), ly.data(),
+                   mean.data(), rstd.data(), rows, d);
+  kernels.push_back({"layer_norm_bwd", shape2(rows, d), 0.0,
+                     20.0 * double(rows) * double(d),
+                     [&, rows, d] {
+                       train::LayerNormBackward(
+                           lx.data(), gamma.data(), ldy.data(), mean.data(),
+                           rstd.data(), ldx.data(), dgamma.data(),
+                           dbeta.data(), rows, d);
+                     },
+                     [&, rows, d] {
+                       train::reference::LayerNormBackward(
+                           lx.data(), gamma.data(), ldy.data(), mean.data(),
+                           rstd.data(), ldx.data(), dgamma.data(),
+                           dbeta.data(), rows, d);
+                     }});
+
+  // softmax_xent: bandwidth-bound at vocab width (logits read twice, grad
+  // written once = 12 bytes/element).
+  const size_t vocab = 8192;
+  std::vector<float> logits(rows * vocab), grad(rows * vocab);
+  rng.FillGaussian(&logits, 2.0);
+  std::vector<int> labels(rows);
+  for (size_t i = 0; i < rows; ++i) labels[i] = int(i % vocab);
+  kernels.push_back({"softmax_xent", shape2(rows, vocab), 0.0,
+                     12.0 * double(rows) * double(vocab),
+                     [&, rows, vocab] {
+                       train::SoftmaxCrossEntropy(logits.data(), labels.data(),
+                                                  grad.data(), rows, vocab);
+                     },
+                     [&, rows, vocab] {
+                       train::reference::SoftmaxCrossEntropy(
+                           logits.data(), labels.data(), grad.data(), rows,
+                           vocab);
+                     }});
+
+  // adam_update: bandwidth-bound. Reads p/m/v/g, writes p/m/v = 28
+  // bytes/element. 16M elements = one optimizer step over a 64 MiB layer,
+  // the lock-free updater's per-layer unit of work.
+  const size_t count = 64 * 1024 * 1024 / 4;
+  std::vector<float> p(count, 0.5f), am(count, 0.1f), av(count, 0.2f),
+      ag(count);
+  rng.FillGaussian(&ag, 1.0);
+  core::AdamConfig config;
+  long step = 0;
+  kernels.push_back({"adam_update", std::to_string(count) + " elems", 0.0,
+                     28.0 * double(count),
+                     [&, count] {
+                       core::AdamUpdate(config, p.data(), am.data(), av.data(),
+                                        ag.data(), count, ++step);
+                     },
+                     nullptr});
+
+  const int reps = 3;
+
+  // --- Reference (naive, serial) kernels: timed once on one thread. ---
+  std::vector<Measurement> reference;
   {
-    std::vector<float> z(rows * ffn), bias(ffn), y(rows * ffn);
-    rng.FillGaussian(&z, 1.0);
-    rng.FillGaussian(&bias, 0.1);
-    const std::string bias_shape =
-        std::to_string(rows) + "x" + std::to_string(ffn);
-    harness.Run({"add_bias_gelu", bias_shape, 0.0},
-                [&] { train::AddBiasGelu(z.data(), bias.data(), y.data(), rows, ffn); });
-    std::vector<float> dz(rows * ffn), dbias(ffn);
-    harness.Run({"add_bias_gelu_bwd", bias_shape, 0.0},
-                [&] {
-                  train::AddBiasGeluBackward(z.data(), y.data(), dz.data(),
-                                             dbias.data(), rows, ffn);
-                });
+    util::ThreadPool serial(1);
+    util::SetComputePoolOverride(&serial);
+    std::cout << "reference kernels (serial):\n";
+    for (const Kernel& k : kernels) {
+      if (!k.reference) continue;
+      Measurement m{k.name, k.shape, k.flops, k.bytes,
+                    TimeMs(k.reference, reps), 1};
+      PrintRow(m);
+      reference.push_back(m);
+    }
+    util::SetComputePoolOverride(nullptr);
+    std::cout << "\n";
   }
 
-  {
-    std::vector<float> x(rows * d), gamma(d, 1.0f), beta(d, 0.0f);
-    std::vector<float> y(rows * d), mean(rows), rstd(rows);
-    rng.FillGaussian(&x, 1.0);
-    harness.Run({"layer_norm", std::to_string(rows) + "x" + std::to_string(d),
-                 0.0},
-                [&] {
-                  train::LayerNorm(x.data(), gamma.data(), beta.data(),
-                                   y.data(), mean.data(), rstd.data(), rows,
-                                   d);
-                },
-                [&] {
-                  train::reference::LayerNorm(x.data(), gamma.data(),
-                                              beta.data(), y.data(),
-                                              mean.data(), rstd.data(), rows,
-                                              d);
-                });
-    std::vector<float> dy(rows * d), dx(rows * d), dgamma(d), dbeta(d);
-    rng.FillGaussian(&dy, 1.0);
-    train::LayerNorm(x.data(), gamma.data(), beta.data(), y.data(),
-                     mean.data(), rstd.data(), rows, d);
-    harness.Run({"layer_norm_bwd",
-                 std::to_string(rows) + "x" + std::to_string(d), 0.0},
-                [&] {
-                  train::LayerNormBackward(x.data(), gamma.data(), dy.data(),
-                                           mean.data(), rstd.data(), dx.data(),
-                                           dgamma.data(), dbeta.data(), rows,
-                                           d);
-                },
-                [&] {
-                  train::reference::LayerNormBackward(
-                      x.data(), gamma.data(), dy.data(), mean.data(),
-                      rstd.data(), dx.data(), dgamma.data(), dbeta.data(),
-                      rows, d);
-                });
+  // --- The sweep: one block of measurements per thread count. ---
+  std::vector<std::vector<Measurement>> blocks;
+  bool regression_ok = true;
+  for (const int threads : kThreadSweep) {
+    util::ThreadPool pool{size_t(threads)};
+    util::SetComputePoolOverride(&pool);
+    std::cout << threads << " thread(s):\n";
+    std::vector<Measurement> block;
+    for (const Kernel& k : kernels) {
+      Measurement m{k.name, k.shape, k.flops, k.bytes, TimeMs(k.fn, reps),
+                    threads};
+      PrintRow(m);
+      block.push_back(m);
+    }
+    util::SetComputePoolOverride(nullptr);
+
+    // GEMM-variant regression guard (kernels[0..2] are the GEMM family).
+    const double plain = block[0].ms;
+    for (int v = 1; v <= 2; ++v) {
+      if (block[v].ms > 2.0 * plain) {
+        std::cerr << "REGRESSION: " << block[v].name << " is "
+                  << std::fixed << std::setprecision(2) << block[v].ms / plain
+                  << "x slower than gemm at " << threads
+                  << " thread(s) (limit 2x)\n";
+        regression_ok = false;
+      }
+    }
+    blocks.push_back(std::move(block));
+    std::cout << "\n";
   }
 
-  {
-    const size_t vocab = 8192;
-    std::vector<float> logits(rows * vocab), grad(rows * vocab);
-    rng.FillGaussian(&logits, 2.0);
-    std::vector<int> labels(rows);
-    for (size_t i = 0; i < rows; ++i) labels[i] = int(i % vocab);
-    harness.Run({"softmax_xent",
-                 std::to_string(rows) + "x" + std::to_string(vocab), 0.0},
-                [&] {
-                  train::SoftmaxCrossEntropy(logits.data(), labels.data(),
-                                             grad.data(), rows, vocab);
-                },
-                [&] {
-                  train::reference::SoftmaxCrossEntropy(
-                      logits.data(), labels.data(), grad.data(), rows, vocab);
-                });
+  // --- JSON. ---
+  std::ofstream out(out_path);
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n";
+  out << "  \"bench\": \"kernel_bench\",\n";
+  out << "  \"gemm_size\": " << gemm << ",\n";
+  out << "  \"simd_path\": \"" << simd_path << "\",\n";
+  out << "  \"host_cpus\": " << host_cpus << ",\n";
+  out << "  \"gemm_regression_ok\": " << (regression_ok ? "true" : "false")
+      << ",\n";
+  out << "  \"reference\": [\n";
+  for (size_t i = 0; i < reference.size(); ++i) {
+    JsonEntry(out, reference[i], i + 1 == reference.size());
   }
-
-  {
-    // One optimizer step over a 64M-element layer, the lock-free updater's
-    // per-layer unit of work.
-    const size_t count = 64 * 1024 * 1024 / 4;
-    std::vector<float> p(count, 0.5f), m(count, 0.1f), v(count, 0.2f),
-        g(count);
-    rng.FillGaussian(&g, 1.0);
-    core::AdamConfig config;
-    long step = 0;
-    harness.Run({"adam_update", std::to_string(count) + " elems", 0.0},
-                [&] {
-                  core::AdamUpdate(config, p.data(), m.data(), v.data(),
-                                   g.data(), count, ++step);
-                });
+  out << "  ],\n";
+  out << "  \"by_threads\": [\n";
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    out << "    {\"compute_threads\": " << kThreadSweep[bi]
+        << ", \"kernels\": [\n";
+    for (size_t i = 0; i < blocks[bi].size(); ++i) {
+      JsonEntry(out, blocks[bi][i], i + 1 == blocks[bi].size());
+    }
+    out << "    ]}" << (bi + 1 == blocks.size() ? "" : ",") << "\n";
   }
-
-  if (!WriteJson(out_path, harness, gemm)) {
+  out << "  ],\n";
+  out << "  \"metrics\": " << bench::MetricsJson() << "\n";
+  out << "}\n";
+  if (!out.flush()) {
     std::cerr << "error: could not write " << out_path << "\n";
     return 1;
   }
-  const auto& results = harness.results();
-  const double headline = results.empty()
-                              ? 0.0
-                              : results[0].single_ms / results[0].parallel_ms;
-  std::cout << "\nHeadline: " << gemm << "^3 GEMM pool-vs-single speedup "
-            << std::fixed << std::setprecision(2) << headline << "x on "
-            << util::ComputePoolThreads() << " workers\nWrote " << out_path
-            << "\n";
+
+  const double single = blocks.front()[0].Gflops();
+  std::cout << "Headline: " << gemm << "^3 GEMM " << std::fixed
+            << std::setprecision(1) << single << " GFLOP/s single-thread ("
+            << simd_path << " path)\nWrote " << out_path << "\n";
+  if (!regression_ok) {
+    std::cerr << "GEMM-variant regression guard failed (see above)\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -18,8 +18,14 @@
 #     run when the tools are installed and skip with a notice otherwise
 #     (the CI lint job installs them).
 #
+#   * A SIMD dispatch pass (DESIGN.md §11): the kernel golden tests re-run
+#     with ANGELPTM_SIMD forced to each path, proving the env override is
+#     honored end to end and that both code paths match train::reference::
+#     on whatever host this runs on (the avx2-path tests skip themselves on
+#     hosts without AVX2+FMA).
+#
 # Usage: scripts/check.sh
-#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint]
+#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -69,6 +75,22 @@ if [ "$MODE" = all ] || [ "$MODE" = --lint ]; then
   else
     echo "lint: clang-format not found; skipping (the CI lint job runs it)"
   fi
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --simd ]; then
+  echo "=== SIMD dispatch: golden tests under both ANGELPTM_SIMD paths ==="
+  if [ ! -x build/tests/train_test ]; then
+    cmake -B build -S .
+    cmake --build build -j --target train_test
+  fi
+  # The dispatch cache resolves the env var once per process, so each
+  # forced path gets its own process. The golden suite is parameterized
+  # over both paths internally; forcing the env on top proves the
+  # env-override plumbing (not just ScopedForceIsa) selects the path.
+  ANGELPTM_SIMD=scalar ./build/tests/train_test \
+    --gtest_filter='*KernelGoldenTest*:SimdDispatchTest.*'
+  ANGELPTM_SIMD=avx2 ./build/tests/train_test \
+    --gtest_filter='*KernelGoldenTest*:SimdDispatchTest.*'
 fi
 
 if [ "$MODE" = all ] || [ "$MODE" = --trace-smoke ]; then

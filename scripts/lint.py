@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint for angelptm (DESIGN.md §10).
 
-Four rules over src/ (tests and benches are exempt unless noted):
+Five rules over src/ (tests and benches are exempt unless noted):
 
   mutex       Every mutex-like member must participate in the thread-safety
               contract: raw std::mutex / std::condition_variable declarations
@@ -24,6 +24,11 @@ Four rules over src/ (tests and benches are exempt unless noted):
               same statement, or carry a `// lint: naked-new (<reason>)`
               waiver (leaked singletons are the only expected use).
 
+  simd-include  `#include <immintrin.h>` (and the other x86 intrinsic
+              headers) may appear only under src/train/simd/, so vector
+              intrinsics cannot spread outside the dispatch layer and its
+              one -mavx2 TU. Waive with `// lint: simd-include (<reason>)`.
+
 Exit code 0 when clean, 1 with one finding per line otherwise.
 
 Usage: scripts/lint.py [--root DIR] [--design FILE] [--src DIR]
@@ -36,6 +41,16 @@ import sys
 
 MUTEX_WAIVER = "// lint: unguarded"
 NEW_WAIVER = "// lint: naked-new"
+SIMD_WAIVER = "// lint: simd-include"
+
+# x86 vector-intrinsic headers (immintrin.h is the umbrella; the rest are
+# its pieces that someone might include directly).
+SIMD_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"]'
+    r"(?:immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin|tmmintrin|"
+    r"smmintrin|nmmintrin|wmmintrin|avxintrin|avx2intrin)\.h"
+    r'[>"]')
+SIMD_ALLOWED_DIR = os.path.join("src", "train", "simd")
 
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?)\b"
@@ -145,6 +160,17 @@ def lint_file(path, findings):
                 findings.append(
                     f"{path}:{lineno}: [nodiscard] declaration returning "
                     f"util::Status/util::Result lacks [[nodiscard]]")
+
+        # Rule: simd-include. Matched against the raw line (the include
+        # itself is what we are looking for, and the waiver rides in a
+        # trailing comment).
+        if (SIMD_INCLUDE_RE.search(raw)
+                and SIMD_ALLOWED_DIR not in os.path.normpath(path)
+                and SIMD_WAIVER not in raw):
+            findings.append(
+                f"{path}:{lineno}: [simd-include] x86 intrinsic header "
+                f"outside {SIMD_ALLOWED_DIR}/; move the vector code into "
+                f"the simd layer or waive with `{SIMD_WAIVER} (<reason>)`")
 
         # Rule: naked-new.
         if NEW_RE.search(code):

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "train/simd/dispatch.h"
+#include "train/simd/kernels_avx2.h"
 #include "util/parallel_for.h"
 
 namespace angelptm::core {
@@ -52,7 +54,26 @@ inline void AdamUpdate(const AdamConfig& config, float* params, float* m,
                        long step) {
   const double bc1 = 1.0 - std::pow(config.beta1, double(step));
   const double bc2 = 1.0 - std::pow(config.beta2, double(step));
+  // Multiple of the AVX2 block width (8): the vectorized path aligns its
+  // vector loop to absolute 8-element blocks, so with an 8-multiple grain
+  // every chunk boundary is also a block boundary and the bitwise
+  // stability guarantee holds trivially (and would hold regardless; see
+  // simd::avx2::AdamUpdateBlock).
   constexpr size_t kAdamGrain = 8192;
+  if (simd::Dispatch() == simd::IsaPath::kAvx2) {
+    const float inv_bc1 = float(1.0 / bc1);
+    const float inv_bc2 = float(1.0 / bc2);
+    util::ParallelFor(
+        util::ComputePool(), 0, count, kAdamGrain,
+        [&config, params, m, v, grads, inv_bc1, inv_bc2](size_t lo,
+                                                         size_t hi) {
+          simd::avx2::AdamUpdateBlock(
+              params, m, v, grads, lo, hi, float(config.learning_rate),
+              float(config.beta1), float(config.beta2), float(config.epsilon),
+              float(config.weight_decay), inv_bc1, inv_bc2);
+        });
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, count, kAdamGrain,
                     [&config, params, m, v, grads, bc1, bc2](size_t lo,
                                                              size_t hi) {

@@ -4,12 +4,19 @@
 #include <cmath>
 #include <cstring>
 
+#include "train/simd/dispatch.h"
+#include "train/simd/kernels_avx2.h"
+#include "train/simd/scratch.h"
 #include "util/parallel_for.h"
 
 namespace angelptm::train {
 namespace {
 
 constexpr double kGeluC = 0.7978845608028654;  // sqrt(2/pi)
+
+inline bool UseAvx2() {
+  return simd::Dispatch() == simd::IsaPath::kAvx2;
+}
 
 // Cache tiles. The inner GEMM loops stream a kTileK x kTileN panel of B
 // (64 KiB) that stays resident in L2 across every row of a chunk, while the
@@ -115,10 +122,66 @@ void GemmTransBRowBlock(const float* a, const float* b, float* c, size_t i0,
   }
 }
 
+// Macro-tile sizes for the packed AVX2 GEMM (DESIGN.md §11): each grid
+// cell owns an MC x NC block of C; per cell the A block (MC x KC packed,
+// ~120 KiB) stays L2-resident while KC x NR micro-panels of the packed B
+// panel stream through L1. All three GEMM variants route through this one
+// driver — transposition is absorbed by the packing strides, so the
+// micro-kernel never sees a strided inner loop.
+constexpr size_t kMacroM = 120;  // Multiple of the 6-row micro-tile.
+constexpr size_t kMacroK = 256;
+constexpr size_t kMacroN = 512;  // Multiple of the 16-col micro-tile.
+
+/// C = A * B where element A(i,p) = a[i*rs_a + p*cs_a] and
+/// B(p,j) = b[p*rs_b + j*cs_b]. Threads split the M x N macro-tile grid
+/// (grain 1 for load balancing); every cell packs into its own per-thread
+/// scratch, so there is no write sharing and no allocation in steady
+/// state. The grid decomposition is fixed by the tile sizes — not the
+/// thread count — so results are bitwise stable across thread counts.
+void GemmPackedAvx2(const float* a, size_t rs_a, size_t cs_a, const float* b,
+                    size_t rs_b, size_t cs_b, float* c, size_t m, size_t k,
+                    size_t n) {
+  if (m == 0 || n == 0) return;
+  const size_t num_m = (m + kMacroM - 1) / kMacroM;
+  const size_t num_n = (n + kMacroN - 1) / kMacroN;
+  util::ParallelFor(
+      util::ComputePool(), 0, num_m * num_n, 1, [=](size_t lo, size_t hi) {
+        for (size_t cell = lo; cell < hi; ++cell) {
+          const size_t i0 = (cell / num_n) * kMacroM;
+          const size_t j0 = (cell % num_n) * kMacroN;
+          const size_t mc = std::min(kMacroM, m - i0);
+          const size_t nc = std::min(kMacroN, n - j0);
+          for (size_t i = i0; i < i0 + mc; ++i) {
+            std::memset(c + i * n + j0, 0, nc * sizeof(float));
+          }
+          const size_t mc_pad =
+              (mc + simd::avx2::kMr - 1) / simd::avx2::kMr * simd::avx2::kMr;
+          const size_t nc_pad =
+              (nc + simd::avx2::kNr - 1) / simd::avx2::kNr * simd::avx2::kNr;
+          float* pa = simd::ThreadScratch(simd::ScratchSlot::kPackA,
+                                          mc_pad * kMacroK);
+          float* pb = simd::ThreadScratch(simd::ScratchSlot::kPackB,
+                                          kMacroK * nc_pad);
+          for (size_t p0 = 0; p0 < k; p0 += kMacroK) {
+            const size_t kc = std::min(kMacroK, k - p0);
+            simd::avx2::PackA(a + i0 * rs_a + p0 * cs_a, rs_a, cs_a, mc, kc,
+                              pa);
+            simd::avx2::PackB(b + p0 * rs_b + j0 * cs_b, rs_b, cs_b, kc, nc,
+                              pb);
+            simd::avx2::MacroKernel(pa, pb, c + i0 * n + j0, n, mc, kc, nc);
+          }
+        }
+      });
+}
+
 }  // namespace
 
 void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
           size_t n) {
+  if (UseAvx2()) {
+    GemmPackedAvx2(a, k, 1, b, n, 1, c, m, k, n);
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
                     [=](size_t i0, size_t i1) {
                       GemmRowBlock(a, b, c, i0, i1, k, n);
@@ -127,6 +190,11 @@ void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
 
 void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
                 size_t n) {
+  if (UseAvx2()) {
+    // A is k x m: element (i, p) lives at a[p*m + i].
+    GemmPackedAvx2(a, 1, m, b, n, 1, c, m, k, n);
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
                     [=](size_t i0, size_t i1) {
                       GemmTransARowBlock(a, b, c, i0, i1, m, k, n);
@@ -135,6 +203,14 @@ void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
 
 void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
                 size_t n) {
+  if (UseAvx2()) {
+    // B is n x k: element (p, j) lives at b[j*k + p]. The strided reads
+    // happen once, in PackB — not in the O(m*k*n) inner loop, which is
+    // what made the historical strided-B kernel ~2x slower than the
+    // other variants.
+    GemmPackedAvx2(a, k, 1, b, 1, k, c, m, k, n);
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
                     [=](size_t i0, size_t i1) {
                       GemmTransBRowBlock(a, b, c, i0, i1, k, n);
@@ -167,6 +243,13 @@ void BiasBackward(const float* grad, float* grad_bias, size_t m, size_t n) {
 }
 
 void Gelu(const float* x, float* y, size_t n) {
+  if (UseAvx2()) {
+    util::ParallelFor(util::ComputePool(), 0, n, kElementGrain,
+                      [=](size_t lo, size_t hi) {
+                        simd::avx2::GeluBlock(x + lo, y + lo, hi - lo);
+                      });
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, n, kElementGrain,
                     [=](size_t lo, size_t hi) {
                       for (size_t i = lo; i < hi; ++i) {
@@ -176,6 +259,14 @@ void Gelu(const float* x, float* y, size_t n) {
 }
 
 void GeluBackward(const float* x, const float* dy, float* dx, size_t n) {
+  if (UseAvx2()) {
+    util::ParallelFor(util::ComputePool(), 0, n, kElementGrain,
+                      [=](size_t lo, size_t hi) {
+                        simd::avx2::GeluBackwardBlock(x + lo, dy + lo, dx + lo,
+                                                      hi - lo);
+                      });
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, n, kElementGrain,
                     [=](size_t lo, size_t hi) {
                       for (size_t i = lo; i < hi; ++i) {
@@ -185,6 +276,14 @@ void GeluBackward(const float* x, const float* dy, float* dx, size_t n) {
 }
 
 void AddBiasGelu(float* z, const float* bias, float* y, size_t m, size_t n) {
+  if (UseAvx2()) {
+    util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, 8),
+                      [=](size_t i0, size_t i1) {
+                        simd::avx2::AddBiasGeluRows(z + i0 * n, bias,
+                                                    y + i0 * n, i1 - i0, n);
+                      });
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, 8),
                     [=](size_t i0, size_t i1) {
                       for (size_t i = i0; i < i1; ++i) {
@@ -203,6 +302,14 @@ void AddBiasGeluBackward(const float* z, const float* dy, float* dz,
                          float* dbias, size_t m, size_t n) {
   // Column-parallel for the same reason as BiasBackward: the dbias
   // reduction stays race-free, and dz is elementwise either way.
+  if (UseAvx2()) {
+    util::ParallelFor(util::ComputePool(), 0, n, RowGrain(n, 16),
+                      [=](size_t j0, size_t j1) {
+                        simd::avx2::AddBiasGeluBackwardCols(z, dy, dz, dbias,
+                                                            m, n, j0, j1);
+                      });
+    return;
+  }
   util::ParallelFor(util::ComputePool(), 0, n, RowGrain(n, 16),
                     [=](size_t j0, size_t j1) {
                       for (size_t j = j0; j < j1; ++j) dbias[j] = 0.0f;
@@ -223,6 +330,15 @@ void AddBiasGeluBackward(const float* z, const float* dy, float* dz,
 void LayerNorm(const float* x, const float* gamma, const float* beta,
                float* y, float* mean, float* rstd, size_t m, size_t n) {
   constexpr double kEps = 1e-5;
+  if (UseAvx2()) {
+    util::ParallelFor(util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
+                      [=](size_t i0, size_t i1) {
+                        simd::avx2::LayerNormRows(x + i0 * n, gamma, beta,
+                                                  y + i0 * n, mean + i0,
+                                                  rstd + i0, i1 - i0, n);
+                      });
+    return;
+  }
   util::ParallelFor(
       util::ComputePool(), 0, m, RowGrain(m, kMinRowGrain),
       [=](size_t i0, size_t i1) {
@@ -261,11 +377,18 @@ void LayerNormBackward(const float* x, const float* gamma, const float* dy,
   // dgamma/dbeta, which would race across row chunks.
   std::vector<float> partials(num_chunks * 2 * n, 0.0f);
   float* partials_base = partials.data();
+  const bool use_avx2 = UseAvx2();
   util::ParallelForChunks(
       pool, 0, m, grain,
       [=](size_t chunk, size_t i0, size_t i1) {
         float* pgamma = partials_base + chunk * 2 * n;
         float* pbeta = pgamma + n;
+        if (use_avx2) {
+          simd::avx2::LayerNormBackwardRows(x + i0 * n, gamma, dy + i0 * n,
+                                            mean + i0, rstd + i0, dx + i0 * n,
+                                            pgamma, pbeta, i1 - i0, n);
+          return;
+        }
         for (size_t i = i0; i < i1; ++i) {
           const float* x_row = x + i * n;
           const float* dy_row = dy + i * n;
@@ -309,9 +432,16 @@ double SoftmaxCrossEntropy(const float* logits, const int* labels,
   const size_t num_chunks = util::ParallelForNumChunks(0, m, grain);
   std::vector<double> partial_loss(num_chunks, 0.0);
   double* partial_base = partial_loss.data();
+  const bool use_avx2 = UseAvx2();
   util::ParallelForChunks(
       util::ComputePool(), 0, m, grain,
       [=](size_t chunk, size_t i0, size_t i1) {
+        if (use_avx2) {
+          partial_base[chunk] = simd::avx2::SoftmaxXentRows(
+              logits + i0 * n, labels + i0, grad + i0 * n, i1 - i0, n,
+              1.0 / double(m));
+          return;
+        }
         double loss = 0.0;
         for (size_t i = i0; i < i1; ++i) {
           const float* row = logits + i * n;

@@ -17,8 +17,16 @@ namespace angelptm::train {
 /// Work is split over row-blocks so no two workers ever write the same
 /// cache line; reductions (`dgamma`/`dbeta`, the cross-entropy loss) go
 /// through per-chunk partial buffers combined at the end, never through
-/// shared accumulators. Results match the `reference::` implementations
-/// below up to float-summation reassociation.
+/// shared accumulators.
+///
+/// Every kernel additionally dispatches at runtime (`simd::Dispatch()`,
+/// overridable with `ANGELPTM_SIMD=scalar|avx2`) between a portable
+/// scalar path and packed AVX2/FMA micro-kernels from `train/simd/`
+/// (DESIGN.md §11). On the scalar path, results match the `reference::`
+/// implementations below up to float-summation reassociation; the AVX2
+/// path matches within the tolerances pinned by
+/// tests/train/kernel_golden_test.cc (FMA reassociates sums, and
+/// GeLU/softmax use a vectorized exp polynomial).
 ///
 /// Conventions: row-major matrices, `m x k` times `k x n`.
 

@@ -1,0 +1,48 @@
+#include "train/simd/scratch.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace angelptm::simd {
+namespace {
+
+struct SlotBuffer {
+  float* data = nullptr;
+  size_t capacity = 0;  // In floats.
+
+  ~SlotBuffer() { std::free(data); }
+
+  void Reserve(size_t floats) {
+    if (capacity >= floats) return;
+    // Geometric growth so alternating sizes don't thrash the allocator.
+    size_t want = capacity == 0 ? 1024 : capacity;
+    while (want < floats) want *= 2;
+    std::free(data);
+    // aligned_alloc requires the size to be a multiple of the alignment;
+    // the power-of-two float counts above are always 64-byte multiples.
+    data = static_cast<float*>(std::aligned_alloc(64, want * sizeof(float)));
+    ANGEL_CHECK(data != nullptr) << "scratch allocation of " << want
+                                 << " floats failed";
+    capacity = want;
+  }
+};
+
+SlotBuffer& Slot(ScratchSlot slot) {
+  thread_local SlotBuffer buffers[kNumScratchSlots];
+  return buffers[static_cast<int>(slot)];
+}
+
+}  // namespace
+
+float* ThreadScratch(ScratchSlot slot, size_t floats) {
+  SlotBuffer& buf = Slot(slot);
+  buf.Reserve(floats);
+  return buf.data;
+}
+
+size_t ThreadScratchCapacity(ScratchSlot slot) {
+  return Slot(slot).capacity;
+}
+
+}  // namespace angelptm::simd

@@ -3,6 +3,7 @@
 #ifndef ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_CLEAN_H_
 #define ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_CLEAN_H_
 
+#include <immintrin.h>  // lint: simd-include (fixture waiver form)
 #include <memory>
 #include <mutex>
 

@@ -1,0 +1,8 @@
+// Lint fixture: a bare intrinsic include is allowed here — src/train/simd/
+// is the one directory the simd-include rule exempts. Never compiled.
+#ifndef ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_TRAIN_SIMD_OK_H_
+#define ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_TRAIN_SIMD_OK_H_
+
+#include <immintrin.h>
+
+#endif  // ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_TRAIN_SIMD_OK_H_

@@ -2,6 +2,7 @@
 #ifndef ANGELPTM_TESTS_LINT_FIXTURES_DIRTY_SRC_BAD_H_
 #define ANGELPTM_TESTS_LINT_FIXTURES_DIRTY_SRC_BAD_H_
 
+#include <immintrin.h>  // Intrinsics outside src/train/simd/, no waiver.
 #include <mutex>
 
 namespace demo {
