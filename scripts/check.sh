@@ -24,8 +24,14 @@
 #     on whatever host this runs on (the avx2-path tests skip themselves on
 #     hosts without AVX2+FMA).
 #
+#   * An SSD pipeline pass (DESIGN.md §12): the pipeline bench runs in
+#     smoke mode, then the mem and engine suites re-run with
+#     ANGELPTM_SSD_IO_WORKERS forcing the async submission-queue backend,
+#     including the fault-injection suite with a transient fault armed —
+#     proving the retry policy still fires per attempt behind the queue.
+#
 # Usage: scripts/check.sh
-#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd]
+#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd|--ssd]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -91,6 +97,31 @@ if [ "$MODE" = all ] || [ "$MODE" = --simd ]; then
     --gtest_filter='*KernelGoldenTest*:SimdDispatchTest.*'
   ANGELPTM_SIMD=avx2 ./build/tests/train_test \
     --gtest_filter='*KernelGoldenTest*:SimdDispatchTest.*'
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --ssd ]; then
+  echo "=== SSD pipeline: smoke bench + suites on the async backend ==="
+  if [ ! -x build/bench/ssd_pipeline_bench ] || \
+     [ ! -x build/tests/mem_test ] || [ ! -x build/tests/runtime_test ]; then
+    cmake -B build -S .
+    cmake --build build -j --target ssd_pipeline_bench mem_test runtime_test
+  fi
+  # Smoke config: tiny working set, no 2x guard (the full bench enforces
+  # it); this proves the read-ahead pipeline runs end to end on this host.
+  ./build/bench/ssd_pipeline_bench build/BENCH_ssd_pipeline_smoke.json --smoke
+  # The whole mem suite (incl. tests written against the sync default) on
+  # the async backend: the env override beats every in-test io_workers
+  # setting, so every ReadFrame/WriteFrame goes through the queue.
+  ANGELPTM_SSD_IO_WORKERS=4 ./build/tests/mem_test
+  # Fault injection against the queue: a transient fault on the first
+  # pwrite of every tier must be absorbed by the per-attempt retry policy
+  # even when the attempt runs on a queue worker inside a coalesced batch.
+  ANGELPTM_SSD_IO_WORKERS=4 ANGELPTM_FAULT_SITES="ssd.pwrite=nth:1" \
+    ./build/tests/mem_test --gtest_filter='MemFaultInjectionTest.*'
+  # The engine paths (trace -> planner -> Belady eviction) on the async
+  # backend, including the failed-prefetch accounting regression test.
+  ANGELPTM_SSD_IO_WORKERS=4 ./build/tests/runtime_test \
+    --gtest_filter='EngineTest.*'
 fi
 
 if [ "$MODE" = all ] || [ "$MODE" = --trace-smoke ]; then

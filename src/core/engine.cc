@@ -34,6 +34,8 @@ util::Result<std::unique_ptr<Engine>> Engine::Create(
   updater_options.master_device = options.master_device;
   engine->updater_ = std::make_unique<LockFreeUpdater>(
       engine->allocator_.get(), updater_options);
+  engine->metric_prefetch_move_failures_ =
+      obs::Registry::Instance().GetCounter("engine/prefetch_move_failures");
   return engine;
 }
 
@@ -69,6 +71,7 @@ util::Status Engine::BeginStep() {
   if (steps_completed_ == 0) {
     tracer_.Reset();
   }
+  planner_.BeginStep();
   if (options_.lock_free && !updater_->running()) {
     updater_->Start();
   }
@@ -102,6 +105,24 @@ util::Status Engine::IssuePrefetch(int layer_index) {
   return util::Status::OK();
 }
 
+void Engine::SettlePendingMoves(WorkingLayer& layer) {
+  // Settle in-flight prefetch moves BEFORE inspecting residence: the
+  // copy-engine worker writes the page's device, and the future is the only
+  // synchronization edge between that write and this read. get() — not
+  // wait() — so a failed move's Status is observed: the layer stays
+  // CPU-resident and recovers through the on-demand path at its next use,
+  // so the failure is counted rather than propagated.
+  for (auto& future : layer.pending_moves) {
+    const util::Status status = future.get();
+    if (!status.ok()) {
+      ++prefetch_move_failures_;
+      metric_prefetch_move_failures_->Increment();
+      ANGEL_LOG(Warning) << "prefetch move failed: " << status.ToString();
+    }
+  }
+  layer.pending_moves.clear();
+}
+
 util::Status Engine::MoveWithEviction(int layer_index) {
   for (;;) {
     const util::Status moved =
@@ -110,16 +131,23 @@ util::Status Engine::MoveWithEviction(int layer_index) {
     // The tier is full: push another staged layer's working tensor back to
     // the CPU tier (it will be re-fetched at its next use — the on-demand
     // behaviour Algorithm 1's wait-stack creates under memory pressure).
-    bool evicted = false;
+    // Victim order is Belady-style once the planner is trained: farthest
+    // predicted next use first, the immediately-next layer last;
+    // registration order during the warmup step.
+    std::vector<uint64_t> candidates;
     for (size_t l = 0; l < layers_.size(); ++l) {
       if (int(l) == layer_index) continue;
-      WorkingLayer& other = layers_[l];
+      const WorkingLayer& other = layers_[l];
       if (other.tensor == nullptr || !other.staged_this_step) continue;
-      // Settle in-flight prefetch moves BEFORE inspecting residence: the
-      // copy-engine worker writes the page's device, and the future is the
-      // only synchronization edge between that write and this read.
-      for (auto& future : other.pending_moves) future.wait();
-      other.pending_moves.clear();
+      candidates.push_back(l);
+    }
+    if (planner_.trained()) {
+      candidates = planner_.RankEvictionCandidates(candidates);
+    }
+    bool evicted = false;
+    for (const uint64_t l : candidates) {
+      WorkingLayer& other = layers_[l];
+      SettlePendingMoves(other);
       if (other.tensor->device_index() !=
           static_cast<int>(mem::DeviceKind::kGpu)) {
         continue;
@@ -159,6 +187,7 @@ util::Result<std::vector<float>> Engine::UseLayerParams(int layer_index) {
   if (tracing) {
     tracer_.BeginOp("use_layer_" + std::to_string(layer_index));
     ANGEL_RETURN_IF_ERROR(tracer_.RecordAccess(layer_index, 2 * layer.count));
+    planner_.RecordAccess(static_cast<uint64_t>(layer_index));
     // Measure production costs for the trace (§5: cpu_time = staging the
     // fp16 copy, gpu_time = the tier movement).
     const auto stage_start = std::chrono::steady_clock::now();
@@ -174,10 +203,19 @@ util::Result<std::vector<float>> Engine::UseLayerParams(int layer_index) {
         std::chrono::duration<double>(move_end - move_start).count());
     layer.total_uses += 1;
   } else {
+    // Advance the access-order model past this use first, so eviction
+    // ranking inside MoveWithEviction sees distances relative to the
+    // *upcoming* accesses.
+    planner_.OnUse(static_cast<uint64_t>(layer_index));
+    // Whether this use had to block anywhere; decided once, after the final
+    // residence check, so a single use is never counted as both a hit and a
+    // wait (an eviction pushing the layer back to CPU after its futures
+    // resolved used to double-count).
+    bool waited = false;
     if (!layer.staged_this_step) {
       // The schedule left this layer CPU-resident (memory pressure):
       // fetch on demand, the wait-stack behaviour of Algorithm 1.
-      ++prefetch_waits_;
+      waited = true;
       ANGEL_RETURN_IF_ERROR(StageWorkingTensor(layer_index));
       ANGEL_RETURN_IF_ERROR(MoveWithEviction(layer_index));
     } else if (!layer.pending_moves.empty()) {
@@ -198,14 +236,19 @@ util::Result<std::vector<float>> Engine::UseLayerParams(int layer_index) {
         ANGEL_RETURN_IF_ERROR(MoveWithEviction(layer_index));
         all_ready = false;
       }
-      (all_ready ? prefetch_hits_ : prefetch_waits_) += 1;
+      if (!all_ready) waited = true;
     }
     // An earlier eviction may have pushed this layer back to the CPU tier.
     if (layer.tensor->device_index() !=
         static_cast<int>(mem::DeviceKind::kGpu)) {
       ANGEL_RETURN_IF_ERROR(MoveWithEviction(layer_index));
-      ++prefetch_waits_;
+      waited = true;
     }
+    // Exactly-once accounting: prefetch_hits_ + prefetch_waits_ ==
+    // scheduled_uses_ (asserted by the engine test). A use that was staged,
+    // settled and still GPU-resident counts as a hit.
+    ++scheduled_uses_;
+    (waited ? prefetch_waits_ : prefetch_hits_) += 1;
   }
 
   std::vector<float> params;
@@ -276,8 +319,7 @@ util::Status Engine::PushGrads(int layer_index,
 util::Status Engine::ReleaseWorkingTensor(int layer_index) {
   WorkingLayer& layer = layers_[layer_index];
   if (layer.tensor == nullptr) return util::Status::OK();
-  for (auto& future : layer.pending_moves) future.wait();
-  layer.pending_moves.clear();
+  SettlePendingMoves(layer);
   ANGEL_RETURN_IF_ERROR(allocator_->Release(layer.tensor));
   layer.tensor = nullptr;
   layer.staged_this_step = false;
@@ -326,6 +368,9 @@ util::Status Engine::BuildScheduleFromTrace() {
       layers_[layer].issue_trigger = task.trigger_id;
     }
   }
+  // The warmup trace is now the planner's learned periodic order; from the
+  // next step on, MoveWithEviction ranks victims by predicted next use.
+  planner_.FinishWarmup();
   return util::Status::OK();
 }
 

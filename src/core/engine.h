@@ -11,6 +11,8 @@
 #include "core/tracer.h"
 #include "mem/copy_engine.h"
 #include "mem/hierarchical_memory.h"
+#include "mem/prefetch_planner.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace angelptm::core {
@@ -88,9 +90,21 @@ class Engine {
 
   int steps_completed() const { return steps_completed_; }
   /// Scheduled prefetches that finished before the compute needed them /
-  /// accesses that had to wait or stage on demand.
+  /// accesses that had to wait or stage on demand. Every schedule-driven
+  /// (post-warmup) use is counted exactly once as a hit or a wait:
+  /// prefetch_hits() + prefetch_waits() == scheduled_uses().
   uint64_t prefetch_hits() const { return prefetch_hits_; }
   uint64_t prefetch_waits() const { return prefetch_waits_; }
+  /// Post-warmup UseLayerParams calls (the denominator of the hit rate).
+  uint64_t scheduled_uses() const { return scheduled_uses_; }
+  /// Asynchronous prefetch moves that resolved with an error while their
+  /// futures were settled off the issuing path (eviction scans, releases).
+  /// Each such layer stays CPU-resident and recovers through the on-demand
+  /// path at its next use, so these are counted, not propagated.
+  uint64_t prefetch_move_failures() const { return prefetch_move_failures_; }
+  /// Trace-driven access-order model: trained from the warmup step, then
+  /// drives Belady-style eviction in MoveWithEviction (DESIGN.md §12).
+  const mem::PrefetchPlanner& planner() const { return planner_; }
 
  private:
   explicit Engine(const EngineOptions& options);
@@ -112,8 +126,13 @@ class Engine {
   /// Starts the asynchronous CPU->GPU movement of the layer's pages.
   [[nodiscard]] util::Status IssuePrefetch(int layer);
   /// Moves the layer's working tensor to the GPU tier, evicting other
-  /// staged layers back to CPU if the tier is full.
+  /// staged layers back to CPU if the tier is full. Victims are chosen by
+  /// predicted next use (farthest first, never the immediately-next layer)
+  /// once the planner is trained; registration order during warmup.
   [[nodiscard]] util::Status MoveWithEviction(int layer);
+  /// Resolves a layer's in-flight prefetch futures, counting (not
+  /// propagating) failed moves — see prefetch_move_failures().
+  void SettlePendingMoves(WorkingLayer& layer);
   /// Issues every scheduled prefetch whose trigger has been reached.
   [[nodiscard]] util::Status IssueReadyPrefetches();
   [[nodiscard]] util::Status ReleaseWorkingTensor(int layer);
@@ -126,6 +145,7 @@ class Engine {
   std::unique_ptr<LockFreeUpdater> updater_;
   Tracer tracer_;
   std::unique_ptr<Schedule> schedule_;
+  mem::PrefetchPlanner planner_;
   /// layer -> earliest move trigger, from the schedule.
   std::vector<WorkingLayer> layers_;
 
@@ -134,6 +154,9 @@ class Engine {
   int current_op_ = 0;
   uint64_t prefetch_hits_ = 0;
   uint64_t prefetch_waits_ = 0;
+  uint64_t scheduled_uses_ = 0;
+  uint64_t prefetch_move_failures_ = 0;
+  obs::Counter* metric_prefetch_move_failures_ = nullptr;
 };
 
 }  // namespace angelptm::core

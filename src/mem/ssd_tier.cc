@@ -1,11 +1,13 @@
 #include "mem/ssd_tier.h"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -22,6 +24,22 @@ uint64_t NowUs() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Reads a non-negative integer knob from the environment, falling back to
+/// `fallback` when unset or unparsable. Env wins over Options so a whole test
+/// binary can be re-pointed at the async backend without code changes
+/// (scripts/check.sh --ssd relies on this).
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    ANGEL_LOG(Warning) << "ignoring unparsable " << name << "=" << value;
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
 }
 
 }  // namespace
@@ -68,21 +86,53 @@ util::Status SsdTier::Open(const Options& options) {
   throttle_.set_rate(options.throttle_bytes_per_sec);
   delete_on_close_ = options.delete_on_close;
   retry_ = options.retry;
+  io_queue_depth_ =
+      std::max<size_t>(1, EnvSizeOr("ANGELPTM_SSD_IO_QUEUE_DEPTH",
+                                    options.io_queue_depth));
+  io_max_coalesce_ = std::max<size_t>(
+      1, EnvSizeOr("ANGELPTM_SSD_IO_COALESCE", options.io_max_coalesce));
+  io_op_latency_us_ = static_cast<int>(
+      EnvSizeOr("ANGELPTM_SSD_IO_OP_LATENCY_US",
+                static_cast<size_t>(std::max(0, options.io_op_latency_us))));
   obs::Registry& registry = obs::Registry::Instance();
   metric_bytes_read_ = registry.GetCounter("ssd/bytes_read");
   metric_bytes_written_ = registry.GetCounter("ssd/bytes_written");
   metric_io_retries_ = registry.GetCounter("ssd/io_retries");
+  metric_queued_requests_ = registry.GetCounter("ssd/async_requests");
   metric_pread_us_ = registry.GetHistogram("ssd/pread_us");
   metric_pwrite_us_ = registry.GetHistogram("ssd/pwrite_us");
+  metric_queue_depth_ = registry.GetHistogram("ssd/queue_depth");
+  metric_batch_frames_ = registry.GetHistogram("ssd/batch_frames");
   free_list_.clear();
   free_list_.reserve(total_frames_);
   for (size_t i = total_frames_; i > 0; --i) {
     free_list_.push_back(static_cast<uint32_t>(i - 1));
   }
+  {
+    util::MutexLock lock(io_mutex_);
+    io_stop_ = false;
+    max_queue_depth_ = 0;
+  }
+  const size_t workers =
+      EnvSizeOr("ANGELPTM_SSD_IO_WORKERS", options.io_workers);
+  io_threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    io_threads_.emplace_back([this] { WorkerLoop(); });
+  }
   return util::Status::OK();
 }
 
 void SsdTier::Close() {
+  if (!io_threads_.empty()) {
+    {
+      util::MutexLock lock(io_mutex_);
+      io_stop_ = true;
+    }
+    io_work_cv_.NotifyAll();
+    io_space_cv_.NotifyAll();
+    for (auto& thread : io_threads_) thread.join();
+    io_threads_.clear();
+  }
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -141,75 +191,217 @@ util::Status SsdTier::WithRetries(const char* site, Attempt&& attempt) {
   return status;
 }
 
-util::Status SsdTier::WriteFrameOnce(uint64_t offset, const std::byte* src,
-                                     size_t bytes) {
-  ANGEL_FAULT_CHECK("ssd.pwrite");
-  size_t done = 0;
-  while (done < bytes) {
-    const ssize_t n = ::pwrite(fd_, src + done, bytes - done,
-                               static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return util::Status::IoError(std::string("pwrite: ") +
-                                   std::strerror(errno));
-    }
-    done += static_cast<size_t>(n);
+util::Status SsdTier::ValidateIo(size_t bytes) const {
+  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
+  if (bytes > frame_bytes_) {
+    return util::Status::InvalidArgument("transfer exceeds frame size");
   }
   return util::Status::OK();
+}
+
+util::Status SsdTier::ExecuteBatchOnce(const std::vector<IoRequest>& batch) {
+  // Emulated device command latency, charged per syscall attempt: one
+  // coalesced batch pays it once, N individual requests pay it N times.
+  if (io_op_latency_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(io_op_latency_us_));
+  }
+  const bool is_write = batch.front().is_write;
+  if (is_write) {
+    ANGEL_FAULT_CHECK("ssd.pwrite");
+  } else {
+    ANGEL_FAULT_CHECK("ssd.pread");
+  }
+  std::vector<iovec> iov;
+  iov.reserve(batch.size());
+  size_t total = 0;
+  for (const IoRequest& request : batch) {
+    iov.push_back(iovec{request.buf, request.bytes});
+    total += request.bytes;
+  }
+  const uint64_t base = batch.front().offset;
+  size_t done = 0;
+  size_t skip = 0;  // Fully transferred iovecs after a partial syscall.
+  while (done < total) {
+    const ssize_t n =
+        is_write ? ::pwritev(fd_, iov.data() + skip,
+                             static_cast<int>(iov.size() - skip),
+                             static_cast<off_t>(base + done))
+                 : ::preadv(fd_, iov.data() + skip,
+                            static_cast<int>(iov.size() - skip),
+                            static_cast<off_t>(base + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(
+          std::string(is_write ? "pwritev" : "preadv") + " at offset " +
+          std::to_string(base + done) + ": " + std::strerror(errno));
+    }
+    if (n == 0) {
+      // A short read mid-range means the backing file is truncated; say
+      // exactly where and how much was missing so recovery logs are
+      // actionable.
+      return util::Status::IoError(
+          "preadv: unexpected EOF at offset " + std::to_string(base + done) +
+          " (requested " + std::to_string(total) + " bytes from offset " +
+          std::to_string(base) + ", received " + std::to_string(done) + ")");
+    }
+    done += static_cast<size_t>(n);
+    // Advance past iovecs the partial transfer fully covered, trimming the
+    // first partially-covered one so the retry resumes mid-buffer.
+    size_t advanced = static_cast<size_t>(n);
+    while (advanced > 0 && skip < iov.size()) {
+      if (advanced >= iov[skip].iov_len) {
+        advanced -= iov[skip].iov_len;
+        ++skip;
+      } else {
+        iov[skip].iov_base = static_cast<std::byte*>(iov[skip].iov_base) +
+                             advanced;
+        iov[skip].iov_len -= advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+void SsdTier::RunBatch(std::vector<IoRequest>& batch) {
+  const bool is_write = batch.front().is_write;
+  ANGEL_SPAN("ssd", is_write ? "pwritev" : "preadv");
+  const uint64_t start_us = NowUs();
+  util::Status status = WithRetries(is_write ? "ssd.pwrite" : "ssd.pread",
+                                    [&] { return ExecuteBatchOnce(batch); });
+  if (status.ok()) {
+    size_t total = 0;
+    for (const IoRequest& request : batch) total += request.bytes;
+    if (is_write) {
+      metric_pwrite_us_->Record(NowUs() - start_us);
+      bytes_written_.fetch_add(total, std::memory_order_relaxed);
+      metric_bytes_written_->Increment(total);
+    } else {
+      metric_pread_us_->Record(NowUs() - start_us);
+      bytes_read_.fetch_add(total, std::memory_order_relaxed);
+      metric_bytes_read_->Increment(total);
+    }
+    throttle_.Consume(total);
+  }
+  // A failed batch fails every request it coalesced with the same status;
+  // each caller's retry-or-propagate decision already happened here (the
+  // retry policy ran per batch attempt), so the error is terminal.
+  for (IoRequest& request : batch) {
+    request.done->set_value(status);
+  }
+}
+
+std::vector<SsdTier::IoRequest> SsdTier::NextBatchLocked() {
+  std::vector<IoRequest> batch;
+  batch.push_back(std::move(io_queue_.front()));
+  io_queue_.pop_front();
+  // Single forward pass: chain queued requests whose byte range starts
+  // exactly where the batch currently ends and that perform the same
+  // operation. Later out-of-order arrivals stay queued for the next batch.
+  uint64_t tail = batch.front().offset + batch.front().bytes;
+  for (auto it = io_queue_.begin();
+       it != io_queue_.end() && batch.size() < io_max_coalesce_;) {
+    if (it->is_write == batch.front().is_write && it->offset == tail) {
+      tail += it->bytes;
+      batch.push_back(std::move(*it));
+      it = io_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void SsdTier::WorkerLoop() {
+  for (;;) {
+    std::vector<IoRequest> batch;
+    {
+      util::MutexLock lock(io_mutex_);
+      while (io_queue_.empty() && !io_stop_) io_work_cv_.Wait(io_mutex_);
+      // Drain the queue fully before honoring stop, so Close() never
+      // abandons an accepted request.
+      if (io_queue_.empty()) return;
+      batch = NextBatchLocked();
+    }
+    io_space_cv_.NotifyAll();
+    io_batches_.fetch_add(1, std::memory_order_relaxed);
+    metric_batch_frames_->Record(batch.size());
+    RunBatch(batch);
+  }
+}
+
+std::future<util::Status> SsdTier::Submit(IoRequest request) {
+  std::future<util::Status> future = request.done->get_future();
+  if (io_threads_.empty()) {
+    // Synchronous legacy backend: execute inline, one syscall per request.
+    std::vector<IoRequest> batch;
+    batch.push_back(std::move(request));
+    RunBatch(batch);
+    return future;
+  }
+  {
+    util::MutexLock lock(io_mutex_);
+    while (io_queue_.size() >= io_queue_depth_ && !io_stop_) {
+      io_space_cv_.Wait(io_mutex_);
+    }
+    if (io_stop_) {
+      request.done->set_value(
+          util::Status::Cancelled("SsdTier closing; request rejected"));
+      return future;
+    }
+    io_queue_.push_back(std::move(request));
+    const size_t depth = io_queue_.size();
+    max_queue_depth_ = std::max(max_queue_depth_, depth);
+    metric_queue_depth_->Record(depth);
+  }
+  queued_requests_.fetch_add(1, std::memory_order_relaxed);
+  metric_queued_requests_->Increment();
+  io_work_cv_.NotifyOne();
+  return future;
+}
+
+std::future<util::Status> SsdTier::WriteFrameAsync(uint64_t offset,
+                                                   const std::byte* src,
+                                                   size_t bytes) {
+  IoRequest request;
+  request.is_write = true;
+  request.offset = offset;
+  // Writes never mutate through this pointer; IoRequest is shared with the
+  // read path whose buffers are genuinely written to.
+  request.buf = const_cast<std::byte*>(src);
+  request.bytes = bytes;
+  request.done = std::make_shared<std::promise<util::Status>>();
+  if (util::Status validation = ValidateIo(bytes); !validation.ok()) {
+    request.done->set_value(std::move(validation));
+    return request.done->get_future();
+  }
+  return Submit(std::move(request));
+}
+
+std::future<util::Status> SsdTier::ReadFrameAsync(uint64_t offset,
+                                                  std::byte* dst,
+                                                  size_t bytes) {
+  IoRequest request;
+  request.is_write = false;
+  request.offset = offset;
+  request.buf = dst;
+  request.bytes = bytes;
+  request.done = std::make_shared<std::promise<util::Status>>();
+  if (util::Status validation = ValidateIo(bytes); !validation.ok()) {
+    request.done->set_value(std::move(validation));
+    return request.done->get_future();
+  }
+  return Submit(std::move(request));
 }
 
 util::Status SsdTier::WriteFrame(uint64_t offset, const std::byte* src,
                                  size_t bytes) {
-  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
-  if (bytes > frame_bytes_) {
-    return util::Status::InvalidArgument("write exceeds frame size");
-  }
-  ANGEL_SPAN("ssd", "pwrite");
-  const uint64_t start_us = NowUs();
-  ANGEL_RETURN_IF_ERROR(WithRetries(
-      "ssd.pwrite", [&] { return WriteFrameOnce(offset, src, bytes); }));
-  metric_pwrite_us_->Record(NowUs() - start_us);
-  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
-  metric_bytes_written_->Increment(bytes);
-  throttle_.Consume(bytes);
-  return util::Status::OK();
-}
-
-util::Status SsdTier::ReadFrameOnce(uint64_t offset, std::byte* dst,
-                                    size_t bytes) {
-  ANGEL_FAULT_CHECK("ssd.pread");
-  size_t done = 0;
-  while (done < bytes) {
-    const ssize_t n = ::pread(fd_, dst + done, bytes - done,
-                              static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return util::Status::IoError(std::string("pread: ") +
-                                   std::strerror(errno));
-    }
-    if (n == 0) {
-      return util::Status::IoError("pread: unexpected EOF");
-    }
-    done += static_cast<size_t>(n);
-  }
-  return util::Status::OK();
+  return WriteFrameAsync(offset, src, bytes).get();
 }
 
 util::Status SsdTier::ReadFrame(uint64_t offset, std::byte* dst,
                                 size_t bytes) {
-  if (!is_open()) return util::Status::FailedPrecondition("SsdTier closed");
-  if (bytes > frame_bytes_) {
-    return util::Status::InvalidArgument("read exceeds frame size");
-  }
-  ANGEL_SPAN("ssd", "pread");
-  const uint64_t start_us = NowUs();
-  ANGEL_RETURN_IF_ERROR(WithRetries(
-      "ssd.pread", [&] { return ReadFrameOnce(offset, dst, bytes); }));
-  metric_pread_us_->Record(NowUs() - start_us);
-  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
-  metric_bytes_read_->Increment(bytes);
-  throttle_.Consume(bytes);
-  return util::Status::OK();
+  return ReadFrameAsync(offset, dst, bytes).get();
 }
 
 SsdTier::Stats SsdTier::Snapshot() const {
@@ -217,6 +409,12 @@ SsdTier::Stats SsdTier::Snapshot() const {
   stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   stats.io_retries = io_retries_.load(std::memory_order_relaxed);
+  stats.queued_requests = queued_requests_.load(std::memory_order_relaxed);
+  stats.io_batches = io_batches_.load(std::memory_order_relaxed);
+  {
+    util::MutexLock lock(io_mutex_);
+    stats.max_queue_depth = max_queue_depth_;
+  }
   stats.total_frames = total_frames_;
   stats.free_frames = free_frames();
   return stats;

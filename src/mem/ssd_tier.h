@@ -4,7 +4,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mem/device.h"
@@ -20,14 +24,29 @@ namespace angelptm::mem {
 /// file; reads and writes are real pread/pwrite calls so the lock-free
 /// updating mechanism contends with genuine I/O latency.
 ///
+/// I/O goes through a *submission-queue backend* (DESIGN.md §12): callers
+/// enqueue requests (ReadFrameAsync / WriteFrameAsync, or the blocking
+/// ReadFrame / WriteFrame wrappers) and a small worker pool drains a deep
+/// request queue, merging requests that target adjacent frames into one
+/// preadv/pwritev — the DeepNVMe-style batching that replaces one blocking
+/// syscall per page. `io_workers = 0` selects the legacy synchronous path
+/// (one inline syscall per call), which the SSD pipeline bench uses as its
+/// baseline.
+///
 /// An optional bandwidth throttle (bytes/second) emulates the 3.5 GB/s SSD of
 /// the paper's A100 servers when the local disk is faster; 0 disables it.
+/// An optional per-operation latency (`io_op_latency_us`) emulates the NVMe
+/// command overhead that makes deep queues and coalescing pay off on real
+/// devices; it is charged once per syscall *attempt*, on both backends, so
+/// sync-vs-async comparisons model the same device.
 ///
 /// Transient I/O failures (flaky NVMe, EIO under pressure) are absorbed by a
-/// retry-with-exponential-backoff policy at the ReadFrame/WriteFrame
-/// boundary; only errors that persist across every attempt reach the caller.
-/// The failpoints "ssd.pread" / "ssd.pwrite" (util::FaultInjector) fire
-/// per *attempt*, so an nth-call rule models exactly one transient fault.
+/// retry-with-exponential-backoff policy at the request boundary; only errors
+/// that persist across every attempt reach the caller. The failpoints
+/// "ssd.pread" / "ssd.pwrite" (util::FaultInjector) fire per *attempt* on
+/// both backends, so an nth-call rule models exactly one transient fault. A
+/// batch that exhausts its retries fails every request it coalesced with the
+/// same status.
 class SsdTier {
  public:
   /// Retry policy for transient IoErrors on pread/pwrite. Attempt k waits
@@ -46,16 +65,41 @@ class SsdTier {
     double throttle_bytes_per_sec = 0.0;
     bool delete_on_close = true;
     RetryPolicy retry;
+    /// Submission-queue backend: worker threads draining the request queue.
+    /// 0 = synchronous legacy path (one inline syscall per call). Overridden
+    /// by the ANGELPTM_SSD_IO_WORKERS environment variable when set.
+    size_t io_workers = 2;
+    /// Maximum queued (not yet picked up) requests before submitters block —
+    /// the backpressure bound on queue depth. Overridden by
+    /// ANGELPTM_SSD_IO_QUEUE_DEPTH when set.
+    size_t io_queue_depth = 64;
+    /// Maximum requests merged into one preadv/pwritev when they target
+    /// adjacent byte ranges of the backing file. 1 disables coalescing.
+    /// Overridden by ANGELPTM_SSD_IO_COALESCE when set.
+    size_t io_max_coalesce = 8;
+    /// Emulated per-syscall device command latency in microseconds, charged
+    /// once per attempt on both backends (0 = none). Makes batching wins
+    /// reproducible on hosts whose /tmp is a fast tmpfs.
+    int io_op_latency_us = 0;
   };
 
   /// Structured I/O statistics of this tier instance. The same series are
   /// published process-wide through the obs:: registry ("ssd/bytes_read",
-  /// "ssd/io_retries", latency histograms "ssd/pread_us"/"ssd/pwrite_us").
+  /// "ssd/io_retries", latency histograms "ssd/pread_us"/"ssd/pwrite_us",
+  /// queue-depth histogram "ssd/queue_depth", batch-size histogram
+  /// "ssd/batch_frames").
   struct Stats {
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
     /// Transient I/O failures absorbed by the retry policy (not surfaced).
     uint64_t io_retries = 0;
+    /// Requests executed through the submission queue (0 on the sync path).
+    uint64_t queued_requests = 0;
+    /// Syscall batches issued by the queue workers; queued_requests /
+    /// io_batches is the achieved coalescing factor.
+    uint64_t io_batches = 0;
+    /// High-water mark of the request queue length at submission time.
+    size_t max_queue_depth = 0;
     size_t total_frames = 0;
     size_t free_frames = 0;
   };
@@ -67,22 +111,40 @@ class SsdTier {
   SsdTier& operator=(const SsdTier&) = delete;
 
   /// Creates (or truncates) the backing file sized to hold
-  /// floor(capacity / frame_bytes) frames.
+  /// floor(capacity / frame_bytes) frames, and spawns the submission-queue
+  /// workers when the async backend is enabled.
   [[nodiscard]] util::Status Open(const Options& options)
-      ANGEL_EXCLUDES(mutex_);
-  void Close();
+      ANGEL_EXCLUDES(mutex_, io_mutex_);
+  /// Drains every pending queued request, stops the workers, and closes the
+  /// backing file. Concurrent I/O calls during Close are not supported.
+  void Close() ANGEL_EXCLUDES(io_mutex_);
   bool is_open() const { return fd_ >= 0; }
 
   /// Acquires a free frame, returning its byte offset in the backing file.
   [[nodiscard]] util::Result<uint64_t> AcquireFrame() ANGEL_EXCLUDES(mutex_);
   void ReleaseFrame(uint64_t offset) ANGEL_EXCLUDES(mutex_);
 
-  /// Writes `bytes` from `src` to the frame at `offset` (full pwrite).
+  /// Writes `bytes` from `src` to the frame at `offset`. Blocks until the
+  /// write completed (through the queue when the async backend is on).
   [[nodiscard]] util::Status WriteFrame(uint64_t offset, const std::byte* src,
-                                        size_t bytes);
-  /// Reads `bytes` into `dst` from the frame at `offset`.
+                                        size_t bytes) ANGEL_EXCLUDES(io_mutex_);
+  /// Reads `bytes` into `dst` from the frame at `offset` (blocking, like
+  /// WriteFrame).
   [[nodiscard]] util::Status ReadFrame(uint64_t offset, std::byte* dst,
-                                       size_t bytes);
+                                       size_t bytes) ANGEL_EXCLUDES(io_mutex_);
+
+  /// Enqueues a frame write and returns the completion future. `src` must
+  /// stay valid until the future resolves. On the sync backend the request
+  /// is executed inline and the future is already resolved.
+  [[nodiscard]] std::future<util::Status> WriteFrameAsync(uint64_t offset,
+                                                          const std::byte* src,
+                                                          size_t bytes)
+      ANGEL_EXCLUDES(io_mutex_);
+  /// Enqueues a frame read; same contract as WriteFrameAsync.
+  [[nodiscard]] std::future<util::Status> ReadFrameAsync(uint64_t offset,
+                                                         std::byte* dst,
+                                                         size_t bytes)
+      ANGEL_EXCLUDES(io_mutex_);
 
   size_t frame_bytes() const { return frame_bytes_; }
   size_t total_frames() const { return total_frames_; }
@@ -90,17 +152,37 @@ class SsdTier {
   uint64_t capacity_bytes() const {
     return uint64_t{total_frames_} * frame_bytes_;
   }
+  /// Workers actually running (after the env override); 0 = sync backend.
+  size_t io_workers() const { return io_threads_.size(); }
 
   /// Point-in-time copy of this instance's I/O statistics.
   Stats Snapshot() const;
 
  private:
-  /// One pread/pwrite attempt over the whole range (no retries).
-  [[nodiscard]] util::Status WriteFrameOnce(uint64_t offset,
-                                            const std::byte* src,
-                                            size_t bytes);
-  [[nodiscard]] util::Status ReadFrameOnce(uint64_t offset, std::byte* dst,
-                                           size_t bytes);
+  /// One queued I/O request. `buf` is the caller's frame buffer (read
+  /// destination or write source); the const_cast for writes never mutates.
+  struct IoRequest {
+    bool is_write = false;
+    uint64_t offset = 0;
+    std::byte* buf = nullptr;
+    size_t bytes = 0;
+    std::shared_ptr<std::promise<util::Status>> done;
+  };
+
+  [[nodiscard]] util::Status ValidateIo(size_t bytes) const;
+  /// Submits to the queue (async backend) or executes inline (sync backend).
+  [[nodiscard]] std::future<util::Status> Submit(IoRequest request)
+      ANGEL_EXCLUDES(io_mutex_);
+  void WorkerLoop() ANGEL_EXCLUDES(io_mutex_);
+  /// Pops the next request plus every queued request that chains onto it
+  /// (same op, adjacent offsets), up to io_max_coalesce.
+  std::vector<IoRequest> NextBatchLocked() ANGEL_REQUIRES(io_mutex_);
+  /// Executes one batch under the retry policy and resolves its promises.
+  void RunBatch(std::vector<IoRequest>& batch);
+  /// One preadv/pwritev attempt over the whole batch (no retries); fires
+  /// the per-attempt failpoint and the emulated op latency.
+  [[nodiscard]] util::Status ExecuteBatchOnce(
+      const std::vector<IoRequest>& batch);
   /// Runs `attempt` under the retry policy, backing off on transient
   /// IoErrors. `site` names the operation for diagnostics.
   template <typename Attempt>
@@ -114,20 +196,37 @@ class SsdTier {
   size_t total_frames_ = 0;
   bool delete_on_close_ = true;
   RetryPolicy retry_;
+  size_t io_queue_depth_ = 0;
+  size_t io_max_coalesce_ = 1;
+  int io_op_latency_us_ = 0;
+  std::vector<std::thread> io_threads_;
 
   mutable util::Mutex mutex_;
   std::vector<uint32_t> free_list_ ANGEL_GUARDED_BY(mutex_);
+
+  mutable util::Mutex io_mutex_;
+  util::CondVar io_work_cv_;   // Workers wait here for requests.
+  util::CondVar io_space_cv_;  // Submitters wait here under backpressure.
+  std::deque<IoRequest> io_queue_ ANGEL_GUARDED_BY(io_mutex_);
+  bool io_stop_ ANGEL_GUARDED_BY(io_mutex_) = false;
+  size_t max_queue_depth_ ANGEL_GUARDED_BY(io_mutex_) = 0;
+
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> queued_requests_{0};
+  std::atomic<uint64_t> io_batches_{0};
   util::BandwidthThrottle throttle_;
 
   // Process-wide series (obs registry handles; set once in Open).
   obs::Counter* metric_bytes_read_ = nullptr;
   obs::Counter* metric_bytes_written_ = nullptr;
   obs::Counter* metric_io_retries_ = nullptr;
+  obs::Counter* metric_queued_requests_ = nullptr;
   obs::Histogram* metric_pread_us_ = nullptr;
   obs::Histogram* metric_pwrite_us_ = nullptr;
+  obs::Histogram* metric_queue_depth_ = nullptr;
+  obs::Histogram* metric_batch_frames_ = nullptr;
 };
 
 }  // namespace angelptm::mem

@@ -11,6 +11,7 @@
 #include "train/kernels.h"
 #include "train/mlp.h"
 #include "train/transformer.h"
+#include "util/fault_injector.h"
 #include "util/random.h"
 
 namespace angelptm::core {
@@ -365,6 +366,114 @@ TEST(EngineTest, TrainsWithEngineManagedActivations) {
     ASSERT_TRUE((*engine)->EndStep().ok());
   }
   EXPECT_LT(loss, 0.5);  // Converges despite fp16 boundary stashes.
+}
+
+TEST(EngineTest, HitWaitAccountingCoversEveryScheduledUseExactlyOnce) {
+  // Tiny GPU tier forces mid-step evictions — the configuration that used
+  // to double-count a use as both hit and wait when an eviction pushed a
+  // settled layer back to CPU.
+  EngineOptions options;
+  options.memory.page_bytes = 4 * 1024;
+  options.memory.gpu_capacity_bytes = 3 * 4 * 1024;
+  options.memory.cpu_capacity_bytes = 16ull << 20;
+  options.adam.learning_rate = 3e-3;
+  auto engine = Engine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  train::MlpModel model({{16, 48, 48, 4}});
+  util::Rng rng(41);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    ASSERT_TRUE(
+        (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
+  }
+  const int steps = 25;
+  TrainThroughEngine(engine->get(), model, steps, &rng);
+  // Each post-warmup step uses every layer twice (forward + backward).
+  const uint64_t expected_uses =
+      uint64_t(steps - 1) * 2 * model.num_layers();
+  EXPECT_EQ((*engine)->scheduled_uses(), expected_uses);
+  EXPECT_EQ((*engine)->prefetch_hits() + (*engine)->prefetch_waits(),
+            expected_uses);
+}
+
+TEST(EngineTest, AmpleGpuAccountingIsAllHits) {
+  // With room for everything, the invariant still holds and every
+  // scheduled use resolves as a hit (the staged-settled-resident case that
+  // was previously left uncounted).
+  auto engine = Engine::Create(SmallEngineOptions(/*gpu_pages=*/32));
+  ASSERT_TRUE(engine.ok());
+  train::MlpModel model({{16, 64, 64, 4}});
+  util::Rng rng(43);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    ASSERT_TRUE(
+        (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
+  }
+  TrainThroughEngine(engine->get(), model, 10, &rng);
+  EXPECT_EQ((*engine)->prefetch_hits() + (*engine)->prefetch_waits(),
+            (*engine)->scheduled_uses());
+  EXPECT_GT((*engine)->prefetch_hits(), (*engine)->prefetch_waits());
+}
+
+TEST(EngineTest, PlannerLearnsTheSawtoothLayerOrder) {
+  auto engine = Engine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  train::MlpModel model({{16, 32, 32, 4}});
+  util::Rng rng(47);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    ASSERT_TRUE(
+        (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
+  }
+  EXPECT_FALSE((*engine)->planner().trained());
+  TrainThroughEngine(engine->get(), model, 3, &rng);
+  const auto& planner = (*engine)->planner();
+  ASSERT_TRUE(planner.trained());
+  // Forward 0..L-1 then backward L-1..0 — and the steady-state steps replay
+  // it exactly (no mispredicts on the repeating schedule).
+  const std::vector<uint64_t> expected = {0, 1, 2, 2, 1, 0};
+  EXPECT_EQ(planner.learned_order(), expected);
+  EXPECT_EQ(planner.Snapshot().mispredicts, 0u);
+  EXPECT_EQ(planner.Snapshot().predicted_hits, 2 * expected.size());
+}
+
+TEST(EngineTest, FailedPrefetchMovesAreCountedNotLost) {
+  // Regression for the dropped-Status bug: MoveWithEviction used to wait()
+  // on a victim's in-flight futures and discard their errors. Arm the copy
+  // engine's failpoint after warmup on an eviction-heavy config: prefetch
+  // moves fail, the engine must observe and count every failure, and
+  // training must still complete through the synchronous fallback.
+  util::FaultInjector::Instance().Reset();
+  EngineOptions options;
+  options.memory.page_bytes = 4 * 1024;
+  options.memory.gpu_capacity_bytes = 3 * 4 * 1024;
+  options.memory.cpu_capacity_bytes = 16ull << 20;
+  options.adam.learning_rate = 3e-3;
+  auto engine = Engine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  train::MlpModel model({{16, 48, 48, 4}});
+  util::Rng rng(53);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    ASSERT_TRUE(
+        (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
+  }
+  // Warmup + a few clean steps first so the schedule and planner exist.
+  TrainThroughEngine(engine->get(), model, 3, &rng);
+  EXPECT_EQ((*engine)->prefetch_move_failures(), 0u);
+
+  util::FaultRule rule;
+  rule.permanent = true;
+  util::FaultInjector::Instance().Arm("copy_engine.move", rule);
+  TrainThroughEngine(engine->get(), model, 5, &rng);
+  util::FaultInjector::Instance().Reset();
+
+  // Every failed async move was observed (counted), none silently dropped,
+  // and the accounting invariant survived the error path.
+  EXPECT_GT((*engine)->prefetch_move_failures(), 0u);
+  EXPECT_EQ((*engine)->prefetch_hits() + (*engine)->prefetch_waits(),
+            (*engine)->scheduled_uses());
+  EXPECT_EQ((*engine)->steps_completed(), 8);
+
+  // And the engine recovers fully once the fault clears.
+  const double loss = TrainThroughEngine(engine->get(), model, 30, &rng);
+  EXPECT_LT(loss, 1.5);
 }
 
 TEST(EngineTest, ModelLargerThanGpuStillTrainsViaPaging) {

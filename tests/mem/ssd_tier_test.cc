@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,38 @@ SsdTier::Options MakeOptions(const char* tag, uint64_t capacity,
   o.throttle_bytes_per_sec = throttle;
   return o;
 }
+
+/// Pins an env var for one test and restores the previous value on exit.
+/// Tests asserting on a *specific* backend must pin ANGELPTM_SSD_IO_WORKERS
+/// through this, or check.sh --ssd (which exports it for the whole binary)
+/// would silently repoint them.
+class ScopedEnvVar {
+ public:
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnvVar() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
 
 TEST(SsdTierTest, OpenCreatesSizedFile) {
   SsdTier tier;
@@ -176,6 +210,158 @@ TEST(SsdTierTest, ThrottleSlowsIo) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   EXPECT_GE(elapsed, 0.05);
+}
+
+TEST(SsdTierTest, AsyncRoundTripThroughSubmissionQueue) {
+  const ScopedEnvVar pin("ANGELPTM_SSD_IO_WORKERS", "2");
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("async", 8 * kFrame);
+  o.io_workers = 2;
+  ASSERT_TRUE(tier.Open(o).ok());
+  EXPECT_EQ(tier.io_workers(), 2u);
+
+  std::vector<uint64_t> offsets;
+  std::vector<std::vector<std::byte>> bufs;
+  for (int i = 0; i < 8; ++i) {
+    auto offset = tier.AcquireFrame();
+    ASSERT_TRUE(offset.ok());
+    offsets.push_back(*offset);
+    bufs.emplace_back(kFrame, std::byte(i + 1));
+  }
+  std::vector<std::future<util::Status>> writes;
+  for (int i = 0; i < 8; ++i) {
+    writes.push_back(tier.WriteFrameAsync(offsets[i], bufs[i].data(), kFrame));
+  }
+  for (auto& f : writes) EXPECT_TRUE(f.get().ok());
+
+  std::vector<std::vector<std::byte>> in(8, std::vector<std::byte>(kFrame));
+  std::vector<std::future<util::Status>> reads;
+  for (int i = 0; i < 8; ++i) {
+    reads.push_back(tier.ReadFrameAsync(offsets[i], in[i].data(), kFrame));
+  }
+  for (auto& f : reads) EXPECT_TRUE(f.get().ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(in[i][kFrame - 1], std::byte(i + 1)) << i;
+  }
+  const SsdTier::Stats stats = tier.Snapshot();
+  EXPECT_EQ(stats.queued_requests, 16u);
+  EXPECT_GE(stats.io_batches, 1u);
+  EXPECT_LE(stats.io_batches, 16u);
+  EXPECT_EQ(stats.bytes_written, 8 * kFrame);
+  EXPECT_EQ(stats.bytes_read, 8 * kFrame);
+}
+
+TEST(SsdTierTest, AdjacentRequestsCoalesceIntoFewerSyscalls) {
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("coalesce", 16 * kFrame);
+  o.io_workers = 1;  // One worker: requests pile up behind the first...
+  o.io_op_latency_us = 20000;  // ...because each syscall takes >= 20 ms.
+  o.io_max_coalesce = 8;
+  ASSERT_TRUE(tier.Open(o).ok());
+
+  // AcquireFrame hands out sequential offsets, so these 8 writes target
+  // adjacent byte ranges and must merge into a handful of pwritev batches.
+  std::vector<std::vector<std::byte>> bufs;
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 8; ++i) {
+    auto offset = tier.AcquireFrame();
+    ASSERT_TRUE(offset.ok());
+    offsets.push_back(*offset);
+    bufs.emplace_back(kFrame, std::byte(0x10 + i));
+  }
+  std::vector<std::future<util::Status>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(tier.WriteFrameAsync(offsets[i], bufs[i].data(), kFrame));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const SsdTier::Stats stats = tier.Snapshot();
+  EXPECT_EQ(stats.queued_requests, 8u);
+  // The worker was asleep in its first syscall while 7 requests queued, so
+  // at most the first batch ran alone: strictly fewer batches than requests.
+  EXPECT_LT(stats.io_batches, 8u);
+  EXPECT_GE(stats.max_queue_depth, 2u);
+
+  // Coalesced writes landed in the right frames.
+  std::vector<std::byte> check(kFrame);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(tier.ReadFrame(offsets[i], check.data(), kFrame).ok());
+    EXPECT_EQ(check[0], std::byte(0x10 + i)) << i;
+  }
+}
+
+TEST(SsdTierTest, ShortReadErrorCarriesOffsetAndByteContext) {
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("eof", 4 * kFrame);
+  o.io_workers = 0;  // Error surfaces identically on either backend.
+  o.retry.max_attempts = 1;
+  ASSERT_TRUE(tier.Open(o).ok());
+  auto offset = tier.AcquireFrame();
+  ASSERT_TRUE(offset.ok());
+  std::vector<std::byte> data(kFrame, std::byte{0x33});
+  ASSERT_TRUE(tier.WriteFrame(*offset, data.data(), kFrame).ok());
+
+  // Truncate the backing file out from under the tier: the next read hits
+  // EOF mid-range and must say where and how much was missing.
+  ASSERT_EQ(::truncate(TempPath("eof").c_str(), 0), 0);
+  const util::Status status = tier.ReadFrame(*offset, data.data(), kFrame);
+  ASSERT_TRUE(status.IsIoError()) << status;
+  const std::string message = status.ToString();
+  EXPECT_NE(message.find("unexpected EOF"), std::string::npos) << message;
+  EXPECT_NE(message.find("offset " + std::to_string(*offset)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("requested " + std::to_string(kFrame)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("received 0"), std::string::npos) << message;
+}
+
+TEST(SsdTierTest, SyncBackendBypassesTheQueue) {
+  const ScopedEnvVar pin("ANGELPTM_SSD_IO_WORKERS", "0");
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("sync", 4 * kFrame);
+  o.io_workers = 0;
+  ASSERT_TRUE(tier.Open(o).ok());
+  EXPECT_EQ(tier.io_workers(), 0u);
+  auto offset = tier.AcquireFrame();
+  ASSERT_TRUE(offset.ok());
+  std::vector<std::byte> data(kFrame, std::byte{0x44});
+  ASSERT_TRUE(tier.WriteFrame(*offset, data.data(), kFrame).ok());
+  std::vector<std::byte> back(kFrame);
+  ASSERT_TRUE(tier.ReadFrame(*offset, back.data(), kFrame).ok());
+  EXPECT_EQ(back[0], std::byte{0x44});
+  EXPECT_EQ(tier.Snapshot().queued_requests, 0u);
+}
+
+TEST(SsdTierTest, CloseDrainsEveryAcceptedRequest) {
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("drain", 8 * kFrame);
+  o.io_workers = 1;
+  o.io_op_latency_us = 5000;  // Guarantee requests are pending at Close.
+  ASSERT_TRUE(tier.Open(o).ok());
+  std::vector<std::vector<std::byte>> bufs;
+  std::vector<std::future<util::Status>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto offset = tier.AcquireFrame();
+    ASSERT_TRUE(offset.ok());
+    bufs.emplace_back(kFrame, std::byte(i));
+    futures.push_back(
+        tier.WriteFrameAsync(*offset, bufs.back().data(), kFrame));
+  }
+  tier.Close();
+  // Close stops the workers only after the queue is empty, so every
+  // accepted request resolved successfully rather than being dropped.
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(SsdTierTest, WorkerCountEnvOverrideWins) {
+  const ScopedEnvVar pin("ANGELPTM_SSD_IO_WORKERS", "0");
+  SsdTier tier;
+  SsdTier::Options o = MakeOptions("envw", 2 * kFrame);
+  o.io_workers = 3;
+  ASSERT_TRUE(tier.Open(o).ok());
+  EXPECT_EQ(tier.io_workers(), 0u);
 }
 
 TEST(SsdTierTest, DeleteOnCloseRemovesFile) {
