@@ -30,8 +30,15 @@
 #     including the fault-injection suite with a transient fault armed —
 #     proving the retry policy still fires per attempt behind the queue.
 #
+#   * An optimizer pass (DESIGN.md §13): the golden suite for every
+#     registered update rule (Adam bitwise vs the SIMD kernel, SGDM/LAMB/
+#     Adafactor vs naive references, thread-count invariance), the seqlock
+#     torn-read stress, the checkpoint v3 <-> v2 round-trip tests, and a
+#     smoke run of the updater-contention bench across all rules.
+#
 # Usage: scripts/check.sh
-#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd|--ssd]
+#   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd|--ssd|
+#    --optimizers]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -122,6 +129,29 @@ if [ "$MODE" = all ] || [ "$MODE" = --ssd ]; then
   # backend, including the failed-prefetch accounting regression test.
   ANGELPTM_SSD_IO_WORKERS=4 ./build/tests/runtime_test \
     --gtest_filter='EngineTest.*'
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --optimizers ]; then
+  echo "=== optimizers: golden rules, seqlock stress, ckpt v3, bench ==="
+  if [ ! -x build/tests/core_test ] || [ ! -x build/tests/util_test ] || \
+     [ ! -x build/tests/runtime_test ] || \
+     [ ! -x build/bench/optimizer_bench ]; then
+    cmake -B build -S .
+    cmake --build build -j --target core_test util_test runtime_test \
+      optimizer_bench
+  fi
+  # Every registered rule against its reference (Adam must be bitwise
+  # identical to the SIMD kernel path) plus thread-count invariance.
+  ./build/tests/core_test --gtest_filter='OptimizerTest.*'
+  # The seqlock torn-read stress: concurrent writers never expose a
+  # mixed-generation payload to the lock-free readers.
+  ./build/tests/util_test --gtest_filter='SeqLock*'
+  # Checkpoint v3 (self-describing slots) round-trips, still loads v2
+  # as Adam, and rejects a rule mismatch instead of mixing state.
+  ./build/tests/runtime_test --gtest_filter='CheckpointTest.*'
+  # Contention bench in smoke geometry: all rules must run end to end
+  # with extra lock-free readers hammering the parameter mirror.
+  ./build/bench/optimizer_bench build/BENCH_optimizer_smoke.json 4096
 fi
 
 if [ "$MODE" = all ] || [ "$MODE" = --trace-smoke ]; then

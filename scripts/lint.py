@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint for angelptm (DESIGN.md §10).
 
-Five rules over src/ (tests and benches are exempt unless noted):
+Six rules over src/ (tests and benches are exempt unless noted):
 
   mutex       Every mutex-like member must participate in the thread-safety
               contract: raw std::mutex / std::condition_variable declarations
@@ -29,6 +29,12 @@ Five rules over src/ (tests and benches are exempt unless noted):
               intrinsics cannot spread outside the dispatch layer and its
               one -mavx2 TU. Waive with `// lint: simd-include (<reason>)`.
 
+  optimizer-registry  Every concrete `class X final : public Optimizer`
+              must call RegisterOptimizer(...) in the same file, so a new
+              update rule cannot be added without becoming reachable through
+              Optimizer::Create. Waive with
+              `// lint: optimizer-registry (<reason>)` on the class line.
+
 Exit code 0 when clean, 1 with one finding per line otherwise.
 
 Usage: scripts/lint.py [--root DIR] [--design FILE] [--src DIR]
@@ -42,6 +48,14 @@ import sys
 MUTEX_WAIVER = "// lint: unguarded"
 NEW_WAIVER = "// lint: naked-new"
 SIMD_WAIVER = "// lint: simd-include"
+REGISTRY_WAIVER = "// lint: optimizer-registry"
+
+# Concrete optimizer implementations: `class X final : public Optimizer`
+# (optionally namespace-qualified). The abstract base itself has no base
+# clause and never matches.
+OPTIMIZER_SUBCLASS_RE = re.compile(
+    r"class\s+(\w+)\s+final\s*:\s*public\s+(?:\w+::)*Optimizer\b")
+REGISTER_CALL_RE = re.compile(r"\bRegisterOptimizer\s*\(")
 
 # x86 vector-intrinsic headers (immintrin.h is the umbrella; the rest are
 # its pieces that someone might include directly).
@@ -120,6 +134,9 @@ def lint_file(path, findings):
     with open(path, encoding="utf-8") as f:
         lines = f.readlines()
     text = "".join(lines)
+    # Comment/string-stripped view for rules where a mention in a comment
+    # must not count (e.g. the optimizer-registry factory call).
+    stripped_text = "\n".join(strip_comments_and_strings(l) for l in lines)
     annotated = set()
     for m in ANNOTATION_REF_RE.finditer(text):
         for arg in m.group(1).split(","):
@@ -180,6 +197,17 @@ def lint_file(path, findings):
                     f"{path}:{lineno}: [naked-new] `new` outside a smart "
                     f"pointer; wrap it or waive with "
                     f"`{NEW_WAIVER} (<reason>)`")
+
+        # Rule: optimizer-registry. The factory call may live anywhere in
+        # the same file (the builtin rules register via a hook function).
+        m = OPTIMIZER_SUBCLASS_RE.search(code)
+        if (m and REGISTRY_WAIVER not in raw
+                and not REGISTER_CALL_RE.search(stripped_text)):
+            findings.append(
+                f"{path}:{lineno}: [optimizer-registry] `{m.group(1)}` "
+                f"subclasses Optimizer but this file never calls "
+                f"RegisterOptimizer(...); register it with a factory or "
+                f"waive with `{REGISTRY_WAIVER} (<reason>)`")
 
 
 def collect_fault_sites(src_dir):

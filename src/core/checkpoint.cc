@@ -13,8 +13,12 @@ namespace angelptm::core {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'P', 'T', 'M', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
+/// Caps per-string / per-slot-list reads so a corrupt length prefix fails
+/// with a clear error instead of a giant allocation.
+constexpr uint32_t kMaxRuleNameBytes = 256;
+constexpr uint32_t kMaxSlots = 64;
 
 /// Incremental FNV-1a over byte spans.
 class Fnv1a {
@@ -103,6 +107,33 @@ bool ReadProgress(Reader* reader, TrainProgress* progress) {
   return ok;
 }
 
+bool WriteString(Writer* writer, const std::string& value) {
+  const uint32_t len = uint32_t(value.size());
+  return writer->Write(&len, sizeof(len)) &&
+         writer->Write(value.data(), value.size());
+}
+
+bool ReadString(Reader* reader, uint32_t max_bytes, std::string* out) {
+  uint32_t len = 0;
+  if (!reader->Read(&len, sizeof(len)) || len > max_bytes) return false;
+  out->resize(len);
+  return len == 0 || reader->Read(out->data(), len);
+}
+
+/// Self-describing slot values: element count then fp32 payload.
+bool WriteFloatBlock(Writer* writer, const std::vector<float>& values) {
+  const uint64_t count = values.size();
+  return writer->Write(&count, sizeof(count)) &&
+         writer->Write(values.data(), count * sizeof(float));
+}
+
+bool ReadFloatBlock(Reader* reader, std::vector<float>* out) {
+  uint64_t count = 0;
+  if (!reader->Read(&count, sizeof(count))) return false;
+  out->resize(count);
+  return count == 0 || reader->Read(out->data(), count * sizeof(float));
+}
+
 }  // namespace
 
 util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
@@ -121,6 +152,7 @@ util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
   bool ok = writer.Write(kMagic, sizeof(kMagic)) &&
             writer.Write(&kVersion, sizeof(kVersion)) &&
             WriteProgress(&writer, progress != nullptr ? *progress : defaults) &&
+            WriteString(&writer, updater->optimizer_rule()) &&
             writer.Write(&num_layers, sizeof(num_layers));
   for (uint32_t l = 0; ok && l < num_layers; ++l) {
     LockFreeUpdater::LayerState state;
@@ -132,12 +164,16 @@ util::Status SaveCheckpoint(LockFreeUpdater* updater, const std::string& path,
       return exported;
     }
     const uint64_t count = state.params.size();
-    const int64_t step = state.adam_step;
+    const int64_t step = state.step;
+    const uint32_t num_slots = uint32_t(state.slots.size());
     ok = writer.Write(&count, sizeof(count)) &&
          writer.Write(&step, sizeof(step)) &&
-         writer.Write(state.params.data(), count * sizeof(float)) &&
-         writer.Write(state.momentum.data(), count * sizeof(float)) &&
-         writer.Write(state.variance.data(), count * sizeof(float));
+         writer.Write(&num_slots, sizeof(num_slots)) &&
+         writer.Write(state.params.data(), count * sizeof(float));
+    for (uint32_t s = 0; ok && s < num_slots; ++s) {
+      ok = WriteString(&writer, state.slots[s].name) &&
+           WriteFloatBlock(&writer, state.slots[s].values);
+    }
   }
   ok = ok && writer.WriteChecksum();
   // Flush user-space buffers and force the data to stable storage before the
@@ -196,6 +232,20 @@ util::Status LoadCheckpoint(LockFreeUpdater* updater, const std::string& path,
     std::fclose(file);
     return util::Status::IoError(path + ": truncated in the progress block");
   }
+  // v1/v2 predate self-describing optimizer state: they are Adam layers
+  // ({m, v}) by construction.
+  std::string rule = "adam";
+  if (version >= 3 && !ReadString(&reader, kMaxRuleNameBytes, &rule)) {
+    std::fclose(file);
+    return util::Status::IoError(path + ": truncated in the rule name");
+  }
+  if (rule != updater->optimizer_rule()) {
+    std::fclose(file);
+    return util::Status::InvalidArgument(
+        path + " holds optimizer rule '" + rule +
+        "' but the updater is configured for '" + updater->optimizer_rule() +
+        "'");
+  }
   if (!reader.Read(&num_layers, sizeof(num_layers))) {
     std::fclose(file);
     return util::Status::IoError(path + ": truncated in the header");
@@ -220,16 +270,48 @@ util::Status LoadCheckpoint(LockFreeUpdater* updater, const std::string& path,
                                    std::to_string(l) + " header");
     }
     LockFreeUpdater::LayerState& state = states[l];
-    state.adam_step = long(step);
-    state.params.resize(count);
-    state.momentum.resize(count);
-    state.variance.resize(count);
-    if (!reader.Read(state.params.data(), count * sizeof(float)) ||
-        !reader.Read(state.momentum.data(), count * sizeof(float)) ||
-        !reader.Read(state.variance.data(), count * sizeof(float))) {
-      std::fclose(file);
-      return util::Status::IoError(path + ": truncated in layer " +
-                                   std::to_string(l) + " payload");
+    state.step = long(step);
+    if (version >= 3) {
+      uint32_t num_slots = 0;
+      if (!reader.Read(&num_slots, sizeof(num_slots)) ||
+          num_slots > kMaxSlots) {
+        std::fclose(file);
+        return util::Status::IoError(path + ": truncated in layer " +
+                                     std::to_string(l) + " header");
+      }
+      state.params.resize(count);
+      if (!reader.Read(state.params.data(), count * sizeof(float))) {
+        std::fclose(file);
+        return util::Status::IoError(path + ": truncated in layer " +
+                                     std::to_string(l) + " payload");
+      }
+      state.slots.resize(num_slots);
+      for (uint32_t s = 0; s < num_slots; ++s) {
+        if (!ReadString(&reader, kMaxRuleNameBytes, &state.slots[s].name) ||
+            !ReadFloatBlock(&reader, &state.slots[s].values)) {
+          std::fclose(file);
+          return util::Status::IoError(path + ": truncated in layer " +
+                                       std::to_string(l) + " slot " +
+                                       std::to_string(s));
+        }
+      }
+    } else {
+      // v1/v2 fixed layer layout: count | (adam_)step | p32 | m32 | v32.
+      state.params.resize(count);
+      state.slots.resize(2);
+      state.slots[0].name = "m";
+      state.slots[0].values.resize(count);
+      state.slots[1].name = "v";
+      state.slots[1].values.resize(count);
+      if (!reader.Read(state.params.data(), count * sizeof(float)) ||
+          !reader.Read(state.slots[0].values.data(),
+                       count * sizeof(float)) ||
+          !reader.Read(state.slots[1].values.data(),
+                       count * sizeof(float))) {
+        std::fclose(file);
+        return util::Status::IoError(path + ": truncated in layer " +
+                                     std::to_string(l) + " payload");
+      }
     }
   }
   const bool checksum_ok = reader.VerifyChecksum();

@@ -14,20 +14,30 @@ namespace angelptm::core {
 /// multi-week runs, "pre-training tasks would encounter GPU failure with a
 /// high probability, and should be restarted after failure").
 ///
-/// Format (little-endian binary), version 2:
+/// Format (little-endian binary), version 3 (DESIGN.md §13):
 ///   magic "APTMCKPT" | version u32 |
 ///   progress: global_step i64, rng_state u64[4], rng_has_cached u8,
 ///             rng_cached_gaussian f64, loss_scale f64,
 ///             scaler_good_steps i32, scaler_overflows u64,
 ///             scaler_growths u64 |
+///   rule: len u32, bytes (the optimizer registry key, e.g. "adam") |
 ///   num_layers u32 |
-///   per layer: count u64, adam_step i64, p32[count], m32[count], v32[count]
+///   per layer: count u64, step i64, num_slots u32, p32[count],
+///              per slot: name (len u32, bytes), slot_count u64,
+///                        values f32[slot_count]
 ///   | checksum u64 (FNV-1a over everything before it)
 ///
-/// Version 1 files (no progress block) still load; their progress fields
-/// come back defaulted with `has_progress == false`, and the caller replays
-/// the dataset cursor from the step count instead (approximate resume from
-/// step 0 of the data stream — see SyntheticRegression::SkipBatches).
+/// The slot blocks are self-describing (named, independently sized), so a
+/// rule with a different master-state footprint — sgdm's single m,
+/// adafactor's factored row/col — round-trips without format changes.
+/// Loading fails up front when the file's rule differs from the updater's.
+///
+/// Older versions still load: v2 files (fixed count|adam_step|p32|m32|v32
+/// layers) are read as Adam states with {m, v} slots; v1 files additionally
+/// predate the progress block, so their progress fields come back defaulted
+/// with `has_progress == false` and the caller replays the dataset cursor
+/// from the step count instead (approximate resume from step 0 of the data
+/// stream — see SyntheticRegression::SkipBatches).
 ///
 /// The checksum makes torn/corrupt checkpoints detectable — a restart after
 /// a mid-write crash must fail loudly, not resume from garbage.

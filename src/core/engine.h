@@ -7,6 +7,7 @@
 #include "core/adam.h"
 #include "core/allocator.h"
 #include "core/lockfree_updater.h"
+#include "core/optimizer/optimizer.h"
 #include "core/schedule.h"
 #include "core/tracer.h"
 #include "mem/copy_engine.h"
@@ -20,6 +21,10 @@ namespace angelptm::core {
 /// Configuration for one Engine instance (one training process / rank).
 struct EngineOptions {
   mem::HierarchicalMemoryOptions memory;
+  /// Update rule + hyper-parameters (core/optimizer/optimizer.h).
+  OptimizerConfig optimizer;
+  /// Legacy Adam knobs (see TrainerOptions::adam): non-default fields
+  /// override `optimizer` via ResolveLegacyAdam. Prefer `optimizer`.
   AdamConfig adam;
   /// Enable the lock-free updating mechanism (Algorithm 2).
   bool lock_free = false;

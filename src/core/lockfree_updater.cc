@@ -1,12 +1,20 @@
 #include "core/lockfree_updater.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/trace.h"
 #include "util/fault_injector.h"
+#include "util/half.h"
 #include "util/logging.h"
 
 namespace angelptm::core {
+namespace {
+
+/// fp16 words per seqlock payload word (two halves packed per uint32_t).
+size_t MirrorWords(size_t count) { return (count + 1) / 2; }
+
+}  // namespace
 
 LockFreeUpdater::LockFreeUpdater(Allocator* allocator, const Options& options)
     : allocator_(allocator), options_(options) {
@@ -16,20 +24,37 @@ LockFreeUpdater::LockFreeUpdater(Allocator* allocator, const Options& options)
       registry.GetCounter("updater/grad_batches_offloaded");
   metric_pending_batches_ = registry.GetGauge("updater/pending_batches");
   metric_staleness_ = registry.GetHistogram("updater/staleness");
+
+  auto optimizer = Optimizer::Create(options_.optimizer);
+  if (optimizer.ok()) {
+    optimizer_ = std::move(optimizer).value();
+  } else {
+    // Constructors cannot fail; poisoning makes the configuration error
+    // surface on the first AddLayer / FetchParams instead of crashing.
+    Poison(optimizer.status());
+  }
 }
 
 LockFreeUpdater::~LockFreeUpdater() {
   Stop();
   for (auto& layer : layers_) {
-    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32,
-                           layer->buffered_params, layer->buffered_grads}) {
+    for (Tensor* tensor : {layer->p32, layer->buffered_params,
+                           layer->buffered_grads}) {
+      if (tensor != nullptr) (void)allocator_->Release(tensor);
+    }
+    for (Tensor* tensor : layer->slots) {
       if (tensor != nullptr) (void)allocator_->Release(tensor);
     }
   }
 }
 
+const std::string& LockFreeUpdater::optimizer_rule() const {
+  return optimizer_ != nullptr ? optimizer_->name() : options_.optimizer.rule;
+}
+
 util::Result<int> LockFreeUpdater::AddLayer(
     const std::vector<float>& initial_params) {
+  if (poisoned_.load(std::memory_order_acquire)) return status();
   if (running_.load()) {
     return util::Status::FailedPrecondition(
         "cannot add layers while the updater is running");
@@ -39,6 +64,7 @@ util::Result<int> LockFreeUpdater::AddLayer(
   }
   auto layer = std::make_unique<Layer>();
   layer->count = initial_params.size();
+  layer->slot_layout = optimizer_->SlotLayout(layer->count);
   const std::vector<size_t> shape = {layer->count};
   // Masters and fp16 buffers get distinct groups: grouped tensors share
   // tail pages and therefore co-migrate, and the buffers must stay on the
@@ -51,12 +77,13 @@ util::Result<int> LockFreeUpdater::AddLayer(
   ANGEL_ASSIGN_OR_RETURN(
       layer->p32,
       allocator_->Allocate(shape, DType::kFp32, mem::DeviceKind::kCpu, group));
-  ANGEL_ASSIGN_OR_RETURN(
-      layer->m32,
-      allocator_->Allocate(shape, DType::kFp32, mem::DeviceKind::kCpu, group));
-  ANGEL_ASSIGN_OR_RETURN(
-      layer->v32,
-      allocator_->Allocate(shape, DType::kFp32, mem::DeviceKind::kCpu, group));
+  for (const SlotSpec& spec : layer->slot_layout) {
+    ANGEL_ASSIGN_OR_RETURN(
+        Tensor * slot,
+        allocator_->Allocate({spec.count}, spec.dtype, mem::DeviceKind::kCpu,
+                             group));
+    layer->slots.push_back(slot);
+  }
   ANGEL_ASSIGN_OR_RETURN(
       layer->buffered_params,
       allocator_->Allocate(shape, DType::kFp16, mem::DeviceKind::kCpu,
@@ -66,21 +93,46 @@ util::Result<int> LockFreeUpdater::AddLayer(
       allocator_->Allocate(shape, DType::kFp16, mem::DeviceKind::kCpu,
                            buffer_group));
 
-  const std::vector<float> zeros(layer->count, 0.0f);
   ANGEL_RETURN_IF_ERROR(layer->p32->WriteFloats(initial_params));
-  ANGEL_RETURN_IF_ERROR(layer->m32->WriteFloats(zeros));
-  ANGEL_RETURN_IF_ERROR(layer->v32->WriteFloats(zeros));
+  for (size_t s = 0; s < layer->slots.size(); ++s) {
+    const std::vector<float> slot_zeros(layer->slot_layout[s].count, 0.0f);
+    ANGEL_RETURN_IF_ERROR(layer->slots[s]->WriteFloats(slot_zeros));
+  }
+  const std::vector<float> zeros(layer->count, 0.0f);
   ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(initial_params));
   ANGEL_RETURN_IF_ERROR(layer->buffered_grads->WriteFloats(zeros));
+  layer->param_mirror.Reset(MirrorWords(layer->count));
+  {
+    util::MutexLock lock(layer->buffer_mutex);
+    PublishParams(*layer, initial_params);
+  }
 
   if (options_.master_device != mem::DeviceKind::kCpu) {
-    for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
-      ANGEL_RETURN_IF_ERROR(
-          allocator_->Move(tensor, options_.master_device));
+    ANGEL_RETURN_IF_ERROR(
+        allocator_->Move(layer->p32, options_.master_device));
+    for (Tensor* tensor : layer->slots) {
+      ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, options_.master_device));
     }
+  }
+  {
+    util::MutexLock lock(backpressure_mutex_);
+    inflight_batches_.push_back(0);
   }
   layers_.push_back(std::move(layer));
   return static_cast<int>(layers_.size()) - 1;
+}
+
+void LockFreeUpdater::PublishParams(Layer& layer,
+                                    const std::vector<float>& values) {
+  // The mirror stores the exact fp16 bit pattern the buffer tensor stores
+  // (same FloatToHalfBits rounding), so a lockless FetchParams returns
+  // bit-identical floats to the historic ReadFloats path.
+  std::vector<uint32_t> words(MirrorWords(layer.count), 0);
+  for (size_t i = 0; i < layer.count; ++i) {
+    const uint32_t bits = util::FloatToHalfBits(values[i]);
+    words[i / 2] |= bits << (16 * (i % 2));
+  }
+  layer.param_mirror.Write(words.data());
 }
 
 util::Status LockFreeUpdater::FetchParams(int layer_index,
@@ -91,8 +143,24 @@ util::Status LockFreeUpdater::FetchParams(int layer_index,
   }
   ANGEL_SPAN("updater", "fetch_params");
   const Layer& layer = *layers_[layer_index];
-  util::MutexLock lock(layer.buffer_mutex);
-  return layer.buffered_params->ReadFloats(out);
+  // Lockless read (DESIGN.md §13): a consistent seqlock snapshot of the
+  // published fp16 bits, never contending with the buffering thread.
+  std::vector<uint32_t> words(layer.param_mirror.num_words());
+  layer.param_mirror.Read(words.data());
+  out->resize(layer.count);
+  for (size_t i = 0; i < layer.count; ++i) {
+    const uint16_t bits =
+        static_cast<uint16_t>(words[i / 2] >> (16 * (i % 2)));
+    (*out)[i] = util::HalfBitsToFloat(bits);
+  }
+  return util::Status::OK();
+}
+
+util::Result<uint64_t> LockFreeUpdater::ParamsVersion(int layer_index) const {
+  if (layer_index < 0 || layer_index >= num_layers()) {
+    return util::Status::InvalidArgument("bad layer index");
+  }
+  return layers_[layer_index]->param_mirror.version();
 }
 
 util::Status LockFreeUpdater::OffloadGrads(int layer_index,
@@ -107,17 +175,48 @@ util::Status LockFreeUpdater::OffloadGrads(int layer_index,
     return util::Status::InvalidArgument("gradient size mismatch");
   }
   ANGEL_SPAN("updater", "offload_grads");
+  if (running_.load()) {
+    // Staleness valve (see the class comment): wait while this layer is at
+    // the in-flight bound so an oversubscribed compute loop cannot run
+    // unboundedly ahead of the updating thread. The timed wait is only a
+    // backstop; UpdateLayer notifies after taking the layer's batches, and
+    // poison / Stop are re-checked so a dead updater never wedges us here.
+    {
+      util::MutexLock lock(backpressure_mutex_);
+      const size_t bound = options_.max_pending_batches_per_layer;
+      bool waited = false;
+      while (bound > 0 &&
+             inflight_batches_[size_t(layer_index)] >= bound &&
+             running_.load() &&
+             !poisoned_.load(std::memory_order_acquire)) {
+        waited = true;
+        (void)backpressure_cv_.WaitFor(backpressure_mutex_,
+                                       std::chrono::milliseconds(10));
+      }
+      if (poisoned_.load(std::memory_order_acquire)) return status();
+      inflight_batches_[size_t(layer_index)] += 1;
+      if (waited) backpressure_waits_.fetch_add(1);
+    }
+    grad_batches_offloaded_.fetch_add(1);
+    metric_grad_batches_offloaded_->Increment();
+    metric_pending_batches_->Set(
+        static_cast<int64_t>(pending_grad_batches()));
+    {
+      util::MutexLock lock(queue_mutex_);
+      buffer_queue_.push_back(BufferTask{layer_index, false, grads});
+      queue_cv_.NotifyOne();
+    }
+    // Wake the updating thread (it re-checks after the buffering thread
+    // actually accumulates, so a wakeup that arrives early is harmless).
+    SignalWork();
+    return util::Status::OK();
+  }
+  // Synchronous mode: accumulate inline (the buffering thread's job). No
+  // valve — UpdateOnce applies inline, so nothing can run ahead.
   grad_batches_offloaded_.fetch_add(1);
   metric_grad_batches_offloaded_->Increment();
   metric_pending_batches_->Set(
       static_cast<int64_t>(pending_grad_batches()));
-  if (running_.load()) {
-    util::MutexLock lock(queue_mutex_);
-    buffer_queue_.push_back(BufferTask{layer_index, false, grads});
-    queue_cv_.NotifyOne();
-    return util::Status::OK();
-  }
-  // Synchronous mode: accumulate inline (the buffering thread's job).
   Layer& layer = *layers_[layer_index];
   util::MutexLock lock(layer.buffer_mutex);
   std::vector<float> accumulated;
@@ -137,8 +236,18 @@ void LockFreeUpdater::Start() {
 void LockFreeUpdater::Stop() {
   if (!running_.exchange(false)) return;
   queue_cv_.NotifyAll();
+  backpressure_cv_.NotifyAll();
+  SignalWork();
   if (buffering_thread_.joinable()) buffering_thread_.join();
   if (updating_thread_.joinable()) updating_thread_.join();
+}
+
+void LockFreeUpdater::SignalWork() {
+  {
+    util::MutexLock lock(work_mutex_);
+    work_epoch_ += 1;
+  }
+  work_cv_.NotifyAll();
 }
 
 util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
@@ -156,6 +265,15 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
     batches_taken = layer->pending_batches;
     layer->pending_batches = 0;
   }
+  {
+    // Release the staleness valve: these batches are no longer in flight.
+    // Saturating, because batches offloaded in synchronous mode (no valve
+    // accounting) may be taken here after a Stop().
+    util::MutexLock lock(backpressure_mutex_);
+    uint64_t& inflight = inflight_batches_[size_t(layer_index)];
+    inflight -= std::min(inflight, batches_taken);
+  }
+  backpressure_cv_.NotifyAll();
   // Average the accumulated gradient batches.
   if (batches_taken > 1) {
     const float inv = 1.0f / float(batches_taken);
@@ -169,22 +287,30 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
   {
     util::MutexLock master_lock(layer->master_mutex);
     if (on_ssd) {
-      for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+      ANGEL_RETURN_IF_ERROR(
+          allocator_->Move(layer->p32, mem::DeviceKind::kCpu));
+      for (Tensor* tensor : layer->slots) {
         ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
       }
     }
-    std::vector<float> p, m, v;
+    std::vector<float> p;
     ANGEL_RETURN_IF_ERROR(layer->p32->ReadFloats(&p));
-    ANGEL_RETURN_IF_ERROR(layer->m32->ReadFloats(&m));
-    ANGEL_RETURN_IF_ERROR(layer->v32->ReadFloats(&v));
+    std::vector<std::vector<float>> slot_values(layer->slots.size());
+    std::vector<SlotView> views(layer->slots.size());
+    for (size_t s = 0; s < layer->slots.size(); ++s) {
+      ANGEL_RETURN_IF_ERROR(layer->slots[s]->ReadFloats(&slot_values[s]));
+      views[s] = SlotView{slot_values[s].data(), slot_values[s].size()};
+    }
 
-    layer->adam_step += 1;
-    AdamUpdate(options_.adam, p.data(), m.data(), v.data(), grads.data(),
-               layer->count, layer->adam_step);
+    layer->step += 1;
+    ANGEL_RETURN_IF_ERROR(optimizer_->Update(p.data(), grads.data(),
+                                             layer->count, views,
+                                             layer->step));
 
     ANGEL_RETURN_IF_ERROR(layer->p32->WriteFloats(p));
-    ANGEL_RETURN_IF_ERROR(layer->m32->WriteFloats(m));
-    ANGEL_RETURN_IF_ERROR(layer->v32->WriteFloats(v));
+    for (size_t s = 0; s < layer->slots.size(); ++s) {
+      ANGEL_RETURN_IF_ERROR(layer->slots[s]->WriteFloats(slot_values[s]));
+    }
 
     // Hand the fresh parameters to the buffering side (line 6), overlapping
     // with the SSD write-back (line 7).
@@ -195,10 +321,13 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
     } else {
       util::MutexLock lock(layer->buffer_mutex);
       ANGEL_RETURN_IF_ERROR(layer->buffered_params->WriteFloats(p));
+      PublishParams(*layer, p);
     }
 
     if (on_ssd) {
-      for (Tensor* tensor : {layer->p32, layer->m32, layer->v32}) {
+      ANGEL_RETURN_IF_ERROR(
+          allocator_->Move(layer->p32, mem::DeviceKind::kSsd));
+      for (Tensor* tensor : layer->slots) {
         ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kSsd));
       }
     }
@@ -218,6 +347,11 @@ util::Result<bool> LockFreeUpdater::UpdateLayer(int layer_index) {
 
 void LockFreeUpdater::UpdatingThreadLoop() {
   while (running_.load() && !poisoned_.load(std::memory_order_acquire)) {
+    uint64_t epoch_seen;
+    {
+      util::MutexLock lock(work_mutex_);
+      epoch_seen = work_epoch_;
+    }
     bool any = false;
     // Algorithm 2 line 3: walk layers in reverse (gradients arrive in
     // backward order, so the last layers are dirty first).
@@ -233,8 +367,30 @@ void LockFreeUpdater::UpdatingThreadLoop() {
       any = any || *updated;
     }
     if (!any) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.idle_sleep_us));
+      // Idle: sleep until SignalWork bumps the epoch (grads offloaded /
+      // accumulated, poison, Stop). A signal that fired mid-scan shows as
+      // a changed epoch, so no wakeup is ever lost. The timed backstop
+      // only bounds the cost of a hypothetical missed signal.
+      bool woken_by_work = false;
+      {
+        util::MutexLock lock(work_mutex_);
+        while (work_epoch_ == epoch_seen && running_.load() &&
+               !poisoned_.load(std::memory_order_acquire)) {
+          if (!work_cv_.WaitFor(work_mutex_, std::chrono::milliseconds(10))) {
+            break;
+          }
+        }
+        woken_by_work = work_epoch_ != epoch_seen;
+      }
+      if (woken_by_work && options_.updater_coalesce_us > 0 &&
+          running_.load() && !poisoned_.load(std::memory_order_acquire)) {
+        // Coalescing window (see the class comment): the signal was the
+        // first gradient of a backward pass; give the rest of the pass a
+        // moment to land so the sweep folds them into one update instead
+        // of degenerating into per-gradient single-batch updates.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.updater_coalesce_us));
+      }
     }
   }
 }
@@ -259,20 +415,26 @@ void LockFreeUpdater::BufferingThreadLoop() {
     Layer& layer = *layers_[task.layer];
     ANGEL_SPAN("updater",
                task.is_params ? "buffer_install" : "buffer_accumulate");
-    util::MutexLock lock(layer.buffer_mutex);
-    if (task.is_params) {
-      // Install updated parameters into p'16 (Algorithm 2 line 13).
-      util::Status status =
-          util::FaultInjector::Instance().Check("updater.buffer_install");
-      if (status.ok()) status = layer.buffered_params->WriteFloats(task.data);
-      if (!status.ok()) {
-        // A failed install leaves the compute side reading stale (but
-        // consistent) parameters forever; that is silent divergence, so
-        // treat it as fatal rather than logging and moving on.
-        Poison(status);
-        return;
+    {
+      util::MutexLock lock(layer.buffer_mutex);
+      if (task.is_params) {
+        // Install updated parameters into p'16 (Algorithm 2 line 13) and
+        // publish the new version through the seqlock mirror.
+        util::Status status =
+            util::FaultInjector::Instance().Check("updater.buffer_install");
+        if (status.ok()) {
+          status = layer.buffered_params->WriteFloats(task.data);
+        }
+        if (!status.ok()) {
+          // A failed install leaves the compute side reading stale (but
+          // consistent) parameters forever; that is silent divergence, so
+          // treat it as fatal rather than logging and moving on.
+          Poison(status);
+          return;
+        }
+        PublishParams(layer, task.data);
+        continue;
       }
-    } else {
       // Accumulate into g'16 (line 15).
       std::vector<float> accumulated;
       util::Status status =
@@ -292,6 +454,8 @@ void LockFreeUpdater::BufferingThreadLoop() {
       }
       layer.pending_batches += 1;
     }
+    // The gradient is now visible to UpdateLayer: wake the updating thread.
+    SignalWork();
   }
 }
 
@@ -338,8 +502,9 @@ util::Status LockFreeUpdater::DrainUpdates(std::chrono::milliseconds deadline) {
 }
 
 util::Status LockFreeUpdater::status() const {
+  // Lockless fast path and slow path alike: the acquire load pairs with
+  // Poison's release store, after which poison_status_ is immutable.
   if (!poisoned_.load(std::memory_order_acquire)) return util::Status::OK();
-  util::MutexLock lock(poison_mutex_);
   return poison_status_;
 }
 
@@ -347,14 +512,18 @@ void LockFreeUpdater::Poison(const util::Status& status) {
   {
     util::MutexLock lock(poison_mutex_);
     // Keep the first (root-cause) error; later failures are usually
-    // downstream of it.
+    // downstream of it. The mutex serializes racing Poison calls only —
+    // readers never take it (see the poison_status_ comment in the header).
     if (poisoned_.load(std::memory_order_relaxed)) return;
     poison_status_ = status;
     poisoned_.store(true, std::memory_order_release);
   }
   ANGEL_LOG(Error) << "lock-free updater poisoned: " << status.ToString();
-  // Wake the buffering thread so it observes the state promptly.
+  // Wake both background threads (and any compute thread blocked on the
+  // staleness valve) so they observe the state promptly.
   queue_cv_.NotifyAll();
+  backpressure_cv_.NotifyAll();
+  SignalWork();
 }
 
 util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
@@ -376,15 +545,6 @@ util::Status LockFreeUpdater::ReadMasterParams(int layer_index,
   return util::Status::OK();
 }
 
-util::Status LockFreeUpdater::ExportLayerState(int layer_index,
-                                               LayerState* out) {
-  if (running_.load()) {
-    return util::Status::FailedPrecondition(
-        "Stop() the updater before exporting state");
-  }
-  return SnapshotLayerState(layer_index, out);
-}
-
 util::Status LockFreeUpdater::SnapshotLayerState(int layer_index,
                                                  LayerState* out) {
   if (layer_index < 0 || layer_index >= num_layers()) {
@@ -393,23 +553,30 @@ util::Status LockFreeUpdater::SnapshotLayerState(int layer_index,
   ANGEL_SPAN("updater", "snapshot_layer");
   Layer& layer = *layers_[layer_index];
   // The per-layer quiesce: while held, the updating thread cannot start or
-  // finish this layer's master update, so params/moments/adam_step are a
+  // finish this layer's master update, so params/slots/step are a
   // consistent cut. Everything else (other layers, the compute side, the
   // buffering thread) keeps running.
   util::MutexLock master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
-    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+    ANGEL_RETURN_IF_ERROR(allocator_->Move(layer.p32, mem::DeviceKind::kCpu));
+    for (Tensor* tensor : layer.slots) {
       ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
     }
   }
   ANGEL_RETURN_IF_ERROR(layer.p32->ReadFloats(&out->params));
-  ANGEL_RETURN_IF_ERROR(layer.m32->ReadFloats(&out->momentum));
-  ANGEL_RETURN_IF_ERROR(layer.v32->ReadFloats(&out->variance));
-  out->adam_step = layer.adam_step;
+  out->slots.clear();
+  out->slots.resize(layer.slots.size());
+  for (size_t s = 0; s < layer.slots.size(); ++s) {
+    out->slots[s].name = layer.slot_layout[s].name;
+    ANGEL_RETURN_IF_ERROR(
+        layer.slots[s]->ReadFloats(&out->slots[s].values));
+  }
+  out->step = layer.step;
   if (on_ssd) {
-    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+    ANGEL_RETURN_IF_ERROR(allocator_->Move(layer.p32, mem::DeviceKind::kSsd));
+    for (Tensor* tensor : layer.slots) {
       ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kSsd));
     }
   }
@@ -426,31 +593,50 @@ util::Status LockFreeUpdater::ImportLayerState(int layer_index,
         "Stop() the updater before importing state");
   }
   Layer& layer = *layers_[layer_index];
-  if (state.params.size() != layer.count ||
-      state.momentum.size() != layer.count ||
-      state.variance.size() != layer.count) {
+  if (state.params.size() != layer.count) {
     return util::Status::InvalidArgument("checkpoint state size mismatch");
+  }
+  if (state.slots.size() != layer.slot_layout.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(state.slots.size()) +
+        " optimizer slots but rule '" + optimizer_rule() + "' declares " +
+        std::to_string(layer.slot_layout.size()));
+  }
+  for (size_t s = 0; s < state.slots.size(); ++s) {
+    if (state.slots[s].name != layer.slot_layout[s].name ||
+        state.slots[s].values.size() != layer.slot_layout[s].count) {
+      return util::Status::InvalidArgument(
+          "checkpoint slot '" + state.slots[s].name + "' (" +
+          std::to_string(state.slots[s].values.size()) +
+          " elements) does not match rule '" + optimizer_rule() +
+          "' slot '" + layer.slot_layout[s].name + "' (" +
+          std::to_string(layer.slot_layout[s].count) + " elements)");
+    }
   }
   util::MutexLock master_lock(layer.master_mutex);
   const bool on_ssd = layer.p32->device_index() ==
                       static_cast<int>(mem::DeviceKind::kSsd);
   if (on_ssd) {
-    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+    ANGEL_RETURN_IF_ERROR(allocator_->Move(layer.p32, mem::DeviceKind::kCpu));
+    for (Tensor* tensor : layer.slots) {
       ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kCpu));
     }
   }
   ANGEL_RETURN_IF_ERROR(layer.p32->WriteFloats(state.params));
-  ANGEL_RETURN_IF_ERROR(layer.m32->WriteFloats(state.momentum));
-  ANGEL_RETURN_IF_ERROR(layer.v32->WriteFloats(state.variance));
-  layer.adam_step = state.adam_step;
+  for (size_t s = 0; s < layer.slots.size(); ++s) {
+    ANGEL_RETURN_IF_ERROR(layer.slots[s]->WriteFloats(state.slots[s].values));
+  }
+  layer.step = state.step;
   if (on_ssd) {
-    for (Tensor* tensor : {layer.p32, layer.m32, layer.v32}) {
+    ANGEL_RETURN_IF_ERROR(allocator_->Move(layer.p32, mem::DeviceKind::kSsd));
+    for (Tensor* tensor : layer.slots) {
       ANGEL_RETURN_IF_ERROR(allocator_->Move(tensor, mem::DeviceKind::kSsd));
     }
   }
   // Refresh the compute-side fp16 view and drop stale gradients.
   util::MutexLock lock(layer.buffer_mutex);
   ANGEL_RETURN_IF_ERROR(layer.buffered_params->WriteFloats(state.params));
+  PublishParams(layer, state.params);
   const std::vector<float> zeros(layer.count, 0.0f);
   ANGEL_RETURN_IF_ERROR(layer.buffered_grads->WriteFloats(zeros));
   layer.pending_batches = 0;
@@ -463,6 +649,7 @@ LockFreeUpdater::Stats LockFreeUpdater::Snapshot() const {
   stats.grad_batches_offloaded = grad_batches_offloaded_.load();
   stats.grad_batches_applied = grad_batches_applied_.load();
   stats.pending_grad_batches = pending_grad_batches();
+  stats.backpressure_waits = backpressure_waits_.load();
   {
     util::MutexLock lock(staleness_mutex_);
     stats.staleness = staleness_;

@@ -6,14 +6,16 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "core/adam.h"
 #include "core/allocator.h"
+#include "core/optimizer/optimizer.h"
 #include "mem/device.h"
 #include "obs/metrics.h"
 #include "util/histogram.h"
+#include "util/seqlock.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -30,14 +32,46 @@ namespace angelptm::core {
 ///    into p'16.
 ///  - The *updating thread* walks layers in reverse, fetches the fp32
 ///    master states (from the SSD tier when configured — real file I/O),
-///    applies Adam against the accumulated gradients, hands the result to
-///    the buffering thread, and writes the states back.
+///    applies the configured update rule (Options.optimizer — Adam by
+///    default; see core/optimizer/optimizer.h) against the accumulated
+///    gradients, hands the result to the buffering thread, and writes the
+///    states back. It sleeps on a condition variable between work batches
+///    and is woken by OffloadGrads / the buffering thread.
 ///
 /// Deviation from the paper's pseudocode, documented: Algorithm 2 clears
 /// g'16 when the buffering thread *receives* the updated parameters, which
 /// drops gradients that arrive during the update window. We snapshot-and-
 /// clear g'16 atomically when the update *starts*, preserving every
 /// gradient while keeping the same staleness behaviour.
+///
+/// Second documented deviation — the staleness valve: Algorithm 2's compute
+/// side never waits for the optimizer, which is the right throughput call
+/// when the updating thread has its own core. On an oversubscribed host,
+/// though, a never-blocking compute loop can run unboundedly ahead (the
+/// mutex contention the seqlock redesign removed used to throttle it by
+/// accident), and folding hundreds of stale batches into one update
+/// diverges training. OffloadGrads therefore blocks once a single layer has
+/// Options.max_pending_batches_per_layer gradient batches in flight, making
+/// the "bounded staleness" this class trades on an actual bound; the valve
+/// is far above what a healthy updater accumulates, so it only engages when
+/// the updater is starved (observable via Stats.backpressure_waits).
+///
+/// The condvar wakeup pairs with a small coalescing window
+/// (Options.updater_coalesce_us): waking on the *first* gradient of a
+/// backward pass would apply it alone and then re-update per layer per
+/// gradient, which collapses the mechanism into a slower synchronous
+/// optimizer (every update averages one batch, so none of the gradient
+/// noise reduction that batching buys). Waiting a few tens of
+/// microseconds after the wakeup lets the rest of the pass's gradients
+/// land in the same sweep, restoring the multi-batch updates the paper's
+/// GPU/CPU speed gap produces naturally — with zero CPU burned while
+/// idle, unlike the fixed-period poll this replaced.
+///
+/// Read-mostly hot paths are lockless (DESIGN.md §13): FetchParams reads a
+/// seqlock-published fp16 mirror of p'16 (no mutex, retry on the rare
+/// overlapping install), and status() reads the write-once poison status
+/// published by a release store. The mutexes remain on the *write* side
+/// only, where they already serialized mutation.
 ///
 /// The mechanism trades bounded staleness for throughput; staleness is
 /// observable via Snapshot().pending_grad_batches. §6.5 shows convergence is
@@ -53,11 +87,22 @@ namespace angelptm::core {
 class LockFreeUpdater {
  public:
   struct Options {
-    AdamConfig adam;
+    /// Update rule + hyper-parameters; resolved through Optimizer::Create
+    /// in the constructor (an unknown rule poisons the updater, so the
+    /// first AddLayer reports it).
+    OptimizerConfig optimizer;
     /// Where fp32 master parameters/moments live between updates.
     mem::DeviceKind master_device = mem::DeviceKind::kCpu;
-    /// Updating-thread poll interval when no gradients are pending.
-    int idle_sleep_us = 50;
+    /// Staleness valve (see the class comment): OffloadGrads blocks while
+    /// the target layer already has this many batches offloaded but not yet
+    /// folded into the master parameters. 0 disables the valve.
+    size_t max_pending_batches_per_layer = 8;
+    /// Coalescing window: after an idle condvar wakeup, the updating thread
+    /// waits this long before sweeping, so the rest of the backward pass's
+    /// gradients land in the same update instead of each triggering its
+    /// own single-batch update (see the class comment). 0 disables
+    /// coalescing (sweep immediately on wakeup).
+    uint64_t updater_coalesce_us = 50;
   };
 
   LockFreeUpdater(Allocator* allocator, const Options& options);
@@ -66,31 +111,43 @@ class LockFreeUpdater {
   LockFreeUpdater(const LockFreeUpdater&) = delete;
   LockFreeUpdater& operator=(const LockFreeUpdater&) = delete;
 
-  /// Registers a layer, allocating its fp32 master states on the master
-  /// device and its fp16 buffers on the CPU tier. Returns the layer index.
+  /// Registers a layer, allocating its fp32 master states (params plus the
+  /// optimizer's declared slot layout) on the master device and its fp16
+  /// buffers on the CPU tier. Returns the layer index.
   [[nodiscard]] util::Result<int> AddLayer(
       const std::vector<float>& initial_params);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
+  /// Registry key of the active update rule ("adam", ...).
+  const std::string& optimizer_rule() const;
+
   // --- Compute-side interface (Algorithm 2 lines 18-24) ---
 
-  /// Reads the buffered fp16 parameters, cast to fp32 (line 20).
+  /// Reads the buffered fp16 parameters, cast to fp32 (line 20). Lockless:
+  /// the read comes from the layer's seqlock mirror, so it never contends
+  /// with the buffering thread's install.
   [[nodiscard]] util::Status FetchParams(int layer,
                                          std::vector<float>* out) const;
 
+  /// Publication version of a layer's buffered parameters (bumps by 2 per
+  /// install — the seqlock sequence word). Lockless; lets the compute side
+  /// skip a refetch when nothing was installed since the last step.
+  [[nodiscard]] util::Result<uint64_t> ParamsVersion(int layer) const;
+
   /// Accumulates gradients into the layer's fp16 buffer and marks it dirty
-  /// (lines 24 / 14-15). Never blocks on the updating thread.
+  /// (lines 24 / 14-15). Never blocks on the updating thread unless the
+  /// layer is at the staleness valve's bound; wakes it.
   [[nodiscard]] util::Status OffloadGrads(int layer,
                                           const std::vector<float>& grads)
-      ANGEL_EXCLUDES(queue_mutex_);
+      ANGEL_EXCLUDES(queue_mutex_, work_mutex_, backpressure_mutex_);
 
   // --- Control ---
 
   /// Spawns the buffering and updating threads (asynchronous mode).
   void Start();
   /// Joins the threads. Pending gradients stay buffered.
-  void Stop();
+  void Stop() ANGEL_EXCLUDES(work_mutex_);
   bool running() const { return running_.load(); }
 
   /// Synchronous baseline: applies one full update pass inline (every dirty
@@ -106,8 +163,10 @@ class LockFreeUpdater {
       ANGEL_EXCLUDES(queue_mutex_);
 
   /// OK while the updater is healthy; the first unrecoverable background
-  /// error afterwards. A non-OK status is terminal.
-  [[nodiscard]] util::Status status() const ANGEL_EXCLUDES(poison_mutex_);
+  /// error afterwards. A non-OK status is terminal. Lockless: the status
+  /// object is written once (under poison_mutex_) before the release store
+  /// of the poisoned_ flag publishes it, and never modified again.
+  [[nodiscard]] util::Status status() const;
 
   /// Reads the fp32 master parameters of a layer (test/checkpoint access;
   /// moves them memory-side if they are on SSD and back).
@@ -115,22 +174,25 @@ class LockFreeUpdater {
                                               std::vector<float>* out);
 
   /// Full optimizer state of one layer, for checkpointing (§3.1 failure
-  /// recovery).
+  /// recovery). Slots appear in the optimizer's SlotLayout order with their
+  /// declared names — the checkpoint v3 wire format serializes exactly this.
   struct LayerState {
+    struct Slot {
+      std::string name;
+      std::vector<float> values;
+    };
     std::vector<float> params;
-    std::vector<float> momentum;
-    std::vector<float> variance;
-    long adam_step = 0;
+    std::vector<Slot> slots;
+    long step = 0;
   };
-  /// Snapshots a layer's fp32 master state. Must not run concurrently with
-  /// the updating threads (Stop() first).
-  [[nodiscard]] util::Status ExportLayerState(int layer, LayerState* out);
-  /// Like ExportLayerState, but safe on a *running* updater: it briefly
-  /// quiesces that one layer (the updating thread's per-layer master mutex)
-  /// while the copy is taken, so training never stops globally. Each layer's
-  /// state is internally consistent (params/moments/step from the same
-  /// update count); different layers may be a few updates apart — which the
-  /// per-layer adam_step records, so a restore is still exact.
+  /// Snapshots a layer's fp32 master state. Safe on a *running* updater: it
+  /// briefly quiesces that one layer (the updating thread's per-layer
+  /// master mutex) while the copy is taken, so training never stops
+  /// globally. Each layer's state is internally consistent (params/slots/
+  /// step from the same update count); different layers may be a few
+  /// updates apart — which the per-layer step records, so a restore is
+  /// still exact. This is the one snapshot API (the former stopped-only
+  /// ExportLayerState was retired in its favor).
   [[nodiscard]] util::Status SnapshotLayerState(int layer, LayerState* out);
   /// Restores a layer's fp32 master state and refreshes its fp16 buffers.
   [[nodiscard]] util::Status ImportLayerState(int layer,
@@ -147,6 +209,9 @@ class LockFreeUpdater {
     /// Gradient batches not yet folded into the master parameters — the
     /// staleness the mechanism trades for throughput.
     uint64_t pending_grad_batches = 0;
+    /// OffloadGrads calls that hit the staleness valve and had to wait for
+    /// the updating thread to catch up (0 on a healthy, unstarved updater).
+    uint64_t backpressure_waits = 0;
     /// Distribution of gradient batches folded per update (1 = fully
     /// fresh; larger = the compute side ran ahead).
     util::Histogram staleness;
@@ -159,8 +224,10 @@ class LockFreeUpdater {
   struct Layer {
     size_t count = 0;
     Tensor* p32 = nullptr;
-    Tensor* m32 = nullptr;
-    Tensor* v32 = nullptr;
+    /// Master-state tensors, one per slot_layout entry (Adam: m, v; sgdm:
+    /// m; adafactor: row, col). Allocated per the optimizer's SlotLayout.
+    std::vector<Tensor*> slots;
+    std::vector<SlotSpec> slot_layout;
     /// Algorithm 2's CPU buffers, as fp16 tensors on the CPU tier. The
     /// pointers are set once in AddLayer; the *bytes* they reach are what
     /// buffer_mutex guards, a method-call-level relationship (ReadFloats/
@@ -169,27 +236,39 @@ class LockFreeUpdater {
     Tensor* buffered_grads = nullptr;   // g'16
     mutable util::Mutex buffer_mutex;
     uint64_t pending_batches ANGEL_GUARDED_BY(buffer_mutex) = 0;
-    /// Serializes access to the fp32 master states (p32/m32/v32, including
-    /// their tier moves) between the updating path and concurrent
+    /// Lockless read mirror of p'16: the same fp16 bits the buffer holds,
+    /// published via seqlock. Writers (install/import, both under
+    /// buffer_mutex) are serialized; FetchParams reads with no lock.
+    util::SeqLockBuffer param_mirror;
+    /// Serializes access to the fp32 master states (p32 and the slots,
+    /// including their tier moves) between the updating path and concurrent
     /// checkpoint snapshots / master reads. Held only for the master-state
     /// section of one layer's update — the per-layer quiesce window.
     mutable util::Mutex master_mutex;
-    long adam_step ANGEL_GUARDED_BY(master_mutex) = 0;
+    long step ANGEL_GUARDED_BY(master_mutex) = 0;
   };
 
-  /// Applies one Adam update to layer `layer_index` if it has pending
+  /// Applies one optimizer update to layer `layer_index` if it has pending
   /// gradients. Returns true if an update was applied.
   [[nodiscard]] util::Result<bool> UpdateLayer(int layer_index)
-      ANGEL_EXCLUDES(queue_mutex_, staleness_mutex_);
-  void UpdatingThreadLoop();
-  void BufferingThreadLoop() ANGEL_EXCLUDES(queue_mutex_);
+      ANGEL_EXCLUDES(queue_mutex_, staleness_mutex_, backpressure_mutex_);
+  void UpdatingThreadLoop() ANGEL_EXCLUDES(work_mutex_);
+  void BufferingThreadLoop() ANGEL_EXCLUDES(queue_mutex_, work_mutex_);
   /// Records the first unrecoverable error; later calls keep the original.
-  void Poison(const util::Status& status) ANGEL_EXCLUDES(poison_mutex_);
+  void Poison(const util::Status& status)
+      ANGEL_EXCLUDES(poison_mutex_, work_mutex_);
+  /// Bumps the work epoch and wakes the updating thread.
+  void SignalWork() ANGEL_EXCLUDES(work_mutex_);
+  /// Publishes `values` (as fp16 bits) into the layer's seqlock mirror.
+  /// Caller holds layer.buffer_mutex, which serializes mirror writers.
+  static void PublishParams(Layer& layer, const std::vector<float>& values)
+      ANGEL_REQUIRES(layer.buffer_mutex);
   /// Gradient batches offloaded but not yet applied.
   uint64_t pending_grad_batches() const;
 
   Allocator* allocator_;
   Options options_;
+  std::unique_ptr<Optimizer> optimizer_;
   std::vector<std::unique_ptr<Layer>> layers_;
 
   std::atomic<bool> running_{false};
@@ -207,15 +286,35 @@ class LockFreeUpdater {
   util::CondVar queue_cv_;
   std::deque<BufferTask> buffer_queue_ ANGEL_GUARDED_BY(queue_mutex_);
 
+  /// Wakeup channel for the updating thread (replaces the old idle-sleep
+  /// poll): the epoch counts SignalWork calls, so a signal that lands
+  /// mid-scan is observed as a changed epoch instead of being lost.
+  mutable util::Mutex work_mutex_;
+  util::CondVar work_cv_;
+  uint64_t work_epoch_ ANGEL_GUARDED_BY(work_mutex_) = 0;
+
+  /// Staleness valve state: per-layer batches offloaded (queued or
+  /// accumulated) but not yet taken by UpdateLayer. OffloadGrads waits on
+  /// the condvar while its layer sits at the Options bound; UpdateLayer
+  /// notifies after taking a layer's batches.
+  mutable util::Mutex backpressure_mutex_;
+  util::CondVar backpressure_cv_;
+  std::vector<uint64_t> inflight_batches_
+      ANGEL_GUARDED_BY(backpressure_mutex_);
+  std::atomic<uint64_t> backpressure_waits_{0};
+
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> grad_batches_offloaded_{0};
   std::atomic<uint64_t> grad_batches_applied_{0};
 
   /// Terminal error state. `poisoned_` is the lock-free fast-path flag;
-  /// the status itself is guarded by `poison_mutex_`.
+  /// poison_status_ is written exactly once, under poison_mutex_ (which
+  /// serializes racing Poison calls), *before* the release store to
+  /// poisoned_ — so any reader that observes poisoned_ true (acquire) may
+  /// read poison_status_ with no lock (DESIGN.md §13).
   std::atomic<bool> poisoned_{false};
   mutable util::Mutex poison_mutex_;
-  util::Status poison_status_ ANGEL_GUARDED_BY(poison_mutex_);
+  util::Status poison_status_;
 
   mutable util::Mutex staleness_mutex_;
   util::Histogram staleness_ ANGEL_GUARDED_BY(staleness_mutex_);

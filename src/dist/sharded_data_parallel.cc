@@ -17,13 +17,25 @@ ShardedDataParallel::ShardedDataParallel(core::Allocator* allocator,
       rng_(options.seed) {
   ANGEL_CHECK(options_.world_size >= 1);
   comm_ = std::make_unique<core::Communicator>(options_.world_size);
+  auto optimizer = core::Optimizer::Create(
+      core::ResolveLegacyAdam(options_.optimizer, options_.adam));
+  if (optimizer.ok()) {
+    optimizer_ = std::move(optimizer).value();
+    optimizer_status_ = util::Status::OK();
+  } else {
+    optimizer_status_ = optimizer.status();
+  }
 }
 
 ShardedDataParallel::~ShardedDataParallel() {
   for (auto& shard : shards_) {
-    for (auto* tensors : {&shard.p32, &shard.m32, &shard.v32,
-                          &shard.replica}) {
+    for (auto* tensors : {&shard.p32, &shard.replica}) {
       for (core::Tensor* tensor : *tensors) {
+        if (tensor != nullptr) (void)allocator_->Release(tensor);
+      }
+    }
+    for (auto& slot : shard.slots) {
+      for (core::Tensor* tensor : slot) {
         if (tensor != nullptr) (void)allocator_->Release(tensor);
       }
     }
@@ -31,6 +43,7 @@ ShardedDataParallel::~ShardedDataParallel() {
 }
 
 util::Status ShardedDataParallel::Init() {
+  ANGEL_RETURN_IF_ERROR(optimizer_status_);
   const int world = options_.world_size;
   if (options_.rank_gpu_capacity_bytes > 0) {
     for (int r = 0; r < world; ++r) {
@@ -54,30 +67,34 @@ util::Status ShardedDataParallel::Init() {
 
     std::vector<float> full = model_->InitLayerParams(l, &rng_);
     full.resize(shard.padded_count, 0.0f);
-    const std::vector<float> zeros(shard.shard_count, 0.0f);
+    // Each rank's shard carries its own optimizer state, laid out by the
+    // rule for the shard's element count (ZeRO: optimizer states shard
+    // with the parameters).
+    const std::vector<core::SlotSpec> layout =
+        optimizer_->SlotLayout(shard.shard_count);
     shard.p32.resize(world);
-    shard.m32.resize(world);
-    shard.v32.resize(world);
+    shard.slots.resize(layout.size());
+    for (auto& slot : shard.slots) slot.resize(world);
     for (int r = 0; r < world; ++r) {
       const uint64_t group = uint64_t(l) * 64 + r;
       ANGEL_ASSIGN_OR_RETURN(
           shard.p32[r],
           allocator_->Allocate({shard.shard_count}, core::DType::kFp32,
                                mem::DeviceKind::kCpu, group));
-      ANGEL_ASSIGN_OR_RETURN(
-          shard.m32[r],
-          allocator_->Allocate({shard.shard_count}, core::DType::kFp32,
-                               mem::DeviceKind::kCpu, group));
-      ANGEL_ASSIGN_OR_RETURN(
-          shard.v32[r],
-          allocator_->Allocate({shard.shard_count}, core::DType::kFp32,
-                               mem::DeviceKind::kCpu, group));
+      for (size_t s = 0; s < layout.size(); ++s) {
+        ANGEL_ASSIGN_OR_RETURN(
+            shard.slots[s][r],
+            allocator_->Allocate({layout[s].count}, layout[s].dtype,
+                                 mem::DeviceKind::kCpu, group));
+      }
       const std::vector<float> slice(
           full.begin() + r * shard.shard_count,
           full.begin() + (r + 1) * shard.shard_count);
       ANGEL_RETURN_IF_ERROR(shard.p32[r]->WriteFloats(slice));
-      ANGEL_RETURN_IF_ERROR(shard.m32[r]->WriteFloats(zeros));
-      ANGEL_RETURN_IF_ERROR(shard.v32[r]->WriteFloats(zeros));
+      for (size_t s = 0; s < layout.size(); ++s) {
+        const std::vector<float> slot_zeros(layout[s].count, 0.0f);
+        ANGEL_RETURN_IF_ERROR(shard.slots[s][r]->WriteFloats(slot_zeros));
+      }
     }
     if (options_.stage == ZeroStage::kStage1) {
       // Stage 1: parameters are NOT sharded — full replica per rank.
@@ -188,16 +205,24 @@ util::Status ShardedDataParallel::RankLoop(
           rank, grad_params.data(), shard.padded_count, shard_grad.data()));
       for (float& g : shard_grad) g /= float(world);
 
-      // 4. Adam on the owned shard only.
-      std::vector<float> p, m, v;
+      // 4. Optimizer update on the owned shard only.
+      std::vector<float> p;
       ANGEL_RETURN_IF_ERROR(shard.p32[rank]->ReadFloats(&p));
-      ANGEL_RETURN_IF_ERROR(shard.m32[rank]->ReadFloats(&m));
-      ANGEL_RETURN_IF_ERROR(shard.v32[rank]->ReadFloats(&v));
-      core::AdamUpdate(options_.adam, p.data(), m.data(), v.data(),
-                       shard_grad.data(), shard.shard_count, step + 1);
+      std::vector<std::vector<float>> slot_values(shard.slots.size());
+      std::vector<core::SlotView> views(shard.slots.size());
+      for (size_t s = 0; s < shard.slots.size(); ++s) {
+        ANGEL_RETURN_IF_ERROR(
+            shard.SlotTensor(s, rank)->ReadFloats(&slot_values[s]));
+        views[s] = {slot_values[s].data(), slot_values[s].size()};
+      }
+      ANGEL_RETURN_IF_ERROR(optimizer_->Update(p.data(), shard_grad.data(),
+                                               shard.shard_count, views,
+                                               step + 1));
       ANGEL_RETURN_IF_ERROR(shard.p32[rank]->WriteFloats(p));
-      ANGEL_RETURN_IF_ERROR(shard.m32[rank]->WriteFloats(m));
-      ANGEL_RETURN_IF_ERROR(shard.v32[rank]->WriteFloats(v));
+      for (size_t s = 0; s < shard.slots.size(); ++s) {
+        ANGEL_RETURN_IF_ERROR(
+            shard.SlotTensor(s, rank)->WriteFloats(slot_values[s]));
+      }
 
       if (options_.stage == ZeroStage::kStage1) {
         // Stage 1: gather the freshly updated shards into the full

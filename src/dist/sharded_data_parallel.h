@@ -7,6 +7,7 @@
 #include "core/adam.h"
 #include "core/allocator.h"
 #include "core/communicator.h"
+#include "core/optimizer/optimizer.h"
 #include "train/dataset.h"
 #include "train/layered_model.h"
 #include "util/random.h"
@@ -17,12 +18,14 @@ namespace angelptm::dist {
 /// Real ZeRO-style sharded data parallelism (§3.2 "Parameter Sharding"),
 /// executed across `world_size` rank threads in one process:
 ///
-///   - every rank owns 1/N of each layer's fp32 master states (parameter,
-///     momentum, variance), held as page-backed tensors;
+///   - every rank owns 1/N of each layer's fp32 master states (parameter
+///     plus the optimizer's declared slot layout), held as page-backed
+///     tensors;
 ///   - per step, each layer's full parameters are materialized by an
 ///     all-gather of the shards (Communicator), forward/backward runs on
 ///     the rank's slice of the global batch, and gradients synchronize by
-///     reduce-scatter so each rank updates exactly its shard with Adam.
+///     reduce-scatter so each rank updates exactly its shard with the
+///     configured update rule (core/optimizer/optimizer.h; Adam default).
 ///
 /// With the same global batch, N-rank training is mathematically equivalent
 /// to single-rank training (up to floating-point summation order) — the
@@ -44,6 +47,12 @@ struct ShardedDpOptions {
   /// compute, releasing them after the layer's backward — the per-rank
   /// paging path of the full system, under real multi-threaded churn.
   uint64_t rank_gpu_capacity_bytes = 0;
+  /// Update rule + hyper-parameters; each rank applies it to its owned
+  /// shard (the slot layout is computed per shard, so e.g. adafactor
+  /// factors each shard's own rows x cols grid).
+  core::OptimizerConfig optimizer;
+  /// Legacy Adam knobs (see TrainerOptions::adam): non-default fields
+  /// override `optimizer` via core::ResolveLegacyAdam.
   core::AdamConfig adam;
   /// Per-rank micro-batch; the global batch is world_size * batch_per_rank.
   size_t batch_per_rank = 8;
@@ -85,11 +94,16 @@ class ShardedDataParallel {
     size_t full_count = 0;    // Unpadded parameter elements of the layer.
     size_t padded_count = 0;  // Divisible by world_size.
     size_t shard_count = 0;   // padded_count / world_size.
-    /// Per-rank tensors, indexed [rank].
-    std::vector<core::Tensor*> p32, m32, v32;
+    /// Per-rank parameter shards, indexed [rank].
+    std::vector<core::Tensor*> p32;
+    /// Per-rank optimizer master state, indexed [slot][rank]; one entry
+    /// per SlotLayout(shard_count) slot of the configured rule.
+    std::vector<std::vector<core::Tensor*>> slots;
+    core::Tensor* SlotTensor(size_t slot, int rank) const {
+      return slots[slot][size_t(rank)];
+    }
     /// Stage 1 only: each rank's full fp32 parameter replica.
     std::vector<core::Tensor*> replica;
-    long adam_step = 0;
   };
 
   /// One rank's full training loop body (runs on its own thread).
@@ -101,6 +115,10 @@ class ShardedDataParallel {
   core::Allocator* allocator_;
   const train::LayeredModel* model_;
   ShardedDpOptions options_;
+  /// The shared (stateless, const-Update) rule instance every rank uses on
+  /// its own shard. Null when creation failed; Init() reports the error.
+  std::unique_ptr<core::Optimizer> optimizer_;
+  util::Status optimizer_status_;
   std::unique_ptr<core::Communicator> comm_;
   std::vector<Shard> shards_;
   /// Per-rank fast-tier memories/allocators (staging mode only).

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "obs/trace.h"
+#include "util/env_override.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
@@ -26,21 +27,11 @@ uint64_t NowUs() {
           .count());
 }
 
-/// Reads a non-negative integer knob from the environment, falling back to
-/// `fallback` when unset or unparsable. Env wins over Options so a whole test
-/// binary can be re-pointed at the async backend without code changes
-/// (scripts/check.sh --ssd relies on this).
-size_t EnvSizeOr(const char* name, size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') {
-    ANGEL_LOG(Warning) << "ignoring unparsable " << name << "=" << value;
-    return fallback;
-  }
-  return static_cast<size_t>(parsed);
-}
+// The ANGELPTM_SSD_IO_* knobs below follow the util::EnvOverride precedence
+// contract: env wins over Options so a whole test binary can be re-pointed
+// at the async backend without code changes (scripts/check.sh --ssd relies
+// on this).
+using util::EnvSizeOr;
 
 }  // namespace
 

@@ -1,10 +1,10 @@
 #include "train/simd/dispatch.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+#include <string>
 
 #include "train/simd/kernels_avx2.h"
+#include "util/env_override.h"
 #include "util/logging.h"
 
 namespace angelptm::simd {
@@ -27,9 +27,12 @@ std::atomic<int> g_resolved{-1};
 
 IsaPath ResolveFromEnvAndCpu() {
   const bool avx2_ok = avx2::Compiled() && CpuHasAvx2Fma();
-  if (const char* env = std::getenv("ANGELPTM_SIMD")) {
-    if (std::strcmp(env, "scalar") == 0) return IsaPath::kScalar;
-    if (std::strcmp(env, "avx2") == 0) {
+  // Precedence (util::EnvOverride contract): the ScopedForceIsa test
+  // override in Dispatch() beats this env lookup, which beats CPU detection.
+  if (util::EnvIsSet("ANGELPTM_SIMD")) {
+    const std::string env = util::EnvStringOr("ANGELPTM_SIMD", "");
+    if (env == "scalar") return IsaPath::kScalar;
+    if (env == "avx2") {
       if (avx2_ok) return IsaPath::kAvx2;
       ANGEL_LOG(Warning) << "ANGELPTM_SIMD=avx2 requested but AVX2+FMA is "
                          << (avx2::Compiled() ? "not supported by this CPU"

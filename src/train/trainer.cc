@@ -53,7 +53,8 @@ Trainer::~Trainer() {
 
 util::Status Trainer::BuildUpdater(util::Rng* rng) {
   core::LockFreeUpdater::Options updater_options;
-  updater_options.adam = options_.adam;
+  updater_options.optimizer =
+      core::ResolveLegacyAdam(options_.optimizer, options_.adam);
   updater_options.master_device = options_.master_device;
   updater_ = std::make_unique<core::LockFreeUpdater>(allocator_,
                                                      updater_options);

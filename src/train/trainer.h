@@ -8,6 +8,7 @@
 #include "core/allocator.h"
 #include "core/checkpoint_manager.h"
 #include "core/lockfree_updater.h"
+#include "core/optimizer/optimizer.h"
 #include "mem/copy_engine.h"
 #include "obs/metrics.h"
 #include "train/dataset.h"
@@ -30,6 +31,12 @@ namespace angelptm::train {
 enum class ComputePrecision { kFp32, kBf16 };
 
 struct TrainerOptions {
+  /// Update rule + hyper-parameters (core/optimizer/optimizer.h). The
+  /// default is Adam with the historic defaults.
+  core::OptimizerConfig optimizer;
+  /// Legacy Adam knobs, kept so pre-redesign callers compile unchanged:
+  /// any field set away from its AdamConfig default overrides the matching
+  /// `optimizer` field (core::ResolveLegacyAdam). Prefer `optimizer`.
   core::AdamConfig adam;
   ComputePrecision compute_precision = ComputePrecision::kFp32;
   size_t batch_size = 32;

@@ -1,0 +1,41 @@
+#include "util/env_override.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace angelptm::util {
+
+bool EnvIsSet(const char* name) { return std::getenv(name) != nullptr; }
+
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    ANGEL_LOG(Warning) << "ignoring unparsable " << name << "=" << value;
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+size_t EnvPositiveOr(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) {
+    ANGEL_LOG(Warning) << "ignoring non-positive or unparsable " << name << "="
+                       << value;
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+std::string EnvStringOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::string(value);
+}
+
+}  // namespace angelptm::util

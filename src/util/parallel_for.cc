@@ -1,7 +1,8 @@
 #include "util/parallel_for.h"
 
-#include <cstdlib>
 #include <thread>
+
+#include "util/env_override.h"
 
 namespace angelptm::util {
 namespace {
@@ -9,13 +10,12 @@ namespace {
 std::atomic<ThreadPool*> g_compute_pool_override{nullptr};
 
 size_t DefaultComputeThreads() {
-  if (const char* env = std::getenv("ANGELPTM_COMPUTE_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed > 0) return size_t(parsed);
-  }
+  // Precedence (util::EnvOverride contract): SetComputePoolOverride beats
+  // the env, which beats hardware_concurrency(). Zero or negative thread
+  // counts are meaningless, so EnvPositiveOr rejects them.
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : size_t(hw);
+  const size_t fallback = hw == 0 ? 1 : size_t(hw);
+  return EnvPositiveOr("ANGELPTM_COMPUTE_THREADS", fallback);
 }
 
 ThreadPool* DefaultComputePool() {

@@ -1,0 +1,155 @@
+#ifndef ANGELPTM_UTIL_SEQLOCK_H_
+#define ANGELPTM_UTIL_SEQLOCK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+/// Seqlock / double-buffer publication for read-mostly hot paths
+/// (DESIGN.md §13). Writers are serialized externally (typically by the
+/// mutex that already orders mutations); readers take no lock at all and
+/// retry the rare read that overlaps a write.
+///
+/// Protocol (the Boehm "Can seqlocks get along with programming language
+/// memory models?" pattern, which is what the NERvGear LocklessUpdater
+/// idiom in SNIPPETS.md §3 implements with counters):
+///
+///   writer: seq.store(s+1, relaxed)        // odd: write in progress
+///           fence(release)
+///           payload words, relaxed stores
+///           seq.store(s+2, release)        // even again
+///
+///   reader: s1 = seq.load(acquire); if (s1 odd) retry
+///           payload words, relaxed loads
+///           fence(acquire)
+///           if (seq.load(relaxed) != s1) retry
+///
+/// The payload lives in std::atomic<uint32_t> words so the racing loads and
+/// stores are *atomic* races — defined behaviour the fences order, and one
+/// ThreadSanitizer understands (no false positives, no torn words).
+
+namespace angelptm::util {
+
+/// Runtime-sized seqlock-published word buffer. `num_words()` uint32_t
+/// payload words, fixed at Reset() time. Single external writer at a time;
+/// any number of concurrent lock-free readers.
+class SeqLockBuffer {
+ public:
+  SeqLockBuffer() = default;
+  SeqLockBuffer(const SeqLockBuffer&) = delete;
+  SeqLockBuffer& operator=(const SeqLockBuffer&) = delete;
+
+  /// (Re)sizes the payload. Not thread-safe: call before readers exist.
+  void Reset(size_t num_words) {
+    words_ = std::vector<std::atomic<uint32_t>>(num_words);
+    seq_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t num_words() const { return words_.size(); }
+
+  /// Monotonic publication version: bumps by 2 per Write. Readers can
+  /// compare versions across fetches without re-reading the payload.
+  uint64_t version() const { return seq_.load(std::memory_order_acquire); }
+
+  /// Publishes `num_words()` words from `src`. Callers must serialize
+  /// writers externally (two concurrent Write calls are a logic error).
+  void Write(const uint32_t* src) {
+    const uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i].store(src[i], std::memory_order_relaxed);
+    }
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  /// One consistent read attempt into `dst` (num_words() words). Returns
+  /// false if a write overlapped; Read() below is the retrying form.
+  bool TryRead(uint32_t* dst) const {
+    const uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 & 1) return false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      dst[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == s1;
+  }
+
+  /// Copies a consistent snapshot into `dst`, retrying until one is
+  /// obtained. Writers are brief (a word-copy loop), so the retry loop
+  /// terminates quickly; there is no writer-starvation path because
+  /// readers never block writers.
+  void Read(uint32_t* dst) const {
+    while (!TryRead(dst)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::vector<std::atomic<uint32_t>> words_;
+};
+
+/// Fixed-type seqlock cell: publishes whole values of a trivially copyable
+/// `T` (padded to whole uint32_t words internally). Same writer/reader
+/// contract as SeqLockBuffer.
+template <typename T>
+class SeqLock {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SeqLock payload must be trivially copyable");
+  static constexpr size_t kWords = (sizeof(T) + 3) / 4;
+
+ public:
+  SeqLock() : SeqLock(T{}) {}
+  explicit SeqLock(const T& initial) {
+    uint32_t words[kWords] = {};
+    std::memcpy(words, &initial, sizeof(T));
+    for (size_t i = 0; i < kWords; ++i) {
+      words_[i].store(words[i], std::memory_order_relaxed);
+    }
+  }
+  SeqLock(const SeqLock&) = delete;
+  SeqLock& operator=(const SeqLock&) = delete;
+
+  uint64_t version() const { return seq_.load(std::memory_order_acquire); }
+
+  /// Publishes `value`. Writers must be serialized externally.
+  void Write(const T& value) {
+    uint32_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    const uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (size_t i = 0; i < kWords; ++i) {
+      words_[i].store(words[i], std::memory_order_relaxed);
+    }
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  /// Lock-free consistent read (retries across overlapping writes).
+  T Read() const {
+    uint32_t words[kWords];
+    for (;;) {
+      const uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if (s1 & 1) continue;
+      for (size_t i = 0; i < kWords; ++i) {
+        words[i] = words_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) break;
+    }
+    T value;
+    std::memcpy(&value, words, sizeof(T));
+    return value;
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint32_t> words_[kWords];
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_SEQLOCK_H_

@@ -42,7 +42,7 @@ class CheckpointTest : public ::testing::Test {
   std::unique_ptr<LockFreeUpdater> MakeUpdater(
       mem::DeviceKind master = mem::DeviceKind::kCpu) {
     LockFreeUpdater::Options options;
-    options.adam.learning_rate = 0.05;
+    options.optimizer.learning_rate = 0.05;
     options.master_device = master;
     auto updater = std::make_unique<LockFreeUpdater>(&allocator_, options);
     EXPECT_TRUE(updater->AddLayer({1.0f, 2.0f, 3.0f}).ok());
@@ -360,14 +360,17 @@ TEST_F(CheckpointTest, RandomizedLayoutsRoundTrip) {
     std::vector<LockFreeUpdater::LayerState> want(num_layers);
     for (int l = 0; l < num_layers; ++l) {
       LockFreeUpdater::LayerState& state = want[l];
-      state.adam_step = long(rng.NextDouble() * 10000);
+      state.step = long(rng.NextDouble() * 10000);
       state.params.resize(sizes[l]);
-      state.momentum.resize(sizes[l]);
-      state.variance.resize(sizes[l]);
+      state.slots.resize(2);
+      state.slots[0].name = "m";
+      state.slots[1].name = "v";
+      state.slots[0].values.resize(sizes[l]);
+      state.slots[1].values.resize(sizes[l]);
       for (size_t i = 0; i < sizes[l]; ++i) {
         state.params[i] = float(rng.NextGaussian());
-        state.momentum[i] = float(rng.NextGaussian());
-        state.variance[i] = float(rng.NextDouble());
+        state.slots[0].values[i] = float(rng.NextGaussian());
+        state.slots[1].values[i] = float(rng.NextDouble());
       }
       ASSERT_TRUE(updater->ImportLayerState(l, state).ok());
     }
@@ -388,10 +391,13 @@ TEST_F(CheckpointTest, RandomizedLayoutsRoundTrip) {
     for (int l = 0; l < num_layers; ++l) {
       LockFreeUpdater::LayerState got;
       ASSERT_TRUE(recovered->SnapshotLayerState(l, &got).ok());
-      EXPECT_EQ(got.adam_step, want[l].adam_step) << "layer " << l;
+      EXPECT_EQ(got.step, want[l].step) << "layer " << l;
       EXPECT_EQ(got.params, want[l].params) << "layer " << l;
-      EXPECT_EQ(got.momentum, want[l].momentum) << "layer " << l;
-      EXPECT_EQ(got.variance, want[l].variance) << "layer " << l;
+      ASSERT_EQ(got.slots.size(), 2u) << "layer " << l;
+      EXPECT_EQ(got.slots[0].values, want[l].slots[0].values)
+          << "layer " << l;
+      EXPECT_EQ(got.slots[1].values, want[l].slots[1].values)
+          << "layer " << l;
     }
     std::remove(path.c_str());
   }
@@ -441,9 +447,135 @@ TEST_F(CheckpointTest, V1CheckpointStillLoads) {
   LockFreeUpdater::LayerState got;
   ASSERT_TRUE(updater.SnapshotLayerState(0, &got).ok());
   EXPECT_EQ(got.params, p);
-  EXPECT_EQ(got.momentum, m);
-  EXPECT_EQ(got.variance, v);
-  EXPECT_EQ(got.adam_step, 7);
+  ASSERT_EQ(got.slots.size(), 2u);
+  EXPECT_EQ(got.slots[0].name, "m");
+  EXPECT_EQ(got.slots[0].values, m);
+  EXPECT_EQ(got.slots[1].name, "v");
+  EXPECT_EQ(got.slots[1].values, v);
+  EXPECT_EQ(got.step, 7);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, V2CheckpointLoadsAsAdam) {
+  // Hand-written v2 file (progress block but no rule string or named
+  // slots): must load into an Adam-configured updater with the fixed
+  // {m, v} interpretation of its two state arrays.
+  const std::string path = TempPath("v2");
+  const std::vector<float> p = {1.5f, -2.5f, 3.5f};
+  const std::vector<float> m = {0.1f, 0.2f, 0.3f};
+  const std::vector<float> v = {0.01f, 0.02f, 0.03f};
+  {
+    std::vector<char> bytes;
+    auto put = [&bytes](const void* data, size_t n) {
+      const char* c = static_cast<const char*>(data);
+      bytes.insert(bytes.end(), c, c + n);
+    };
+    put("APTMCKPT", 8);
+    const uint32_t version = 2;
+    put(&version, 4);
+    // Progress block: global_step, rng state (4-word s, cache flag+value),
+    // loss-scaler schedule.
+    const int64_t global_step = 42;
+    put(&global_step, 8);
+    const uint64_t rng_s[4] = {1, 2, 3, 4};
+    put(rng_s, 4 * 8);
+    const uint8_t has_cached = 0;
+    put(&has_cached, 1);
+    const double cached = 0.0, loss_scale = 1024.0;
+    put(&cached, 8);
+    put(&loss_scale, 8);
+    const int32_t good_steps = 3;
+    const uint64_t overflows = 1, growths = 2;
+    put(&good_steps, 4);
+    put(&overflows, 8);
+    put(&growths, 8);
+    const uint32_t num_layers = 1;
+    put(&num_layers, 4);
+    const uint64_t count = 3;
+    const int64_t adam_step = 9;
+    put(&count, 8);
+    put(&adam_step, 8);
+    put(p.data(), 3 * sizeof(float));
+    put(m.data(), 3 * sizeof(float));
+    put(v.data(), 3 * sizeof(float));
+    uint64_t hash = 14695981039346656037ull;
+    for (const char byte : bytes) {
+      hash ^= static_cast<unsigned char>(byte);
+      hash *= 1099511628211ull;
+    }
+    put(&hash, 8);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), long(bytes.size()));
+  }
+  LockFreeUpdater::Options options;
+  LockFreeUpdater updater(&allocator_, options);
+  ASSERT_TRUE(updater.AddLayer({0.0f, 0.0f, 0.0f}).ok());
+  TrainProgress progress;
+  ASSERT_TRUE(LoadCheckpoint(&updater, path, &progress).ok());
+  EXPECT_TRUE(progress.has_progress);
+  EXPECT_EQ(progress.global_step, 42);
+  EXPECT_EQ(progress.loss_scale, 1024.0);
+  LockFreeUpdater::LayerState got;
+  ASSERT_TRUE(updater.SnapshotLayerState(0, &got).ok());
+  EXPECT_EQ(got.params, p);
+  ASSERT_EQ(got.slots.size(), 2u);
+  EXPECT_EQ(got.slots[0].values, m);
+  EXPECT_EQ(got.slots[1].values, v);
+  EXPECT_EQ(got.step, 9);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, RuleMismatchRejected) {
+  // A checkpoint written under one rule must not silently load into an
+  // updater running a different one — the slot semantics differ.
+  const std::string path = TempPath("rule");
+  auto updater = MakeUpdater();
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  LockFreeUpdater::Options options;
+  options.optimizer.rule = "sgdm";
+  LockFreeUpdater sgdm(&allocator_, options);
+  ASSERT_TRUE(sgdm.AddLayer({1.0f, 2.0f, 3.0f}).ok());
+  ASSERT_TRUE(sgdm.AddLayer(std::vector<float>(64, 0.5f)).ok());
+  const util::Status loaded = LoadCheckpoint(&sgdm, path);
+  ASSERT_TRUE(loaded.IsInvalidArgument()) << loaded;
+  EXPECT_NE(loaded.message().find("adam"), std::string::npos) << loaded;
+  EXPECT_NE(loaded.message().find("sgdm"), std::string::npos) << loaded;
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, V3RoundTripPreservesRuleAndSlots) {
+  // Non-Adam rules round-trip their self-describing slot blocks: adafactor
+  // has differently-sized row/col slots, the strongest layout test.
+  const std::string path = TempPath("v3");
+  LockFreeUpdater::Options options;
+  options.optimizer.rule = "adafactor";
+  options.optimizer.adafactor_cols = 8;
+  auto make = [&]() {
+    auto updater = std::make_unique<LockFreeUpdater>(&allocator_, options);
+    EXPECT_TRUE(updater->AddLayer(std::vector<float>(20, 1.0f)).ok());
+    return updater;
+  };
+  auto updater = make();
+  ASSERT_TRUE(updater->OffloadGrads(0, std::vector<float>(20, 0.3f)).ok());
+  ASSERT_TRUE(updater->UpdateOnce().ok());
+  LockFreeUpdater::LayerState want;
+  ASSERT_TRUE(updater->SnapshotLayerState(0, &want).ok());
+  ASSERT_EQ(want.slots.size(), 2u);
+  EXPECT_EQ(want.slots[0].name, "row");
+  EXPECT_EQ(want.slots[1].name, "col");
+  EXPECT_NE(want.slots[0].values.size(), want.slots[1].values.size());
+  ASSERT_TRUE(SaveCheckpoint(updater.get(), path).ok());
+
+  auto recovered = make();
+  ASSERT_TRUE(LoadCheckpoint(recovered.get(), path).ok());
+  LockFreeUpdater::LayerState got;
+  ASSERT_TRUE(recovered->SnapshotLayerState(0, &got).ok());
+  EXPECT_EQ(got.params, want.params);
+  EXPECT_EQ(got.step, want.step);
+  ASSERT_EQ(got.slots.size(), 2u);
+  EXPECT_EQ(got.slots[0].values, want.slots[0].values);
+  EXPECT_EQ(got.slots[1].values, want.slots[1].values);
   std::remove(path.c_str());
 }
 

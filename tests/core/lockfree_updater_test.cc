@@ -33,7 +33,7 @@ class LockFreeUpdaterTest : public ::testing::Test {
   static LockFreeUpdater::Options UpdaterOptions(
       mem::DeviceKind master = mem::DeviceKind::kCpu) {
     LockFreeUpdater::Options options;
-    options.adam.learning_rate = 0.1;
+    options.optimizer.learning_rate = 0.1;
     options.master_device = master;
     return options;
   }
@@ -149,7 +149,9 @@ TEST_F(LockFreeUpdaterTest, AsyncThreadsApplyUpdates) {
 
 TEST_F(LockFreeUpdaterTest, ComputeNeverBlocksOnUpdater) {
   // Offloading with threads running must return quickly even while the
-  // updater is busy — the defining property of the mechanism.
+  // updater is busy — the defining property of the mechanism. (The default
+  // staleness valve may briefly pace the loop, but never serializes it
+  // behind one update per batch.)
   LockFreeUpdater updater(&allocator_, UpdaterOptions());
   ASSERT_TRUE(updater.AddLayer(std::vector<float>(4096, 0.5f)).ok());
   updater.Start();
@@ -198,6 +200,45 @@ TEST_F(LockFreeUpdaterTest, UpdateOnceRejectedWhileRunning) {
   EXPECT_EQ(updater.UpdateOnce().code(),
             util::StatusCode::kFailedPrecondition);
   updater.Stop();
+}
+
+TEST_F(LockFreeUpdaterTest, StalenessValveBoundsPerLayerBacklog) {
+  // With the valve at 4, a compute loop spamming one layer can never get
+  // more than 4 batches ahead of the updating thread, so no update ever
+  // folds more than 4 batches (the staleness bound is a hard bound, not a
+  // hint). A single offloading thread makes this deterministic: the valve
+  // admits an offload only when in-flight < 4.
+  auto options = UpdaterOptions();
+  options.max_pending_batches_per_layer = 4;
+  LockFreeUpdater updater(&allocator_, options);
+  ASSERT_TRUE(updater.AddLayer(std::vector<float>(256, 1.0f)).ok());
+  updater.Start();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(updater.OffloadGrads(0, std::vector<float>(256, 0.01f)).ok());
+  }
+  ASSERT_TRUE(updater.DrainUpdates().ok());
+  updater.Stop();
+  const LockFreeUpdater::Stats stats = updater.Snapshot();
+  EXPECT_EQ(stats.grad_batches_applied, 100u);
+  EXPECT_LE(stats.staleness.Max(), 4u);
+}
+
+TEST_F(LockFreeUpdaterTest, ValveDisabledAllowsUnboundedBacklog) {
+  // Bound 0 switches the valve off: offloads never wait, whatever the
+  // backlog (the paper's original never-blocking compute contract).
+  auto options = UpdaterOptions();
+  options.max_pending_batches_per_layer = 0;
+  LockFreeUpdater updater(&allocator_, options);
+  ASSERT_TRUE(updater.AddLayer(std::vector<float>(16, 1.0f)).ok());
+  updater.Start();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(updater.OffloadGrads(0, std::vector<float>(16, 0.01f)).ok());
+  }
+  ASSERT_TRUE(updater.DrainUpdates().ok());
+  updater.Stop();
+  const LockFreeUpdater::Stats stats = updater.Snapshot();
+  EXPECT_EQ(stats.grad_batches_applied, 50u);
+  EXPECT_EQ(stats.backpressure_waits, 0u);
 }
 
 TEST_F(LockFreeUpdaterTest, StartStopIdempotent) {
@@ -282,6 +323,30 @@ TEST_F(LockFreeUpdaterFaultTest, BufferInstallFailurePoisons) {
   updater.Stop();
   std::vector<float> fetched;
   EXPECT_TRUE(updater.FetchParams(0, &fetched).IsIoError());
+}
+
+TEST_F(LockFreeUpdaterFaultTest, PoisonReleasesValveBlockedOffload) {
+  // A dead updating thread must never wedge a compute thread waiting at
+  // the staleness valve. The armed accumulate fault poisons the updater
+  // while the first batch is still counted in flight, so the second
+  // offload either fails fast on the published poison or blocks at the
+  // bound-1 valve until Poison's wakeup releases it — both within the
+  // test's lifetime, neither a hang.
+  auto options = UpdaterOptions();
+  options.max_pending_batches_per_layer = 1;
+  LockFreeUpdater updater(&allocator_, options);
+  ASSERT_TRUE(updater.AddLayer({1.0f, 2.0f}).ok());
+  ArmPermanent("updater.buffer_accumulate");
+  updater.Start();
+  ASSERT_TRUE(updater.OffloadGrads(0, {0.1f, 0.1f}).ok());
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  util::Status second = util::Status::OK();
+  while (second.ok() && std::chrono::steady_clock::now() < poll_deadline) {
+    second = updater.OffloadGrads(0, {0.1f, 0.1f});
+  }
+  EXPECT_TRUE(second.IsIoError()) << second;
+  updater.Stop();
 }
 
 TEST_F(LockFreeUpdaterFaultTest, DrainDeadlineExceededWithoutProgress) {

@@ -1,0 +1,13 @@
+// Lint fixture: the waiver form of the optimizer-registry rule — a
+// concrete Optimizer subclass intentionally absent from the factory, in a
+// file with no RegisterOptimizer call. Never compiled.
+#ifndef ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_HIDDEN_RULE_H_
+#define ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_HIDDEN_RULE_H_
+
+namespace demo {
+
+class HiddenRule final : public core::Optimizer {};  // lint: optimizer-registry (test-only rule)
+
+}  // namespace demo
+
+#endif  // ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_HIDDEN_RULE_H_

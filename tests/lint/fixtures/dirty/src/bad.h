@@ -21,6 +21,9 @@ inline void Touch() {
   ANGEL_FAULT_CHECK("demo.undocumented");  // Absent from the table.
 }
 
+// Subclasses Optimizer but the file never calls RegisterOptimizer(...).
+class OrphanRule final : public Optimizer {};
+
 }  // namespace demo
 
 #endif  // ANGELPTM_TESTS_LINT_FIXTURES_DIRTY_SRC_BAD_H_

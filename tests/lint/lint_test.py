@@ -51,10 +51,12 @@ def main():
           dirty.stdout + dirty.stderr)
     # One finding per violation: raw mutex + unannotated util::Mutex,
     # a declaration without [[nodiscard]], a naked new, an intrinsic
-    # include outside src/train/simd/, and the failpoint drift in both
-    # directions (site missing from table, stale table row).
+    # include outside src/train/simd/, an unregistered Optimizer subclass,
+    # and the failpoint drift in both directions (site missing from table,
+    # stale table row).
     for tag, expected in [("[mutex]", 2), ("[nodiscard]", 1),
                           ("[naked-new]", 1), ("[simd-include]", 1),
+                          ("[optimizer-registry]", 1),
                           ("[failpoint]", 2)]:
         count = dirty.stdout.count(f": {tag}")  # "[[nodiscard]]" in the
         # message body would double-count a bare substring search.
