@@ -1,0 +1,106 @@
+// Measured vs modeled latency of the socket collectives (DESIGN.md §14.5):
+// runs real dist::ProcessGroup worlds (rank threads over Unix-domain
+// sockets) across payload sizes and world sizes and prints the measured
+// per-collective time next to sim::CollectiveModel's prediction for the
+// LocalhostLoopback fabric. The model is calibrated as an upper band —
+// `ok` means measured <= predicted (an unloaded host should always pass;
+// a loaded CI box may exceed it, which the column makes visible rather
+// than failing).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/process_group.h"
+#include "sim/collective_model.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using angelptm::dist::ProcessGroup;
+using angelptm::dist::ProcessGroupOptions;
+
+struct Measured {
+  double allgather_s = 0.0;
+  double reducescatter_s = 0.0;
+};
+
+Measured MeasureWorld(int world, size_t shard_elems, int iters) {
+  const std::string path =
+      "/tmp/aptm-bench-" + std::to_string(::getpid()) + ".sock";
+  Measured out;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      ProcessGroupOptions options;
+      options.rank = r;
+      options.world_size = world;
+      options.rendezvous = path;
+      auto group = ProcessGroup::Connect(options);
+      if (!group.ok()) return;
+      std::vector<float> shard(shard_elems, float(r));
+      std::vector<float> full(shard_elems * size_t(world));
+      // Warm-up round, then timed rounds in lockstep.
+      (void)(*group)->AllGather(shard.data(), shard_elems, full.data());
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < iters; ++i) {
+        (void)(*group)->AllGather(shard.data(), shard_elems, full.data());
+      }
+      auto mid = std::chrono::steady_clock::now();
+      for (int i = 0; i < iters; ++i) {
+        (void)(*group)->ReduceScatter(full.data(), full.size(),
+                                      shard.data());
+      }
+      auto end = std::chrono::steady_clock::now();
+      if (r == 0) {
+        out.allgather_s =
+            std::chrono::duration<double>(mid - start).count() / iters;
+        out.reducescatter_s =
+            std::chrono::duration<double>(end - mid).count() / iters;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return out;
+}
+
+std::string Us(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Socket collectives: measured vs sim::CollectiveModel "
+              "(hub topology, LocalhostLoopback fabric)\n\n");
+  angelptm::sim::CollectiveModel model(angelptm::sim::LocalhostLoopback());
+
+  angelptm::util::TablePrinter table(
+      {"world", "shard KiB", "allgather us", "model us", "ok",
+       "reduce-scatter us", "model us", "ok"});
+  for (const int world : {2, 4, 8}) {
+    for (const size_t shard_elems : {size_t(1024), size_t(16 * 1024),
+                                     size_t(256 * 1024)}) {
+      const Measured m = MeasureWorld(world, shard_elems, 30);
+      const uint64_t shard_bytes = shard_elems * sizeof(float);
+      const double ag_model = model.AllGatherSeconds(world, shard_bytes);
+      const double rs_model =
+          model.ReduceScatterSeconds(world, shard_bytes * uint64_t(world));
+      table.AddRow({std::to_string(world),
+                    std::to_string(shard_bytes / 1024),
+                    Us(m.allgather_s), Us(ag_model),
+                    m.allgather_s <= ag_model ? "yes" : "NO",
+                    Us(m.reducescatter_s), Us(rs_model),
+                    m.reducescatter_s <= rs_model ? "yes" : "NO"});
+    }
+  }
+  table.Print(std::cout, "hub collectives on this host");
+  return 0;
+}

@@ -36,9 +36,15 @@
 #     torn-read stress, the checkpoint v3 <-> v2 round-trip tests, and a
 #     smoke run of the updater-contention bench across all rules.
 #
+#   * A dist pass (DESIGN.md §14): the socket-collective property tests,
+#     shard-checkpoint suite, and the fork/exec multi-process tests (4-rank
+#     bitwise match vs single-process, SIGKILL-one-rank gang restart), plus
+#     an angel_worker launcher smoke at 2 and 4 real ranks whose rank-0
+#     result file must match the single-process run byte for byte.
+#
 # Usage: scripts/check.sh
 #   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd|--ssd|
-#    --optimizers]
+#    --optimizers|--dist]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -152,6 +158,41 @@ if [ "$MODE" = all ] || [ "$MODE" = --optimizers ]; then
   # Contention bench in smoke geometry: all rules must run end to end
   # with extra lock-free readers hammering the parameter mirror.
   ./build/bench/optimizer_bench build/BENCH_optimizer_smoke.json 4096
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --dist ]; then
+  echo "=== dist: multi-process ZeRO over sockets (DESIGN.md §14) ==="
+  if [ ! -x build/tests/dist_test ] || [ ! -x build/tools/angel_worker ]; then
+    cmake -B build -S .
+    cmake --build build -j --target dist_test angel_worker
+  fi
+  # The full dist suite: socket-collective property tests (50+ random
+  # layouts bitwise vs the in-process Communicator), shard checkpoints,
+  # and the fork/exec multi-process tests (4-rank bitwise match plus the
+  # SIGKILL-one-rank recovery drill).
+  ./build/tests/dist_test
+  # Launcher smoke: every rank is a real OS process rendezvousing over a
+  # Unix-domain socket; the rank-0 result file (losses, validation loss,
+  # and every parameter, all spelled as raw bit patterns) must match the
+  # single-process run byte for byte.
+  for WORLD in 2 4; do
+    DIST_DIR=$(mktemp -d "${TMPDIR:-/tmp}/aptm-dist-XXXXXX")
+    ./build/tools/angel_worker --backend=inproc --world="$WORLD" \
+      --steps=6 --result-file="$DIST_DIR/inproc.txt"
+    R=1
+    while [ "$R" -lt "$WORLD" ]; do
+      ./build/tools/angel_worker --backend=pg --rank="$R" \
+        --world="$WORLD" --rendezvous="$DIST_DIR/rdv.sock" --steps=6 &
+      R=$((R + 1))
+    done
+    ./build/tools/angel_worker --backend=pg --rank=0 --world="$WORLD" \
+      --rendezvous="$DIST_DIR/rdv.sock" --steps=6 \
+      --result-file="$DIST_DIR/pg.txt"
+    wait
+    cmp "$DIST_DIR/inproc.txt" "$DIST_DIR/pg.txt"
+    echo "dist: world=$WORLD matches single-process bitwise"
+    rm -rf "$DIST_DIR"
+  done
 fi
 
 if [ "$MODE" = all ] || [ "$MODE" = --trace-smoke ]; then

@@ -1,0 +1,271 @@
+#include "dist/shard_checkpoint.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/fault_injector.h"
+#include "util/logging.h"
+
+namespace angelptm::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4452485344545041ull;  // "APTMSHRD" LE.
+constexpr uint32_t kVersion = 1;
+/// Corrupt-file caps: a damaged count field must not drive a huge
+/// allocation before the checksum gets a chance to reject the file.
+constexpr uint32_t kMaxLayers = 1u << 20;
+constexpr uint32_t kMaxSlots = 64;
+
+uint64_t Fnv1a(const std::byte* data, size_t size, uint64_t seed) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= uint64_t(data[i]);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+void Append(std::vector<std::byte>* out, const void* data, size_t bytes) {
+  const size_t offset = out->size();
+  out->resize(offset + bytes);
+  std::memcpy(out->data() + offset, data, bytes);
+}
+template <typename T>
+void AppendValue(std::vector<std::byte>* out, T value) {
+  Append(out, &value, sizeof(value));
+}
+
+class Reader {
+ public:
+  Reader(const std::byte* data, size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] util::Status Read(void* out, size_t bytes) {
+    if (offset_ + bytes > size_) {
+      return util::Status::IoError("shard checkpoint truncated at offset " +
+                                   std::to_string(offset_));
+    }
+    std::memcpy(out, data_ + offset_, bytes);
+    offset_ += bytes;
+    return util::Status::OK();
+  }
+  template <typename T>
+  [[nodiscard]] util::Status ReadValue(T* out) {
+    return Read(out, sizeof(T));
+  }
+  size_t offset() const { return offset_; }
+
+ private:
+  const std::byte* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+std::string ShardFileName(int rank, int step) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-r%05d-s%09d.ckpt", rank, step);
+  return buf;
+}
+
+/// Parses "shard-r<rank>-s<step>.ckpt"; returns step or -1. Anchored at
+/// both ends: in-flight "….ckpt.tmp" files (a crashed writer's litter)
+/// must never count as checkpoints.
+int ParseShardFile(const std::string& name, int rank) {
+  int file_rank = -1, step = -1;
+  if (std::sscanf(name.c_str(), "shard-r%5d-s%9d.ckpt", &file_rank,
+                  &step) != 2 ||
+      name != ShardFileName(file_rank, step)) {
+    return -1;
+  }
+  return file_rank == rank ? step : -1;
+}
+
+}  // namespace
+
+util::Status SaveShardState(const std::string& dir, const ShardState& state,
+                            int keep_last) {
+  if (state.step <= 0) {
+    return util::Status::InvalidArgument("shard checkpoint step must be > 0");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create checkpoint dir " + dir +
+                                 ": " + ec.message());
+  }
+
+  std::vector<std::byte> blob;
+  AppendValue(&blob, kMagic);
+  AppendValue(&blob, kVersion);
+  AppendValue(&blob, uint32_t(state.rank));
+  AppendValue(&blob, uint32_t(state.world_size));
+  AppendValue(&blob, uint32_t(state.step));
+  AppendValue(&blob, uint32_t(state.layers.size()));
+  for (const ShardLayerState& layer : state.layers) {
+    AppendValue(&blob, uint64_t(layer.p32.size()));
+    Append(&blob, layer.p32.data(), layer.p32.size() * sizeof(float));
+    AppendValue(&blob, uint32_t(layer.slots.size()));
+    for (const std::vector<float>& slot : layer.slots) {
+      AppendValue(&blob, uint64_t(slot.size()));
+      Append(&blob, slot.data(), slot.size() * sizeof(float));
+    }
+  }
+  AppendValue(&blob, Fnv1a(blob.data(), blob.size(), kFnvOffset));
+
+  const fs::path path = fs::path(dir) / ShardFileName(state.rank, state.step);
+  const fs::path tmp = path.string() + ".tmp";
+  ANGEL_FAULT_CHECK("shard_ckpt.write");
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + tmp.string());
+  }
+  bool ok = std::fwrite(blob.data(), 1, blob.size(), file) == blob.size();
+  if (ok && std::fflush(file) != 0) ok = false;
+  if (ok && ::fsync(::fileno(file)) != 0) ok = false;
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("failed writing " + tmp.string());
+  }
+  ANGEL_FAULT_CHECK("shard_ckpt.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("failed renaming " + tmp.string());
+  }
+
+  if (keep_last >= 1) {
+    // Rotation only after a successful save, and only this rank's files.
+    std::vector<int> steps;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const int step = ParseShardFile(entry.path().filename().string(),
+                                      state.rank);
+      if (step > 0) steps.push_back(step);
+    }
+    std::sort(steps.begin(), steps.end());
+    while (int(steps.size()) > keep_last) {
+      const fs::path old =
+          fs::path(dir) / ShardFileName(state.rank, steps.front());
+      if (std::remove(old.c_str()) != 0) {
+        ANGEL_LOG(Warning) << "shard checkpoint rotation failed to delete "
+                           << old.string();
+      }
+      steps.erase(steps.begin());
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Result<int> LatestShardStep(const std::string& dir, int rank) {
+  std::error_code ec;
+  int latest = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    latest = std::max(
+        latest, ParseShardFile(entry.path().filename().string(), rank));
+  }
+  // A missing directory is simply "no checkpoint yet".
+  return std::max(latest, 0);
+}
+
+util::Result<ShardState> LoadShardState(const std::string& dir, int rank,
+                                        int step) {
+  const fs::path path = fs::path(dir) / ShardFileName(rank, step);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return util::Status::NotFound("no shard checkpoint at " + path.string());
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::byte> blob(size > 0 ? size_t(size) : 0);
+  const bool read_ok =
+      std::fread(blob.data(), 1, blob.size(), file) == blob.size();
+  std::fclose(file);
+  if (!read_ok || blob.size() < sizeof(uint64_t)) {
+    return util::Status::IoError("cannot read " + path.string());
+  }
+
+  uint64_t stored_sum;
+  std::memcpy(&stored_sum, blob.data() + blob.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  const size_t body = blob.size() - sizeof(uint64_t);
+  if (Fnv1a(blob.data(), body, kFnvOffset) != stored_sum) {
+    return util::Status::IoError("shard checkpoint checksum mismatch: " +
+                                 path.string());
+  }
+
+  Reader reader(blob.data(), body);
+  uint64_t magic;
+  uint32_t version, file_rank, world, file_step, num_layers;
+  ANGEL_RETURN_IF_ERROR(reader.ReadValue(&magic));
+  if (magic != kMagic) {
+    return util::Status::InvalidArgument("not a shard checkpoint: " +
+                                         path.string());
+  }
+  ANGEL_RETURN_IF_ERROR(reader.ReadValue(&version));
+  if (version != kVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported shard checkpoint version " + std::to_string(version));
+  }
+  ANGEL_RETURN_IF_ERROR(reader.ReadValue(&file_rank));
+  ANGEL_RETURN_IF_ERROR(reader.ReadValue(&world));
+  ANGEL_RETURN_IF_ERROR(reader.ReadValue(&file_step));
+  ANGEL_RETURN_IF_ERROR(reader.ReadValue(&num_layers));
+  if (int(file_rank) != rank || int(file_step) != step) {
+    return util::Status::InvalidArgument(
+        "shard checkpoint header disagrees with its file name: " +
+        path.string());
+  }
+  if (num_layers > kMaxLayers) {
+    return util::Status::InvalidArgument("implausible layer count in " +
+                                         path.string());
+  }
+
+  ShardState state;
+  state.rank = int(file_rank);
+  state.world_size = int(world);
+  state.step = int(file_step);
+  state.layers.resize(num_layers);
+  for (ShardLayerState& layer : state.layers) {
+    uint64_t count;
+    ANGEL_RETURN_IF_ERROR(reader.ReadValue(&count));
+    if (count * sizeof(float) > body) {
+      return util::Status::IoError("implausible shard size in " +
+                                   path.string());
+    }
+    layer.p32.resize(count);
+    ANGEL_RETURN_IF_ERROR(
+        reader.Read(layer.p32.data(), count * sizeof(float)));
+    uint32_t num_slots;
+    ANGEL_RETURN_IF_ERROR(reader.ReadValue(&num_slots));
+    if (num_slots > kMaxSlots) {
+      return util::Status::InvalidArgument("implausible slot count in " +
+                                           path.string());
+    }
+    layer.slots.resize(num_slots);
+    for (std::vector<float>& slot : layer.slots) {
+      uint64_t slot_count;
+      ANGEL_RETURN_IF_ERROR(reader.ReadValue(&slot_count));
+      if (slot_count * sizeof(float) > body) {
+        return util::Status::IoError("implausible slot size in " +
+                                     path.string());
+      }
+      slot.resize(slot_count);
+      ANGEL_RETURN_IF_ERROR(
+          reader.Read(slot.data(), slot_count * sizeof(float)));
+    }
+  }
+  if (reader.offset() != body) {
+    return util::Status::IoError("shard checkpoint has trailing bytes: " +
+                                 path.string());
+  }
+  return state;
+}
+
+}  // namespace angelptm::dist

@@ -1,0 +1,53 @@
+#ifndef ANGELPTM_DIST_SHARD_CHECKPOINT_H_
+#define ANGELPTM_DIST_SHARD_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace angelptm::dist {
+
+/// One rank's persistent ZeRO shard state: its slice of every layer's fp32
+/// master parameters plus the optimizer's slot tensors for that slice.
+/// This is the unit of recovery for multi-process training — each rank
+/// writes its own file, so a gang restart reassembles the full job from
+/// world_size shard files plus the deterministic data stream (the batches
+/// regenerate from the seed; see DESIGN.md §14.4).
+struct ShardLayerState {
+  std::vector<float> p32;
+  std::vector<std::vector<float>> slots;
+};
+
+struct ShardState {
+  int rank = 0;
+  int world_size = 0;
+  /// Completed training steps at save time (the resume point).
+  int step = 0;
+  std::vector<ShardLayerState> layers;
+};
+
+/// Atomically writes `state` as `<dir>/shard-r<rank>-s<step>.ckpt`
+/// (tmp + fflush + fsync + rename, same durability ladder as the v3
+/// trainer checkpoints) under a trailing FNV-1a checksum, then rotates:
+/// only the newest `keep_last` files of this rank survive. keep_last < 1
+/// keeps everything.
+[[nodiscard]] util::Status SaveShardState(const std::string& dir,
+                                          const ShardState& state,
+                                          int keep_last);
+
+/// Largest step for which `dir` holds a shard file of `rank`; 0 when the
+/// directory is missing or holds none (a fresh start).
+[[nodiscard]] util::Result<int> LatestShardStep(const std::string& dir,
+                                                int rank);
+
+/// Loads the shard file of (`rank`, `step`). NotFound when absent;
+/// IoError/InvalidArgument on truncation or checksum mismatch — a corrupt
+/// file is rejected loudly, never half-loaded.
+[[nodiscard]] util::Result<ShardState> LoadShardState(
+    const std::string& dir, int rank, int step);
+
+}  // namespace angelptm::dist
+
+#endif  // ANGELPTM_DIST_SHARD_CHECKPOINT_H_

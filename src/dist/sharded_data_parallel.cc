@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "dist/shard_checkpoint.h"
 #include "train/kernels.h"
 #include "util/logging.h"
 
@@ -14,18 +15,7 @@ ShardedDataParallel::ShardedDataParallel(core::Allocator* allocator,
     : allocator_(allocator),
       model_(model),
       options_(options),
-      rng_(options.seed) {
-  ANGEL_CHECK(options_.world_size >= 1);
-  comm_ = std::make_unique<core::Communicator>(options_.world_size);
-  auto optimizer = core::Optimizer::Create(
-      core::ResolveLegacyAdam(options_.optimizer, options_.adam));
-  if (optimizer.ok()) {
-    optimizer_ = std::move(optimizer).value();
-    optimizer_status_ = util::Status::OK();
-  } else {
-    optimizer_status_ = optimizer.status();
-  }
-}
+      rng_(options.seed) {}
 
 ShardedDataParallel::~ShardedDataParallel() {
   for (auto& shard : shards_) {
@@ -42,21 +32,66 @@ ShardedDataParallel::~ShardedDataParallel() {
   }
 }
 
+std::vector<int> ShardedDataParallel::LocalRanks() const {
+  if (options_.backend == DpBackend::kProcessGroup) {
+    return {options_.rank};
+  }
+  std::vector<int> ranks(size_t(options_.world_size));
+  for (int r = 0; r < options_.world_size; ++r) ranks[size_t(r)] = r;
+  return ranks;
+}
+
 util::Status ShardedDataParallel::Init() {
-  ANGEL_RETURN_IF_ERROR(optimizer_status_);
   const int world = options_.world_size;
+  if (world < 1) {
+    return util::Status::InvalidArgument(
+        "world_size must be >= 1, got " + std::to_string(world));
+  }
+  if (options_.backend == DpBackend::kProcessGroup) {
+    if (options_.rank < 0 || options_.rank >= world) {
+      return util::Status::InvalidArgument(
+          "rank " + std::to_string(options_.rank) +
+          " outside world of " + std::to_string(world));
+    }
+    if (options_.rendezvous.empty()) {
+      return util::Status::InvalidArgument(
+          "kProcessGroup backend needs a rendezvous path");
+    }
+  }
+  ANGEL_ASSIGN_OR_RETURN(
+      optimizer_, core::Optimizer::Create(core::ResolveLegacyAdam(
+                      options_.optimizer, options_.adam)));
+
+  // Connect the collective backend before touching memory: for the process
+  // group this blocks until all world_size processes joined, so a rank that
+  // fails rendezvous fails fast without having allocated anything.
+  if (options_.backend == DpBackend::kProcessGroup) {
+    ProcessGroupOptions pg_options;
+    pg_options.rank = options_.rank;
+    pg_options.world_size = world;
+    pg_options.rendezvous = options_.rendezvous;
+    ANGEL_ASSIGN_OR_RETURN(auto group, ProcessGroup::Connect(pg_options));
+    pg_ = std::make_unique<ProcessGroupCollectives>(std::move(group));
+  } else {
+    comm_ = std::make_unique<core::Communicator>(world);
+  }
+
+  const std::vector<int> local_ranks = LocalRanks();
   if (options_.rank_gpu_capacity_bytes > 0) {
-    for (int r = 0; r < world; ++r) {
+    rank_memories_.resize(size_t(world));
+    rank_allocators_.resize(size_t(world));
+    for (int r : local_ranks) {
       mem::HierarchicalMemoryOptions memory_options;
       memory_options.page_bytes = 64 * 1024;
       memory_options.gpu_capacity_bytes = options_.rank_gpu_capacity_bytes;
       memory_options.cpu_capacity_bytes = options_.rank_gpu_capacity_bytes;
-      rank_memories_.push_back(
-          std::make_unique<mem::HierarchicalMemory>(memory_options));
-      rank_allocators_.push_back(
-          std::make_unique<core::Allocator>(rank_memories_.back().get()));
+      rank_memories_[size_t(r)] =
+          std::make_unique<mem::HierarchicalMemory>(memory_options);
+      rank_allocators_[size_t(r)] =
+          std::make_unique<core::Allocator>(rank_memories_[size_t(r)].get());
     }
   }
+
   shards_.resize(model_->num_layers());
   for (int l = 0; l < model_->num_layers(); ++l) {
     Shard& shard = shards_[l];
@@ -65,6 +100,9 @@ util::Status ShardedDataParallel::Init() {
         (shard.full_count + world - 1) / world * world;
     shard.shard_count = shard.padded_count / world;
 
+    // Every rank draws the SAME full initialization from its own rng_
+    // stream (seed-identical across processes), so scattering is local:
+    // each rank just keeps its slice.
     std::vector<float> full = model_->InitLayerParams(l, &rng_);
     full.resize(shard.padded_count, 0.0f);
     // Each rank's shard carries its own optimizer state, laid out by the
@@ -72,10 +110,10 @@ util::Status ShardedDataParallel::Init() {
     // with the parameters).
     const std::vector<core::SlotSpec> layout =
         optimizer_->SlotLayout(shard.shard_count);
-    shard.p32.resize(world);
+    shard.p32.assign(size_t(world), nullptr);
     shard.slots.resize(layout.size());
-    for (auto& slot : shard.slots) slot.resize(world);
-    for (int r = 0; r < world; ++r) {
+    for (auto& slot : shard.slots) slot.assign(size_t(world), nullptr);
+    for (int r : local_ranks) {
       const uint64_t group = uint64_t(l) * 64 + r;
       ANGEL_ASSIGN_OR_RETURN(
           shard.p32[r],
@@ -98,8 +136,8 @@ util::Status ShardedDataParallel::Init() {
     }
     if (options_.stage == ZeroStage::kStage1) {
       // Stage 1: parameters are NOT sharded — full replica per rank.
-      shard.replica.resize(world);
-      for (int r = 0; r < world; ++r) {
+      shard.replica.assign(size_t(world), nullptr);
+      for (int r : local_ranks) {
         ANGEL_ASSIGN_OR_RETURN(
             shard.replica[r],
             allocator_->Allocate({shard.padded_count}, core::DType::kFp32,
@@ -113,16 +151,15 @@ util::Status ShardedDataParallel::Init() {
 }
 
 util::Status ShardedDataParallel::RankLoop(
-    int rank, const train::SyntheticRegression& dataset, int steps,
+    int rank, Collectives* comm, int start_step, int steps,
     const std::vector<std::vector<float>>* xs,
     const std::vector<std::vector<float>>* ys,
-    std::vector<double>* step_losses) {
-  (void)dataset;
+    std::vector<double>* step_losses, bool record_losses) {
   const int world = options_.world_size;
   const size_t batch = options_.batch_per_rank;
   const int num_layers = model_->num_layers();
 
-  for (int step = 0; step < steps; ++step) {
+  for (int step = start_step; step < steps; ++step) {
     // Slice this rank's part of the global batch.
     const size_t x_per_rank = batch * model_->InputSize();
     const size_t y_per_rank = batch * model_->OutputSize();
@@ -140,8 +177,8 @@ util::Status ShardedDataParallel::RankLoop(
         std::vector<float> my_shard;
         ANGEL_RETURN_IF_ERROR(shard.p32[rank]->ReadFloats(&my_shard));
         std::vector<float> gathered(shard.padded_count);
-        ANGEL_RETURN_IF_ERROR(comm_->AllGather(
-            rank, my_shard.data(), shard.shard_count, gathered.data()));
+        ANGEL_RETURN_IF_ERROR(comm->AllGather(
+            my_shard.data(), shard.shard_count, gathered.data()));
         gathered.resize(shard.full_count);
         params[l] = std::move(gathered);
       } else {
@@ -187,8 +224,8 @@ util::Status ShardedDataParallel::RankLoop(
 
     // Global mean loss (an all-reduce of the scalar).
     float loss_value = float(loss);
-    ANGEL_RETURN_IF_ERROR(comm_->AllReduce(rank, &loss_value, 1));
-    if (rank == 0) (*step_losses)[step] = loss_value / world;
+    ANGEL_RETURN_IF_ERROR(comm->AllReduce(&loss_value, 1));
+    if (record_losses) (*step_losses)[step] = loss_value / world;
 
     for (int l = num_layers - 1; l >= 0; --l) {
       std::vector<float> grad_in, grad_params;
@@ -201,8 +238,8 @@ util::Status ShardedDataParallel::RankLoop(
       const Shard& shard = shards_[l];
       grad_params.resize(shard.padded_count, 0.0f);
       std::vector<float> shard_grad(shard.shard_count);
-      ANGEL_RETURN_IF_ERROR(comm_->ReduceScatter(
-          rank, grad_params.data(), shard.padded_count, shard_grad.data()));
+      ANGEL_RETURN_IF_ERROR(comm->ReduceScatter(
+          grad_params.data(), shard.padded_count, shard_grad.data()));
       for (float& g : shard_grad) g /= float(world);
 
       // 4. Optimizer update on the owned shard only.
@@ -228,9 +265,8 @@ util::Status ShardedDataParallel::RankLoop(
         // Stage 1: gather the freshly updated shards into the full
         // replica so the next step's forward sees new parameters.
         std::vector<float> updated(shard.padded_count);
-        ANGEL_RETURN_IF_ERROR(comm_->AllGather(rank, p.data(),
-                                               shard.shard_count,
-                                               updated.data()));
+        ANGEL_RETURN_IF_ERROR(comm->AllGather(p.data(), shard.shard_count,
+                                              updated.data()));
         ANGEL_RETURN_IF_ERROR(shard.replica[rank]->WriteFloats(updated));
       }
 
@@ -241,8 +277,116 @@ util::Status ShardedDataParallel::RankLoop(
         staged[l] = nullptr;
       }
     }
+
+    if (options_.checkpoint_every_n_steps > 0 &&
+        (step + 1) % options_.checkpoint_every_n_steps == 0) {
+      ANGEL_RETURN_IF_ERROR(SaveRankShards(rank, step + 1));
+    }
   }
   return util::Status::OK();
+}
+
+util::Status ShardedDataParallel::SaveRankShards(int rank, int step) {
+  ShardState state;
+  state.rank = rank;
+  state.world_size = options_.world_size;
+  state.step = step;
+  state.layers.resize(shards_.size());
+  for (size_t l = 0; l < shards_.size(); ++l) {
+    const Shard& shard = shards_[l];
+    ShardLayerState& layer = state.layers[l];
+    ANGEL_RETURN_IF_ERROR(shard.p32[rank]->ReadFloats(&layer.p32));
+    layer.slots.resize(shard.slots.size());
+    for (size_t s = 0; s < shard.slots.size(); ++s) {
+      ANGEL_RETURN_IF_ERROR(
+          shard.SlotTensor(s, rank)->ReadFloats(&layer.slots[s]));
+    }
+  }
+  return SaveShardState(options_.checkpoint_dir, state,
+                        options_.checkpoint_keep_last);
+}
+
+util::Result<int> ShardedDataParallel::TryResume() {
+  if (options_.checkpoint_every_n_steps <= 0 ||
+      options_.checkpoint_dir.empty()) {
+    return 0;
+  }
+  // The resume point is the newest step EVERY rank has on disk: a rank that
+  // died mid-save leaves the job one interval behind, never inconsistent.
+  int local_min = -1;
+  for (int r : LocalRanks()) {
+    ANGEL_ASSIGN_OR_RETURN(const int step,
+                           LatestShardStep(options_.checkpoint_dir, r));
+    local_min = local_min < 0 ? step : std::min(local_min, step);
+  }
+  int agreed = std::max(local_min, 0);
+  if (options_.backend == DpBackend::kProcessGroup) {
+    // Agreement across processes: all-gather each rank's latest step and
+    // take the minimum (steps are small ints, exact in float).
+    const float mine = float(agreed);
+    std::vector<float> all(size_t(options_.world_size));
+    ANGEL_RETURN_IF_ERROR(pg_->AllGather(&mine, 1, all.data()));
+    agreed = int(*std::min_element(all.begin(), all.end()));
+  }
+  if (agreed <= 0) return 0;
+
+  for (int r : LocalRanks()) {
+    ANGEL_ASSIGN_OR_RETURN(
+        ShardState state,
+        LoadShardState(options_.checkpoint_dir, r, agreed));
+    if (state.world_size != options_.world_size ||
+        state.layers.size() != shards_.size()) {
+      return util::Status::InvalidArgument(
+          "shard checkpoint topology mismatch: saved world " +
+          std::to_string(state.world_size) + ", " +
+          std::to_string(state.layers.size()) + " layers");
+    }
+    for (size_t l = 0; l < shards_.size(); ++l) {
+      const Shard& shard = shards_[l];
+      ShardLayerState& layer = state.layers[l];
+      if (layer.p32.size() != shard.shard_count ||
+          layer.slots.size() != shard.slots.size()) {
+        return util::Status::InvalidArgument(
+            "shard checkpoint layout mismatch at layer " + std::to_string(l));
+      }
+      ANGEL_RETURN_IF_ERROR(shard.p32[r]->WriteFloats(layer.p32));
+      for (size_t s = 0; s < shard.slots.size(); ++s) {
+        if (layer.slots[s].size() != shard.SlotTensor(s, r)->NumElements()) {
+          return util::Status::InvalidArgument(
+              "shard checkpoint slot mismatch at layer " + std::to_string(l));
+        }
+        ANGEL_RETURN_IF_ERROR(
+            shard.SlotTensor(s, r)->WriteFloats(layer.slots[s]));
+      }
+    }
+  }
+
+  if (options_.stage == ZeroStage::kStage1) {
+    // Stage 1 keeps full replicas; rebuild them from the restored shards.
+    for (size_t l = 0; l < shards_.size(); ++l) {
+      const Shard& shard = shards_[l];
+      std::vector<float> full;
+      if (options_.backend == DpBackend::kProcessGroup) {
+        std::vector<float> mine;
+        ANGEL_RETURN_IF_ERROR(
+            shard.p32[options_.rank]->ReadFloats(&mine));
+        full.resize(shard.padded_count);
+        ANGEL_RETURN_IF_ERROR(
+            pg_->AllGather(mine.data(), shard.shard_count, full.data()));
+      } else {
+        full.reserve(shard.padded_count);
+        for (int r = 0; r < options_.world_size; ++r) {
+          std::vector<float> slice;
+          ANGEL_RETURN_IF_ERROR(shard.p32[r]->ReadFloats(&slice));
+          full.insert(full.end(), slice.begin(), slice.end());
+        }
+      }
+      for (int r : LocalRanks()) {
+        ANGEL_RETURN_IF_ERROR(shard.replica[r]->WriteFloats(full));
+      }
+    }
+  }
+  return agreed;
 }
 
 util::Result<DpReport> ShardedDataParallel::Train(
@@ -251,29 +395,44 @@ util::Result<DpReport> ShardedDataParallel::Train(
     return util::Status::FailedPrecondition("Init() not called");
   }
   const int world = options_.world_size;
-  // Pre-generate the global batches so every rank sees consistent data.
+  // Pre-generate ALL global batches from step 0, resuming or not: the data
+  // stream is a pure function of the seed (Init consumed rng_ identically
+  // in every incarnation), so a restarted job replays the exact batches
+  // its predecessor saw and the resumed run stays bitwise on course.
   std::vector<std::vector<float>> xs(steps), ys(steps);
   for (int step = 0; step < steps; ++step) {
     dataset.GenBatch(&rng_, options_.batch_per_rank * world, &xs[step],
                      &ys[step]);
   }
 
+  ANGEL_ASSIGN_OR_RETURN(const int start_step, TryResume());
+
   DpReport report;
+  report.resumed_step = start_step;
   report.losses.assign(steps, 0.0);
-  std::vector<util::Status> statuses(world);
-  std::vector<std::thread> ranks;
-  ranks.reserve(world);
-  for (int r = 0; r < world; ++r) {
-    ranks.emplace_back([&, r] {
-      statuses[r] = RankLoop(r, dataset, steps, &xs, &ys, &report.losses);
-    });
-  }
-  for (auto& t : ranks) t.join();
-  for (const util::Status& status : statuses) {
-    ANGEL_RETURN_IF_ERROR(status);
+  if (options_.backend == DpBackend::kProcessGroup) {
+    ANGEL_RETURN_IF_ERROR(RankLoop(options_.rank, pg_.get(), start_step,
+                                   steps, &xs, &ys, &report.losses,
+                                   /*record_losses=*/true));
+    report.collectives = pg_->collectives_completed();
+  } else {
+    std::vector<util::Status> statuses(world);
+    std::vector<std::thread> ranks;
+    ranks.reserve(world);
+    for (int r = 0; r < world; ++r) {
+      ranks.emplace_back([&, r] {
+        InProcessCollectives comm(comm_.get(), r);
+        statuses[r] = RankLoop(r, &comm, start_step, steps, &xs, &ys,
+                               &report.losses, /*record_losses=*/r == 0);
+      });
+    }
+    for (auto& t : ranks) t.join();
+    for (const util::Status& status : statuses) {
+      ANGEL_RETURN_IF_ERROR(status);
+    }
+    report.collectives = comm_->collectives_completed();
   }
   report.final_train_loss = steps > 0 ? report.losses.back() : 0.0;
-  report.collectives = comm_->collectives_completed();
 
   // Validation with the gathered full parameters.
   std::vector<std::vector<float>> params(model_->num_layers());
@@ -307,11 +466,19 @@ util::Result<std::vector<float>> ShardedDataParallel::GatherLayerParams(
   }
   const Shard& shard = shards_[layer];
   std::vector<float> full;
-  full.reserve(shard.padded_count);
-  for (int r = 0; r < options_.world_size; ++r) {
-    std::vector<float> slice;
-    ANGEL_RETURN_IF_ERROR(shard.p32[r]->ReadFloats(&slice));
-    full.insert(full.end(), slice.begin(), slice.end());
+  if (options_.backend == DpBackend::kProcessGroup) {
+    std::vector<float> mine;
+    ANGEL_RETURN_IF_ERROR(shard.p32[options_.rank]->ReadFloats(&mine));
+    full.resize(shard.padded_count);
+    ANGEL_RETURN_IF_ERROR(
+        pg_->AllGather(mine.data(), shard.shard_count, full.data()));
+  } else {
+    full.reserve(shard.padded_count);
+    for (int r = 0; r < options_.world_size; ++r) {
+      std::vector<float> slice;
+      ANGEL_RETURN_IF_ERROR(shard.p32[r]->ReadFloats(&slice));
+      full.insert(full.end(), slice.begin(), slice.end());
+    }
   }
   full.resize(shard.full_count);
   return full;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "mem/wire_format.h"
+
 namespace angelptm::mem {
 
 PageTransport::PageTransport(double nic_bandwidth_bytes_per_sec)
@@ -28,9 +30,16 @@ util::Status PageTransport::Send(int server_id, const Page& page) {
     return util::Status::FailedPrecondition(
         "page must be memory-resident to send");
   }
-  std::vector<std::byte> payload(page.total_bytes());
-  std::memcpy(payload.data(), page.data_ptr(), payload.size());
-  throttle_.Consume(payload.size());
+  if (server_id < 0 || server_id > 0xFFFF) {
+    return util::Status::InvalidArgument("server id out of wire range");
+  }
+  // The page travels in the same frame format the socket transport uses
+  // (wire_format.h): header + payload, validated at delivery.
+  wire::Header header;
+  header.op = wire::Op::kPage;
+  header.rank = uint16_t(server_id);
+  header.payload_bytes = page.total_bytes();
+  throttle_.Consume(page.total_bytes());
   {
     util::MutexLock lock(mutex_);
     const auto it = servers_.find(server_id);
@@ -38,17 +47,32 @@ util::Status PageTransport::Send(int server_id, const Page& page) {
       return util::Status::NotFound("no server " +
                                     std::to_string(server_id));
     }
-    bytes_sent_ += payload.size();
-    it->second.inbox.push_back(std::move(payload));
+    header.seq = it->second.next_seq++;
+    bytes_sent_ += page.total_bytes();
+    it->second.inbox.push_back(wire::EncodeFrame(header, page.data_ptr()));
   }
   arrived_.NotifyAll();
   return util::Status::OK();
 }
 
 util::Result<Page*> PageTransport::Deliver(Wire* wire, DeviceKind tier) {
-  std::vector<std::byte> payload = std::move(wire->inbox.front());
+  std::vector<std::byte> frame = std::move(wire->inbox.front());
   wire->inbox.pop_front();
-  if (payload.size() != wire->memory->page_bytes()) {
+  if (frame.size() < wire::kHeaderBytes) {
+    return util::Status::InvalidArgument("wire frame shorter than header");
+  }
+  ANGEL_ASSIGN_OR_RETURN(const wire::Header header,
+                         wire::DecodeHeader(frame.data()));
+  if (header.op != wire::Op::kPage) {
+    return util::Status::InvalidArgument("wire frame is not a page frame");
+  }
+  if (header.payload_bytes != frame.size() - wire::kHeaderBytes) {
+    return util::Status::InvalidArgument(
+        "wire frame payload length disagrees with its header");
+  }
+  const std::byte* payload = frame.data() + wire::kHeaderBytes;
+  const size_t payload_bytes = header.payload_bytes;
+  if (payload_bytes != wire->memory->page_bytes()) {
     return util::Status::InvalidArgument(
         "wire payload does not match destination page size");
   }
@@ -57,10 +81,10 @@ util::Result<Page*> PageTransport::Deliver(Wire* wire, DeviceKind tier) {
     // Land through a CPU staging page, then spill.
     (void)wire->memory->DestroyPage(page);
     ANGEL_ASSIGN_OR_RETURN(page, wire->memory->CreatePage(DeviceKind::kCpu));
-    std::memcpy(page->data_ptr(), payload.data(), payload.size());
+    std::memcpy(page->data_ptr(), payload, payload_bytes);
     ANGEL_RETURN_IF_ERROR(wire->memory->MovePageSync(page, DeviceKind::kSsd));
   } else {
-    std::memcpy(page->data_ptr(), payload.data(), payload.size());
+    std::memcpy(page->data_ptr(), payload, payload_bytes);
   }
   return page;
 }

@@ -21,7 +21,10 @@ namespace angelptm::mem {
 /// on the destination's chosen tier. In production this is NCCL/RDMA; here
 /// the wire is an in-process queue, which preserves the semantics the
 /// engine and the tests need (per-destination FIFO, real byte movement,
-/// bounded bandwidth).
+/// bounded bandwidth). Frames use the shared wire format of
+/// mem/wire_format.h — the same framing dist::ProcessGroup puts on real
+/// Unix-domain sockets — so delivery validates magic/op/length instead of
+/// trusting the queue.
 class PageTransport {
  public:
   /// `nic_bandwidth_bytes_per_sec` = 0 disables pacing.
@@ -62,7 +65,11 @@ class PageTransport {
  private:
   struct Wire {
     HierarchicalMemory* memory = nullptr;
+    /// In-flight frames in the shared wire format (mem/wire_format.h):
+    /// header + page payload, exactly what the socket transport would put
+    /// on a real connection.
     std::deque<std::vector<std::byte>> inbox;
+    uint32_t next_seq = 0;
   };
 
   [[nodiscard]] util::Result<Page*> Deliver(Wire* wire, DeviceKind tier)

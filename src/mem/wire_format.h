@@ -1,0 +1,88 @@
+#ifndef ANGELPTM_MEM_WIRE_FORMAT_H_
+#define ANGELPTM_MEM_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace angelptm::mem::wire {
+
+/// The one wire framing shared by every transport in the system: the
+/// in-process PageTransport queue (mem/page_transport.cc) and the
+/// multi-process socket collectives (dist/process_group.cc) prepend the
+/// same fixed-size header to every payload, so a page on the wire and a
+/// collective message on the wire are parsed by the same code and carry
+/// the same integrity checks.
+///
+/// Layout (24 bytes, host byte order — the transport never leaves one
+/// host, see DESIGN.md §14.2):
+///
+///   offset  size  field
+///        0     4  magic   0x4150544D ("APTM")
+///        4     2  op      message kind (Op below)
+///        6     2  rank    sender rank / server id
+///        8     4  seq     per-connection collective sequence number
+///       12     4  reserved (zero)
+///       16     8  payload_bytes
+inline constexpr uint32_t kMagic = 0x4150544Du;
+inline constexpr size_t kHeaderBytes = 24;
+
+/// Message kinds. kPage frames PageTransport payloads; the rest belong to
+/// dist::ProcessGroup's hub protocol.
+enum class Op : uint16_t {
+  kPage = 1,
+  kHello = 2,          // rank -> root at rendezvous; payload: u32 world_size
+  kWelcome = 3,        // root -> rank once the full world has joined
+  kAllGather = 4,      // rank -> root: my contribution
+  kReduceScatter = 5,  // rank -> root: my full gradient buffer
+  kAllReduce = 6,      // rank -> root: my full buffer
+  kBarrier = 7,        // rank -> root: empty
+  kResult = 8,         // root -> rank: the collective's result
+};
+
+struct Header {
+  Op op = Op::kPage;
+  uint16_t rank = 0;
+  uint32_t seq = 0;
+  uint64_t payload_bytes = 0;
+};
+
+/// Serializes `header` into exactly kHeaderBytes at `out`.
+void EncodeHeader(const Header& header, std::byte* out);
+
+/// Parses kHeaderBytes at `in`. InvalidArgument on a bad magic or an
+/// unknown op — a desynchronized or corrupted stream, never silently
+/// resynchronized.
+[[nodiscard]] util::Result<Header> DecodeHeader(const std::byte* in);
+
+/// Convenience: header + payload in one contiguous buffer (the in-process
+/// PageTransport wire representation).
+[[nodiscard]] std::vector<std::byte> EncodeFrame(const Header& header,
+                                                 const void* payload);
+
+// --- Framed socket I/O (used by dist::ProcessGroup) ---
+
+/// Writes header + `header.payload_bytes` of `payload` to `fd`, looping
+/// over partial writes and EINTR. Uses MSG_NOSIGNAL so a dead peer surfaces
+/// as an IoError instead of SIGPIPE. A closed peer yields an IoError whose
+/// message contains kPeerClosedMsg.
+[[nodiscard]] util::Status SendFrame(int fd, const Header& header,
+                                     const void* payload);
+
+/// Reads one frame from `fd` into `header` and `payload` (resized to the
+/// frame's payload size). `timeout_ms` < 0 waits forever; on expiry returns
+/// DeadlineExceeded. EOF (peer process died) returns an IoError whose
+/// message contains kPeerClosedMsg.
+[[nodiscard]] util::Status RecvFrame(int fd, Header* header,
+                                     std::vector<std::byte>* payload,
+                                     int timeout_ms);
+
+/// Substring that marks an IoError as "the peer went away" (fail-stop
+/// detection; see ProcessGroup::IsPeerLoss).
+inline constexpr const char* kPeerClosedMsg = "peer closed";
+
+}  // namespace angelptm::mem::wire
+
+#endif  // ANGELPTM_MEM_WIRE_FORMAT_H_

@@ -1,0 +1,187 @@
+#include "dist/proc_harness.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+extern char** environ;
+
+namespace angelptm::testing {
+
+namespace {
+
+[[noreturn]] void Die(const char* what) {
+  std::perror(what);
+  std::abort();
+}
+
+}  // namespace
+
+ProcHarness::~ProcHarness() {
+  // A test that forgot WaitAll (or failed mid-way) must not leak children.
+  for (size_t i = 0; i < pids_.size(); ++i) {
+    if (!reaped_[i]) ::kill(pids_[i], SIGKILL);
+  }
+  if (reader_.joinable()) reader_.join();
+  for (size_t i = 0; i < pids_.size(); ++i) {
+    if (!reaped_[i]) {
+      int status = 0;
+      ::waitpid(pids_[i], &status, 0);
+    }
+  }
+}
+
+void ProcHarness::Launch(const std::vector<ProcSpec>& specs) {
+  const size_t n = specs.size();
+  pids_.resize(n);
+  pipe_fds_.assign(n, -1);
+  outputs_.resize(n);
+  partial_lines_.resize(n);
+  results_.resize(n);
+  reaped_.assign(n, false);
+
+  for (size_t i = 0; i < n; ++i) {
+    int fds[2];
+    if (::pipe(fds) != 0) Die("pipe");
+    const pid_t pid = ::fork();
+    if (pid < 0) Die("fork");
+    if (pid == 0) {
+      // Child: combined stdout+stderr into the pipe, then exec.
+      ::close(fds[0]);
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[1]);
+      for (const std::string& kv : specs[i].env) {
+        const size_t eq = kv.find('=');
+        ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+      }
+      std::vector<char*> argv;
+      argv.reserve(specs[i].argv.size() + 1);
+      for (const std::string& arg : specs[i].argv) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      Die("execv");
+    }
+    ::close(fds[1]);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    pids_[i] = pid;
+    pipe_fds_[i] = fds[0];
+  }
+  reader_ = std::thread([this] { ReadLoop(); });
+}
+
+void ProcHarness::ReadLoop() {
+  std::vector<pollfd> fds;
+  std::vector<int> index_of;
+  for (;;) {
+    fds.clear();
+    index_of.clear();
+    for (size_t i = 0; i < pipe_fds_.size(); ++i) {
+      if (pipe_fds_[i] >= 0) {
+        fds.push_back({pipe_fds_[i], POLLIN, 0});
+        index_of.push_back(int(i));
+      }
+    }
+    if (fds.empty()) return;
+    if (::poll(fds.data(), nfds_t(fds.size()), 200) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (size_t f = 0; f < fds.size(); ++f) {
+      if ((fds[f].revents & (POLLIN | POLLHUP)) == 0) continue;
+      const int i = index_of[f];
+      char buf[4096];
+      const ssize_t got = ::read(pipe_fds_[i], buf, sizeof(buf));
+      if (got > 0) {
+        outputs_[i].append(buf, size_t(got));
+        partial_lines_[i].append(buf, size_t(got));
+        // Forward complete lines with a rank prefix so interleaved child
+        // output stays attributable in the ctest log.
+        size_t nl;
+        while ((nl = partial_lines_[i].find('\n')) != std::string::npos) {
+          std::fprintf(stderr, "[rank %d] %.*s\n", i, int(nl),
+                       partial_lines_[i].data());
+          partial_lines_[i].erase(0, nl + 1);
+        }
+      } else if (got == 0 || (got < 0 && errno != EAGAIN && errno != EINTR)) {
+        ::close(pipe_fds_[i]);
+        pipe_fds_[i] = -1;
+        if (!partial_lines_[i].empty()) {
+          std::fprintf(stderr, "[rank %d] %s\n", i,
+                       partial_lines_[i].c_str());
+          partial_lines_[i].clear();
+        }
+      }
+    }
+  }
+}
+
+void ProcHarness::Kill(int index, int sig) {
+  if (!reaped_[index]) ::kill(pids_[index], sig);
+}
+
+void ProcHarness::Reap(int index, int status) {
+  reaped_[index] = true;
+  if (WIFEXITED(status)) {
+    results_[index].exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    results_[index].term_signal = WTERMSIG(status);
+  }
+}
+
+bool ProcHarness::Exited(int index) {
+  if (reaped_[index]) return true;
+  int status = 0;
+  if (::waitpid(pids_[index], &status, WNOHANG) == pids_[index]) {
+    Reap(index, status);
+    return true;
+  }
+  return false;
+}
+
+std::vector<ProcResult> ProcHarness::WaitAll(int deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    bool all = true;
+    for (size_t i = 0; i < pids_.size(); ++i) {
+      if (!Exited(int(i))) all = false;
+    }
+    if (all) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (size_t i = 0; i < pids_.size(); ++i) {
+        if (!reaped_[i]) {
+          results_[i].timed_out = true;
+          ::kill(pids_[i], SIGKILL);
+          int status = 0;
+          ::waitpid(pids_[i], &status, 0);
+          Reap(int(i), status);
+        }
+      }
+      break;
+    }
+    ::usleep(2000);
+  }
+  if (reader_.joinable()) reader_.join();
+  return results_;
+}
+
+std::string WorkerBinary() {
+  if (const char* env = std::getenv("ANGEL_WORKER_BIN")) return env;
+#ifdef ANGEL_WORKER_BIN_PATH
+  return ANGEL_WORKER_BIN_PATH;
+#else
+  return "angel_worker";
+#endif
+}
+
+}  // namespace angelptm::testing

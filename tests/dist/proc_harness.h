@@ -1,0 +1,82 @@
+#ifndef ANGELPTM_TESTS_DIST_PROC_HARNESS_H_
+#define ANGELPTM_TESTS_DIST_PROC_HARNESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace angelptm::testing {
+
+/// One child process of a multi-process test job.
+struct ProcSpec {
+  /// argv[0] is the binary path.
+  std::vector<std::string> argv;
+  /// Extra KEY=VALUE environment entries appended to the parent's.
+  std::vector<std::string> env;
+};
+
+struct ProcResult {
+  /// Exit code when the child exited normally, -1 otherwise.
+  int exit_code = -1;
+  /// Terminating signal when the child was killed, 0 otherwise.
+  int term_signal = 0;
+  /// True when WaitAll's deadline expired and the harness SIGKILLed it.
+  bool timed_out = false;
+};
+
+/// Reusable multi-process fixture: forks/execs a set of child processes
+/// (typically N ranks of tools/angel_worker), multiplexes their combined
+/// stdout+stderr onto the test's stderr with "[rank N] " line prefixes
+/// (and captures it per child), can SIGKILL a chosen child mid-run, and
+/// collects exit codes under a deadline — a hung job fails the test
+/// instead of hanging ctest.
+class ProcHarness {
+ public:
+  ProcHarness() = default;
+  ~ProcHarness();
+
+  ProcHarness(const ProcHarness&) = delete;
+  ProcHarness& operator=(const ProcHarness&) = delete;
+
+  /// Forks and execs every spec. Call at most once per harness.
+  void Launch(const std::vector<ProcSpec>& specs);
+
+  /// Sends `sig` to child `index` (no-op if it already exited).
+  void Kill(int index, int sig);
+
+  /// True once child `index` has been reaped.
+  bool Exited(int index);
+
+  /// Blocks until every child exited or `deadline_ms` elapsed; stragglers
+  /// are SIGKILLed and marked timed_out. Joins the output reader, so after
+  /// this returns output() is complete and stable.
+  std::vector<ProcResult> WaitAll(int deadline_ms);
+
+  /// Captured stdout+stderr of child `index` (prefix-free). Complete only
+  /// after WaitAll.
+  const std::string& output(int index) const { return outputs_[index]; }
+
+  pid_t pid(int index) const { return pids_[index]; }
+
+ private:
+  void ReadLoop();
+  void Reap(int index, int status);
+
+  std::vector<pid_t> pids_;
+  std::vector<int> pipe_fds_;  // Read ends; -1 once closed.
+  std::vector<std::string> outputs_;
+  std::vector<std::string> partial_lines_;
+  std::vector<ProcResult> results_;
+  std::vector<bool> reaped_;
+  std::thread reader_;
+};
+
+/// Path of the angel_worker binary: the ANGEL_WORKER_BIN environment
+/// variable when set, else the build-time location baked in by CMake.
+std::string WorkerBinary();
+
+}  // namespace angelptm::testing
+
+#endif  // ANGELPTM_TESTS_DIST_PROC_HARNESS_H_

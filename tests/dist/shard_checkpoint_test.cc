@@ -1,0 +1,153 @@
+#include "dist/shard_checkpoint.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/fault_injector.h"
+
+namespace angelptm::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ShardCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::Instance().Reset();
+    char pattern[] = "/tmp/aptm-sc-XXXXXX";
+    ASSERT_NE(::mkdtemp(pattern), nullptr);
+    dir_ = pattern;
+  }
+  void TearDown() override {
+    util::FaultInjector::Instance().Reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static ShardState MakeState(int rank, int step) {
+    ShardState state;
+    state.rank = rank;
+    state.world_size = 4;
+    state.step = step;
+    state.layers.resize(2);
+    for (size_t l = 0; l < state.layers.size(); ++l) {
+      auto& layer = state.layers[l];
+      layer.p32.resize(16 + l);
+      for (size_t i = 0; i < layer.p32.size(); ++i) {
+        layer.p32[i] = float(rank * 1000 + step * 10 + int(l)) + float(i);
+      }
+      layer.slots.resize(2, std::vector<float>(16 + l, float(step)));
+    }
+    return state;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardCheckpointTest, RoundTripPreservesEveryBit) {
+  const ShardState saved = MakeState(2, 7);
+  ASSERT_TRUE(SaveShardState(dir_, saved, 3).ok());
+
+  auto latest = LatestShardStep(dir_, 2);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 7);
+
+  auto loaded = LoadShardState(dir_, 2, 7);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->rank, 2);
+  EXPECT_EQ(loaded->world_size, 4);
+  EXPECT_EQ(loaded->step, 7);
+  ASSERT_EQ(loaded->layers.size(), saved.layers.size());
+  for (size_t l = 0; l < saved.layers.size(); ++l) {
+    EXPECT_EQ(loaded->layers[l].p32, saved.layers[l].p32);
+    EXPECT_EQ(loaded->layers[l].slots, saved.layers[l].slots);
+  }
+}
+
+TEST_F(ShardCheckpointTest, RanksDoNotCollide) {
+  ASSERT_TRUE(SaveShardState(dir_, MakeState(0, 5), 3).ok());
+  ASSERT_TRUE(SaveShardState(dir_, MakeState(1, 10), 3).ok());
+  EXPECT_EQ(*LatestShardStep(dir_, 0), 5);
+  EXPECT_EQ(*LatestShardStep(dir_, 1), 10);
+  EXPECT_EQ(*LatestShardStep(dir_, 2), 0);  // No file for rank 2.
+}
+
+TEST_F(ShardCheckpointTest, MissingDirectoryMeansFreshStart) {
+  EXPECT_EQ(*LatestShardStep(dir_ + "/nope", 0), 0);
+  EXPECT_TRUE(LoadShardState(dir_, 0, 3).status().IsNotFound());
+}
+
+TEST_F(ShardCheckpointTest, RotationKeepsNewestPerRank) {
+  for (int step = 1; step <= 5; ++step) {
+    ASSERT_TRUE(SaveShardState(dir_, MakeState(0, step), 2).ok());
+  }
+  ASSERT_TRUE(SaveShardState(dir_, MakeState(1, 1), 2).ok());
+  // Rank 0 keeps only steps 4 and 5; rank 1's file is untouched.
+  EXPECT_FALSE(LoadShardState(dir_, 0, 3).ok());
+  EXPECT_TRUE(LoadShardState(dir_, 0, 4).ok());
+  EXPECT_TRUE(LoadShardState(dir_, 0, 5).ok());
+  EXPECT_TRUE(LoadShardState(dir_, 1, 1).ok());
+}
+
+TEST_F(ShardCheckpointTest, CorruptionIsRejectedLoudly) {
+  ASSERT_TRUE(SaveShardState(dir_, MakeState(0, 3), 3).ok());
+  const std::string path = dir_ + "/shard-r00000-s000000003.ckpt";
+  {
+    // Flip one byte in the middle of the payload.
+    std::fstream file(path, std::ios::in | std::ios::out |
+                                std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(40);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(40);
+    byte = char(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  const auto loaded = LoadShardState(dir_, 0, 3);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST_F(ShardCheckpointTest, TruncationIsRejected) {
+  ASSERT_TRUE(SaveShardState(dir_, MakeState(0, 3), 3).ok());
+  const std::string path = dir_ + "/shard-r00000-s000000003.ckpt";
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_FALSE(LoadShardState(dir_, 0, 3).ok());
+}
+
+TEST_F(ShardCheckpointTest, InvalidStepRejected) {
+  EXPECT_TRUE(SaveShardState(dir_, MakeState(0, 0), 3)
+                  .IsInvalidArgument());
+}
+
+// A fault at the write or rename site must leave no half-written file the
+// loader would trust — the previous checkpoint (or fresh start) wins.
+TEST_F(ShardCheckpointTest, InjectedWriteFaultLeavesNoTrace) {
+  auto& injector = util::FaultInjector::Instance();
+  ASSERT_TRUE(SaveShardState(dir_, MakeState(0, 2), 3).ok());
+
+  util::FaultRule rule;
+  rule.nth_call = 1;
+  injector.Arm("shard_ckpt.write", rule);
+  EXPECT_FALSE(SaveShardState(dir_, MakeState(0, 4), 3).ok());
+  injector.Reset();
+  EXPECT_EQ(*LatestShardStep(dir_, 0), 2);
+
+  injector.Arm("shard_ckpt.rename", rule);
+  EXPECT_FALSE(SaveShardState(dir_, MakeState(0, 4), 3).ok());
+  injector.Reset();
+  EXPECT_EQ(*LatestShardStep(dir_, 0), 2);
+  EXPECT_TRUE(LoadShardState(dir_, 0, 2).ok());
+
+  // With the faults cleared the next interval saves normally.
+  EXPECT_TRUE(SaveShardState(dir_, MakeState(0, 4), 3).ok());
+  EXPECT_EQ(*LatestShardStep(dir_, 0), 4);
+}
+
+}  // namespace
+}  // namespace angelptm::dist

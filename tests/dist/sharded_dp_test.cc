@@ -1,6 +1,10 @@
 #include "dist/sharded_data_parallel.h"
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -187,6 +191,172 @@ TEST(ShardedDpTest, TrainBeforeInitFails) {
   train::SyntheticRegression dataset(4, 8, 4, 99);
   EXPECT_EQ(dp.Train(dataset, 1).status().code(),
             util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedDpTest, InitRejectsBadOptionsAsStatus) {
+  // The constructor only records options; every invalid configuration
+  // surfaces from Init() as InvalidArgument, never as a crash.
+  mem::HierarchicalMemory memory(MemoryOptions());
+  core::Allocator allocator(&memory);
+  const train::MlpModel model({{4, 4}});
+
+  ShardedDataParallel bad_world(&allocator, &model, DpOptions(0));
+  EXPECT_TRUE(bad_world.Init().IsInvalidArgument());
+
+  ShardedDpOptions pg = DpOptions(2);
+  pg.backend = DpBackend::kProcessGroup;
+  pg.rank = 2;  // Outside [0, world).
+  pg.rendezvous = "/tmp/aptm-never.sock";
+  ShardedDataParallel bad_rank(&allocator, &model, pg);
+  EXPECT_TRUE(bad_rank.Init().IsInvalidArgument());
+
+  pg.rank = 0;
+  pg.rendezvous.clear();
+  ShardedDataParallel no_rendezvous(&allocator, &model, pg);
+  EXPECT_TRUE(no_rendezvous.Init().IsInvalidArgument());
+}
+
+TEST(ShardedDpTest, SocketBackendMatchesThreadBackendBitwise) {
+  // The tentpole property at the ShardedDataParallel level: the same job
+  // over the kProcessGroup backend (each rank its own instance, own
+  // allocator, real sockets) lands on bit-identical losses and parameters
+  // as the kInProcess thread backend.
+  const int world = 2;
+  const int steps = 25;
+  const std::string rendezvous =
+      "/tmp/aptm-sdp-" + std::to_string(::getpid()) + ".sock";
+
+  std::vector<double> thread_losses;
+  std::vector<std::vector<float>> thread_params;
+  {
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    train::SyntheticRegression dataset(16, 32, 4, 99);
+    ShardedDataParallel dp(&allocator, &model, DpOptions(world));
+    ASSERT_TRUE(dp.Init().ok());
+    auto report = dp.Train(dataset, steps);
+    ASSERT_TRUE(report.ok()) << report.status();
+    thread_losses = report->losses;
+    for (int l = 0; l < model.num_layers(); ++l) {
+      auto params = dp.GatherLayerParams(l);
+      ASSERT_TRUE(params.ok());
+      thread_params.push_back(*params);
+    }
+  }
+
+  std::vector<double> socket_losses;
+  std::vector<std::vector<float>> socket_params;
+  {
+    std::vector<util::Status> statuses(world, util::Status::OK());
+    std::vector<std::thread> ranks;
+    for (int r = 0; r < world; ++r) {
+      ranks.emplace_back([&, r] {
+        // Each "process": private memory, allocator, and model instance.
+        mem::HierarchicalMemory memory(MemoryOptions());
+        core::Allocator allocator(&memory);
+        const train::MlpModel model({{16, 32, 4}});
+        train::SyntheticRegression dataset(16, 32, 4, 99);
+        ShardedDpOptions options = DpOptions(world);
+        options.backend = DpBackend::kProcessGroup;
+        options.rank = r;
+        options.rendezvous = rendezvous;
+        ShardedDataParallel dp(&allocator, &model, options);
+        statuses[r] = dp.Init();
+        if (!statuses[r].ok()) return;
+        auto report = dp.Train(dataset, steps);
+        if (!report.ok()) {
+          statuses[r] = report.status();
+          return;
+        }
+        // GatherLayerParams is a collective here: both ranks call it for
+        // every layer, rank 0 records.
+        for (int l = 0; l < model.num_layers(); ++l) {
+          auto params = dp.GatherLayerParams(l);
+          if (!params.ok()) {
+            statuses[r] = params.status();
+            return;
+          }
+          if (r == 0) socket_params.push_back(*params);
+        }
+        if (r == 0) socket_losses = report->losses;
+      });
+    }
+    for (auto& t : ranks) t.join();
+    for (const auto& status : statuses) ASSERT_TRUE(status.ok()) << status;
+  }
+
+  ASSERT_EQ(socket_losses.size(), thread_losses.size());
+  for (size_t s = 0; s < thread_losses.size(); ++s) {
+    EXPECT_EQ(socket_losses[s], thread_losses[s]) << "step " << s;
+  }
+  ASSERT_EQ(socket_params.size(), thread_params.size());
+  for (size_t l = 0; l < thread_params.size(); ++l) {
+    ASSERT_EQ(socket_params[l].size(), thread_params[l].size());
+    for (size_t i = 0; i < thread_params[l].size(); ++i) {
+      ASSERT_EQ(socket_params[l][i], thread_params[l][i])
+          << "layer " << l << " element " << i;
+    }
+  }
+}
+
+TEST(ShardedDpTest, CheckpointResumeStaysOnTrajectory) {
+  // A job that trains 10 steps straight and a job that trains 4 steps,
+  // "dies", and resumes from its shard checkpoints must end on identical
+  // parameters — the data stream replays from the seed and the shard
+  // states carry the optimizer forward.
+  char pattern[] = "/tmp/aptm-res-XXXXXX";
+  ASSERT_NE(::mkdtemp(pattern), nullptr);
+  const std::string ckpt_dir = pattern;
+  train::SyntheticRegression dataset(16, 32, 4, 99);
+  const int steps = 10;
+
+  std::vector<float> straight_params;
+  {
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    ShardedDataParallel dp(&allocator, &model, DpOptions(2));
+    ASSERT_TRUE(dp.Init().ok());
+    auto report = dp.Train(dataset, steps);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->resumed_step, 0);
+    auto params = dp.GatherLayerParams(0);
+    ASSERT_TRUE(params.ok());
+    straight_params = *params;
+  }
+
+  ShardedDpOptions options = DpOptions(2);
+  options.checkpoint_every_n_steps = 2;
+  options.checkpoint_dir = ckpt_dir;
+  {
+    // First incarnation: 4 steps, shard files at steps 2 and 4.
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    ShardedDataParallel dp(&allocator, &model, options);
+    ASSERT_TRUE(dp.Init().ok());
+    ASSERT_TRUE(dp.Train(dataset, 4).ok());
+  }
+  {
+    // Restarted incarnation: resumes at step 4, finishes the job.
+    mem::HierarchicalMemory memory(MemoryOptions());
+    core::Allocator allocator(&memory);
+    const train::MlpModel model({{16, 32, 4}});
+    ShardedDataParallel dp(&allocator, &model, options);
+    ASSERT_TRUE(dp.Init().ok());
+    auto report = dp.Train(dataset, steps);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->resumed_step, 4);
+    auto params = dp.GatherLayerParams(0);
+    ASSERT_TRUE(params.ok());
+    ASSERT_EQ(params->size(), straight_params.size());
+    for (size_t i = 0; i < straight_params.size(); ++i) {
+      ASSERT_EQ((*params)[i], straight_params[i]) << i;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(ckpt_dir, ec);
 }
 
 }  // namespace

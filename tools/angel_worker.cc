@@ -1,0 +1,255 @@
+// One rank of a real multi-process ZeRO training job (DESIGN.md §14.3).
+//
+// N copies of this binary, each with a distinct --rank, form one training
+// job over Unix-domain sockets:
+//
+//   for r in 0 1 2 3; do
+//     ./angel_worker --rank=$r --world=4 --rendezvous=/tmp/aptm.sock &
+//   done
+//
+// The same binary also runs the whole world in-process (--backend=inproc),
+// which is how the bitwise test produces its reference: identical code,
+// identical seed, different transport — the result files must match to the
+// bit. Rank 0 (or the inproc run) writes --result-file as text with every
+// float spelled as its raw bit pattern, so "bitwise identical" is a plain
+// file comparison.
+//
+// Exit codes: 0 success; 42 a peer died mid-collective (the launcher
+// should gang-restart the job: with --checkpoint-every set, fresh
+// processes resume from the newest step every rank has on disk); 2 bad
+// usage; 1 any other failure.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "dist/process_group.h"
+#include "dist/sharded_data_parallel.h"
+#include "mem/hierarchical_memory.h"
+#include "train/dataset.h"
+#include "train/mlp.h"
+#include "util/parallel_for.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using angelptm::dist::DpBackend;
+using angelptm::dist::DpReport;
+using angelptm::dist::ProcessGroup;
+using angelptm::dist::ShardedDataParallel;
+using angelptm::dist::ShardedDpOptions;
+using angelptm::dist::ZeroStage;
+
+struct WorkerArgs {
+  ShardedDpOptions dp;
+  int steps = 8;
+  size_t hidden = 16;
+  std::vector<size_t> dims = {12, 24, 16, 4};
+  std::string result_file;
+  int threads = 1;  // 0 = leave the compute pool alone.
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: angel_worker [--backend=pg|inproc] --world=N\n"
+      "  pg mode:      --rank=R --rendezvous=PATH (or ANGEL_RANK /\n"
+      "                ANGEL_WORLD_SIZE / ANGEL_RENDEZVOUS)\n"
+      "  job shape:    --steps=N --seed=S --batch-per-rank=N --stage=1|3\n"
+      "                --dims=12,24,16,4\n"
+      "  checkpoints:  --checkpoint-dir=DIR --checkpoint-every=N\n"
+      "                --keep-last=N\n"
+      "  output:       --result-file=PATH (rank 0 / inproc only)\n"
+      "  determinism:  --threads=N compute threads (default 1; 0 = auto)\n");
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, WorkerArgs* args) {
+  // Environment first, flags override — matches how launchers pass rank.
+  angelptm::dist::ProcessGroupOptions env;
+  if (auto from_env = ProcessGroup::OptionsFromEnv(); from_env.ok()) {
+    env = std::move(from_env).value();
+  }
+  args->dp.rank = env.rank;
+  args->dp.world_size = env.world_size;
+  args->dp.rendezvous = env.rendezvous;
+  args->dp.backend = DpBackend::kProcessGroup;
+  args->dp.batch_per_rank = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "backend", &value)) {
+      if (value == "pg") {
+        args->dp.backend = DpBackend::kProcessGroup;
+      } else if (value == "inproc") {
+        args->dp.backend = DpBackend::kInProcess;
+      } else {
+        return false;
+      }
+    } else if (ParseFlag(arg, "rank", &value)) {
+      args->dp.rank = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "world", &value)) {
+      args->dp.world_size = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "rendezvous", &value)) {
+      args->dp.rendezvous = value;
+    } else if (ParseFlag(arg, "steps", &value)) {
+      args->steps = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      args->dp.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "batch-per-rank", &value)) {
+      args->dp.batch_per_rank = size_t(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "stage", &value)) {
+      args->dp.stage =
+          value == "1" ? ZeroStage::kStage1 : ZeroStage::kStage3;
+    } else if (ParseFlag(arg, "dims", &value)) {
+      args->dims.clear();
+      for (size_t pos = 0; pos < value.size();) {
+        const size_t comma = value.find(',', pos);
+        const std::string dim = value.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        args->dims.push_back(size_t(std::atoi(dim.c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (args->dims.size() < 2) return false;
+    } else if (ParseFlag(arg, "checkpoint-dir", &value)) {
+      args->dp.checkpoint_dir = value;
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      args->dp.checkpoint_every_n_steps = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "keep-last", &value)) {
+      args->dp.checkpoint_keep_last = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "result-file", &value)) {
+      args->result_file = value;
+    } else if (ParseFlag(arg, "threads", &value)) {
+      args->threads = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "angel_worker: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintBits(std::FILE* out, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::fprintf(out, " %08" PRIx32, bits);
+}
+
+void PrintBits(std::FILE* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::fprintf(out, " %016" PRIx64, bits);
+}
+
+int WriteResultFile(const WorkerArgs& args, const DpReport& report,
+                    ShardedDataParallel* dp, int num_layers) {
+  // The gather below is a collective in pg mode, so EVERY rank runs it;
+  // only rank 0 (or the inproc run) serializes the result.
+  std::vector<std::vector<float>> params{size_t(num_layers)};
+  for (int l = 0; l < num_layers; ++l) {
+    auto gathered = dp->GatherLayerParams(l);
+    if (!gathered.ok()) {
+      std::fprintf(stderr, "angel_worker: gather failed: %s\n",
+                   gathered.status().ToString().c_str());
+      return ProcessGroup::IsPeerLoss(gathered.status()) ? 42 : 1;
+    }
+    params[size_t(l)] = std::move(gathered).value();
+  }
+  if (args.result_file.empty() || dp->local_rank() != 0) return 0;
+
+  std::FILE* out = std::fopen(args.result_file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "angel_worker: cannot write %s\n",
+                 args.result_file.c_str());
+    return 1;
+  }
+  std::fprintf(out, "world %d steps %d seed %" PRIu64 " resumed %d\n",
+               args.dp.world_size, args.steps, args.dp.seed,
+               report.resumed_step);
+  std::fprintf(out, "losses %zu", report.losses.size());
+  for (double loss : report.losses) PrintBits(out, loss);
+  std::fprintf(out, "\nvalidation");
+  PrintBits(out, report.validation_loss);
+  std::fprintf(out, "\n");
+  for (int l = 0; l < num_layers; ++l) {
+    std::fprintf(out, "layer %d %zu", l, params[size_t(l)].size());
+    for (float p : params[size_t(l)]) PrintBits(out, p);
+    std::fprintf(out, "\n");
+  }
+  std::fclose(out);
+  return 0;
+}
+
+int Run(const WorkerArgs& args) {
+  // Bitwise reproducibility across processes and backends requires a fixed
+  // compute-thread count (kernel reduction order depends on it).
+  std::unique_ptr<angelptm::util::ThreadPool> pinned;
+  if (args.threads > 0) {
+    pinned =
+        std::make_unique<angelptm::util::ThreadPool>(size_t(args.threads));
+    angelptm::util::SetComputePoolOverride(pinned.get());
+  }
+
+  angelptm::train::MlpConfig mlp_config;
+  mlp_config.dims = args.dims;
+  angelptm::train::MlpModel model(mlp_config);
+  angelptm::train::SyntheticRegression dataset(
+      model.in_dim(), args.hidden, model.out_dim(), args.dp.seed ^ 0x9E37ull);
+
+  angelptm::mem::HierarchicalMemoryOptions memory_options;
+  memory_options.page_bytes = 4 * 1024;
+  memory_options.gpu_capacity_bytes = 64ull << 20;
+  memory_options.cpu_capacity_bytes = 64ull << 20;
+  angelptm::mem::HierarchicalMemory memory(memory_options);
+  angelptm::core::Allocator allocator(&memory);
+
+  ShardedDataParallel dp(&allocator, &model, args.dp);
+  const angelptm::util::Status init = dp.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "angel_worker: Init failed: %s\n",
+                 init.ToString().c_str());
+    return ProcessGroup::IsPeerLoss(init) ? 42 : 1;
+  }
+
+  auto report = dp.Train(dataset, args.steps);
+  if (!report.ok()) {
+    std::fprintf(stderr, "angel_worker: Train failed: %s\n",
+                 report.status().ToString().c_str());
+    return ProcessGroup::IsPeerLoss(report.status()) ? 42 : 1;
+  }
+
+  const int code =
+      WriteResultFile(args, report.value(), &dp, model.num_layers());
+  if (code != 0) return code;
+
+  std::fprintf(stderr,
+               "angel_worker: rank %d done, %d steps (resumed %d), "
+               "final loss %.6g\n",
+               dp.local_rank(), args.steps, report.value().resumed_step,
+               report.value().final_train_loss);
+  angelptm::util::SetComputePoolOverride(nullptr);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkerArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  return Run(args);
+}
