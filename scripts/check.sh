@@ -42,9 +42,16 @@
 #     an angel_worker launcher smoke at 2 and 4 real ranks whose rank-0
 #     result file must match the single-process run byte for byte.
 #
+#   * A lockdep pass (DESIGN.md §15): the full suite rebuilt with
+#     -DANGELPTM_LOCKDEP=ON (instrumented mutexes: lock-order cycles, rank
+#     inversions, and same-class nesting abort the offending test), the
+#     deliberate-ABBA negative tests, a lock-order graph dump (the CI
+#     artifact), and a seeded schedule-perturbation sweep over the
+#     updater / copy-engine / SSD / dist suites.
+#
 # Usage: scripts/check.sh
 #   [--tier1-only|--tsan-only|--asan-only|--trace-smoke|--lint|--simd|--ssd|
-#    --optimizers|--dist]
+#    --optimizers|--dist|--lockdep]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -244,15 +251,58 @@ fi
 
 if [ "$MODE" = all ] || [ "$MODE" = --asan-only ]; then
   echo "=== Address/UBSanitizer: memory hierarchy / updater tests ==="
+  # Beyond plain `undefined`: float division by zero (not UB in IEEE754,
+  # but almost always a bug in optimizer math) and explicit array-bounds
+  # checks. `implicit-integer-sign-change` exists only in Clang's UBSan,
+  # so probe the compiler rather than hard-coding it.
+  SAN_CHECKS="address,undefined,float-divide-by-zero,bounds"
+  if ${CXX:-c++} --version 2>/dev/null | grep -qi clang; then
+    SAN_CHECKS="$SAN_CHECKS,implicit-integer-sign-change"
+  fi
   cmake -B build-asan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    -DCMAKE_CXX_FLAGS="-fsanitize=$SAN_CHECKS -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=$SAN_CHECKS"
   cmake --build build-asan -j --target util_test mem_test runtime_test
   ASAN_OPTIONS="detect_leaks=1" \
-    UBSAN_OPTIONS="halt_on_error=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$(pwd)/scripts/ubsan.supp" \
     ctest --test-dir build-asan --output-on-failure \
       -R 'util_test|mem_test|runtime_test'
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = --lockdep ]; then
+  echo "=== lockdep: lock-order analysis + perturbation (DESIGN.md §15) ==="
+  cmake -B build-lockdep -S . -DANGELPTM_LOCKDEP=ON
+  cmake --build build-lockdep -j
+  # Full suite under the instrumented mutexes: any lock-order cycle, rank
+  # inversion, recursive or same-class nesting aborts the offending test.
+  (cd build-lockdep && ctest --output-on-failure)
+  # Negative leg, explicitly: the deliberate-ABBA tests must *detect* the
+  # inversion (both stacks in the report) rather than deadlock.
+  ./build-lockdep/tests/util_test --gtest_filter='Lockdep*'
+  # Graph artifact: re-run a lock-heavy suite with the atexit dump armed;
+  # CI uploads build-lockdep/lock_order.{dot,json}.
+  ANGELPTM_LOCKDEP_DUMP=build-lockdep/lock_order \
+    ./build-lockdep/tests/runtime_test --gtest_filter='LockFreeUpdater*'
+  test -s build-lockdep/lock_order.dot
+  test -s build-lockdep/lock_order.json
+  echo "lockdep: graph dumped to build-lockdep/lock_order.{dot,json}"
+  # Schedule-perturbation sweep: seeded yield/sleep injection at every
+  # instrumented lock acquire and failpoint, over the concurrency-core
+  # suites. Each seed is an independent, reproducible schedule; a failure
+  # replays with the printed seed.
+  for SEED in 1 2 3; do
+    echo "--- perturbation sweep: ANGELPTM_PERTURB_SEED=$SEED ---"
+    ANGELPTM_PERTURB_SEED=$SEED ANGELPTM_PERTURB_PROB=0.05 \
+      ./build-lockdep/tests/runtime_test \
+        --gtest_filter='LockFreeUpdater*:EngineTest.*'
+    ANGELPTM_PERTURB_SEED=$SEED ANGELPTM_PERTURB_PROB=0.05 \
+      ./build-lockdep/tests/mem_test \
+        --gtest_filter='CopyEngineTest.*:SsdTierTest.*'
+    ANGELPTM_PERTURB_SEED=$SEED ANGELPTM_PERTURB_PROB=0.05 \
+      ./build-lockdep/tests/dist_test \
+        --gtest_filter='ProcessGroupTest.*:ShardedDpTest.*'
+  done
 fi
 
 echo "check.sh: OK"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Project lint for angelptm (DESIGN.md §10).
+"""Project lint for angelptm (DESIGN.md §10, §15).
 
-Six rules over src/ (tests and benches are exempt unless noted):
+Eight rules over src/ (tests and benches are exempt unless noted):
 
   mutex       Every mutex-like member must participate in the thread-safety
               contract: raw std::mutex / std::condition_variable declarations
@@ -35,6 +35,20 @@ Six rules over src/ (tests and benches are exempt unless noted):
               Optimizer::Create. Waive with
               `// lint: optimizer-registry (<reason>)` on the class line.
 
+  raw-mutex   Outside src/util/, any use of std::mutex / std::lock_guard /
+              std::unique_lock / std::scoped_lock / std::condition_variable
+              is banned (declarations AND lock sites): everything must go
+              through the util:: shims so lockdep coverage is total. Waive
+              with `// lint: raw-mutex (<reason>)`.
+
+  lock-class  Every util::Mutex in src/ must declare a lock class and rank
+              (`util::Mutex mu{"x.y", lockrank::kXY};`, DESIGN.md §15), and
+              the declared (class, rank constant) pairs must agree with the
+              canonical lock-class table in DESIGN.md §15 and with the rank
+              constants in src/util/lockdep.h — in both directions, like
+              the failpoint rule. Waive a classless mutex with
+              `// lint: lock-class (<reason>)`.
+
 Exit code 0 when clean, 1 with one finding per line otherwise.
 
 Usage: scripts/lint.py [--root DIR] [--design FILE] [--src DIR]
@@ -46,6 +60,8 @@ import re
 import sys
 
 MUTEX_WAIVER = "// lint: unguarded"
+RAW_MUTEX_WAIVER = "// lint: raw-mutex"
+LOCK_CLASS_WAIVER = "// lint: lock-class"
 NEW_WAIVER = "// lint: naked-new"
 SIMD_WAIVER = "// lint: simd-include"
 REGISTRY_WAIVER = "// lint: optimizer-registry"
@@ -70,8 +86,35 @@ RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?)\b"
 )
 UTIL_MUTEX_MEMBER_RE = re.compile(
-    r"\b(?:util::)?Mutex\s+(\w+)\s*(?:;|ANGEL_GUARDED_BY)"
+    r"\b(?:util::)?Mutex\s+(\w+)\s*(?:;|\{|ANGEL_GUARDED_BY)"
 )
+# Any std:: locking vocabulary (types and RAII lock sites) — banned outside
+# src/util/ by the raw-mutex rule.
+RAW_LOCK_TOKEN_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
+)
+# A util::Mutex declared with a lock class and rank:
+#   util::Mutex mu{"class.name", lockrank::kConst};
+# (possibly spanning lines; matched against whole-file text), and the
+# make_shared spelling used for dynamically created mutexes.
+MUTEX_CLASS_DECL_RE = re.compile(
+    r'\bMutex\s+\w+\s*\{\s*"([\w.]+)"\s*,\s*'
+    r"(?:util::)?lockrank::(k\w+)")
+MUTEX_SHARED_CLASS_RE = re.compile(
+    r'make_shared<\s*util::Mutex\s*>\s*\(\s*"([\w.]+)"\s*,\s*'
+    r"(?:util::)?lockrank::(k\w+)")
+# A classless util::Mutex declaration (member or make_shared) — needs a
+# class or the lock-class waiver.
+MUTEX_NO_CLASS_RE = re.compile(r"\b(?:util::)?Mutex\s+(\w+)\s*;")
+MUTEX_SHARED_NO_CLASS_RE = re.compile(
+    r"make_shared<\s*util::Mutex\s*>\s*\(\s*\)")
+# Rank constants in src/util/lockdep.h.
+LOCKRANK_CONST_RE = re.compile(r"inline constexpr int (k\w+) = (\d+);")
+# Rows of the §15 lock-class table: | `class` | `kConst` | rank | where |
+LOCKCLASS_ROW_RE = re.compile(
+    r"^\|\s*`([\w.]+)`\s*\|\s*`(k\w+)`\s*\|\s*(\d+)\s*\|")
+LOCKCLASS_HEADING_RE = re.compile(r"^#+\s.*lock-class table", re.IGNORECASE)
 ANNOTATION_REF_RE = re.compile(
     r"ANGEL_(?:PT_)?(?:GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE|"
     r"EXCLUDES|RETURN_CAPABILITY)\s*\(([^)]*)\)"
@@ -130,9 +173,13 @@ def iter_source_files(src_dir, suffixes=(".h", ".cc")):
                 yield os.path.join(root, name)
 
 
-def lint_file(path, findings):
+def lint_file(path, findings, src_dir=None):
     with open(path, encoding="utf-8") as f:
         lines = f.readlines()
+    in_util = False
+    if src_dir is not None:
+        rel = os.path.relpath(os.path.normpath(path), os.path.normpath(src_dir))
+        in_util = rel.split(os.sep)[0] == "util"
     text = "".join(lines)
     # Comment/string-stripped view for rules where a mention in a comment
     # must not count (e.g. the optimizer-registry factory call).
@@ -152,7 +199,7 @@ def lint_file(path, findings):
         # etc. is fine — the rule targets the declaration, not its uses.
         decl_code = LOCK_USE_RE.sub("", code)
         if RAW_MUTEX_RE.search(decl_code) and "#include" not in code:
-            if MUTEX_WAIVER not in raw:
+            if MUTEX_WAIVER not in raw and RAW_MUTEX_WAIVER not in raw:
                 findings.append(
                     f"{path}:{lineno}: [mutex] raw std:: mutex/condvar; use "
                     f"util::Mutex/util::CondVar (util/thread_annotations.h) "
@@ -166,6 +213,30 @@ def lint_file(path, findings):
                     f"is never referenced by ANGEL_GUARDED_BY/ANGEL_REQUIRES/"
                     f"ANGEL_EXCLUDES in this file; annotate what it guards "
                     f"or waive with `{MUTEX_WAIVER}`")
+
+        # Rule: raw-mutex. Outside src/util/ the std:: locking vocabulary
+        # is banned outright — declarations and lock sites both — so every
+        # lock the process takes goes through the instrumented shims and is
+        # visible to lockdep (DESIGN.md §15).
+        if (not in_util and "#include" not in code
+                and RAW_LOCK_TOKEN_RE.search(code)
+                and RAW_MUTEX_WAIVER not in raw):
+            findings.append(
+                f"{path}:{lineno}: [raw-mutex] std:: locking primitive "
+                f"outside src/util/; use util::Mutex/util::MutexLock/"
+                f"util::CondVar so lockdep sees it, or waive with "
+                f"`{RAW_MUTEX_WAIVER} (<reason>)`")
+
+        # Rule: lock-class (declaration side). A util::Mutex with no lock
+        # class is invisible to the lock-order graph.
+        if ((MUTEX_NO_CLASS_RE.search(code)
+             or MUTEX_SHARED_NO_CLASS_RE.search(code))
+                and LOCK_CLASS_WAIVER not in raw):
+            findings.append(
+                f"{path}:{lineno}: [lock-class] util::Mutex without a lock "
+                f'class; declare one (`util::Mutex mu{{"x.y", '
+                f"lockrank::kXY}};`, DESIGN.md §15) or waive with "
+                f"`{LOCK_CLASS_WAIVER} (<reason>)`")
 
         # Rule: nodiscard (headers only; status.h is nodiscard at class
         # level; definitions in .cc repeat the declaration without it).
@@ -257,12 +328,117 @@ def lint_failpoints(src_dir, design_path, findings):
             f"ANGEL_FAULT_CHECK/Check site exists in {src_dir}")
 
 
+def _match_is_in_comment(text, start):
+    line_start = text.rfind("\n", 0, start) + 1
+    return "//" in text[line_start:start]
+
+
+def collect_lock_classes(src_dir):
+    """Maps lock-class name -> (rank constant, first declaration site).
+
+    Matches whole-file text so two-line declarations (class string on one
+    line, rank constant on the next) are still seen. Also returns any
+    conflicting redeclarations (same class, different rank constant).
+    """
+    classes = {}
+    conflicts = []
+    for path in iter_source_files(src_dir):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for regex in (MUTEX_CLASS_DECL_RE, MUTEX_SHARED_CLASS_RE):
+            for m in regex.finditer(text):
+                if _match_is_in_comment(text, m.start()):
+                    continue  # Doc comments show declarations by example.
+                name, const = m.group(1), m.group(2)
+                lineno = text.count("\n", 0, m.start()) + 1
+                where = f"{path}:{lineno}"
+                if name in classes and classes[name][0] != const:
+                    conflicts.append((where, name, const, classes[name]))
+                classes.setdefault(name, (const, where))
+    return classes, conflicts
+
+
+def collect_lockrank_constants(lockdep_path):
+    consts = {}
+    with open(lockdep_path, encoding="utf-8") as f:
+        for line in f:
+            m = LOCKRANK_CONST_RE.search(line)
+            if m:
+                consts[m.group(1)] = int(m.group(2))
+    return consts
+
+
+def collect_design_lock_classes(design_path):
+    """Rows of the §15 lock-class table: class -> (constant, rank)."""
+    rows = {}
+    in_section = False
+    with open(design_path, encoding="utf-8") as f:
+        for line in f:
+            if LOCKCLASS_HEADING_RE.match(line):
+                in_section = True
+                continue
+            if in_section and line.startswith("#"):
+                break  # Next heading ends the table's section.
+            if not in_section:
+                continue
+            m = LOCKCLASS_ROW_RE.match(line.strip())
+            if m:
+                rows[m.group(1)] = (m.group(2), int(m.group(3)))
+    return rows
+
+
+def lint_lock_classes(src_dir, design_path, findings):
+    """Cross-checks code <-> lockdep.h <-> DESIGN table, both directions."""
+    classes, conflicts = collect_lock_classes(src_dir)
+    for where, name, const, first in conflicts:
+        findings.append(
+            f"{where}: [lock-class] class `{name}` declared with rank "
+            f"`{const}` but {first[1]} uses `{first[0]}`; one class must "
+            f"have exactly one rank")
+    doc = collect_design_lock_classes(design_path)
+    design_name = os.path.basename(design_path)
+    lockdep_h = os.path.join(src_dir, "util", "lockdep.h")
+    consts = (collect_lockrank_constants(lockdep_h)
+              if os.path.exists(lockdep_h) else None)
+
+    for name, (const, where) in sorted(classes.items()):
+        if consts is not None and const not in consts:
+            findings.append(
+                f"{where}: [lock-class] rank constant `{const}` is not "
+                f"defined in {lockdep_h}")
+        if name not in doc:
+            findings.append(
+                f"{where}: [lock-class] class `{name}` is not listed in the "
+                f"lock-class table of {design_name} §15")
+        elif doc[name][0] != const:
+            findings.append(
+                f"{where}: [lock-class] class `{name}` is declared with "
+                f"`{const}` but the {design_name} table says "
+                f"`{doc[name][0]}`")
+    for name, (const, rank) in sorted(doc.items()):
+        if name not in classes:
+            findings.append(
+                f"{design_path}: [lock-class] table lists `{name}` but no "
+                f"util::Mutex in {src_dir} declares that class")
+        if consts is not None:
+            if const not in consts:
+                findings.append(
+                    f"{design_path}: [lock-class] table references `{const}` "
+                    f"which is not defined in {lockdep_h}")
+            elif consts[const] != rank:
+                findings.append(
+                    f"{design_path}: [lock-class] table says `{name}` = "
+                    f"`{const}` = {rank} but {lockdep_h} defines "
+                    f"{const} = {consts[const]}")
+
+
 def run(src_dir, design_path):
     findings = []
     for path in iter_source_files(src_dir):
-        lint_file(path, findings)
+        lint_file(path, findings, src_dir)
     if os.path.exists(design_path):
         lint_failpoints(src_dir, design_path, findings)
+        lint_lock_classes(src_dir, design_path, findings)
     else:
         findings.append(f"{design_path}: [failpoint] design doc not found")
     return findings

@@ -87,7 +87,7 @@ class Allocator {
 
   mem::HierarchicalMemory* memory_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"alloc.state", util::lockrank::kAllocState};
   std::unordered_map<uint64_t, std::unique_ptr<Tensor>> tensors_
       ANGEL_GUARDED_BY(mutex_);
   uint64_t next_tensor_id_ ANGEL_GUARDED_BY(mutex_) = 0;

@@ -86,7 +86,7 @@ class CheckpointManager {
  private:
   Options options_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"ckpt.stats", util::lockrank::kCheckpointStats};
   Stats stats_ ANGEL_GUARDED_BY(mutex_);
 
   // Process-wide series (obs registry handles; set once in the ctor).

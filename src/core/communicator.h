@@ -58,7 +58,8 @@ class Communicator {
   void Arrive() ANGEL_EXCLUDES(mutex_);
 
   int world_size_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"core.communicator",
+                             util::lockrank::kCommunicator};
   util::CondVar cv_;
   int arrived_ ANGEL_GUARDED_BY(mutex_) = 0;
   uint64_t generation_ ANGEL_GUARDED_BY(mutex_) = 0;

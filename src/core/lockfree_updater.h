@@ -234,7 +234,8 @@ class LockFreeUpdater {
     /// WriteFloats) the analysis cannot see through Tensor's interface.
     Tensor* buffered_params = nullptr;  // p'16
     Tensor* buffered_grads = nullptr;   // g'16
-    mutable util::Mutex buffer_mutex;
+    mutable util::Mutex buffer_mutex{"updater.buffer",
+                                     util::lockrank::kUpdaterBuffer};
     uint64_t pending_batches ANGEL_GUARDED_BY(buffer_mutex) = 0;
     /// Lockless read mirror of p'16: the same fp16 bits the buffer holds,
     /// published via seqlock. Writers (install/import, both under
@@ -244,7 +245,8 @@ class LockFreeUpdater {
     /// including their tier moves) between the updating path and concurrent
     /// checkpoint snapshots / master reads. Held only for the master-state
     /// section of one layer's update — the per-layer quiesce window.
-    mutable util::Mutex master_mutex;
+    mutable util::Mutex master_mutex{"updater.master",
+                                     util::lockrank::kUpdaterMaster};
     long step ANGEL_GUARDED_BY(master_mutex) = 0;
   };
 
@@ -282,14 +284,16 @@ class LockFreeUpdater {
     bool is_params;            // true: install params; false: accumulate.
     std::vector<float> data;   // fp32 values (cast to fp16 on apply).
   };
-  mutable util::Mutex queue_mutex_;
+  mutable util::Mutex queue_mutex_{"updater.queue",
+                                   util::lockrank::kUpdaterQueue};
   util::CondVar queue_cv_;
   std::deque<BufferTask> buffer_queue_ ANGEL_GUARDED_BY(queue_mutex_);
 
   /// Wakeup channel for the updating thread (replaces the old idle-sleep
   /// poll): the epoch counts SignalWork calls, so a signal that lands
   /// mid-scan is observed as a changed epoch instead of being lost.
-  mutable util::Mutex work_mutex_;
+  mutable util::Mutex work_mutex_{"updater.work",
+                                  util::lockrank::kUpdaterWork};
   util::CondVar work_cv_;
   uint64_t work_epoch_ ANGEL_GUARDED_BY(work_mutex_) = 0;
 
@@ -297,7 +301,8 @@ class LockFreeUpdater {
   /// accumulated) but not yet taken by UpdateLayer. OffloadGrads waits on
   /// the condvar while its layer sits at the Options bound; UpdateLayer
   /// notifies after taking a layer's batches.
-  mutable util::Mutex backpressure_mutex_;
+  mutable util::Mutex backpressure_mutex_{
+      "updater.backpressure", util::lockrank::kUpdaterBackpressure};
   util::CondVar backpressure_cv_;
   std::vector<uint64_t> inflight_batches_
       ANGEL_GUARDED_BY(backpressure_mutex_);
@@ -313,10 +318,12 @@ class LockFreeUpdater {
   /// poisoned_ — so any reader that observes poisoned_ true (acquire) may
   /// read poison_status_ with no lock (DESIGN.md §13).
   std::atomic<bool> poisoned_{false};
-  mutable util::Mutex poison_mutex_;
+  mutable util::Mutex poison_mutex_{"updater.poison",
+                                    util::lockrank::kUpdaterPoison};
   util::Status poison_status_;
 
-  mutable util::Mutex staleness_mutex_;
+  mutable util::Mutex staleness_mutex_{"updater.staleness",
+                                       util::lockrank::kUpdaterStaleness};
   util::Histogram staleness_ ANGEL_GUARDED_BY(staleness_mutex_);
 
   // Process-wide series (obs registry handles; set once in the ctor).

@@ -84,7 +84,10 @@ std::shared_ptr<util::Mutex> CopyEngine::PageMutex(uint64_t page_id) {
         std::max<size_t>(kPageMutexGcMinThreshold, 2 * page_mutexes_.size());
   }
   auto& entry = page_mutexes_[page_id];
-  if (entry == nullptr) entry = std::make_shared<util::Mutex>();
+  if (entry == nullptr) {
+    entry = std::make_shared<util::Mutex>("copy.page",
+                                          util::lockrank::kCopyPage);
+  }
   return entry;
 }
 

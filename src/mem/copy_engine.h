@@ -79,7 +79,8 @@ class CopyEngine {
   obs::Counter* metric_moves_failed_ = nullptr;
   obs::Gauge* metric_queue_depth_ = nullptr;
 
-  mutable util::Mutex page_mutex_map_mutex_;
+  mutable util::Mutex page_mutex_map_mutex_{"copy.page_map",
+                                            util::lockrank::kCopyPageMap};
   std::unordered_map<uint64_t, std::shared_ptr<util::Mutex>> page_mutexes_
       ANGEL_GUARDED_BY(page_mutex_map_mutex_);
   size_t page_mutex_gc_threshold_ ANGEL_GUARDED_BY(page_mutex_map_mutex_) =

@@ -149,12 +149,14 @@ class HierarchicalMemory {
   bool ssd_enabled_ = false;
   util::BandwidthThrottle pcie_throttle_;
 
-  mutable util::Mutex registry_mutex_;
+  mutable util::Mutex registry_mutex_{"hmem.registry",
+                                      util::lockrank::kHmemRegistry};
   std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_
       ANGEL_GUARDED_BY(registry_mutex_);
   std::atomic<uint64_t> next_page_id_{0};
 
-  mutable util::Mutex stats_mutex_;
+  mutable util::Mutex stats_mutex_{"hmem.stats",
+                                   util::lockrank::kHmemStats};
   std::array<std::array<MoveStats, kNumDeviceKinds>, kNumDeviceKinds>
       move_stats_ ANGEL_GUARDED_BY(stats_mutex_){};
 

@@ -67,7 +67,7 @@ class PageArena {
   size_t total_frames_;
   std::unique_ptr<std::byte[]> buffer_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"arena.state", util::lockrank::kArenaState};
   std::vector<uint32_t> free_list_ ANGEL_GUARDED_BY(mutex_);
   size_t peak_used_ ANGEL_GUARDED_BY(mutex_) = 0;
 };

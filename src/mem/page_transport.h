@@ -75,7 +75,8 @@ class PageTransport {
   [[nodiscard]] util::Result<Page*> Deliver(Wire* wire, DeviceKind tier)
       ANGEL_REQUIRES(mutex_);
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"mem.page_transport",
+                             util::lockrank::kPageTransport};
   util::CondVar arrived_;
   std::map<int, Wire> servers_ ANGEL_GUARDED_BY(mutex_);
   util::BandwidthThrottle throttle_;

@@ -201,10 +201,10 @@ class SsdTier {
   int io_op_latency_us_ = 0;
   std::vector<std::thread> io_threads_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"ssd.state", util::lockrank::kSsdState};
   std::vector<uint32_t> free_list_ ANGEL_GUARDED_BY(mutex_);
 
-  mutable util::Mutex io_mutex_;
+  mutable util::Mutex io_mutex_{"ssd.io", util::lockrank::kSsdIoQueue};
   util::CondVar io_work_cv_;   // Workers wait here for requests.
   util::CondVar io_space_cv_;  // Submitters wait here under backpressure.
   std::deque<IoRequest> io_queue_ ANGEL_GUARDED_BY(io_mutex_);

@@ -149,7 +149,7 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"obs.registry", util::lockrank::kObsRegistry};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       ANGEL_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_

@@ -5,8 +5,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace angelptm::obs {
 namespace {
@@ -27,15 +28,15 @@ struct SpanRecord {
 /// referenced by the recording thread's TLS; `mu` serializes the recording
 /// thread against the exporter.
 struct ThreadLog {
-  std::mutex mu;  // lint: unguarded
-  std::vector<SpanRecord> ring;  // Sized once to the session capacity.
-  uint64_t recorded = 0;         // Total spans written (ring wraps).
-  int tid = 0;                   // Registration order, stable per session.
+  util::Mutex mu{"obs.trace_log", util::lockrank::kTraceLog};
+  std::vector<SpanRecord> ring ANGEL_GUARDED_BY(mu);  // Sized once.
+  uint64_t recorded ANGEL_GUARDED_BY(mu) = 0;  // Total spans (ring wraps).
+  int tid = 0;  // Registration order, stable per session.
 };
 
 struct TraceState {
-  std::mutex mu;  // lint: unguarded
-  bool active = false;
+  util::Mutex mu{"obs.trace_registry", util::lockrank::kTraceRegistry};
+  bool active ANGEL_GUARDED_BY(mu) = false;
   std::string path;
   size_t ring_capacity = kDefaultTraceRingCapacity;
   uint64_t start_ns = 0;
@@ -65,10 +66,15 @@ ThreadLog* CurrentThreadLog() {
   const uint64_t generation =
       __atomic_load_n(&state.generation, __ATOMIC_RELAXED);
   if (hook.log == nullptr || hook.generation != generation) {
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     if (!state.active) return nullptr;
     auto log = std::make_shared<ThreadLog>();
-    log->ring.resize(state.ring_capacity);
+    {
+      // Freshly constructed and not yet published, but the analysis (and
+      // lockdep's state.mu -> log.mu edge) want the lock held anyway.
+      util::MutexLock log_lock(log->mu);
+      log->ring.resize(state.ring_capacity);
+    }
     log->tid = static_cast<int>(state.logs.size());
     state.logs.push_back(log);
     hook.log = std::move(log);
@@ -149,7 +155,7 @@ void RecordSpan(const char* category, const char* name, uint64_t begin_ns,
                 uint64_t end_ns, uint64_t begin_seq, uint64_t end_seq) {
   ThreadLog* log = CurrentThreadLog();
   if (log == nullptr) return;  // Session ended between begin and end.
-  std::lock_guard<std::mutex> lock(log->mu);
+  util::MutexLock lock(log->mu);
   SpanRecord& slot = log->ring[log->recorded % log->ring.size()];
   slot.category = category;
   slot.name = name;
@@ -170,7 +176,7 @@ util::Status StartTracing(const std::string& path, size_t ring_capacity) {
     return util::Status::InvalidArgument("zero trace ring capacity");
   }
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(state.mu);
   if (state.active) {
     return util::Status::FailedPrecondition(
         "tracing already active (writing to " + state.path + ")");
@@ -191,7 +197,7 @@ util::Status StopTracing() {
   uint64_t start_ns = 0;
   std::vector<std::shared_ptr<ThreadLog>> logs;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     if (!state.active) {
       return util::Status::FailedPrecondition("tracing not active");
     }
@@ -211,7 +217,7 @@ util::Status StopTracing() {
   for (const auto& log : logs) {
     std::vector<SpanRecord> spans;
     {
-      std::lock_guard<std::mutex> lock(log->mu);
+      util::MutexLock lock(log->mu);
       const size_t capacity = log->ring.size();
       const size_t kept = std::min<uint64_t>(log->recorded, capacity);
       dropped += log->recorded - kept;
@@ -251,10 +257,10 @@ bool InitTracingFromEnv() {
 
 TraceCounts CurrentTraceCounts() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(state.mu);
   TraceCounts counts;
   for (const auto& log : state.logs) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
+    util::MutexLock log_lock(log->mu);
     const uint64_t kept = std::min<uint64_t>(log->recorded, log->ring.size());
     counts.recorded += kept;
     counts.dropped += log->recorded - kept;

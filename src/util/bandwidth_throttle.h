@@ -32,7 +32,7 @@ class BandwidthThrottle {
   }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"util.throttle", lockrank::kThrottle};
   double bytes_per_sec_ ANGEL_GUARDED_BY(mutex_);
   double available_at_ ANGEL_GUARDED_BY(mutex_) = 0.0;
 };

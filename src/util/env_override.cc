@@ -1,5 +1,6 @@
 #include "util/env_override.h"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -11,9 +12,13 @@ bool EnvIsSet(const char* name) { return std::getenv(name) != nullptr; }
 size_t EnvSizeOr(const char* name, size_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
+  // strtoull accepts a leading '-' and wraps ("-3" parses as 2^64-3); an
+  // unsigned knob must reject that rather than become a huge count.
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') {
+  if (end == value || *end != '\0' || *p == '-') {
     ANGEL_LOG(Warning) << "ignoring unparsable " << name << "=" << value;
     return fallback;
   }
@@ -31,6 +36,18 @@ size_t EnvPositiveOr(const char* name, size_t fallback) {
     return fallback;
   }
   return static_cast<size_t>(parsed);
+}
+
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !std::isfinite(parsed)) {
+    ANGEL_LOG(Warning) << "ignoring unparsable " << name << "=" << value;
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string EnvStringOr(const char* name, const std::string& fallback) {

@@ -27,12 +27,18 @@ namespace angelptm::util {
 bool EnvIsSet(const char* name);
 
 /// Reads a non-negative integer knob. Unset or empty returns `fallback`;
-/// unparsable values (junk, trailing characters) warn and return `fallback`.
+/// unparsable values (junk, trailing characters, negative numbers — which
+/// strtoull would otherwise silently wrap to a huge count) warn and return
+/// `fallback`.
 size_t EnvSizeOr(const char* name, size_t fallback);
 
 /// Like EnvSizeOr but additionally rejects zero (for knobs like thread
 /// counts where 0 is meaningless): nonpositive values warn and fall back.
 size_t EnvPositiveOr(const char* name, size_t fallback);
+
+/// Reads a finite floating-point knob (e.g. a probability). Unset or empty
+/// returns `fallback`; unparsable or non-finite values warn and fall back.
+double EnvDoubleOr(const char* name, double fallback);
 
 /// Reads a string knob; returns `fallback` when unset (a set-but-empty
 /// variable returns the empty string — pair with EnvIsSet to distinguish).

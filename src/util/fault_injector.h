@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/random.h"
+#include "util/schedule_perturb.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -111,7 +112,7 @@ class FaultInjector {
                                         const std::string& body,
                                         FaultRule* out);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"util.fault_injector", lockrank::kFaultInjector};
   std::unordered_map<std::string, SiteState> sites_ ANGEL_GUARDED_BY(mutex_);
   std::atomic<int> armed_sites_{0};
   Rng rng_ ANGEL_GUARDED_BY(mutex_);
@@ -121,9 +122,13 @@ class FaultInjector {
 
 /// Declares a failpoint: returns the injected error from the enclosing
 /// function when the named site is armed and fires. Compiled into release
-/// builds; costs one relaxed load when nothing is armed.
+/// builds; costs two relaxed loads when nothing is armed (fault registry +
+/// schedule perturbator — every failpoint doubles as a perturbation point,
+/// DESIGN.md §15.3, so seeded yield/sleep injection explores extra thread
+/// interleavings exactly where the error paths branch).
 #define ANGEL_FAULT_CHECK(site)                                         \
   do {                                                                  \
+    ::angelptm::util::SchedulePerturb::Instance().MaybePerturb(site);   \
     auto& _angel_fi = ::angelptm::util::FaultInjector::Instance();      \
     if (_angel_fi.enabled()) {                                          \
       ::angelptm::util::Status _angel_fault = _angel_fi.Check(site);    \

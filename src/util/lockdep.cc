@@ -1,0 +1,483 @@
+#include "util/lockdep.h"
+
+#include <execinfo.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace angelptm::util::lockdep {
+namespace {
+
+constexpr int kMaxBacktraceFrames = 24;
+/// Skip the innermost frames (backtrace itself + detector internals) so
+/// reports start at the Mutex::Lock call site.
+constexpr int kSkipFrames = 2;
+
+std::vector<void*> CaptureBacktrace() {
+  void* frames[kMaxBacktraceFrames];
+  const int n = backtrace(frames, kMaxBacktraceFrames);
+  const int begin = n > kSkipFrames ? kSkipFrames : 0;
+  return std::vector<void*>(frames + begin, frames + n);
+}
+
+void AppendStack(std::string* out, const std::vector<void*>& bt) {
+  if (bt.empty()) {
+    *out += "    (no stack captured)\n";
+    return;
+  }
+  char** symbols = backtrace_symbols(bt.data(), static_cast<int>(bt.size()));
+  for (std::size_t i = 0; i < bt.size(); ++i) {
+    *out += "    ";
+    if (symbols != nullptr && symbols[i] != nullptr) {
+      *out += symbols[i];
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%p", bt[i]);
+      *out += buf;
+    }
+    *out += "\n";
+  }
+  std::free(symbols);
+}
+
+std::string DescribeClass(const LockClass& cls) {
+  std::string out = "'" + cls.name + "'";
+  if (cls.rank != lockrank::kNoRank) {
+    out += " (rank " + std::to_string(cls.rank) + ")";
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+struct Detector::Impl {
+  struct Edge {
+    std::vector<void*> holder_bt;    // Where the outer (from) lock was taken.
+    std::vector<void*> acquirer_bt;  // Where the inner (to) lock was taken.
+    uint64_t count = 0;
+  };
+  struct HeldLock {
+    const LockClass* cls;
+    const void* addr;
+    std::vector<void*> bt;
+  };
+  struct ThreadState {
+    std::vector<HeldLock> held;
+    std::vector<void*> pending_bt;  // Captured by OnAcquire for OnAcquired.
+  };
+
+  // Raw std::mutex: the detector must never instrument itself.
+  mutable std::mutex mu;  // lint: unguarded
+  std::unordered_map<std::string, std::unique_ptr<LockClass>> classes;
+  const LockClass* unclassified = nullptr;  // id 0; excluded from tracking.
+  int next_class_id = 1;
+  // Adjacency: from-class id -> (to-class id -> first-observation record).
+  std::unordered_map<int, std::unordered_map<int, Edge>> edges;
+  std::vector<Violation> violations;
+  std::set<uint64_t> reported;  // Dedup key: (kind, from id, to id).
+  std::atomic<bool> abort_on_violation{true};
+  std::atomic<std::size_t> violation_count{0};
+
+  static ThreadState& Tls(const Impl* impl) {
+    thread_local std::unordered_map<const Impl*, ThreadState> states;
+    return states[impl];
+  }
+
+  /// DFS: is `to` reachable from `from` in the current edge set? Caller
+  /// holds `mu`.
+  bool Reaches(int from, int to) const {
+    std::vector<int> stack = {from};
+    std::set<int> seen;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!seen.insert(node).second) continue;
+      auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const auto& [next, edge] : it->second) {
+        (void)edge;
+        stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  /// Caller holds `mu`. Records (and possibly reports) a violation once per
+  /// (kind, from, to) triple.
+  void Report(Violation::Kind kind, const LockClass* from,
+              const LockClass* to, std::string report_text) {
+    const uint64_t key = (static_cast<uint64_t>(kind) << 56) |
+                         (static_cast<uint64_t>(from ? from->id : 0) << 28) |
+                         static_cast<uint64_t>(to ? to->id : 0);
+    if (!reported.insert(key).second) return;
+    violation_count.fetch_add(1, std::memory_order_relaxed);
+    if (abort_on_violation.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr, "%s", report_text.c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+    Violation v;
+    v.kind = kind;
+    if (from != nullptr) v.from_class = from->name;
+    if (to != nullptr) v.to_class = to->name;
+    v.report = std::move(report_text);
+    violations.push_back(std::move(v));
+  }
+
+  /// Caller holds `mu`. Renders one existing dependency path to -> ... -> from
+  /// (the path that the new edge from -> to would close into a cycle).
+  std::string DescribePath(int to, int from) const {
+    // Re-run the DFS keeping parents so we can print the path.
+    std::unordered_map<int, int> parent;
+    std::vector<int> stack = {to};
+    parent[to] = to;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      if (node == from) break;
+      auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const auto& [next, edge] : it->second) {
+        (void)edge;
+        if (parent.emplace(next, node).second) stack.push_back(next);
+      }
+    }
+    if (parent.find(from) == parent.end()) return "";
+    std::vector<int> path;
+    for (int node = from; node != to; node = parent[node]) path.push_back(node);
+    path.push_back(to);
+    std::string out;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (!out.empty()) out += " -> ";
+      out += "'" + NameOf(*it) + "'";
+    }
+    return out;
+  }
+
+  /// Caller holds `mu`.
+  std::string NameOf(int id) const {
+    for (const auto& [name, cls] : classes) {
+      if (cls->id == id) return name;
+    }
+    return "<unknown>";
+  }
+};
+
+Detector::Detector() : impl_(new Impl()) {  // lint: naked-new (owned by dtor)
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto cls = std::make_unique<LockClass>();
+  cls->id = 0;
+  cls->name = "unclassified";
+  cls->rank = lockrank::kNoRank;
+  impl_->unclassified = cls.get();
+  impl_->classes.emplace("unclassified", std::move(cls));
+}
+
+Detector::~Detector() { delete impl_; }
+
+Detector& Detector::Global() {
+  static Detector* global = [] {
+    Detector* d = new Detector();  // lint: naked-new (leaked singleton)
+    const char* dump = std::getenv("ANGELPTM_LOCKDEP_DUMP");
+    if (dump != nullptr && dump[0] != '\0') {
+      static std::string prefix;  // atexit handler needs static storage
+      prefix = dump;
+      std::atexit([] { (void)Detector::Global().WriteDump(prefix); });
+    }
+    return d;
+  }();
+  return *global;
+}
+
+const LockClass* Detector::RegisterClass(const char* name, int rank) {
+  if (name == nullptr || name[0] == '\0') return impl_->unclassified;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->classes.find(name);
+  if (it != impl_->classes.end()) {
+    LockClass* existing = it->second.get();
+    if (existing->rank != rank) {
+      impl_->Report(Violation::Kind::kRankConflict, nullptr, existing,
+                    "lockdep: class '" + existing->name +
+                        "' registered with conflicting ranks " +
+                        std::to_string(existing->rank) + " and " +
+                        std::to_string(rank) + " (keeping the first)\n");
+    }
+    return existing;
+  }
+  auto cls = std::make_unique<LockClass>();
+  cls->id = impl_->next_class_id++;
+  cls->name = name;
+  cls->rank = rank;
+  const LockClass* out = cls.get();
+  impl_->classes.emplace(out->name, std::move(cls));
+  return out;
+}
+
+void Detector::OnAcquire(const LockClass* cls, const void* addr) {
+  Impl::ThreadState& tls = Impl::Tls(impl_);
+  tls.pending_bt = CaptureBacktrace();
+  // Recursive self-acquisition deadlocks regardless of classification.
+  for (const Impl::HeldLock& held : tls.held) {
+    if (held.addr == addr) {
+      std::string report =
+          "lockdep: recursive acquisition of mutex " +
+          std::string(cls != nullptr ? DescribeClass(*cls) : "'?'") +
+          " — guaranteed self-deadlock\n  second acquisition at:\n";
+      AppendStack(&report, tls.pending_bt);
+      report += "  first acquisition at:\n";
+      AppendStack(&report, held.bt);
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Report(Violation::Kind::kRecursive, held.cls, cls,
+                    std::move(report));
+      return;
+    }
+  }
+  if (cls == nullptr || cls->id == 0) return;  // Unclassified: edges skipped.
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const Impl::HeldLock& held : tls.held) {
+    if (held.cls == nullptr || held.cls->id == 0) continue;
+    if (held.cls == cls) {
+      std::string report =
+          "lockdep: two instances of lock class " + DescribeClass(*cls) +
+          " held by one thread (intra-class ordering is undeclared)\n"
+          "  second instance at:\n";
+      AppendStack(&report, tls.pending_bt);
+      report += "  first instance at:\n";
+      AppendStack(&report, held.bt);
+      impl_->Report(Violation::Kind::kSameClass, held.cls, cls,
+                    std::move(report));
+      continue;
+    }
+    if (cls->rank != lockrank::kNoRank && held.cls->rank != lockrank::kNoRank &&
+        cls->rank <= held.cls->rank) {
+      std::string report =
+          "lockdep: rank inversion — acquiring " + DescribeClass(*cls) +
+          " while holding " + DescribeClass(*held.cls) +
+          " (ranks must strictly increase inward; see DESIGN.md §15)\n"
+          "  acquisition at:\n";
+      AppendStack(&report, tls.pending_bt);
+      report += "  held lock acquired at:\n";
+      AppendStack(&report, held.bt);
+      impl_->Report(Violation::Kind::kRankInversion, held.cls, cls,
+                    std::move(report));
+    }
+    // Dependency edge held -> acquiring. A new edge that makes the held
+    // class reachable *from* the acquired class closes a cycle: the
+    // opposite order has been observed before.
+    auto& out_edges = impl_->edges[held.cls->id];
+    auto edge_it = out_edges.find(cls->id);
+    if (edge_it != out_edges.end()) {
+      edge_it->second.count += 1;
+      continue;
+    }
+    if (impl_->Reaches(cls->id, held.cls->id)) {
+      std::string report =
+          "lockdep: lock-order inversion (would-be ABBA deadlock)\n"
+          "  acquiring " + DescribeClass(*cls) + " at:\n";
+      AppendStack(&report, tls.pending_bt);
+      report += "  while holding " + DescribeClass(*held.cls) +
+                " acquired at:\n";
+      AppendStack(&report, held.bt);
+      const std::string path = impl_->DescribePath(cls->id, held.cls->id);
+      if (!path.empty()) {
+        report += "  conflicting dependency already observed: " + path +
+                  "\n  new edge '" + held.cls->name + "' -> '" + cls->name +
+                  "' closes the cycle\n";
+      }
+      impl_->Report(Violation::Kind::kCycle, held.cls, cls,
+                    std::move(report));
+      continue;  // Keep the graph acyclic: do not insert the closing edge.
+    }
+    Impl::Edge edge;
+    edge.holder_bt = held.bt;
+    edge.acquirer_bt = tls.pending_bt;
+    edge.count = 1;
+    out_edges.emplace(cls->id, std::move(edge));
+  }
+}
+
+void Detector::OnAcquired(const LockClass* cls, const void* addr) {
+  Impl::ThreadState& tls = Impl::Tls(impl_);
+  Impl::HeldLock held;
+  held.cls = cls;
+  held.addr = addr;
+  held.bt = std::move(tls.pending_bt);
+  tls.pending_bt.clear();
+  tls.held.push_back(std::move(held));
+}
+
+void Detector::OnTryAcquired(const LockClass* cls, const void* addr) {
+  Impl::ThreadState& tls = Impl::Tls(impl_);
+  Impl::HeldLock held;
+  held.cls = cls;
+  held.addr = addr;
+  held.bt = CaptureBacktrace();
+  tls.held.push_back(std::move(held));
+}
+
+void Detector::OnRelease(const void* addr) {
+  Impl::ThreadState& tls = Impl::Tls(impl_);
+  for (auto it = tls.held.rbegin(); it != tls.held.rend(); ++it) {
+    if (it->addr == addr) {
+      tls.held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: acquired before instrumentation (or after ResetForTest).
+}
+
+void Detector::set_abort_on_violation(bool abort_on_violation) {
+  impl_->abort_on_violation.store(abort_on_violation,
+                                  std::memory_order_relaxed);
+}
+
+bool Detector::abort_on_violation() const {
+  return impl_->abort_on_violation.load(std::memory_order_relaxed);
+}
+
+std::size_t Detector::violation_count() const {
+  return impl_->violation_count.load(std::memory_order_relaxed);
+}
+
+std::vector<Violation> Detector::TakeViolations() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<Violation> out = std::move(impl_->violations);
+  impl_->violations.clear();
+  return out;
+}
+
+std::size_t Detector::num_classes() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->classes.size() - 1;  // The "unclassified" bucket is internal.
+}
+
+std::size_t Detector::num_edges() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::size_t n = 0;
+  for (const auto& [from, out_edges] : impl_->edges) {
+    (void)from;
+    n += out_edges.size();
+  }
+  return n;
+}
+
+std::string Detector::DumpDot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "digraph lock_order {\n  rankdir=LR;\n";
+  // Stable output: order classes by id, edges by (from, to) name.
+  std::vector<const LockClass*> by_id(impl_->classes.size(), nullptr);
+  for (const auto& [name, cls] : impl_->classes) {
+    (void)name;
+    by_id[static_cast<std::size_t>(cls->id)] = cls.get();
+  }
+  for (const LockClass* cls : by_id) {
+    if (cls == nullptr || cls->id == 0) continue;
+    out += "  \"" + cls->name + "\" [label=\"" + cls->name;
+    if (cls->rank != lockrank::kNoRank) {
+      out += "\\nrank " + std::to_string(cls->rank);
+    }
+    out += "\"];\n";
+  }
+  for (const LockClass* from : by_id) {
+    if (from == nullptr) continue;
+    auto it = impl_->edges.find(from->id);
+    if (it == impl_->edges.end()) continue;
+    std::vector<int> tos;
+    for (const auto& [to, edge] : it->second) {
+      (void)edge;
+      tos.push_back(to);
+    }
+    std::sort(tos.begin(), tos.end());
+    for (int to : tos) {
+      out += "  \"" + from->name + "\" -> \"" + impl_->NameOf(to) +
+             "\" [label=\"" +
+             std::to_string(it->second.at(to).count) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Detector::DumpJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\n  \"classes\": [\n";
+  std::vector<const LockClass*> by_id(impl_->classes.size(), nullptr);
+  for (const auto& [name, cls] : impl_->classes) {
+    (void)name;
+    by_id[static_cast<std::size_t>(cls->id)] = cls.get();
+  }
+  bool first = true;
+  for (const LockClass* cls : by_id) {
+    if (cls == nullptr || cls->id == 0) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"" + JsonEscape(cls->name) +
+           "\", \"rank\": " + std::to_string(cls->rank) + "}";
+  }
+  out += "\n  ],\n  \"edges\": [\n";
+  first = true;
+  for (const LockClass* from : by_id) {
+    if (from == nullptr) continue;
+    auto it = impl_->edges.find(from->id);
+    if (it == impl_->edges.end()) continue;
+    std::vector<int> tos;
+    for (const auto& [to, edge] : it->second) {
+      (void)edge;
+      tos.push_back(to);
+    }
+    std::sort(tos.begin(), tos.end());
+    for (int to : tos) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "    {\"from\": \"" + JsonEscape(from->name) + "\", \"to\": \"" +
+             JsonEscape(impl_->NameOf(to)) + "\", \"count\": " +
+             std::to_string(it->second.at(to).count) + "}";
+    }
+  }
+  out += "\n  ],\n  \"violations\": " +
+         std::to_string(violation_count()) + "\n}\n";
+  return out;
+}
+
+bool Detector::WriteDump(const std::string& prefix) const {
+  {
+    std::ofstream dot(prefix + ".dot");
+    if (!dot.is_open()) return false;
+    dot << DumpDot();
+    if (!dot.flush()) return false;
+  }
+  std::ofstream json(prefix + ".json");
+  if (!json.is_open()) return false;
+  json << DumpJson();
+  return static_cast<bool>(json.flush());
+}
+
+void Detector::ResetForTest() {
+  Impl::Tls(impl_).held.clear();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->edges.clear();
+  impl_->violations.clear();
+  impl_->reported.clear();
+  impl_->violation_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace angelptm::util::lockdep

@@ -1,0 +1,91 @@
+#include "util/schedule_perturb.h"
+
+#include <sched.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/env_override.h"
+
+namespace angelptm::util {
+namespace {
+
+/// splitmix64 finalizer: a high-quality 64-bit mix, so consecutive indices
+/// under one seed give statistically independent decisions.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SchedulePerturb& SchedulePerturb::Instance() {
+  static SchedulePerturb* instance =
+      new SchedulePerturb();  // lint: naked-new (leaked singleton)
+  return *instance;
+}
+
+SchedulePerturb::SchedulePerturb() { LoadFromEnv(); }
+
+void SchedulePerturb::LoadFromEnv() {
+  seed_ = EnvSizeOr("ANGELPTM_PERTURB_SEED", 1);
+  prob_ = EnvDoubleOr("ANGELPTM_PERTURB_PROB", 0.0);
+  if (prob_ < 0.0) prob_ = 0.0;
+  if (prob_ > 1.0) prob_ = 1.0;
+  max_sleep_us_ = static_cast<uint32_t>(
+      EnvPositiveOr("ANGELPTM_PERTURB_MAX_US", 100));
+  enabled_.store(prob_ > 0.0, std::memory_order_relaxed);
+}
+
+SchedulePerturb::Decision SchedulePerturb::DecisionFor(uint64_t seed,
+                                                       uint64_t index,
+                                                       double prob,
+                                                       uint32_t max_sleep_us) {
+  Decision d;
+  const uint64_t h = Mix(seed ^ Mix(index));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  d.inject = u < prob;
+  if (!d.inject) return d;
+  d.yield = (h & 1) != 0;
+  if (max_sleep_us == 0) max_sleep_us = 1;
+  d.sleep_us = 1 + static_cast<uint32_t>((h >> 1) % max_sleep_us);
+  return d;
+}
+
+void SchedulePerturb::PerturbSlow(const char* site) {
+  (void)site;  // Names the point for humans; decisions depend only on index.
+  const uint64_t index = next_index_.fetch_add(1, std::memory_order_relaxed);
+  const Decision d = DecisionFor(seed_, index, prob_, max_sleep_us_);
+  if (!d.inject) return;
+  injections_.fetch_add(1, std::memory_order_relaxed);
+  if (d.yield) {
+    sched_yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.sleep_us));
+  }
+}
+
+void SchedulePerturb::ForceEnable(uint64_t seed, double prob,
+                                  uint32_t max_sleep_us) {
+  seed_ = seed;
+  prob_ = prob < 0.0 ? 0.0 : (prob > 1.0 ? 1.0 : prob);
+  max_sleep_us_ = max_sleep_us == 0 ? 1 : max_sleep_us;
+  next_index_.store(0, std::memory_order_relaxed);
+  injections_.store(0, std::memory_order_relaxed);
+  enabled_.store(prob_ > 0.0, std::memory_order_relaxed);
+}
+
+void SchedulePerturb::ForceDisable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void SchedulePerturb::ClearForce() {
+  next_index_.store(0, std::memory_order_relaxed);
+  injections_.store(0, std::memory_order_relaxed);
+  LoadFromEnv();
+}
+
+}  // namespace angelptm::util

@@ -1,0 +1,88 @@
+#ifndef ANGELPTM_UTIL_SCHEDULE_PERTURB_H_
+#define ANGELPTM_UTIL_SCHEDULE_PERTURB_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// Seeded schedule perturbation (DESIGN.md §15.3). Injects random
+/// yield/short-sleep decisions at lock-acquisition points (lockdep build)
+/// and at every named failpoint site (`ANGEL_FAULT_CHECK`, all builds), so
+/// lockdep, TSan, and the fault-injection suites observe far more thread
+/// interleavings than the natural scheduler produces — deterministically:
+/// the decision sequence is a pure function of (seed, decision index), so
+/// the same `ANGELPTM_PERTURB_SEED` replays the same injection sequence.
+///
+/// Env knobs (read once at first use; precedence test override > env >
+/// compiled default, per DESIGN.md §13):
+///   ANGELPTM_PERTURB_PROB    injection probability per decision point
+///                            (default 0 = disabled; enabling is just
+///                            setting this > 0)
+///   ANGELPTM_PERTURB_SEED    decision-sequence seed (default 1)
+///   ANGELPTM_PERTURB_MAX_US  max injected sleep, microseconds (default 100;
+///                            half of injections yield instead of sleeping)
+namespace angelptm::util {
+
+class SchedulePerturb {
+ public:
+  /// What a single decision point does. Pure function of (seed, index) —
+  /// see DecisionFor.
+  struct Decision {
+    bool inject = false;
+    bool yield = false;       // true: sched_yield; false: sleep sleep_us.
+    uint32_t sleep_us = 0;
+  };
+
+  /// Process-wide instance, configured from the environment on first use.
+  static SchedulePerturb& Instance();
+
+  /// The decision for index `index` of a sequence with seed `seed`.
+  /// Deterministic and stateless (splitmix64 over seed ^ f(index)):
+  /// identical (seed, prob, max_sleep_us) replay identical sequences.
+  static Decision DecisionFor(uint64_t seed, uint64_t index, double prob,
+                              uint32_t max_sleep_us);
+
+  /// A perturbation point. Cheap when disabled (one relaxed load); when
+  /// enabled, consumes the next decision index and yields/sleeps as the
+  /// decision says. `site` names the point in logs only — it does not
+  /// affect the decision sequence (so adding sites shifts, but never
+  /// forks, a replay).
+  void MaybePerturb(const char* site) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    PerturbSlow(site);
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint64_t seed() const { return seed_; }
+
+  /// Test override: force-enable with an explicit config, beating the
+  /// environment. Resets the decision counter so sequences start at 0.
+  void ForceEnable(uint64_t seed, double prob, uint32_t max_sleep_us);
+  /// Test override: force-disable regardless of environment.
+  void ForceDisable();
+  /// Drops the test override and re-applies the environment-derived config.
+  void ClearForce();
+
+  /// Counters for reproducibility assertions.
+  uint64_t decisions() const {
+    return next_index_.load(std::memory_order_relaxed);
+  }
+  uint64_t injections() const {
+    return injections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SchedulePerturb();
+  void PerturbSlow(const char* site);
+  void LoadFromEnv();
+
+  std::atomic<bool> enabled_{false};
+  uint64_t seed_ = 1;
+  double prob_ = 0.0;
+  uint32_t max_sleep_us_ = 100;
+  std::atomic<uint64_t> next_index_{0};
+  std::atomic<uint64_t> injections_{0};
+};
+
+}  // namespace angelptm::util
+
+#endif  // ANGELPTM_UTIL_SCHEDULE_PERTURB_H_

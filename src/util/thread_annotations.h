@@ -5,6 +5,12 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lockdep.h"  // Lock classes + ranks (constants in every build).
+
+#ifdef ANGELPTM_LOCKDEP
+#include "util/schedule_perturb.h"
+#endif
+
 /// Compile-time concurrency contracts (DESIGN.md §10).
 ///
 /// Wrappers over Clang's Thread Safety Analysis attributes, in the abseil
@@ -81,23 +87,75 @@ namespace angelptm::util {
 /// An annotatable mutex: std::mutex plus the `capability` attribute so the
 /// analysis can track who holds it. Also satisfies *BasicLockable* (lower
 /// case lock()/unlock()) so util::CondVar can wait on it directly.
+///
+/// Every mutex should declare a *lock class* and rank from DESIGN.md §15
+/// (`util::Mutex mu{"updater.master", lockrank::kUpdaterMaster};`); the
+/// lock-class lint rule enforces this under src/. In the default build the
+/// class/rank arguments compile away entirely (the static_assert below pins
+/// that the shim stays layout-identical to std::mutex); under
+/// ANGELPTM_LOCKDEP=ON every acquisition feeds lockdep::Detector and the
+/// schedule perturbator.
 class ANGEL_CAPABILITY("mutex") Mutex {
  public:
+#ifdef ANGELPTM_LOCKDEP
+  Mutex()
+      : class_(lockdep::Detector::Global().RegisterClass(
+            nullptr, lockrank::kNoRank)) {}
+  explicit Mutex(const char* lock_class, int rank = lockrank::kNoRank)
+      : class_(lockdep::Detector::Global().RegisterClass(lock_class, rank)) {}
+#else
   Mutex() = default;
+  explicit Mutex(const char* lock_class, int rank = lockrank::kNoRank) {
+    (void)lock_class;
+    (void)rank;
+  }
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ANGEL_ACQUIRE() { mu_.lock(); }
-  void Unlock() ANGEL_RELEASE() { mu_.unlock(); }
-  bool TryLock() ANGEL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ANGEL_ACQUIRE() {
+#ifdef ANGELPTM_LOCKDEP
+    SchedulePerturb::Instance().MaybePerturb("lock");
+    lockdep::Detector::Global().OnAcquire(class_, this);
+    mu_.lock();
+    lockdep::Detector::Global().OnAcquired(class_, this);
+#else
+    mu_.lock();
+#endif
+  }
+  void Unlock() ANGEL_RELEASE() {
+#ifdef ANGELPTM_LOCKDEP
+    lockdep::Detector::Global().OnRelease(this);
+#endif
+    mu_.unlock();
+  }
+  bool TryLock() ANGEL_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#ifdef ANGELPTM_LOCKDEP
+    if (acquired) lockdep::Detector::Global().OnTryAcquired(class_, this);
+#endif
+    return acquired;
+  }
 
-  // BasicLockable spelling (std interop; same annotations).
-  void lock() ANGEL_ACQUIRE() { mu_.lock(); }
-  void unlock() ANGEL_RELEASE() { mu_.unlock(); }
+  // BasicLockable spelling (std interop, incl. CondVar's internal
+  // unlock/relock — which therefore participates in lockdep tracking).
+  void lock() ANGEL_ACQUIRE() { Lock(); }
+  void unlock() ANGEL_RELEASE() { Unlock(); }
 
  private:
   std::mutex mu_;  // lint: unguarded (this IS the wrapper)
+#ifdef ANGELPTM_LOCKDEP
+  const lockdep::LockClass* class_;
+#endif
 };
+
+#ifndef ANGELPTM_LOCKDEP
+// Zero-cost contract: without the lockdep build flag, the shim carries no
+// extra state and the class/rank constructor arguments vanish.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),  // lint: unguarded
+              "util::Mutex must stay layout-identical to std::mutex in "
+              "non-lockdep builds");
+#endif
 
 /// std::lock_guard for util::Mutex, visible to the analysis: holding a
 /// MutexLock is holding the mutex for the enclosing scope.

@@ -44,7 +44,7 @@ class ThreadPool {
  private:
   void WorkerLoop() ANGEL_EXCLUDES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"util.thread_pool", lockrank::kThreadPool};
   CondVar task_available_;
   CondVar all_idle_;
   std::deque<std::function<void()>> queue_ ANGEL_GUARDED_BY(mutex_);

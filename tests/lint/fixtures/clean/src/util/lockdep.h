@@ -1,0 +1,11 @@
+// Lint fixture: rank constants parsed by the lock-class rule
+// (LOCKRANK_CONST_RE). Never compiled.
+#ifndef ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_UTIL_LOCKDEP_H_
+#define ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_UTIL_LOCKDEP_H_
+
+namespace lockrank {
+inline constexpr int kNoRank = 0;
+inline constexpr int kDemoLock = 10;
+}  // namespace lockrank
+
+#endif  // ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_UTIL_LOCKDEP_H_

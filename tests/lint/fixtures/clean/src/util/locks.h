@@ -1,0 +1,22 @@
+// Lint fixture: src/util/ is exempt from the raw-mutex rule (the shims
+// themselves live here), but the [mutex] declaration rule still applies.
+#ifndef ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_UTIL_LOCKS_H_
+#define ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_UTIL_LOCKS_H_
+
+#include <mutex>
+
+namespace demo::util_layer {
+
+inline std::mutex& SharedMu() {  // lint: unguarded (fixture)
+  static std::mutex mu;  // lint: unguarded (fixture: util-dir exemption)
+  return mu;
+}
+
+inline void Touch() {
+  // No raw-mutex waiver needed under src/util/.
+  std::lock_guard<std::mutex> lock(SharedMu());
+}
+
+}  // namespace demo::util_layer
+
+#endif  // ANGELPTM_TESTS_LINT_FIXTURES_CLEAN_SRC_UTIL_LOCKS_H_

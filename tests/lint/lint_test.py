@@ -52,18 +52,26 @@ def main():
     # One finding per violation: raw mutex + unannotated util::Mutex,
     # a declaration without [[nodiscard]], a naked new, an intrinsic
     # include outside src/train/simd/, an unregistered Optimizer subclass,
-    # and the failpoint drift in both directions (site missing from table,
+    # the failpoint drift in both directions (site missing from table,
+    # stale table row), three raw std:: locking tokens outside src/util/
+    # (the std::mutex member, an unguarded-waived local, and its
+    # lock_guard site), and the lock-class drift in all directions
+    # (classless mutex, class missing from the table, constant mismatch,
     # stale table row).
     for tag, expected in [("[mutex]", 2), ("[nodiscard]", 1),
                           ("[naked-new]", 1), ("[simd-include]", 1),
                           ("[optimizer-registry]", 1),
-                          ("[failpoint]", 2)]:
+                          ("[failpoint]", 2), ("[raw-mutex]", 3),
+                          ("[lock-class]", 4)]:
         count = dirty.stdout.count(f": {tag}")  # "[[nodiscard]]" in the
         # message body would double-count a bare substring search.
         check(f"dirty fixture yields {expected} {tag} finding(s)",
               count == expected, dirty.stdout)
     check("stale table row is named", "demo.stale" in dirty.stdout)
     check("undocumented site is named", "demo.undocumented" in dirty.stdout)
+    check("undeclared lock class is named", "demo.rogue" in dirty.stdout)
+    check("stale lock-class row is named", "demo.stale_lock" in dirty.stdout)
+    check("rank-constant mismatch is named", "kMismatch" in dirty.stdout)
 
     repo = subprocess.run([sys.executable, lint, "--root", args.root],
                           capture_output=True, text=True)

@@ -1,0 +1,168 @@
+#include "util/env_override.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/schedule_perturb.h"
+
+namespace angelptm::util {
+namespace {
+
+constexpr char kVar[] = "ANGELPTM_ENV_OVERRIDE_TEST_VAR";
+
+class ScopedEnvVar {
+ public:
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnvVar() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(EnvOverrideTest, EnvIsSetDistinguishesEmptyFromUnset) {
+  {
+    const ScopedEnvVar unset(kVar, nullptr);
+    EXPECT_FALSE(EnvIsSet(kVar));
+  }
+  const ScopedEnvVar empty(kVar, "");
+  EXPECT_TRUE(EnvIsSet(kVar));  // Set-but-empty is still set.
+}
+
+TEST(EnvOverrideTest, SizeUnsetAndEmptyFallBack) {
+  {
+    const ScopedEnvVar unset(kVar, nullptr);
+    EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+  }
+  const ScopedEnvVar empty(kVar, "");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+}
+
+TEST(EnvOverrideTest, SizeParsesPlainIntegers) {
+  const ScopedEnvVar set(kVar, "42");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 42u);
+}
+
+TEST(EnvOverrideTest, SizeRejectsNonNumeric) {
+  const ScopedEnvVar junk(kVar, "fast");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+  const ScopedEnvVar trailing(kVar, "42x");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+}
+
+TEST(EnvOverrideTest, SizeRejectsNegativeInsteadOfWrapping) {
+  // strtoull would happily parse "-3" as 2^64-3; an unsigned knob must warn
+  // and fall back rather than become an astronomically large count.
+  const ScopedEnvVar negative(kVar, "-3");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+  const ScopedEnvVar padded_negative(kVar, "  -3");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+}
+
+TEST(EnvOverrideTest, SizeWhitespaceHandling) {
+  // Leading whitespace is strtoull's documented skip; trailing whitespace
+  // is a trailing character and falls back.
+  const ScopedEnvVar leading(kVar, "  5");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 5u);
+  const ScopedEnvVar trailing(kVar, "5 ");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+  const ScopedEnvVar only_space(kVar, "   ");
+  EXPECT_EQ(EnvSizeOr(kVar, 7), 7u);
+}
+
+TEST(EnvOverrideTest, PositiveRejectsZeroNegativeAndJunk) {
+  {
+    const ScopedEnvVar zero(kVar, "0");
+    EXPECT_EQ(EnvPositiveOr(kVar, 3), 3u);
+  }
+  {
+    const ScopedEnvVar negative(kVar, "-2");
+    EXPECT_EQ(EnvPositiveOr(kVar, 3), 3u);
+  }
+  {
+    const ScopedEnvVar junk(kVar, "two");
+    EXPECT_EQ(EnvPositiveOr(kVar, 3), 3u);
+  }
+  const ScopedEnvVar ok(kVar, "2");
+  EXPECT_EQ(EnvPositiveOr(kVar, 3), 2u);
+}
+
+TEST(EnvOverrideTest, DoubleParsesAndRejects) {
+  {
+    const ScopedEnvVar set(kVar, "0.25");
+    EXPECT_DOUBLE_EQ(EnvDoubleOr(kVar, 0.5), 0.25);
+  }
+  {
+    const ScopedEnvVar junk(kVar, "0.25x");
+    EXPECT_DOUBLE_EQ(EnvDoubleOr(kVar, 0.5), 0.5);
+  }
+  {
+    const ScopedEnvVar inf(kVar, "inf");
+    EXPECT_DOUBLE_EQ(EnvDoubleOr(kVar, 0.5), 0.5);  // Non-finite rejected.
+  }
+  const ScopedEnvVar unset(kVar, nullptr);
+  EXPECT_DOUBLE_EQ(EnvDoubleOr(kVar, 0.5), 0.5);
+}
+
+TEST(EnvOverrideTest, StringOrFallsBackOnlyWhenUnset) {
+  {
+    const ScopedEnvVar unset(kVar, nullptr);
+    EXPECT_EQ(EnvStringOr(kVar, "dflt"), "dflt");
+  }
+  {
+    const ScopedEnvVar empty(kVar, "");
+    EXPECT_EQ(EnvStringOr(kVar, "dflt"), "");  // Set-but-empty wins.
+  }
+  const ScopedEnvVar set(kVar, "value");
+  EXPECT_EQ(EnvStringOr(kVar, "dflt"), "value");
+}
+
+TEST(EnvOverrideTest, OverrideBeatsEnvBeatsDefault) {
+  // The documented precedence chain (DESIGN.md §13), demonstrated on a
+  // subsystem that honours it end-to-end: SchedulePerturb reads
+  // ANGELPTM_PERTURB_* from the environment, and ForceEnable/ForceDisable
+  // are its in-process test override.
+  const ScopedEnvVar seed_env("ANGELPTM_PERTURB_SEED", "31");
+  const ScopedEnvVar prob_env("ANGELPTM_PERTURB_PROB", "0.5");
+  SchedulePerturb& perturb = SchedulePerturb::Instance();
+
+  perturb.ClearForce();  // 2) No override: environment wins over defaults.
+  EXPECT_TRUE(perturb.enabled());
+  EXPECT_EQ(perturb.seed(), 31u);
+
+  perturb.ForceEnable(99, 1.0, 2);  // 1) Override beats the environment.
+  EXPECT_EQ(perturb.seed(), 99u);
+  perturb.ForceDisable();
+  EXPECT_FALSE(perturb.enabled());  // ...even when env says enabled.
+
+  {
+    // 3) Neither override nor env: compiled default (disabled, seed 1).
+    const ScopedEnvVar no_seed("ANGELPTM_PERTURB_SEED", nullptr);
+    const ScopedEnvVar no_prob("ANGELPTM_PERTURB_PROB", nullptr);
+    perturb.ClearForce();
+    EXPECT_FALSE(perturb.enabled());
+    EXPECT_EQ(perturb.seed(), 1u);
+  }
+  perturb.ClearForce();
+}
+
+}  // namespace
+}  // namespace angelptm::util

@@ -1,0 +1,145 @@
+#include "util/schedule_perturb.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace angelptm::util {
+namespace {
+
+class ScopedEnvVar {
+ public:
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnvVar() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+std::vector<SchedulePerturb::Decision> Sequence(uint64_t seed, int n,
+                                                double prob,
+                                                uint32_t max_us) {
+  std::vector<SchedulePerturb::Decision> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(SchedulePerturb::DecisionFor(seed, uint64_t(i), prob,
+                                               max_us));
+  }
+  return out;
+}
+
+TEST(SchedulePerturbTest, SameSeedSameSequence) {
+  // The reproducibility contract: identical (seed, prob, max) replay an
+  // identical injection sequence, decision by decision.
+  const auto a = Sequence(42, 500, 0.3, 50);
+  const auto b = Sequence(42, 500, 0.3, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].inject, b[i].inject) << "index " << i;
+    EXPECT_EQ(a[i].yield, b[i].yield) << "index " << i;
+    EXPECT_EQ(a[i].sleep_us, b[i].sleep_us) << "index " << i;
+  }
+}
+
+TEST(SchedulePerturbTest, DifferentSeedsDiverge) {
+  const auto a = Sequence(1, 500, 0.3, 50);
+  const auto b = Sequence(2, 500, 0.3, 50);
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].inject != b[i].inject) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(SchedulePerturbTest, ProbabilityBoundsRespected) {
+  const auto none = Sequence(7, 300, 0.0, 50);
+  for (const auto& d : none) EXPECT_FALSE(d.inject);
+  const auto all = Sequence(7, 300, 1.0, 50);
+  for (const auto& d : all) {
+    EXPECT_TRUE(d.inject);
+    if (!d.yield) {
+      EXPECT_GE(d.sleep_us, 1u);
+      EXPECT_LE(d.sleep_us, 50u);
+    }
+  }
+}
+
+TEST(SchedulePerturbTest, InjectionRateTracksProbability) {
+  const auto seq = Sequence(99, 10000, 0.25, 10);
+  int injected = 0;
+  for (const auto& d : seq) injected += d.inject ? 1 : 0;
+  // 10k samples at p=0.25: expect ~2500, allow wide slack.
+  EXPECT_GT(injected, 2000);
+  EXPECT_LT(injected, 3000);
+}
+
+TEST(SchedulePerturbTest, ForceEnableOverridesEnvironment) {
+  // Precedence: test override > environment > default (DESIGN.md §13).
+  const ScopedEnvVar seed_env("ANGELPTM_PERTURB_SEED", "77");
+  const ScopedEnvVar prob_env("ANGELPTM_PERTURB_PROB", "0");
+  SchedulePerturb& perturb = SchedulePerturb::Instance();
+  perturb.ClearForce();  // Env-derived: prob 0 => disabled.
+  EXPECT_FALSE(perturb.enabled());
+  EXPECT_EQ(perturb.seed(), 77u);
+
+  perturb.ForceEnable(123, 1.0, 5);  // Override beats env.
+  EXPECT_TRUE(perturb.enabled());
+  EXPECT_EQ(perturb.seed(), 123u);
+  const uint64_t before = perturb.injections();
+  perturb.MaybePerturb("test.site");
+  EXPECT_EQ(perturb.decisions(), 1u);
+  EXPECT_EQ(perturb.injections(), before + 1);  // p=1: always injects.
+
+  perturb.ForceDisable();
+  EXPECT_FALSE(perturb.enabled());
+  perturb.MaybePerturb("test.site");
+  EXPECT_EQ(perturb.decisions(), 1u);  // Disabled: no decision consumed.
+
+  perturb.ClearForce();  // Back to env (disabled, seed 77).
+  EXPECT_FALSE(perturb.enabled());
+  EXPECT_EQ(perturb.seed(), 77u);
+}
+
+TEST(SchedulePerturbTest, InstanceCountersAreDeterministic) {
+  SchedulePerturb& perturb = SchedulePerturb::Instance();
+  perturb.ForceEnable(1234, 0.5, 3);
+  for (int i = 0; i < 200; ++i) perturb.MaybePerturb("test.loop");
+  const uint64_t first = perturb.injections();
+  EXPECT_EQ(perturb.decisions(), 200u);
+
+  perturb.ForceEnable(1234, 0.5, 3);  // Same seed: counters reset, replay.
+  for (int i = 0; i < 200; ++i) perturb.MaybePerturb("test.loop");
+  EXPECT_EQ(perturb.injections(), first);
+
+  // And the pure sequence agrees with what the instance consumed.
+  uint64_t expected = 0;
+  for (int i = 0; i < 200; ++i) {
+    expected +=
+        SchedulePerturb::DecisionFor(1234, uint64_t(i), 0.5, 3).inject ? 1 : 0;
+  }
+  EXPECT_EQ(first, expected);
+
+  perturb.ClearForce();
+}
+
+}  // namespace
+}  // namespace angelptm::util
